@@ -1,0 +1,40 @@
+//! Criterion end-to-end benchmarks: whole simulated runs of a
+//! representative workload in each execution variant (test scale). These
+//! measure the *simulator's* wall-time; the simulated-cycle figures of
+//! the paper come from the `fig*` binaries.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use workloads::{Benchmark, Scale, Variant};
+
+fn bench_variants(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bfs_citation_test_scale");
+    g.sample_size(10);
+    for v in [Variant::Flat, Variant::Cdp, Variant::Dtbl] {
+        g.bench_function(v.label(), |b| {
+            b.iter(|| {
+                let r = Benchmark::BfsCitation.run(v, Scale::Test);
+                assert!(r.validated);
+                black_box(r.stats.cycles)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_amr_self_coalescing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("amr_test_scale");
+    g.sample_size(10);
+    for v in [Variant::Flat, Variant::Dtbl] {
+        g.bench_function(v.label(), |b| {
+            b.iter(|| {
+                let r = Benchmark::Amr.run(v, Scale::Test);
+                assert!(r.validated);
+                black_box(r.stats.cycles)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_variants, bench_amr_self_coalescing);
+criterion_main!(benches);

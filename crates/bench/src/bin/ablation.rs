@@ -1,0 +1,103 @@
+//! Ablations of the DTBL design choices called out in DESIGN.md:
+//!
+//! 1. **Coalescing off** (`DTBL-NC`): every aggregated group is launched
+//!    as a device kernel — the §4.3 "just add Kernel Distributor entries"
+//!    alternative, but keeping DTBL's cheap launch command. Shows how much
+//!    of the win comes from coalescing vs. the shorter launch path.
+//! 2. **Warp scheduler GTO vs. round-robin**: §5.1 claims the DTBL
+//!    extension is transparent to the warp scheduler; the DTBL-over-CDP
+//!    ratio should survive a scheduler swap.
+
+use bench::{geomean, scale_from_args, Matrix};
+use gpu_sim::{GpuConfig, WarpSchedPolicy};
+use workloads::{Benchmark, Scale, Variant};
+
+const SUBSET: [Benchmark; 5] = [
+    Benchmark::Amr,
+    Benchmark::Bht,
+    Benchmark::BfsCitation,
+    Benchmark::RegxString,
+    Benchmark::PreMovielens,
+];
+
+fn main() {
+    let scale = scale_from_args();
+
+    println!("Ablation 1: thread-block coalescing (launch-bearing subset)");
+    println!("------------------------------------------------------------");
+    let m = Matrix::run(
+        &SUBSET,
+        &[
+            Variant::Flat,
+            Variant::Cdp,
+            Variant::Dtbl,
+            Variant::DtblNoCoalesce,
+        ],
+        scale,
+    );
+    println!(
+        "{:<16}{:>10}{:>10}{:>10}{:>12}",
+        "benchmark", "CDP", "DTBL", "DTBL-NC", "coalesce-gain"
+    );
+    for b in SUBSET {
+        let flat = m.get(b, Variant::Flat).stats.cycles as f64;
+        let s = |v: Variant| flat / m.get(b, v).stats.cycles.max(1) as f64;
+        println!(
+            "{:<16}{:>9.2}x{:>9.2}x{:>9.2}x{:>11.2}x",
+            b.name(),
+            s(Variant::Cdp),
+            s(Variant::Dtbl),
+            s(Variant::DtblNoCoalesce),
+            s(Variant::Dtbl) / s(Variant::DtblNoCoalesce),
+        );
+    }
+    let gain = geomean(SUBSET.iter().map(|&b| {
+        m.get(b, Variant::DtblNoCoalesce).stats.cycles as f64
+            / m.get(b, Variant::Dtbl).stats.cycles.max(1) as f64
+    }));
+    println!("coalescing contributes {gain:.2}x (geomean) on top of the cheap launch path\n");
+
+    println!("Ablation 2: warp scheduler (GTO vs round-robin), bfs_citation");
+    println!("---------------------------------------------------------------");
+    for policy in [WarpSchedPolicy::Gto, WarpSchedPolicy::RoundRobin] {
+        let cfg = GpuConfig {
+            warp_sched: policy,
+            ..GpuConfig::k20c()
+        };
+        let run = |v: Variant| {
+            let r = Benchmark::BfsCitation.run_with(v, scale, cfg);
+            r.assert_valid();
+            r.stats.cycles
+        };
+        let flat = run(Variant::Flat);
+        let cdp = run(Variant::Cdp);
+        let dtbl = run(Variant::Dtbl);
+        println!(
+            "{policy:?}: Flat {flat} cyc, CDP {:.2}x, DTBL {:.2}x, DTBL/CDP {:.2}x",
+            flat as f64 / cdp as f64,
+            flat as f64 / dtbl as f64,
+            cdp as f64 / dtbl as f64,
+        );
+    }
+    println!("(the DTBL-over-CDP ratio should be scheduler-insensitive, §5.1)");
+
+    println!("\nAblation 3: spatial sharing (§5.2B extension), clr_graph500 DTBL");
+    println!("------------------------------------------------------------------");
+    for reserved in [0usize, 1, 2] {
+        let cfg = GpuConfig {
+            dyn_reserved_smx: reserved,
+            ..GpuConfig::k20c()
+        };
+        let r = Benchmark::ClrGraph500.run_with(Variant::Dtbl, scale, cfg);
+        r.assert_valid();
+        println!(
+            "reserved SMXs = {reserved}: {} cycles, avg waiting {:.0} cycles, peak pending {} KB",
+            r.stats.cycles,
+            r.stats.avg_waiting_time(),
+            r.stats.peak_pending_bytes / 1024,
+        );
+    }
+    println!("(the paper suggests spatial sharing to shorten the wait of pending groups)");
+
+    let _ = Scale::Test; // referenced for the --test-scale hint in docs
+}

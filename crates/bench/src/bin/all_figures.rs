@@ -1,0 +1,192 @@
+//! Runs the full benchmark × variant matrix once and prints every figure
+//! of the paper's evaluation (Figures 6–11) from that single sweep; use
+//! `fig12_agt_sensitivity` separately for the AGT sweep (it needs its own
+//! configurations).
+//!
+//! `--test-scale` switches to the fast test inputs.
+
+use bench::{csv_from_args, geomean, print_figure, scale_from_args, write_csv, Matrix};
+use workloads::{Benchmark, Variant};
+
+fn main() {
+    let scale = scale_from_args();
+    let csv = csv_from_args();
+    eprintln!("Running the 16-benchmark x 5-variant matrix ({scale:?} scale)...");
+    let m = Matrix::run(&Benchmark::ALL, &Variant::MAIN, scale);
+
+    let of = |b: Benchmark, v: Variant| m.get(b, v);
+
+    if csv {
+        let three = |s: &str| match s {
+            "Flat" => Variant::Flat,
+            "CDP" => Variant::Cdp,
+            _ => Variant::Dtbl,
+        };
+        let four_v = |s: &str| match s {
+            "CDPI" => Variant::CdpIdeal,
+            "DTBLI" => Variant::DtblIdeal,
+            "CDP" => Variant::Cdp,
+            _ => Variant::Dtbl,
+        };
+        let fourcols: [&str; 4] = ["CDPI", "DTBLI", "CDP", "DTBL"];
+        write_csv(
+            "fig06_warp_activity",
+            &Benchmark::ALL,
+            &["Flat", "CDP", "DTBL"],
+            |b, s| of(b, three(s)).stats.warp_activity_pct(),
+        )
+        .expect("csv");
+        write_csv(
+            "fig07_dram_efficiency",
+            &Benchmark::ALL,
+            &["Flat", "CDP", "DTBL"],
+            |b, s| of(b, three(s)).stats.dram_efficiency(),
+        )
+        .expect("csv");
+        write_csv("fig08_occupancy", &Benchmark::ALL, &fourcols, |b, s| {
+            of(b, four_v(s)).stats.smx_occupancy_pct()
+        })
+        .expect("csv");
+        write_csv(
+            "fig09_waiting_kcycles",
+            &Benchmark::ALL,
+            &fourcols,
+            |b, s| of(b, four_v(s)).stats.avg_waiting_time() / 1000.0,
+        )
+        .expect("csv");
+        write_csv(
+            "fig10_footprint_kb",
+            &Benchmark::ALL,
+            &["CDP", "DTBL"],
+            |b, s| of(b, four_v(s)).stats.peak_pending_bytes as f64 / 1024.0,
+        )
+        .expect("csv");
+        write_csv("fig11_speedup", &Benchmark::ALL, &fourcols, |b, s| {
+            of(b, Variant::Flat).stats.cycles as f64 / of(b, four_v(s)).stats.cycles.max(1) as f64
+        })
+        .expect("csv");
+        eprintln!("CSV series written under target/figures/");
+    }
+
+    print_figure(
+        "Figure 6: Warp Activity Percentage",
+        &Benchmark::ALL,
+        &["Flat", "CDP", "DTBL"],
+        |b, s| {
+            let v = match s {
+                "Flat" => Variant::Flat,
+                "CDP" => Variant::Cdp,
+                _ => Variant::Dtbl,
+            };
+            of(b, v).stats.warp_activity_pct()
+        },
+        |v| format!("{v:.1}%"),
+    );
+
+    print_figure(
+        "Figure 7: DRAM Efficiency",
+        &Benchmark::ALL,
+        &["Flat", "CDP", "DTBL"],
+        |b, s| {
+            let v = match s {
+                "Flat" => Variant::Flat,
+                "CDP" => Variant::Cdp,
+                _ => Variant::Dtbl,
+            };
+            of(b, v).stats.dram_efficiency()
+        },
+        |v| format!("{v:.3}"),
+    );
+
+    let four = |s: &str| match s {
+        "CDPI" => Variant::CdpIdeal,
+        "DTBLI" => Variant::DtblIdeal,
+        "CDP" => Variant::Cdp,
+        _ => Variant::Dtbl,
+    };
+
+    print_figure(
+        "Figure 8: SMX Occupancy",
+        &Benchmark::ALL,
+        &["CDPI", "DTBLI", "CDP", "DTBL"],
+        |b, s| of(b, four(s)).stats.smx_occupancy_pct(),
+        |v| format!("{v:.1}%"),
+    );
+
+    print_figure(
+        "Figure 9: Average Waiting Time (kcycles)",
+        &Benchmark::ALL,
+        &["CDPI", "DTBLI", "CDP", "DTBL"],
+        |b, s| of(b, four(s)).stats.avg_waiting_time() / 1000.0,
+        |v| format!("{v:.1}"),
+    );
+
+    print_figure(
+        "Figure 10: Peak Pending-Launch Footprint (KB) + DTBL Reduction",
+        &Benchmark::ALL,
+        &["CDP(KB)", "DTBL(KB)", "red(%)"],
+        |b, s| {
+            let cdp = of(b, Variant::Cdp).stats.peak_pending_bytes as f64;
+            let dtbl = of(b, Variant::Dtbl).stats.peak_pending_bytes as f64;
+            match s {
+                "CDP(KB)" => cdp / 1024.0,
+                "DTBL(KB)" => dtbl / 1024.0,
+                _ if cdp == 0.0 => 0.0,
+                _ => 100.0 * (1.0 - dtbl / cdp),
+            }
+        },
+        |v| format!("{v:.1}"),
+    );
+
+    let speedup = |b: Benchmark, v: Variant| {
+        of(b, Variant::Flat).stats.cycles as f64 / of(b, v).stats.cycles.max(1) as f64
+    };
+    print_figure(
+        "Figure 11: Speedup over Flat Implementation",
+        &Benchmark::ALL,
+        &["CDPI", "DTBLI", "CDP", "DTBL"],
+        |b, s| speedup(b, four(s)),
+        |v| format!("{v:.2}x"),
+    );
+
+    println!("\nHeadline numbers (geomean over all benchmarks; paper averages in parentheses):");
+    for (v, paper) in [
+        (Variant::CdpIdeal, "1.43x"),
+        (Variant::DtblIdeal, "1.63x"),
+        (Variant::Cdp, "0.86x"),
+        (Variant::Dtbl, "1.21x"),
+    ] {
+        let g = geomean(Benchmark::ALL.iter().map(|&b| speedup(b, v)));
+        println!("  {:6} speedup over Flat: {g:.2}x  ({paper})", v.label());
+    }
+    let rel = geomean(
+        Benchmark::ALL
+            .iter()
+            .map(|&b| speedup(b, Variant::Dtbl) / speedup(b, Variant::Cdp)),
+    );
+    println!("  DTBL over CDP: {rel:.2}x  (1.40x)");
+
+    // DTBL diagnostics the paper quotes in the text.
+    let match_rates: Vec<f64> = Benchmark::ALL
+        .iter()
+        .filter(|&&b| of(b, Variant::Dtbl).stats.dyn_launches() > 0)
+        .map(|&b| of(b, Variant::Dtbl).stats.match_rate())
+        .collect();
+    if !match_rates.is_empty() {
+        println!(
+            "  eligible-kernel match rate: {:.1}% (paper: ~98%)",
+            100.0 * match_rates.iter().sum::<f64>() / match_rates.len() as f64
+        );
+    }
+    let avg_threads: Vec<f64> = Benchmark::ALL
+        .iter()
+        .filter(|&&b| of(b, Variant::Dtbl).stats.dyn_launches() > 0)
+        .map(|&b| of(b, Variant::Dtbl).stats.avg_dyn_launch_threads())
+        .collect();
+    if !avg_threads.is_empty() {
+        println!(
+            "  avg threads per dynamic launch: {:.0} (paper: ~40, pre ~1528)",
+            avg_threads.iter().sum::<f64>() / avg_threads.len() as f64
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! Figure 6: average percentage of active threads in a warp, for the
+//! Flat, CDP and DTBL implementations of every benchmark.
+
+use bench::{print_figure, scale_from_args, Matrix};
+use workloads::{Benchmark, Variant};
+
+fn main() {
+    let scale = scale_from_args();
+    let variants = [Variant::Flat, Variant::Cdp, Variant::Dtbl];
+    let m = Matrix::run(&Benchmark::ALL, &variants, scale);
+    print_figure(
+        "Figure 6: Warp Activity Percentage",
+        &Benchmark::ALL,
+        &["Flat", "CDP", "DTBL"],
+        |b, s| {
+            let v = variants.iter().find(|v| v.label() == s).expect("series");
+            m.get(b, *v).stats.warp_activity_pct()
+        },
+        |v| format!("{v:.1}%"),
+    );
+    let delta: f64 = Benchmark::ALL
+        .iter()
+        .map(|&b| {
+            m.get(b, Variant::Dtbl).stats.warp_activity_pct()
+                - m.get(b, Variant::Flat).stats.warp_activity_pct()
+        })
+        .sum::<f64>()
+        / Benchmark::ALL.len() as f64;
+    println!("\nAverage DTBL warp-activity gain over Flat: {delta:+.1} points (paper: +10.7)");
+}

@@ -1,0 +1,26 @@
+//! Figure 7: DRAM efficiency `(n_rd + n_wr) / n_activity` for Flat, CDP
+//! and DTBL.
+
+use bench::{print_figure, scale_from_args, Matrix};
+use workloads::{Benchmark, Variant};
+
+fn main() {
+    let scale = scale_from_args();
+    let variants = [Variant::Flat, Variant::Cdp, Variant::Dtbl];
+    let m = Matrix::run(&Benchmark::ALL, &variants, scale);
+    print_figure(
+        "Figure 7: DRAM Efficiency",
+        &Benchmark::ALL,
+        &["Flat", "CDP", "DTBL"],
+        |b, s| {
+            let v = variants.iter().find(|v| v.label() == s).expect("series");
+            m.get(b, *v).stats.dram_efficiency()
+        },
+        |v| format!("{v:.3}"),
+    );
+    let rel: f64 = bench::geomean(Benchmark::ALL.iter().map(|&b| {
+        let f = m.get(b, Variant::Flat).stats.dram_efficiency().max(1e-9);
+        m.get(b, Variant::Dtbl).stats.dram_efficiency() / f
+    }));
+    println!("\nDTBL / Flat DRAM-efficiency ratio (geomean): {rel:.2}x (paper: 1.27x)");
+}

@@ -1,0 +1,38 @@
+//! Figure 8: SMX occupancy (average resident warps / maximum resident
+//! warps) for CDPI, DTBLI, CDP and DTBL.
+
+use bench::{print_figure, scale_from_args, Matrix};
+use workloads::{Benchmark, Variant};
+
+fn main() {
+    let scale = scale_from_args();
+    let variants = [
+        Variant::CdpIdeal,
+        Variant::DtblIdeal,
+        Variant::Cdp,
+        Variant::Dtbl,
+    ];
+    let m = Matrix::run(&Benchmark::ALL, &variants, scale);
+    print_figure(
+        "Figure 8: SMX Occupancy",
+        &Benchmark::ALL,
+        &["CDPI", "DTBLI", "CDP", "DTBL"],
+        |b, s| {
+            let v = variants.iter().find(|v| v.label() == s).expect("series");
+            m.get(b, *v).stats.smx_occupancy_pct()
+        },
+        |v| format!("{v:.1}%"),
+    );
+    let avg = |v: Variant| {
+        Benchmark::ALL
+            .iter()
+            .map(|&b| m.get(b, v).stats.smx_occupancy_pct())
+            .sum::<f64>()
+            / Benchmark::ALL.len() as f64
+    };
+    println!(
+        "\nDTBLI - CDPI occupancy: {:+.1} points (paper: +17.9); DTBL - CDP: {:+.1} points",
+        avg(Variant::DtblIdeal) - avg(Variant::CdpIdeal),
+        avg(Variant::Dtbl) - avg(Variant::Cdp),
+    );
+}

@@ -1,0 +1,45 @@
+//! Figure 9: average waiting time (launch to first thread-block start)
+//! for a device kernel or an aggregated group, in kilocycles.
+
+use bench::{print_figure, scale_from_args, Matrix};
+use workloads::{Benchmark, Variant};
+
+fn main() {
+    let scale = scale_from_args();
+    let variants = [
+        Variant::CdpIdeal,
+        Variant::DtblIdeal,
+        Variant::Cdp,
+        Variant::Dtbl,
+    ];
+    let m = Matrix::run(&Benchmark::ALL, &variants, scale);
+    print_figure(
+        "Figure 9: Average Waiting Time for a Kernel or an Aggregated Group (kcycles)",
+        &Benchmark::ALL,
+        &["CDPI", "DTBLI", "CDP", "DTBL"],
+        |b, s| {
+            let v = variants.iter().find(|v| v.label() == s).expect("series");
+            m.get(b, *v).stats.avg_waiting_time() / 1000.0
+        },
+        |v| format!("{v:.1}"),
+    );
+    // Relative reductions over launch-bearing benchmarks only.
+    let launching: Vec<Benchmark> = Benchmark::ALL
+        .iter()
+        .copied()
+        .filter(|&b| m.get(b, Variant::Dtbl).stats.dyn_launches() > 0)
+        .collect();
+    let red = |a: Variant, b: Variant| {
+        100.0
+            * (1.0
+                - bench::geomean(launching.iter().map(|&bm| {
+                    m.get(bm, b).stats.avg_waiting_time().max(1.0)
+                        / m.get(bm, a).stats.avg_waiting_time().max(1.0)
+                })))
+    };
+    println!(
+        "\nWaiting-time reduction DTBLI vs CDPI: {:.1}% (paper: 18.8%); DTBL vs CDP: {:.1}% (paper: 24.1%)",
+        red(Variant::CdpIdeal, Variant::DtblIdeal),
+        red(Variant::Cdp, Variant::Dtbl),
+    );
+}

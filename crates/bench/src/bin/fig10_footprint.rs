@@ -1,0 +1,50 @@
+//! Figure 10: global-memory footprint reduction of DTBL relative to CDP
+//! (peak bytes reserved for pending dynamic launches), in percent and in
+//! absolute bytes.
+
+use bench::{print_figure, scale_from_args, Matrix};
+use workloads::{Benchmark, Variant};
+
+fn main() {
+    let scale = scale_from_args();
+    let variants = [Variant::Cdp, Variant::Dtbl];
+    let m = Matrix::run(&Benchmark::ALL, &variants, scale);
+    print_figure(
+        "Figure 10: Memory Footprint of Pending Launches (peak KB) and DTBL Reduction",
+        &Benchmark::ALL,
+        &["CDP(KB)", "DTBL(KB)", "red(%)"],
+        |b, s| {
+            let cdp = m.get(b, Variant::Cdp).stats.peak_pending_bytes as f64;
+            let dtbl = m.get(b, Variant::Dtbl).stats.peak_pending_bytes as f64;
+            match s {
+                "CDP(KB)" => cdp / 1024.0,
+                "DTBL(KB)" => dtbl / 1024.0,
+                _ => {
+                    if cdp == 0.0 {
+                        0.0
+                    } else {
+                        100.0 * (1.0 - dtbl / cdp)
+                    }
+                }
+            }
+        },
+        |v| format!("{v:.1}"),
+    );
+    let launching: Vec<Benchmark> = Benchmark::ALL
+        .iter()
+        .copied()
+        .filter(|&b| m.get(b, Variant::Cdp).stats.peak_pending_bytes > 0)
+        .collect();
+    let avg_red = launching
+        .iter()
+        .map(|&b| {
+            let cdp = m.get(b, Variant::Cdp).stats.peak_pending_bytes as f64;
+            let dtbl = m.get(b, Variant::Dtbl).stats.peak_pending_bytes as f64;
+            100.0 * (1.0 - dtbl / cdp)
+        })
+        .sum::<f64>()
+        / launching.len().max(1) as f64;
+    println!(
+        "\nAverage footprint reduction (launch-bearing benchmarks): {avg_red:.1}% (paper: 25.6%)"
+    );
+}

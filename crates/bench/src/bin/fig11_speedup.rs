@@ -1,0 +1,46 @@
+//! Figure 11: overall performance — speedup over the flat implementation
+//! for CDPI, DTBLI, CDP and DTBL.
+
+use bench::{geomean, print_figure, scale_from_args, Matrix};
+use workloads::{Benchmark, Variant};
+
+fn main() {
+    let scale = scale_from_args();
+    let m = Matrix::run(&Benchmark::ALL, &Variant::MAIN, scale);
+    let speedup = |b: Benchmark, v: Variant| {
+        m.get(b, Variant::Flat).stats.cycles as f64 / m.get(b, v).stats.cycles.max(1) as f64
+    };
+    print_figure(
+        "Figure 11: Speedup over Flat Implementation",
+        &Benchmark::ALL,
+        &["CDPI", "DTBLI", "CDP", "DTBL"],
+        |b, s| {
+            let v = match s {
+                "CDPI" => Variant::CdpIdeal,
+                "DTBLI" => Variant::DtblIdeal,
+                "CDP" => Variant::Cdp,
+                _ => Variant::Dtbl,
+            };
+            speedup(b, v)
+        },
+        |v| format!("{v:.2}x"),
+    );
+    for (v, paper) in [
+        (Variant::CdpIdeal, 1.43),
+        (Variant::DtblIdeal, 1.63),
+        (Variant::Cdp, 0.86),
+        (Variant::Dtbl, 1.21),
+    ] {
+        let g = geomean(Benchmark::ALL.iter().map(|&b| speedup(b, v)));
+        println!(
+            "geomean {:6}: {g:.2}x   (paper avg: {paper:.2}x)",
+            v.label()
+        );
+    }
+    let dtbl_over_cdp = geomean(
+        Benchmark::ALL
+            .iter()
+            .map(|&b| speedup(b, Variant::Dtbl) / speedup(b, Variant::Cdp)),
+    );
+    println!("geomean DTBL over CDP: {dtbl_over_cdp:.2}x   (paper avg: 1.40x)");
+}

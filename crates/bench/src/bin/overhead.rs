@@ -1,0 +1,37 @@
+//! Regenerates the §4.3 hardware-overhead analysis: 1096 bytes of
+//! extension registers and the AGT SRAM cost at several sizes.
+
+use dtbl_core::overhead::{launch_timing, sram_cost, OverheadParams};
+
+fn main() {
+    println!("Hardware overhead analysis (paper §4.3)");
+    println!("----------------------------------------");
+    for entries in [512u32, 1024, 2048] {
+        let c = sram_cost(&OverheadParams {
+            agt_entries: entries,
+            ..OverheadParams::default()
+        });
+        println!(
+            "AGT {entries:>5} entries: extension regs {:>5} B (KDE {} + FCFS {} + TBCR {}), AGT {:>6} B, total {:>6} B",
+            c.extension_register_bytes(),
+            c.kde_ext_bytes,
+            c.fcfs_bytes,
+            c.tbcr_bytes,
+            c.agt_bytes,
+            c.total_bytes()
+        );
+    }
+    let c = sram_cost(&OverheadParams::default());
+    assert_eq!(c.extension_register_bytes(), 1096, "paper's figure");
+    assert_eq!(c.agt_bytes, 20 * 1024, "paper's 20KB @ 1024 entries");
+    println!();
+    let t = launch_timing(32);
+    println!(
+        "Launch timing: KDE eligibility search {} cycles (pipelined, 1/entry), AGT hash probe {} cycle",
+        t.kde_search_cycles, t.agt_probe_cycles
+    );
+    println!(
+        "\nPaper check: 1096 B extension registers reproduced = {}",
+        c.extension_register_bytes() == 1096
+    );
+}

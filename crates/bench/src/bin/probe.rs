@@ -1,0 +1,59 @@
+//! Diagnostic probe: runs one benchmark through all five variants at Eval
+//! scale and prints every collected metric on one line per variant.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin probe -- bfs_citation
+//! cargo run --release -p bench --bin probe            # all benchmarks
+//! ```
+
+use workloads::{Benchmark, Scale, Variant};
+
+fn probe(b: Benchmark) {
+    for v in Variant::MAIN {
+        let t = std::time::Instant::now();
+        let r = b.run(v, Scale::Eval);
+        println!(
+            "{:14} {:6}: cycles={:9} act={:5.1}% occ={:5.1}% dram_eff={:.3} wait={:8.0} launches={:6} match={:.2} footprint={:8} wall={:.1?}",
+            b.name(),
+            v.label(),
+            r.stats.cycles,
+            r.stats.warp_activity_pct(),
+            r.stats.smx_occupancy_pct(),
+            r.stats.dram_efficiency(),
+            r.stats.avg_waiting_time(),
+            r.stats.dyn_launches(),
+            r.stats.match_rate(),
+            r.stats.peak_pending_bytes,
+            t.elapsed()
+        );
+        assert!(
+            r.validated,
+            "{} [{}] produced wrong results",
+            b.name(),
+            v.label()
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        for b in Benchmark::ALL {
+            probe(b);
+        }
+        return;
+    }
+    for a in &args {
+        let b = Benchmark::ALL
+            .iter()
+            .find(|b| b.name() == a)
+            .unwrap_or_else(|| {
+                eprintln!("unknown benchmark '{a}'; one of:");
+                for b in Benchmark::ALL {
+                    eprintln!("  {}", b.name());
+                }
+                std::process::exit(2);
+            });
+        probe(*b);
+    }
+}

@@ -1,0 +1,45 @@
+//! Regenerates Table 2 (GPGPU-Sim configuration parameters) from the
+//! simulator's actual defaults, so the documented baseline can never
+//! drift from the code.
+
+use gpu_sim::GpuConfig;
+
+fn main() {
+    let c = GpuConfig::k20c();
+    println!("Table 2: simulator configuration (Tesla K20c baseline)");
+    println!("-------------------------------------------------------");
+    let rows: Vec<(&str, String)> = vec![
+        ("# of SMX", c.num_smx.to_string()),
+        (
+            "Max # of Resident Thread Blocks per SMX",
+            c.max_tb_per_smx.to_string(),
+        ),
+        (
+            "Max # of Resident Threads per SMX",
+            c.max_threads_per_smx.to_string(),
+        ),
+        ("# of 32-bit Registers per SMX", c.regs_per_smx.to_string()),
+        (
+            "L1 Cache / Shared Mem Size per SMX",
+            format!(
+                "{}KB / {}KB",
+                c.mem.l1.size_bytes / 1024,
+                c.shared_mem_per_smx / 1024
+            ),
+        ),
+        ("Max # of Concurrent Kernels", c.kde_entries.to_string()),
+        ("Warp scheduler", format!("{:?}", c.warp_sched)),
+        ("Memory partitions", c.mem.num_partitions.to_string()),
+        (
+            "L2 size (total)",
+            format!(
+                "{}KB",
+                c.mem.l2_slice.size_bytes * c.mem.num_partitions as u32 / 1024
+            ),
+        ),
+        ("AGT entries (DTBL)", c.agt_entries.to_string()),
+    ];
+    for (k, v) in rows {
+        println!("{k:<42} {v}");
+    }
+}

@@ -1,0 +1,33 @@
+//! Regenerates Table 3 (latency modeling for CDP and DTBL) from the
+//! simulator's latency table.
+
+use gpu_sim::LatencyTable;
+
+fn main() {
+    let t = LatencyTable::k20c();
+    println!("Table 3: latency modeling for CDP and DTBL (unit: cycles)");
+    println!("----------------------------------------------------------");
+    println!(
+        "{:<44} {}",
+        "cudaStreamCreateWithFlags (CDP only)", t.stream_create
+    );
+    println!(
+        "{:<44} b: {}, A: {}",
+        "cudaGetParameterBuffer (CDP and DTBL)", t.get_param_buf_b, t.get_param_buf_a
+    );
+    println!(
+        "{:<44} b: {}, A: {}",
+        "cudaLaunchDevice (CDP only)", t.launch_device_b, t.launch_device_a
+    );
+    println!("{:<44} {}", "Kernel dispatching", t.kernel_dispatch);
+    println!(
+        "{:<44} {} (KDE search + AGT probe)",
+        "cudaLaunchAggGroup (DTBL only)", t.agg_launch
+    );
+    println!();
+    println!("Per-warp model: latency(x) = b + A*x for x calling lanes.");
+    println!(
+        "Example: cudaLaunchDevice with a full warp costs {} cycles",
+        t.launch_device(32)
+    );
+}

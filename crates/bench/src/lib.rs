@@ -1,0 +1,198 @@
+//! Experiment harness for the DTBL reproduction.
+//!
+//! The binaries in `src/bin/` regenerate every table and figure of the
+//! paper's evaluation section (see the per-experiment index in
+//! `DESIGN.md`); this library holds the shared matrix runner and the
+//! plain-text "figure" renderer they use.
+
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::io::Write as _;
+use workloads::{Benchmark, RunReport, Scale, Variant};
+
+/// Results of running benchmarks × variants.
+#[derive(Debug, Default)]
+pub struct Matrix {
+    reports: HashMap<(Benchmark, Variant), RunReport>,
+}
+
+impl Matrix {
+    /// Runs `benchmarks × variants` at `scale`, validating every run.
+    /// Progress is streamed to stderr since Eval-scale sweeps take a few
+    /// minutes.
+    pub fn run(benchmarks: &[Benchmark], variants: &[Variant], scale: Scale) -> Self {
+        let mut m = Matrix::default();
+        for &b in benchmarks {
+            for &v in variants {
+                eprint!("  running {:14} {:7}... ", b.name(), v.label());
+                std::io::stderr().flush().ok();
+                let t = std::time::Instant::now();
+                let r = b.run(v, scale);
+                eprintln!(
+                    "{} cycles, {} launches, {:.1?}{}",
+                    r.stats.cycles,
+                    r.stats.dyn_launches(),
+                    t.elapsed(),
+                    if r.validated { "" } else { "  ** INVALID **" }
+                );
+                r.assert_valid();
+                m.reports.insert((b, v), r);
+            }
+        }
+        m
+    }
+
+    /// A single run's report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combination was not part of the matrix.
+    pub fn get(&self, b: Benchmark, v: Variant) -> &RunReport {
+        self.reports
+            .get(&(b, v))
+            .unwrap_or_else(|| panic!("no report for {b} [{v}]"))
+    }
+
+    /// Whether a combination was run.
+    pub fn contains(&self, b: Benchmark, v: Variant) -> bool {
+        self.reports.contains_key(&(b, v))
+    }
+}
+
+/// Renders one paper-style figure as a table: one row per benchmark, one
+/// column per series, plus an average row (arithmetic mean, as the paper
+/// reports for its figures).
+pub fn print_figure(
+    title: &str,
+    benchmarks: &[Benchmark],
+    series: &[&str],
+    mut value: impl FnMut(Benchmark, &str) -> f64,
+    unit_fmt: impl Fn(f64) -> String,
+) {
+    println!("\n{title}");
+    println!("{}", "-".repeat(title.len().min(100)));
+    print!("{:<16}", "benchmark");
+    for s in series {
+        print!("{s:>12}");
+    }
+    println!();
+    let mut sums = vec![0.0f64; series.len()];
+    for &b in benchmarks {
+        print!("{:<16}", b.name());
+        for (k, s) in series.iter().enumerate() {
+            let v = value(b, s);
+            sums[k] += v;
+            print!("{:>12}", unit_fmt(v));
+        }
+        println!();
+    }
+    print!("{:<16}", "average");
+    for (k, _) in series.iter().enumerate() {
+        print!("{:>12}", unit_fmt(sums[k] / benchmarks.len() as f64));
+    }
+    println!();
+}
+
+/// Geometric mean (used for the headline speedup numbers).
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        log_sum += v.max(1e-12).ln();
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+/// Parses the common CLI convention of the figure binaries: `--test-scale`
+/// switches to the fast Test inputs (useful for smoke runs).
+pub fn scale_from_args() -> Scale {
+    if std::env::args().any(|a| a == "--test-scale") {
+        Scale::Test
+    } else {
+        Scale::Eval
+    }
+}
+
+/// True when `--csv` was passed (figure binaries then also write
+/// `target/figures/<name>.csv` for plotting).
+pub fn csv_from_args() -> bool {
+    std::env::args().any(|a| a == "--csv")
+}
+
+/// Writes one figure as `target/figures/<name>.csv` (benchmark rows,
+/// series columns).
+pub fn write_csv(
+    name: &str,
+    benchmarks: &[Benchmark],
+    series: &[&str],
+    mut value: impl FnMut(Benchmark, &str) -> f64,
+) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new("target/figures");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    let mut out = String::from("benchmark");
+    for s in series {
+        out.push(',');
+        out.push_str(s);
+    }
+    out.push('\n');
+    for &b in benchmarks {
+        out.push_str(b.name());
+        for s in series {
+            out.push_str(&format!(",{}", value(b, s)));
+        }
+        out.push('\n');
+    }
+    std::fs::write(&path, out)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean([1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean([2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn write_csv_roundtrip() {
+        let p = write_csv(
+            "unit_test_fig",
+            &[Benchmark::Amr, Benchmark::Bht],
+            &["A", "B"],
+            |b, s| {
+                if b == Benchmark::Amr && s == "A" {
+                    1.5
+                } else {
+                    2.0
+                }
+            },
+        )
+        .expect("csv written");
+        let body = std::fs::read_to_string(p).expect("readable");
+        assert!(body.starts_with("benchmark,A,B\n"));
+        assert!(body.contains("amr,1.5,2"));
+    }
+
+    #[test]
+    fn matrix_runs_and_validates() {
+        let m = Matrix::run(
+            &[Benchmark::BfsUsaRoad],
+            &[Variant::Flat, Variant::Dtbl],
+            Scale::Test,
+        );
+        assert!(m.contains(Benchmark::BfsUsaRoad, Variant::Flat));
+        assert!(m.get(Benchmark::BfsUsaRoad, Variant::Dtbl).validated);
+        assert!(!m.contains(Benchmark::BfsUsaRoad, Variant::Cdp));
+    }
+}

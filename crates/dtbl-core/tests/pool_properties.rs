@@ -1,0 +1,137 @@
+//! Property-based tests for the DTBL scheduling pool and AGT.
+//!
+//! These check the invariants the SMX scheduler relies on across arbitrary
+//! interleavings of group launches and scheduling progress:
+//!
+//! 1. groups are scheduled in exactly arrival order per kernel (the
+//!    NAGEI/Next chain is FIFO);
+//! 2. every launched thread block is scheduled exactly once;
+//! 3. AGT entries are always released once their group completes, so the
+//!    table never leaks;
+//! 4. the hash probe never produces an index outside the table.
+
+use dtbl_core::{AggGroupInfo, Agt, CoalesceOutcome, SchedulingPool};
+use gpu_isa::KernelId;
+use proptest::prelude::*;
+
+fn arb_ops() -> impl Strategy<Value = Vec<(u8, u8, u32)>> {
+    // (kde in 0..4, ntb in 1..=4, hw_tid)
+    prop::collection::vec((0u8..4, 1u8..=4, any::<u32>()), 1..120)
+}
+
+proptest! {
+    #[test]
+    fn chains_are_fifo_and_complete(ops in arb_ops()) {
+        let mut pool = SchedulingPool::new(64, 4);
+        let mut overflow_next = 0x8000_0000u32;
+        let mut expected: [Vec<(u32, u32)>; 4] = Default::default(); // (launch seq, ntb)
+        for (seq, (kde, ntb, hw_tid)) in ops.iter().enumerate() {
+            let info = AggGroupInfo {
+                kernel: KernelId(u16::from(*kde)),
+                ntb: u32::from(*ntb),
+                param_addr: 0,
+                kde: u32::from(*kde),
+            };
+            let out = pool.coalesce(Some(u32::from(*kde)), true, *hw_tid, info, || {
+                overflow_next += 256;
+                overflow_next
+            });
+            let coalesced = matches!(out, CoalesceOutcome::Coalesced { .. });
+            prop_assert!(coalesced);
+            expected[usize::from(*kde)].push((seq as u32, u32::from(*ntb)));
+        }
+
+        // Drain each kernel's chain; groups must come back in FIFO order
+        // with the right TB counts, and every entry must release.
+        for kde in 0..4u32 {
+            let mut drained = 0;
+            while let Some(g) = pool.nagei(kde) {
+                let info = pool.agt().info(g);
+                let (_, want_ntb) = expected[kde as usize][drained];
+                prop_assert_eq!(info.ntb, want_ntb, "FIFO order per kernel");
+                let mut tb_indices = Vec::new();
+                for _ in 0..info.ntb {
+                    tb_indices.push(pool.agt_mut().tb_scheduled(g));
+                }
+                prop_assert_eq!(tb_indices, (0..info.ntb).collect::<Vec<_>>());
+                pool.advance_nagei(kde);
+                for i in 0..info.ntb {
+                    let released = pool.agt_mut().tb_finished(g);
+                    prop_assert_eq!(released, i == info.ntb - 1);
+                }
+                drained += 1;
+            }
+            prop_assert_eq!(drained, expected[kde as usize].len());
+        }
+        prop_assert_eq!(pool.agt().live_on_chip(), 0, "AGT must not leak");
+        prop_assert_eq!(pool.agt().live_overflow(), 0, "overflow must not leak");
+    }
+
+    #[test]
+    fn hash_always_in_range(hw_tid in any::<u32>(), size_pow in 1u32..12) {
+        let agt = Agt::new(1 << size_pow);
+        let idx = agt.hash_index(hw_tid);
+        prop_assert!((idx.0 as usize) < agt.size());
+        prop_assert_eq!(idx.0, hw_tid & ((1 << size_pow) - 1));
+    }
+
+    #[test]
+    fn overflow_only_on_slot_conflict(tids in prop::collection::vec(any::<u32>(), 1..64)) {
+        let mut agt = Agt::new(256);
+        let mut overflow_next = 0x9000_0000u32;
+        let mut seen = std::collections::HashSet::new();
+        for t in tids {
+            let info = AggGroupInfo { kernel: KernelId(0), ntb: 1, param_addr: 0, kde: 0 };
+            let r = agt.insert(t, info, || { overflow_next += 256; overflow_next });
+            let slot = t & 255;
+            if seen.insert(slot) {
+                prop_assert!(!r.is_overflow(), "free slot must be used on-chip");
+            } else {
+                prop_assert!(r.is_overflow(), "occupied slot must spill");
+            }
+        }
+        prop_assert_eq!(agt.live_on_chip(), seen.len());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_finish_releases_everything(
+        plan in prop::collection::vec((any::<u32>(), 1u32..5), 1..40)
+    ) {
+        let mut pool = SchedulingPool::new(32, 1);
+        let mut overflow_next = 0x9000_0000u32;
+        let mut live: Vec<(dtbl_core::GroupRef, u32)> = Vec::new();
+        for (hw_tid, ntb) in plan {
+            let info = AggGroupInfo { kernel: KernelId(0), ntb, param_addr: 0, kde: 0 };
+            match pool.coalesce(Some(0), true, hw_tid, info, || { overflow_next += 256; overflow_next }) {
+                CoalesceOutcome::Coalesced { group, .. } => live.push((group, ntb)),
+                CoalesceOutcome::Fallback => unreachable!(),
+            }
+            // Aggressively drain the head group each iteration, mimicking a
+            // scheduler that keeps up with launches.
+            if let Some(g) = pool.nagei(0) {
+                let info = pool.agt().info(g);
+                for _ in 0..info.ntb {
+                    pool.agt_mut().tb_scheduled(g);
+                }
+                pool.advance_nagei(0);
+                for _ in 0..info.ntb {
+                    pool.agt_mut().tb_finished(g);
+                }
+                live.retain(|(r, _)| *r != g);
+            }
+        }
+        // Drain whatever is left.
+        while let Some(g) = pool.nagei(0) {
+            let info = pool.agt().info(g);
+            for _ in 0..info.ntb {
+                pool.agt_mut().tb_scheduled(g);
+            }
+            pool.advance_nagei(0);
+            for _ in 0..info.ntb {
+                pool.agt_mut().tb_finished(g);
+            }
+        }
+        prop_assert_eq!(pool.agt().live_on_chip(), 0);
+        prop_assert_eq!(pool.agt().live_overflow(), 0);
+    }
+}

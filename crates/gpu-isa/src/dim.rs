@@ -1,0 +1,154 @@
+//! Three-dimensional launch geometry, mirroring CUDA's `dim3`.
+
+use std::fmt;
+
+/// A 1D–3D extent used for grids, thread blocks, and aggregated groups.
+///
+/// Every dimension is at least 1; [`Dim3::count`] is the product of the
+/// three extents. The DTBL execution model requires an aggregated thread
+/// block to have exactly the same `Dim3` as the native kernel it coalesces
+/// with (paper §4.1), which [`dtbl-core`'s policy] enforces via `PartialEq`.
+///
+/// [`dtbl-core`'s policy]: https://example.invalid/dtbl-repro
+///
+/// # Example
+///
+/// ```
+/// use gpu_isa::Dim3;
+///
+/// let block = Dim3::x(256);
+/// assert_eq!(block.count(), 256);
+/// let grid = Dim3::new(4, 2, 1);
+/// assert_eq!(grid.count(), 8);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Dim3 {
+    /// Extent in the x dimension.
+    pub x: u32,
+    /// Extent in the y dimension.
+    pub y: u32,
+    /// Extent in the z dimension.
+    pub z: u32,
+}
+
+impl Dim3 {
+    /// Creates a 3D extent. Zero extents are clamped to 1, matching the
+    /// CUDA runtime's treatment of `dim3` default components.
+    pub fn new(x: u32, y: u32, z: u32) -> Self {
+        Dim3 {
+            x: x.max(1),
+            y: y.max(1),
+            z: z.max(1),
+        }
+    }
+
+    /// Creates a 1D extent `(x, 1, 1)`.
+    pub fn x(x: u32) -> Self {
+        Dim3::new(x, 1, 1)
+    }
+
+    /// Total number of elements covered by this extent.
+    pub fn count(&self) -> u64 {
+        u64::from(self.x) * u64::from(self.y) * u64::from(self.z)
+    }
+
+    /// Linearizes a 3D index within this extent (x fastest).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the index is out of range.
+    pub fn linear(&self, x: u32, y: u32, z: u32) -> u64 {
+        debug_assert!(x < self.x && y < self.y && z < self.z);
+        (u64::from(z) * u64::from(self.y) + u64::from(y)) * u64::from(self.x) + u64::from(x)
+    }
+
+    /// Inverse of [`Dim3::linear`]: recovers the 3D index of a flat index.
+    pub fn delinearize(&self, mut idx: u64) -> (u32, u32, u32) {
+        let x = (idx % u64::from(self.x)) as u32;
+        idx /= u64::from(self.x);
+        let y = (idx % u64::from(self.y)) as u32;
+        idx /= u64::from(self.y);
+        (x, y, idx as u32)
+    }
+}
+
+impl Default for Dim3 {
+    fn default() -> Self {
+        Dim3::new(1, 1, 1)
+    }
+}
+
+impl fmt::Display for Dim3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.x, self.y, self.z)
+    }
+}
+
+impl From<u32> for Dim3 {
+    fn from(x: u32) -> Self {
+        Dim3::x(x)
+    }
+}
+
+impl From<(u32, u32)> for Dim3 {
+    fn from((x, y): (u32, u32)) -> Self {
+        Dim3::new(x, y, 1)
+    }
+}
+
+impl From<(u32, u32, u32)> for Dim3 {
+    fn from((x, y, z): (u32, u32, u32)) -> Self {
+        Dim3::new(x, y, z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_extents_clamp_to_one() {
+        let d = Dim3::new(0, 0, 0);
+        assert_eq!(d, Dim3::new(1, 1, 1));
+        assert_eq!(d.count(), 1);
+    }
+
+    #[test]
+    fn count_is_product() {
+        assert_eq!(Dim3::new(3, 4, 5).count(), 60);
+        assert_eq!(Dim3::x(1024).count(), 1024);
+    }
+
+    #[test]
+    fn linear_roundtrip() {
+        let d = Dim3::new(7, 5, 3);
+        for z in 0..3 {
+            for y in 0..5 {
+                for x in 0..7 {
+                    let l = d.linear(x, y, z);
+                    assert_eq!(d.delinearize(l), (x, y, z));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn linear_is_x_fastest() {
+        let d = Dim3::new(4, 4, 4);
+        assert_eq!(d.linear(1, 0, 0), 1);
+        assert_eq!(d.linear(0, 1, 0), 4);
+        assert_eq!(d.linear(0, 0, 1), 16);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Dim3::from(8u32), Dim3::x(8));
+        assert_eq!(Dim3::from((2, 3)), Dim3::new(2, 3, 1));
+        assert_eq!(Dim3::from((2, 3, 4)), Dim3::new(2, 3, 4));
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert_eq!(Dim3::x(2).to_string(), "(2, 1, 1)");
+    }
+}

@@ -1,0 +1,479 @@
+//! The assembled memory subsystem: per-SMX L1s, partitioned L2, DRAM.
+//!
+//! This is a timing-only model (values live in
+//! [`BackingStore`](crate::BackingStore)). Transactions are injected with
+//! [`MemSubsystem::access`] and complete — after their modelled latency —
+//! via [`MemSubsystem::tick`]. Loads and atomics return an [`AccessId`] the
+//! caller waits on; plain stores are posted and never reported.
+
+use crate::cache::{Cache, CacheStats, Lookup};
+use crate::config::MemConfig;
+use crate::dram::{DramPartition, DramStats};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// Handle for an in-flight load or atomic transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AccessId(pub u64);
+
+/// The kind of memory transaction, which decides its path through the
+/// hierarchy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Cached in L1 and L2; the warp waits for the data.
+    Load,
+    /// Write-through past L1, write-back in L2; posted (no completion).
+    Store,
+    /// Performed at the L2 (as on NVIDIA hardware); bypasses L1; the warp
+    /// waits for the old value.
+    Atomic,
+}
+
+/// Aggregate statistics for the whole subsystem.
+#[derive(Clone, Debug, Default)]
+pub struct MemStats {
+    /// Transactions injected, by kind.
+    pub loads: u64,
+    /// Store transactions injected.
+    pub stores: u64,
+    /// Atomic transactions injected.
+    pub atomics: u64,
+    /// Aggregated L1 counters (all SMXs).
+    pub l1: CacheStats,
+    /// Aggregated L2 counters (all partitions).
+    pub l2: CacheStats,
+    /// Aggregated DRAM counters (all partitions).
+    pub dram: DramStats,
+}
+
+impl MemStats {
+    /// The paper's Figure 7 metric, aggregated over partitions.
+    pub fn dram_efficiency(&self) -> f64 {
+        self.dram.efficiency()
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct PartReq {
+    ready_at: u64,
+    id: Option<AccessId>,
+    addr: u32,
+    kind: AccessKind,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Completion {
+    at: u64,
+    id: AccessId,
+}
+
+impl Ord for Completion {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.at.cmp(&self.at).then(other.id.cmp(&self.id))
+    }
+}
+
+impl PartialOrd for Completion {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The timing model of the GPU's global-memory hierarchy.
+///
+/// # Example
+///
+/// ```
+/// use gpu_mem::{AccessKind, MemConfig, MemSubsystem};
+///
+/// let mut mem = MemSubsystem::new(MemConfig::default());
+/// let id = mem.access(0, 0x1000, AccessKind::Load, 0).unwrap();
+/// let mut done = Vec::new();
+/// let mut now = 0;
+/// while done.is_empty() {
+///     mem.tick(now, &mut done);
+///     now += 1;
+/// }
+/// assert_eq!(done, vec![id]);
+/// ```
+#[derive(Debug)]
+pub struct MemSubsystem {
+    cfg: MemConfig,
+    l1: Vec<Cache>,
+    l2: Vec<Cache>,
+    dram: Vec<DramPartition>,
+    part_in: Vec<VecDeque<PartReq>>,
+    completions: BinaryHeap<Completion>,
+    /// Outstanding L2-miss lines: (partition, line addr) → waiters.
+    miss_waiters: HashMap<(usize, u32), Vec<AccessId>>,
+    /// DRAM read id → (partition, line addr) it fills.
+    dram_reads: HashMap<u64, (usize, u32)>,
+    next_access: u64,
+    next_dram_id: u64,
+    dram_buf: Vec<u64>,
+    stats_kind: (u64, u64, u64),
+}
+
+impl MemSubsystem {
+    /// Builds the hierarchy described by `cfg`.
+    pub fn new(cfg: MemConfig) -> Self {
+        MemSubsystem {
+            l1: (0..cfg.num_smx).map(|_| Cache::new(cfg.l1)).collect(),
+            l2: (0..cfg.num_partitions)
+                .map(|_| Cache::new(cfg.l2_slice))
+                .collect(),
+            dram: (0..cfg.num_partitions)
+                .map(|_| DramPartition::new(cfg.dram))
+                .collect(),
+            part_in: (0..cfg.num_partitions).map(|_| VecDeque::new()).collect(),
+            completions: BinaryHeap::new(),
+            miss_waiters: HashMap::new(),
+            dram_reads: HashMap::new(),
+            next_access: 0,
+            next_dram_id: 0,
+            dram_buf: Vec::new(),
+            stats_kind: (0, 0, 0),
+            cfg,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &MemConfig {
+        &self.cfg
+    }
+
+    /// Injects one transaction from SMX `smx` at cycle `now`.
+    ///
+    /// Returns `Some(id)` for loads and atomics (the caller must wait for
+    /// `id` to appear in a [`tick`](Self::tick) completion), `None` for
+    /// posted stores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `smx` is out of range for the configured SMX count.
+    pub fn access(
+        &mut self,
+        smx: usize,
+        addr: u32,
+        kind: AccessKind,
+        now: u64,
+    ) -> Option<AccessId> {
+        match kind {
+            AccessKind::Load => self.stats_kind.0 += 1,
+            AccessKind::Store => self.stats_kind.1 += 1,
+            AccessKind::Atomic => self.stats_kind.2 += 1,
+        }
+        let id = AccessId(self.next_access);
+        self.next_access += 1;
+        match kind {
+            AccessKind::Load => {
+                if self.l1[smx].access_read(addr) == Lookup::Hit {
+                    self.completions.push(Completion {
+                        at: now + self.cfg.l1_hit_latency,
+                        id,
+                    });
+                } else {
+                    self.route_to_partition(addr, Some(id), kind, now);
+                }
+                Some(id)
+            }
+            AccessKind::Store => {
+                // Write-through, no-write-allocate: tags updated for hit
+                // accounting only; traffic always goes to the partition.
+                let _ = self.l1[smx].access_write(addr);
+                self.route_to_partition(addr, None, kind, now);
+                None
+            }
+            AccessKind::Atomic => {
+                // Atomics are performed at L2 and must not hit stale L1
+                // state; Kepler invalidates/bypasses L1 for atomics.
+                self.l1[smx].invalidate(addr);
+                self.route_to_partition(addr, Some(id), kind, now);
+                Some(id)
+            }
+        }
+    }
+
+    fn route_to_partition(&mut self, addr: u32, id: Option<AccessId>, kind: AccessKind, now: u64) {
+        let (p, local) = self.cfg.partition_of(addr);
+        // The L2 and DRAM operate on partition-local line addresses.
+        self.part_in[p].push_back(PartReq {
+            ready_at: now + self.cfg.icnt_fwd,
+            id,
+            addr: local,
+            kind,
+        });
+    }
+
+    /// Advances the subsystem to cycle `now` (call once per cycle with
+    /// monotonically increasing values) and appends the ids of
+    /// transactions whose latency elapsed this cycle to `completed`.
+    pub fn tick(&mut self, now: u64, completed: &mut Vec<AccessId>) {
+        let line_mask = !(self.cfg.l2_slice.line_bytes - 1);
+        for p in 0..self.cfg.num_partitions {
+            // L2 services a bounded number of lookups per cycle.
+            for _ in 0..self.cfg.l2_ports {
+                // An L2 miss may enqueue both a victim write-back and the
+                // line fetch, so require room for two DRAM requests.
+                let can_issue = self.part_in[p].front().is_some_and(|r| r.ready_at <= now)
+                    && self.dram[p].free_capacity() >= 2;
+                if !can_issue {
+                    break;
+                }
+                let req = self.part_in[p].pop_front().expect("checked nonempty");
+                let line = req.addr & line_mask;
+                match req.kind {
+                    AccessKind::Load | AccessKind::Atomic => {
+                        if let Some(waiters) = self.miss_waiters.get_mut(&(p, line)) {
+                            // MSHR merge: the line is already on its way.
+                            if let Some(id) = req.id {
+                                waiters.push(id);
+                            }
+                            continue;
+                        }
+                        match self.l2[p].access_read(req.addr) {
+                            Lookup::Hit => {
+                                if let Some(id) = req.id {
+                                    self.completions.push(Completion {
+                                        at: now + self.cfg.l2_latency + self.cfg.icnt_back,
+                                        id,
+                                    });
+                                }
+                            }
+                            Lookup::Miss { writeback } => {
+                                if let Some(victim) = writeback {
+                                    self.dram_write(p, victim);
+                                }
+                                let did = self.next_dram_id;
+                                self.next_dram_id += 1;
+                                self.dram[p].push(did, line, false);
+                                self.dram_reads.insert(did, (p, line));
+                                self.miss_waiters
+                                    .insert((p, line), req.id.into_iter().collect());
+                            }
+                        }
+                    }
+                    AccessKind::Store => {
+                        // Write-back, write-allocate (no fetch-on-write; the
+                        // functional model already has the data).
+                        if let Lookup::Miss {
+                            writeback: Some(victim),
+                        } = self.l2[p].access_write(req.addr)
+                        {
+                            self.dram_write(p, victim);
+                        }
+                    }
+                }
+            }
+
+            self.dram_buf.clear();
+            let mut buf = std::mem::take(&mut self.dram_buf);
+            self.dram[p].tick(now, &mut buf);
+            for did in buf.drain(..) {
+                if let Some((part, line)) = self.dram_reads.remove(&did) {
+                    if let Some(waiters) = self.miss_waiters.remove(&(part, line)) {
+                        // The returning fill still traverses the L2 pipeline
+                        // before data heads back across the interconnect.
+                        for id in waiters {
+                            self.completions.push(Completion {
+                                at: now + self.cfg.l2_latency + self.cfg.icnt_back,
+                                id,
+                            });
+                        }
+                    }
+                }
+            }
+            self.dram_buf = buf;
+        }
+
+        while let Some(top) = self.completions.peek() {
+            if top.at <= now {
+                completed.push(top.id);
+                self.completions.pop();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn dram_write(&mut self, p: usize, local_addr: u32) {
+        // Posted write-back; drop it if the controller is saturated (the
+        // data is functionally safe, only bandwidth accounting is lost,
+        // and a saturated queue already models the contention).
+        if self.dram[p].can_accept() {
+            let did = self.next_dram_id;
+            self.next_dram_id += 1;
+            self.dram[p].push(did, local_addr, true);
+        }
+    }
+
+    /// True when no transaction is queued or in flight anywhere.
+    pub fn quiescent(&self) -> bool {
+        self.completions.is_empty()
+            && self.miss_waiters.is_empty()
+            && self.part_in.iter().all(VecDeque::is_empty)
+            && self.dram.iter().all(DramPartition::quiescent)
+    }
+
+    /// Aggregated statistics across all caches and partitions.
+    pub fn stats(&self) -> MemStats {
+        let mut l1 = CacheStats::default();
+        for c in &self.l1 {
+            let s = c.stats();
+            l1.hits += s.hits;
+            l1.misses += s.misses;
+            l1.writebacks += s.writebacks;
+        }
+        let mut l2 = CacheStats::default();
+        for c in &self.l2 {
+            let s = c.stats();
+            l2.hits += s.hits;
+            l2.misses += s.misses;
+            l2.writebacks += s.writebacks;
+        }
+        let mut dram = DramStats::default();
+        for d in &self.dram {
+            dram.merge(d.stats());
+        }
+        MemStats {
+            loads: self.stats_kind.0,
+            stores: self.stats_kind.1,
+            atomics: self.stats_kind.2,
+            l1,
+            l2,
+            dram,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(mem: &mut MemSubsystem, start: u64) -> (Vec<AccessId>, u64) {
+        let mut done = Vec::new();
+        let mut now = start;
+        while !mem.quiescent() {
+            mem.tick(now, &mut done);
+            now += 1;
+            assert!(now < start + 1_000_000, "memory subsystem wedged");
+        }
+        (done, now)
+    }
+
+    #[test]
+    fn load_completes_and_second_load_is_faster() {
+        let mut mem = MemSubsystem::new(MemConfig::default());
+        let id = mem.access(0, 0x1000, AccessKind::Load, 0).unwrap();
+        let (done, t_miss) = drain(&mut mem, 0);
+        assert_eq!(done, vec![id]);
+
+        // Same line again: L1 hit, must be much faster.
+        let id2 = mem.access(0, 0x1000, AccessKind::Load, t_miss).unwrap();
+        let (done2, t_hit) = drain(&mut mem, t_miss);
+        assert_eq!(done2, vec![id2]);
+        let miss_lat = t_miss;
+        let hit_lat = t_hit - t_miss;
+        assert!(
+            hit_lat < miss_lat / 3,
+            "L1 hit ({hit_lat}) should be far cheaper than a cold miss ({miss_lat})"
+        );
+    }
+
+    #[test]
+    fn store_is_posted() {
+        let mut mem = MemSubsystem::new(MemConfig::default());
+        assert!(mem.access(0, 0x40, AccessKind::Store, 0).is_none());
+        let (done, _) = drain(&mut mem, 0);
+        assert!(done.is_empty());
+        assert_eq!(mem.stats().stores, 1);
+    }
+
+    #[test]
+    fn atomic_waits_for_old_value() {
+        let mut mem = MemSubsystem::new(MemConfig::default());
+        let id = mem.access(2, 0x80, AccessKind::Atomic, 0).unwrap();
+        let (done, t) = drain(&mut mem, 0);
+        assert_eq!(done, vec![id]);
+        assert!(t > mem.config().l1_hit_latency, "atomics bypass L1");
+    }
+
+    #[test]
+    fn l1_is_private_per_smx() {
+        let mut mem = MemSubsystem::new(MemConfig::default());
+        mem.access(0, 0x1000, AccessKind::Load, 0).unwrap();
+        drain(&mut mem, 0);
+        let l1_misses_before = mem.stats().l1.misses;
+        // Another SMX touching the same line must miss its own L1 (though
+        // it will hit in the shared L2).
+        mem.access(1, 0x1000, AccessKind::Load, 10_000).unwrap();
+        drain(&mut mem, 10_000);
+        assert_eq!(mem.stats().l1.misses, l1_misses_before + 1);
+        assert!(mem.stats().l2.hits >= 1);
+    }
+
+    #[test]
+    fn mshr_merges_duplicate_misses() {
+        let mut mem = MemSubsystem::new(MemConfig::default());
+        let a = mem.access(0, 0x2000, AccessKind::Load, 0).unwrap();
+        let b = mem.access(1, 0x2000, AccessKind::Load, 0).unwrap();
+        let (done, _) = drain(&mut mem, 0);
+        assert_eq!(done.len(), 2);
+        assert!(done.contains(&a) && done.contains(&b));
+        // Only one DRAM read must have been issued for the shared line.
+        assert_eq!(mem.stats().dram.n_rd, 1);
+    }
+
+    #[test]
+    fn coalesced_stream_beats_scattered_on_dram_efficiency() {
+        let cfg = MemConfig::default();
+        let mut seq = MemSubsystem::new(cfg);
+        let mut now = 0;
+        let mut done = Vec::new();
+        for i in 0..256u32 {
+            seq.access(0, i * 128, AccessKind::Load, now);
+            seq.tick(now, &mut done);
+            now += 1;
+        }
+        while !seq.quiescent() {
+            seq.tick(now, &mut done);
+            now += 1;
+        }
+
+        let mut scat = MemSubsystem::new(cfg);
+        let mut now = 0;
+        for i in 0..256u32 {
+            // Large prime stride: scattered rows and partitions.
+            scat.access(0, i.wrapping_mul(1_048_583 * 4), AccessKind::Load, now);
+            scat.tick(now, &mut done);
+            now += 1;
+        }
+        while !scat.quiescent() {
+            scat.tick(now, &mut done);
+            now += 1;
+        }
+
+        let e_seq = seq.stats().dram_efficiency();
+        let e_scat = scat.stats().dram_efficiency();
+        assert!(
+            e_seq > e_scat,
+            "sequential ({e_seq:.3}) must beat scattered ({e_scat:.3})"
+        );
+    }
+
+    #[test]
+    fn l2_shared_across_smxs_saves_dram_traffic() {
+        let mut mem = MemSubsystem::new(MemConfig::default());
+        mem.access(0, 0x3000, AccessKind::Load, 0).unwrap();
+        drain(&mut mem, 0);
+        assert_eq!(mem.stats().dram.n_rd, 1);
+        mem.access(5, 0x3000, AccessKind::Load, 20_000).unwrap();
+        drain(&mut mem, 20_000);
+        assert_eq!(mem.stats().dram.n_rd, 1, "second SMX hits in L2");
+    }
+
+    #[test]
+    fn quiescent_initially() {
+        let mem = MemSubsystem::new(MemConfig::default());
+        assert!(mem.quiescent());
+    }
+}

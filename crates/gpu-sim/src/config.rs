@@ -1,0 +1,282 @@
+//! Simulator configuration: Table 2 (GPU geometry) and Table 3 (launch
+//! latencies) of the paper, plus the experiment knobs.
+
+/// Device-runtime API latency model measured on a Tesla K20c (Table 3).
+///
+/// `cudaGetParameterBuffer` and `cudaLaunchDevice` follow the per-warp
+/// linear model `A·x + b`, where `b` is the per-warp initialization
+/// latency, `A` the per-calling-thread latency, and `x` the number of
+/// threads in the warp making the call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LatencyTable {
+    /// `cudaStreamCreateWithFlags` (CDP only), per warp.
+    pub stream_create: u64,
+    /// `cudaGetParameterBuffer` per-warp base latency `b`.
+    pub get_param_buf_b: u64,
+    /// `cudaGetParameterBuffer` per-thread latency `A`.
+    pub get_param_buf_a: u64,
+    /// `cudaLaunchDevice` (CDP only) per-warp base latency `b`.
+    pub launch_device_b: u64,
+    /// `cudaLaunchDevice` per-thread latency `A`.
+    pub launch_device_a: u64,
+    /// Kernel dispatch latency from the KMU to the Kernel Distributor.
+    pub kernel_dispatch: u64,
+    /// `cudaLaunchAggGroup` launch cost per warp (DTBL only): the
+    /// pipelined Kernel-Distributor eligibility search (≤32 cycles, one
+    /// per entry) plus the single-cycle AGT hash probe (§4.3). Parameter
+    /// allocation overlaps it and is charged by `cudaGetParameterBuffer`.
+    pub agg_launch: u64,
+}
+
+impl LatencyTable {
+    /// The values measured on the K20c (Table 3 of the paper).
+    pub fn k20c() -> Self {
+        LatencyTable {
+            stream_create: 7165,
+            get_param_buf_b: 8023,
+            get_param_buf_a: 129,
+            launch_device_b: 12187,
+            launch_device_a: 1592,
+            kernel_dispatch: 283,
+            agg_launch: 33,
+        }
+    }
+
+    /// All-zero latencies: the CDPI/DTBLI "ideal" configurations of §5.2,
+    /// which isolate scheduling effects from launch overhead.
+    pub fn ideal() -> Self {
+        LatencyTable {
+            stream_create: 0,
+            get_param_buf_b: 0,
+            get_param_buf_a: 0,
+            launch_device_b: 0,
+            launch_device_a: 0,
+            kernel_dispatch: 0,
+            agg_launch: 0,
+        }
+    }
+
+    /// Latency of a warp's `cudaGetParameterBuffer` with `x` calling lanes.
+    pub fn get_param_buf(&self, x: u64) -> u64 {
+        if x == 0 {
+            0
+        } else {
+            self.get_param_buf_b + self.get_param_buf_a * x
+        }
+    }
+
+    /// Latency of a warp's `cudaLaunchDevice` with `x` calling lanes,
+    /// including the per-launch stream creation the CDP pattern requires
+    /// (Figure 3a of the paper).
+    pub fn launch_device(&self, x: u64) -> u64 {
+        if x == 0 {
+            0
+        } else {
+            self.stream_create + self.launch_device_b + self.launch_device_a * x
+        }
+    }
+}
+
+/// Core pipeline latencies (in core cycles), loosely calibrated to Kepler.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PipelineLatencies {
+    /// Simple integer/float ALU dependent-issue latency.
+    pub alu: u64,
+    /// Integer multiply / multiply-add.
+    pub imul: u64,
+    /// Integer divide / remainder (emulated on hardware; expensive).
+    pub idiv: u64,
+    /// Float divide / square root.
+    pub fdiv: u64,
+    /// Shared-memory access.
+    pub shared_mem: u64,
+    /// Store issue (posted; the warp only pays pipeline occupancy).
+    pub store_issue: u64,
+    /// Memory fence bubble.
+    pub memfence: u64,
+    /// Context-setup cost the first time a kernel's thread block lands on
+    /// a given SMX (function loading + resource partitioning, §4.3).
+    pub context_setup: u64,
+    /// Cost of fetching a *spilled* aggregated-group descriptor from
+    /// global memory when the SMX scheduler walks to it (§4.3: a free AGT
+    /// entry is zero-cost, "otherwise the SMX scheduler will have to load
+    /// the information from the global memory"). The default of 0 models
+    /// a scheduler that prefetches chain descriptors while earlier thread
+    /// blocks distribute (the same pipelining §4.3 assumes for the KDE
+    /// search); the Figure 12 sweep raises it to expose the spill cost.
+    pub agt_overflow_load: u64,
+}
+
+impl Default for PipelineLatencies {
+    fn default() -> Self {
+        PipelineLatencies {
+            alu: 10,
+            imul: 12,
+            idiv: 36,
+            fdiv: 30,
+            shared_mem: 30,
+            store_issue: 8,
+            memfence: 20,
+            context_setup: 300,
+            agt_overflow_load: 0,
+        }
+    }
+}
+
+/// Full simulator configuration. Defaults model the Tesla K20c baseline of
+/// Table 2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GpuConfig {
+    /// Number of SMXs.
+    pub num_smx: usize,
+    /// Maximum resident thread blocks per SMX.
+    pub max_tb_per_smx: usize,
+    /// Maximum resident threads per SMX.
+    pub max_threads_per_smx: u32,
+    /// 32-bit registers per SMX.
+    pub regs_per_smx: u32,
+    /// Shared memory per SMX in bytes.
+    pub shared_mem_per_smx: u32,
+    /// Kernel Distributor entries == hardware work queues (Hyper-Q).
+    pub kde_entries: usize,
+    /// Warp-issue slots per SMX per cycle (number of warp schedulers).
+    pub issue_per_cycle: usize,
+    /// Thread blocks the SMX scheduler can distribute per cycle.
+    pub tb_dispatch_per_cycle: usize,
+    /// AGT entries (power of two). Figure 12 sweeps this.
+    pub agt_entries: usize,
+    /// Launch-path latencies (Table 3); use [`LatencyTable::ideal`] for
+    /// CDPI/DTBLI.
+    pub latency: LatencyTable,
+    /// Core pipeline latencies.
+    pub pipeline: PipelineLatencies,
+    /// Memory hierarchy configuration.
+    pub mem: gpu_mem::MemConfig,
+    /// Warp scheduling policy.
+    pub warp_sched: WarpSchedPolicy,
+    /// Force every `cudaLaunchAggGroup` down the device-kernel fallback
+    /// path (the "more KDE entries instead of an AGT" alternative of §4.3;
+    /// ablation knob).
+    pub dtbl_disable_coalescing: bool,
+    /// Spatial sharing (§5.2B's proposed fix for benchmarks like
+    /// `clr_graph500` whose dynamic launches starve behind long-running
+    /// kernels): reserve this many SMXs for *dynamically launched* work —
+    /// host-launched native thread blocks avoid them, while device-kernel
+    /// and aggregated thread blocks may use every SMX. 0 disables the
+    /// extension (the paper's baseline).
+    pub dyn_reserved_smx: usize,
+    /// Hard cycle limit; exceeding it aborts the run with an error.
+    pub max_cycles: u64,
+}
+
+/// Warp scheduler policy (§5.1 uses greedy-then-oldest).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WarpSchedPolicy {
+    /// Greedy-then-oldest: keep issuing the same warp until it stalls,
+    /// then fall back to the oldest ready warp.
+    Gto,
+    /// Loose round-robin.
+    RoundRobin,
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        GpuConfig {
+            num_smx: 13,
+            max_tb_per_smx: 16,
+            max_threads_per_smx: 2048,
+            regs_per_smx: 65536,
+            shared_mem_per_smx: 48 * 1024,
+            kde_entries: 32,
+            issue_per_cycle: 4,
+            tb_dispatch_per_cycle: 2,
+            agt_entries: 1024,
+            latency: LatencyTable::k20c(),
+            pipeline: PipelineLatencies::default(),
+            mem: gpu_mem::MemConfig::default(),
+            warp_sched: WarpSchedPolicy::Gto,
+            dtbl_disable_coalescing: false,
+            dyn_reserved_smx: 0,
+            max_cycles: 2_000_000_000,
+        }
+    }
+}
+
+impl GpuConfig {
+    /// The K20c baseline used throughout the paper's evaluation.
+    pub fn k20c() -> Self {
+        GpuConfig::default()
+    }
+
+    /// Same geometry with zeroed launch latencies (CDPI/DTBLI runs).
+    pub fn k20c_ideal() -> Self {
+        GpuConfig {
+            latency: LatencyTable::ideal(),
+            ..GpuConfig::default()
+        }
+    }
+
+    /// A deliberately small configuration for fast unit tests: 2 SMXs and
+    /// a small AGT, with the same behavioural model.
+    pub fn test_small() -> Self {
+        GpuConfig {
+            num_smx: 2,
+            agt_entries: 64,
+            mem: gpu_mem::MemConfig {
+                num_smx: 2,
+                num_partitions: 2,
+                ..gpu_mem::MemConfig::default()
+            },
+            max_cycles: 80_000_000,
+            ..GpuConfig::default()
+        }
+    }
+
+    /// Maximum resident warps per SMX.
+    pub fn max_warps_per_smx(&self) -> u32 {
+        self.max_threads_per_smx / gpu_isa::WARP_SIZE as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_values() {
+        let t = LatencyTable::k20c();
+        assert_eq!(t.stream_create, 7165);
+        assert_eq!(t.get_param_buf(1), 8023 + 129);
+        assert_eq!(t.get_param_buf(32), 8023 + 129 * 32);
+        assert_eq!(t.launch_device(1), 7165 + 12187 + 1592);
+        assert_eq!(t.kernel_dispatch, 283);
+        assert_eq!(t.agg_launch, 33, "32-entry KDE search + 1-cycle AGT probe");
+        assert_eq!(t.get_param_buf(0), 0);
+    }
+
+    #[test]
+    fn ideal_zeroes_everything() {
+        let t = LatencyTable::ideal();
+        assert_eq!(t.get_param_buf(32), 0);
+        assert_eq!(t.launch_device(32), 0);
+        assert_eq!(t.kernel_dispatch, 0);
+    }
+
+    #[test]
+    fn table2_geometry() {
+        let c = GpuConfig::k20c();
+        assert_eq!(c.num_smx, 13);
+        assert_eq!(c.max_tb_per_smx, 16);
+        assert_eq!(c.max_threads_per_smx, 2048);
+        assert_eq!(c.regs_per_smx, 65536);
+        assert_eq!(c.kde_entries, 32);
+        assert_eq!(c.max_warps_per_smx(), 64);
+    }
+
+    #[test]
+    fn small_config_is_consistent() {
+        let c = GpuConfig::test_small();
+        assert_eq!(c.num_smx, c.mem.num_smx);
+        assert!(c.agt_entries.is_power_of_two());
+    }
+}

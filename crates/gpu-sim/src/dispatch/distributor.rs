@@ -1,0 +1,213 @@
+//! The Kernel Distributor: the table of active kernels (Figure 1).
+
+use gpu_isa::KernelId;
+
+/// One Kernel Distributor entry: the paper's `PC, Dim, Param, ExeBL`
+/// registers plus scheduling cursors. The DTBL extension registers
+/// (`NAGEI`/`LAGEI`) live in [`dtbl_core::SchedulingPool`], indexed by the
+/// same entry number.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KdeEntry {
+    /// Kernel function (stands in for the entry-PC register; in this model
+    /// a kernel id implies both the code and the thread-block shape, which
+    /// is exactly the eligibility criterion of §4.2).
+    pub kernel: KernelId,
+    /// Native grid size (thread blocks, x extent).
+    pub grid_ntb: u32,
+    /// Parameter-buffer address.
+    pub param_addr: u32,
+    /// Next native thread block to distribute (`NextBL`).
+    pub next_native_tb: u32,
+    /// Native thread blocks currently executing.
+    pub native_exe: u32,
+    /// Native thread blocks that finished.
+    pub native_done: u32,
+    /// Aggregated thread blocks currently executing for this kernel.
+    pub agg_exe: u32,
+    /// Cycle the kernel entered the distributor (diagnostics).
+    pub dispatched_at: u64,
+    /// Index into the run's launch records for dynamically launched
+    /// kernels; `None` for host launches.
+    pub launch_record: Option<usize>,
+    /// Hardware work queue to unblock on completion; `None` for
+    /// device-launched kernels.
+    pub hwq: Option<usize>,
+}
+
+impl KdeEntry {
+    /// True when every native thread block has been distributed.
+    pub fn native_fully_scheduled(&self) -> bool {
+        self.next_native_tb >= self.grid_ntb
+    }
+
+    /// True when every native thread block has completed.
+    pub fn native_all_done(&self) -> bool {
+        self.native_done >= self.grid_ntb
+    }
+}
+
+/// The fixed-size table of active kernels (32 entries on GK110 — the same
+/// as the number of hardware work queues, §2.2).
+#[derive(Clone, Debug)]
+pub struct KernelDistributor {
+    slots: Vec<Option<KdeEntry>>,
+}
+
+impl KernelDistributor {
+    /// Creates an empty distributor with `entries` slots.
+    pub fn new(entries: usize) -> Self {
+        KernelDistributor {
+            slots: vec![None; entries],
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Index of a free slot, if any.
+    pub fn free_slot(&self) -> Option<u32> {
+        self.slots
+            .iter()
+            .position(Option::is_none)
+            .map(|i| i as u32)
+    }
+
+    /// Index of a free slot that is not in `excluded` (slots reserved by
+    /// in-flight KMU dispatches), if any.
+    pub fn free_slot_excluding(&self, excluded: &[u32]) -> Option<u32> {
+        self.slots
+            .iter()
+            .enumerate()
+            .position(|(i, s)| s.is_none() && !excluded.contains(&(i as u32)))
+            .map(|i| i as u32)
+    }
+
+    /// Installs a kernel into `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is occupied.
+    pub fn install(&mut self, slot: u32, entry: KdeEntry) {
+        let s = &mut self.slots[slot as usize];
+        assert!(s.is_none(), "KDE slot {slot} already occupied");
+        *s = Some(entry);
+    }
+
+    /// Releases `slot`, returning its entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is empty.
+    pub fn release(&mut self, slot: u32) -> KdeEntry {
+        self.slots[slot as usize]
+            .take()
+            .expect("releasing an empty KDE slot")
+    }
+
+    /// Shared view of a slot.
+    pub fn get(&self, slot: u32) -> Option<&KdeEntry> {
+        self.slots[slot as usize].as_ref()
+    }
+
+    /// Mutable view of a slot.
+    pub fn get_mut(&mut self, slot: u32) -> Option<&mut KdeEntry> {
+        self.slots[slot as usize].as_mut()
+    }
+
+    /// Finds an entry running `kernel` — the §4.2 eligibility search
+    /// (same entry PC and thread-block configuration). The hardware
+    /// pipelines this over the 32 entries; the timing cost is charged by
+    /// the launch path.
+    pub fn find_eligible(&self, kernel: KernelId) -> Option<u32> {
+        self.slots
+            .iter()
+            .position(|s| s.as_ref().is_some_and(|e| e.kernel == kernel))
+            .map(|i| i as u32)
+    }
+
+    /// True when no kernel is resident.
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(Option::is_none)
+    }
+
+    /// Occupied slot indices.
+    pub fn occupied(&self) -> impl Iterator<Item = u32> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_some())
+            .map(|(i, _)| i as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(k: u16) -> KdeEntry {
+        KdeEntry {
+            kernel: KernelId(k),
+            grid_ntb: 4,
+            param_addr: 0,
+            next_native_tb: 0,
+            native_exe: 0,
+            native_done: 0,
+            agg_exe: 0,
+            dispatched_at: 0,
+            launch_record: None,
+            hwq: None,
+        }
+    }
+
+    #[test]
+    fn install_release_cycle() {
+        let mut kd = KernelDistributor::new(4);
+        assert!(kd.is_empty());
+        let s = kd.free_slot().unwrap();
+        kd.install(s, entry(1));
+        assert!(!kd.is_empty());
+        assert_eq!(kd.get(s).unwrap().kernel, KernelId(1));
+        kd.release(s);
+        assert!(kd.is_empty());
+    }
+
+    #[test]
+    fn fills_all_slots_then_none_free() {
+        let mut kd = KernelDistributor::new(3);
+        for i in 0..3 {
+            let s = kd.free_slot().unwrap();
+            kd.install(s, entry(i));
+        }
+        assert_eq!(kd.free_slot(), None);
+        assert_eq!(kd.occupied().count(), 3);
+    }
+
+    #[test]
+    fn eligibility_matches_kernel_id() {
+        let mut kd = KernelDistributor::new(4);
+        kd.install(0, entry(7));
+        kd.install(1, entry(9));
+        assert_eq!(kd.find_eligible(KernelId(9)), Some(1));
+        assert_eq!(kd.find_eligible(KernelId(3)), None);
+    }
+
+    #[test]
+    fn native_scheduling_predicates() {
+        let mut e = entry(0);
+        assert!(!e.native_fully_scheduled());
+        e.next_native_tb = 4;
+        assert!(e.native_fully_scheduled());
+        e.native_done = 4;
+        assert!(e.native_all_done());
+    }
+
+    #[test]
+    #[should_panic(expected = "already occupied")]
+    fn double_install_panics() {
+        let mut kd = KernelDistributor::new(2);
+        kd.install(0, entry(0));
+        kd.install(0, entry(1));
+    }
+}

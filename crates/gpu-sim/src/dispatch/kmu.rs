@@ -1,0 +1,307 @@
+//! The Kernel Management Unit: hardware work queues for host streams plus
+//! the device-launched kernel pool (§2.2, §2.4).
+
+use gpu_isa::KernelId;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Where a pending kernel came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Origin {
+    /// Host launch through a CUDA stream mapped to a hardware work queue.
+    Host {
+        /// The hardware work queue index.
+        hwq: usize,
+    },
+    /// Device-side launch (CDP `cudaLaunchDevice` or a DTBL fallback);
+    /// carries the index of its launch record for waiting-time accounting.
+    Device {
+        /// Index into [`Stats::launches`](crate::Stats::launches).
+        record: usize,
+    },
+}
+
+/// A kernel waiting in the KMU.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PendingKernel {
+    /// Kernel function.
+    pub kernel: KernelId,
+    /// Grid size (thread blocks, x extent).
+    pub ntb: u32,
+    /// Parameter-buffer address.
+    pub param_addr: u32,
+    /// Provenance.
+    pub origin: Origin,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Arrival {
+    at: u64,
+    seq: u64,
+    pk: PendingKernel,
+}
+
+impl Ord for Arrival {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap by arrival time, FIFO within a cycle.
+        other.at.cmp(&self.at).then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Arrival {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The KMU: inspects the head of each unblocked hardware work queue and
+/// the device-kernel pool, dispatching to the Kernel Distributor with the
+/// measured 283-cycle dispatch latency. Once a queue's head kernel is
+/// dispatched, the queue "stops being inspected by the KMU until the head
+/// kernel completes" (§2.2), which serializes same-stream kernels.
+#[derive(Clone, Debug)]
+pub struct Kmu {
+    hwqs: Vec<VecDeque<PendingKernel>>,
+    blocked: Vec<bool>,
+    device_q: VecDeque<PendingKernel>,
+    arrivals: BinaryHeap<Arrival>,
+    arrival_seq: u64,
+    /// Kernels mid-dispatch: the dispatch path is pipelined (one new
+    /// dispatch may start per cycle) with the measured 283-cycle latency;
+    /// each entry is `(ready_at, reserved_slot, kernel)`.
+    in_dispatch: VecDeque<(u64, u32, PendingKernel)>,
+    rr_hwq: usize,
+}
+
+impl Kmu {
+    /// Creates a KMU with `num_hwqs` hardware work queues.
+    pub fn new(num_hwqs: usize) -> Self {
+        Kmu {
+            hwqs: (0..num_hwqs).map(|_| VecDeque::new()).collect(),
+            blocked: vec![false; num_hwqs],
+            device_q: VecDeque::new(),
+            arrivals: BinaryHeap::new(),
+            arrival_seq: 0,
+            in_dispatch: VecDeque::new(),
+            rr_hwq: 0,
+        }
+    }
+
+    /// Maps a software stream to its hardware work queue. Streams beyond
+    /// the queue count share queues and thus serialize, as with Hyper-Q.
+    pub fn hwq_of_stream(&self, stream: u32) -> usize {
+        stream as usize % self.hwqs.len()
+    }
+
+    /// Enqueues a host-launched kernel on `stream`.
+    pub fn push_host(&mut self, stream: u32, mut pk: PendingKernel) {
+        let hwq = self.hwq_of_stream(stream);
+        pk.origin = Origin::Host { hwq };
+        self.hwqs[hwq].push_back(pk);
+    }
+
+    /// Enqueues a device-launched kernel, visible to dispatch at cycle
+    /// `at` (after its launch-API latency has elapsed).
+    pub fn push_device(&mut self, at: u64, pk: PendingKernel) {
+        let seq = self.arrival_seq;
+        self.arrival_seq += 1;
+        self.arrivals.push(Arrival { at, seq, pk });
+    }
+
+    /// Called when a host-launched kernel completes so its work queue
+    /// resumes being inspected.
+    pub fn unblock_hwq(&mut self, hwq: usize) {
+        self.blocked[hwq] = false;
+    }
+
+    /// One KMU cycle: matures device arrivals and, when the distributor
+    /// has a slot, starts dispatching the next kernel. The dispatch path
+    /// is *pipelined*: one dispatch may start per cycle, each taking
+    /// `dispatch_latency` cycles to land in its (pre-reserved) slot.
+    ///
+    /// `free_slot` must return a free Kernel Distributor slot that is not
+    /// in the provided exclusion list (slots already reserved by
+    /// in-flight dispatches). Returns a `(slot, entry)` pair when a
+    /// dispatch *completes* this cycle; the caller installs it and marks
+    /// the FCFS controller.
+    pub fn tick(
+        &mut self,
+        now: u64,
+        dispatch_latency: u64,
+        free_slot: impl Fn(&[u32]) -> Option<u32>,
+    ) -> Option<(u32, PendingKernel)> {
+        while let Some(top) = self.arrivals.peek() {
+            if top.at <= now {
+                let a = self.arrivals.pop().expect("peeked");
+                self.device_q.push_back(a.pk);
+            } else {
+                break;
+            }
+        }
+
+        // Start a new dispatch: device kernels first (they are already
+        // late), then host work queues round-robin.
+        let next = if let Some(pk) = self.device_q.pop_front() {
+            Some(pk)
+        } else {
+            let n = self.hwqs.len();
+            let mut found = None;
+            for k in 0..n {
+                let q = (self.rr_hwq + k) % n;
+                if !self.blocked[q] && !self.hwqs[q].is_empty() {
+                    let pk = self.hwqs[q].pop_front().expect("checked nonempty");
+                    self.blocked[q] = true;
+                    self.rr_hwq = (q + 1) % n;
+                    found = Some(pk);
+                    break;
+                }
+            }
+            found
+        };
+        if let Some(pk) = next {
+            let reserved: Vec<u32> = self.in_dispatch.iter().map(|(_, s, _)| *s).collect();
+            match free_slot(&reserved) {
+                Some(slot) => {
+                    self.in_dispatch
+                        .push_back((now + dispatch_latency, slot, pk));
+                }
+                None => {
+                    // No room: put it back where it came from (front,
+                    // preserving order) and retry next cycle.
+                    match pk.origin {
+                        Origin::Host { hwq } => {
+                            self.blocked[hwq] = false;
+                            self.hwqs[hwq].push_front(pk);
+                        }
+                        Origin::Device { .. } => self.device_q.push_front(pk),
+                    }
+                }
+            }
+        }
+
+        // Complete the oldest in-flight dispatch (starts are 1/cycle, so
+        // at most one matures per cycle).
+        if let Some(&(ready, slot, pk)) = self.in_dispatch.front() {
+            if ready <= now {
+                self.in_dispatch.pop_front();
+                return Some((slot, pk));
+            }
+        }
+        None
+    }
+
+    /// True when nothing is queued, arriving, or mid-dispatch.
+    pub fn is_empty(&self) -> bool {
+        self.in_dispatch.is_empty()
+            && self.device_q.is_empty()
+            && self.arrivals.is_empty()
+            && self.hwqs.iter().all(VecDeque::is_empty)
+    }
+
+    /// Pending device-launched kernels (matured + yet to mature).
+    pub fn pending_device_kernels(&self) -> usize {
+        self.device_q.len() + self.arrivals.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pk(k: u16) -> PendingKernel {
+        PendingKernel {
+            kernel: KernelId(k),
+            ntb: 1,
+            param_addr: 0,
+            origin: Origin::Device { record: 0 },
+        }
+    }
+
+    #[test]
+    fn same_stream_serializes() {
+        let mut kmu = Kmu::new(4);
+        kmu.push_host(1, pk(0));
+        kmu.push_host(1, pk(1));
+        let d = kmu.tick(0, 0, |_| Some(0)).expect("dispatch k0");
+        assert_eq!(d.1.kernel, KernelId(0));
+        // Head dispatched: the queue is blocked until completion.
+        assert!(kmu.tick(1, 0, |_| Some(1)).is_none());
+        kmu.unblock_hwq(kmu.hwq_of_stream(1));
+        let d = kmu.tick(2, 0, |_| Some(1)).expect("dispatch k1");
+        assert_eq!(d.1.kernel, KernelId(1));
+    }
+
+    #[test]
+    fn different_streams_dispatch_concurrently() {
+        let mut kmu = Kmu::new(4);
+        kmu.push_host(0, pk(0));
+        kmu.push_host(1, pk(1));
+        assert!(kmu.tick(0, 0, |_| Some(0)).is_some());
+        assert!(
+            kmu.tick(1, 0, |_| Some(1)).is_some(),
+            "no blocking across queues"
+        );
+    }
+
+    #[test]
+    fn stream_aliasing_beyond_queue_count() {
+        let kmu = Kmu::new(4);
+        assert_eq!(kmu.hwq_of_stream(0), kmu.hwq_of_stream(4));
+        assert_ne!(kmu.hwq_of_stream(0), kmu.hwq_of_stream(1));
+    }
+
+    #[test]
+    fn dispatch_latency_delays_installation() {
+        let mut kmu = Kmu::new(1);
+        kmu.push_host(0, pk(0));
+        assert!(
+            kmu.tick(0, 283, |_| Some(0)).is_none(),
+            "dispatch in flight"
+        );
+        for t in 1..283 {
+            assert!(kmu.tick(t, 283, |_| Some(0)).is_none());
+        }
+        assert!(kmu.tick(283, 283, |_| Some(0)).is_some());
+    }
+
+    #[test]
+    fn device_arrivals_mature_at_their_cycle() {
+        let mut kmu = Kmu::new(1);
+        kmu.push_device(100, pk(5));
+        assert!(kmu.tick(0, 0, |_| Some(0)).is_none());
+        assert_eq!(kmu.pending_device_kernels(), 1);
+        let d = kmu.tick(100, 0, |_| Some(0)).expect("matured");
+        assert_eq!(d.1.kernel, KernelId(5));
+        assert!(kmu.is_empty());
+    }
+
+    #[test]
+    fn device_kernels_have_priority_over_host() {
+        let mut kmu = Kmu::new(1);
+        kmu.push_host(0, pk(1));
+        kmu.push_device(0, pk(2));
+        let d = kmu.tick(0, 0, |_| Some(0)).unwrap();
+        assert_eq!(d.1.kernel, KernelId(2));
+    }
+
+    #[test]
+    fn no_free_slot_requeues_in_order() {
+        let mut kmu = Kmu::new(1);
+        kmu.push_host(0, pk(1));
+        kmu.push_host(0, pk(2));
+        assert!(kmu.tick(0, 0, |_| None).is_none());
+        // Order preserved and the queue not left blocked.
+        let d = kmu.tick(1, 0, |_| Some(0)).unwrap();
+        assert_eq!(d.1.kernel, KernelId(1));
+    }
+
+    #[test]
+    fn device_arrivals_fifo_within_cycle() {
+        let mut kmu = Kmu::new(1);
+        kmu.push_device(5, pk(1));
+        kmu.push_device(5, pk(2));
+        let a = kmu.tick(5, 0, |_| Some(0)).unwrap();
+        assert_eq!(a.1.kernel, KernelId(1));
+        let b = kmu.tick(6, 0, |_| Some(1)).unwrap();
+        assert_eq!(b.1.kernel, KernelId(2));
+    }
+}

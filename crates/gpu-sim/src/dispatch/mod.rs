@@ -1,0 +1,8 @@
+//! Kernel dispatch path: streams → hardware work queues → Kernel
+//! Management Unit → Kernel Distributor (§2.2 of the paper).
+
+mod distributor;
+mod kmu;
+
+pub use distributor::{KdeEntry, KernelDistributor};
+pub use kmu::{Kmu, Origin, PendingKernel};

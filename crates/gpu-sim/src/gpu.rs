@@ -1,0 +1,1012 @@
+//! The top-level GPU: host API and the cycle-level execution engine.
+
+use crate::config::GpuConfig;
+use crate::dispatch::{KdeEntry, KernelDistributor, Kmu, Origin, PendingKernel};
+use crate::smx::warp::WarpState;
+use crate::smx::{Smx, Tbcr};
+use crate::stats::{DynLaunchKind, LaunchRecord, Stats};
+use dtbl_core::{CoalesceOutcome, FcfsController, GroupRef, SchedulingPool};
+use gpu_isa::{
+    apply_atomic, Dim3, Effect, Inst, KernelId, LaunchKind, Program, Space, ThreadEnv, WARP_SIZE,
+};
+use gpu_mem::{
+    coalesce::coalesce, AccessId, AccessKind, BackingStore, LinearAllocator, MemSubsystem,
+};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Base of the heap served by [`Gpu::malloc`].
+const HEAP_BASE: u32 = 0x1000_0000;
+/// Size of the device heap.
+const HEAP_SIZE: u32 = 0xD000_0000;
+/// Global-memory bytes the runtime reserves per pending device-launched
+/// kernel beyond its parameter buffer (kernel configuration record, stream
+/// object, KMU bookkeeping). CDP pays this; a coalesced DTBL group's
+/// descriptor lives on-chip in the AGT instead.
+const CDP_PENDING_RECORD_BYTES: u64 = 192;
+/// Bytes of a spilled aggregated-group descriptor (an AGE image plus
+/// alignment) when the AGT hash probe misses.
+const AGG_OVERFLOW_RECORD_BYTES: u64 = 32;
+
+/// Simulation failure modes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// The run exceeded `GpuConfig::max_cycles` — almost always a hung
+    /// kernel (barrier deadlock, runaway loop).
+    CycleLimit {
+        /// The limit that was hit.
+        cycles: u64,
+    },
+    /// The device heap is exhausted.
+    OutOfMemory {
+        /// The allocation size that failed.
+        bytes: u32,
+    },
+    /// A launch named a kernel id not present in the program.
+    UnknownKernel(KernelId),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::CycleLimit { cycles } => {
+                write!(f, "simulation exceeded the {cycles}-cycle limit")
+            }
+            SimError::OutOfMemory { bytes } => {
+                write!(f, "device heap exhausted allocating {bytes} bytes")
+            }
+            SimError::UnknownKernel(k) => write!(f, "kernel {k} is not in the loaded program"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// A simulated Kepler-class GPU with CDP device-kernel launch and the DTBL
+/// extension.
+///
+/// # Example
+///
+/// ```
+/// use gpu_isa::{Dim3, KernelBuilder, Op, Program, Space};
+/// use gpu_sim::{Gpu, GpuConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // out[i] = i for 64 threads.
+/// let mut prog = Program::new();
+/// let mut b = KernelBuilder::new("iota", Dim3::x(32), 1);
+/// let gtid = b.global_tid();
+/// let base = b.ld_param(0);
+/// let addr = b.mad(gtid, Op::Imm(4), Op::Reg(base));
+/// b.st(Space::Global, addr, 0, Op::Reg(gtid));
+/// let k = prog.add(b.build()?);
+///
+/// let mut gpu = Gpu::new(GpuConfig::test_small(), prog);
+/// let out = gpu.malloc(64 * 4)?;
+/// gpu.launch(k, 2, &[out], 0)?;
+/// gpu.run_to_idle()?;
+/// assert_eq!(gpu.mem().read_u32(out + 4 * 63), 63);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Gpu {
+    cfg: GpuConfig,
+    program: Program,
+    mem: BackingStore,
+    alloc: LinearAllocator,
+    timing: MemSubsystem,
+    kmu: Kmu,
+    kd: KernelDistributor,
+    pool: SchedulingPool,
+    fcfs: FcfsController,
+    smxs: Vec<Smx>,
+    cycle: u64,
+    warp_age: u64,
+    stats: Stats,
+    access_owner: HashMap<AccessId, (usize, usize)>,
+    group_record: HashMap<GroupRef, usize>,
+    param_bytes: HashMap<u32, u32>,
+    /// Per-KDE descriptor-walk state: a spilled (overflow) aggregated
+    /// group's descriptor must be fetched from global memory before the
+    /// SMX scheduler can distribute its thread blocks (§4.3); this holds
+    /// `(group, ready_at)` for the fetch in progress / completed.
+    agt_walk: HashMap<u32, (GroupRef, u64)>,
+    rr_smx: usize,
+    mem_buf: Vec<AccessId>,
+}
+
+impl Gpu {
+    /// Builds a GPU and loads `program` onto it.
+    pub fn new(cfg: GpuConfig, program: Program) -> Self {
+        let stats = Stats {
+            max_warps_per_smx: cfg.max_warps_per_smx(),
+            num_smx: cfg.num_smx as u32,
+            ..Stats::default()
+        };
+        Gpu {
+            program,
+            mem: BackingStore::new(),
+            alloc: LinearAllocator::new(HEAP_BASE, HEAP_SIZE),
+            timing: MemSubsystem::new(cfg.mem),
+            kmu: Kmu::new(cfg.kde_entries),
+            kd: KernelDistributor::new(cfg.kde_entries),
+            pool: SchedulingPool::new(cfg.agt_entries, cfg.kde_entries),
+            fcfs: FcfsController::new(cfg.kde_entries),
+            smxs: (0..cfg.num_smx).map(|i| Smx::new(i, &cfg)).collect(),
+            cycle: 0,
+            warp_age: 0,
+            stats,
+            access_owner: HashMap::new(),
+            group_record: HashMap::new(),
+            param_bytes: HashMap::new(),
+            agt_walk: HashMap::new(),
+            rr_smx: 0,
+            mem_buf: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// The loaded program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Functional global memory (for host-side setup and validation — the
+    /// analogue of `cudaMemcpy`).
+    pub fn mem(&self) -> &BackingStore {
+        &self.mem
+    }
+
+    /// Mutable functional global memory.
+    pub fn mem_mut(&mut self) -> &mut BackingStore {
+        &mut self.mem
+    }
+
+    /// Statistics accumulated so far (memory counters are refreshed by
+    /// [`run_to_idle`](Self::run_to_idle)).
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Current simulation cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Allocates device memory (the analogue of `cudaMalloc`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfMemory`] when the heap is exhausted.
+    pub fn malloc(&mut self, bytes: u32) -> Result<u32, SimError> {
+        self.alloc
+            .alloc(bytes)
+            .ok_or(SimError::OutOfMemory { bytes })
+    }
+
+    /// Launches `kernel` with `ntb` thread blocks on `stream` (the
+    /// analogue of `kernel<<<ntb, ...>>>(params)`); `params` are copied
+    /// into a fresh device parameter buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown kernels or heap exhaustion.
+    pub fn launch(
+        &mut self,
+        kernel: KernelId,
+        ntb: u32,
+        params: &[u32],
+        stream: u32,
+    ) -> Result<(), SimError> {
+        if self.program.get(kernel).is_none() {
+            return Err(SimError::UnknownKernel(kernel));
+        }
+        let param_addr = self.malloc((params.len().max(1) * 4) as u32)?;
+        self.mem.write_slice_u32(param_addr, params);
+        self.stats.host_launches += 1;
+        self.kmu.push_host(
+            stream,
+            PendingKernel {
+                kernel,
+                ntb,
+                param_addr,
+                origin: Origin::Host { hwq: 0 }, // rewritten by push_host
+            },
+        );
+        Ok(())
+    }
+
+    /// Launches `kernel` with a caller-managed parameter buffer at
+    /// `param_addr` (the caller has already written the parameter words
+    /// there). Useful for differential testing against the reference
+    /// interpreter, which shares the same address map.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownKernel`] for kernels not in the program.
+    pub fn launch_with_param_addr(
+        &mut self,
+        kernel: KernelId,
+        ntb: u32,
+        param_addr: u32,
+        stream: u32,
+    ) -> Result<(), SimError> {
+        if self.program.get(kernel).is_none() {
+            return Err(SimError::UnknownKernel(kernel));
+        }
+        self.stats.host_launches += 1;
+        self.kmu.push_host(
+            stream,
+            PendingKernel {
+                kernel,
+                ntb,
+                param_addr,
+                origin: Origin::Host { hwq: 0 },
+            },
+        );
+        Ok(())
+    }
+
+    /// True when no work remains anywhere in the machine.
+    pub fn is_idle(&self) -> bool {
+        self.kmu.is_empty()
+            && self.kd.is_empty()
+            && self.smxs.iter().all(Smx::is_idle)
+            && self.timing.quiescent()
+    }
+
+    /// Runs until the machine is idle, returning the accumulated stats.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CycleLimit`] if the configured cycle budget is
+    /// exceeded (hung workload).
+    pub fn run_to_idle(&mut self) -> Result<&Stats, SimError> {
+        while !self.is_idle() {
+            self.step();
+            if self.cycle >= self.cfg.max_cycles {
+                return Err(SimError::CycleLimit {
+                    cycles: self.cfg.max_cycles,
+                });
+            }
+        }
+        self.stats.cycles = self.cycle;
+        self.stats.mem = self.timing.stats();
+        Ok(&self.stats)
+    }
+
+    /// Advances the machine by one core cycle.
+    pub fn step(&mut self) {
+        let now = self.cycle;
+
+        // 1. KMU: mature device launches, advance the dispatch pipeline.
+        let kd = &self.kd;
+        if let Some((slot, pk)) = self
+            .kmu
+            .tick(now, self.cfg.latency.kernel_dispatch, |reserved| {
+                kd.free_slot_excluding(reserved)
+            })
+        {
+            self.install_kernel(slot, pk, now);
+        }
+
+        // 2. SMX scheduler: distribute thread blocks.
+        self.distribute_tbs(now);
+
+        // 3. SMXs: issue warps.
+        for s in 0..self.smxs.len() {
+            let picks =
+                self.smxs[s].select_warps(now, self.cfg.issue_per_cycle, self.cfg.warp_sched);
+            for w in picks {
+                if let Some(done_slot) = self.issue_warp(s, w, now) {
+                    self.on_tb_complete(s, done_slot, now);
+                }
+            }
+        }
+
+        // 4. Memory timing.
+        let mut buf = std::mem::take(&mut self.mem_buf);
+        buf.clear();
+        self.timing.tick(now, &mut buf);
+        for id in buf.drain(..) {
+            if let Some((s, w)) = self.access_owner.remove(&id) {
+                if let Some(warp) = self.smxs[s].warps[w].as_mut() {
+                    if let WarpState::WaitingMem { outstanding } = &mut warp.state {
+                        *outstanding -= 1;
+                        if *outstanding == 0 {
+                            warp.state = WarpState::Ready;
+                            warp.ready_at = now + 1;
+                        }
+                    }
+                }
+            }
+        }
+        self.mem_buf = buf;
+
+        // 5. Occupancy sampling.
+        let resident: u32 = self.smxs.iter().map(|s| s.live_warps).sum();
+        if resident > 0 {
+            self.stats.busy_cycles += 1;
+            self.stats.resident_warp_cycles += u64::from(resident);
+        }
+
+        self.cycle += 1;
+    }
+
+    fn install_kernel(&mut self, slot: u32, pk: PendingKernel, now: u64) {
+        let (launch_record, hwq) = match pk.origin {
+            Origin::Host { hwq } => (None, Some(hwq)),
+            Origin::Device { record } => (Some(record), None),
+        };
+        self.kd.install(
+            slot,
+            KdeEntry {
+                kernel: pk.kernel,
+                grid_ntb: pk.ntb,
+                param_addr: pk.param_addr,
+                next_native_tb: 0,
+                native_exe: 0,
+                native_done: 0,
+                agg_exe: 0,
+                dispatched_at: now,
+                launch_record,
+                hwq,
+            },
+        );
+        self.fcfs.mark_new(slot);
+    }
+
+    // ---- thread-block distribution (§2.3 + §4.2 DTBL flow) ----------------
+
+    fn distribute_tbs(&mut self, now: u64) {
+        let mut budget = self.cfg.tb_dispatch_per_cycle;
+        if budget == 0 {
+            return;
+        }
+        let kdes: Vec<u32> = self.fcfs.marked_in_order().collect();
+        'kernels: for kde in kdes {
+            loop {
+                if budget == 0 {
+                    break 'kernels;
+                }
+                if !self.try_dispatch_one(kde, now) {
+                    continue 'kernels;
+                }
+                budget -= 1;
+            }
+        }
+    }
+
+    /// Attempts to distribute one thread block of kernel `kde`; returns
+    /// whether a block was placed.
+    fn try_dispatch_one(&mut self, kde: u32, now: u64) -> bool {
+        let Some(entry) = self.kd.get(kde) else {
+            return false;
+        };
+        let kernel_id = entry.kernel;
+        let native_next = if self.fcfs.is_first_dispatch(kde) && !entry.native_fully_scheduled() {
+            true
+        } else if self.pool.nagei(kde).is_some() {
+            false
+        } else {
+            // Nothing to distribute; a marked kernel with an empty pool is
+            // transient (between clear-first and unmark) — unmark it if its
+            // native blocks are also done scheduling.
+            if entry.native_fully_scheduled() {
+                self.fcfs.unmark(kde);
+            }
+            return false;
+        };
+
+        let kernel = self.program.kernel(kernel_id).clone();
+        // Spatial sharing (optional §5.2B extension): host-launched native
+        // blocks keep off the reserved SMXs; dynamic work may go anywhere.
+        let dynamic = !native_next || entry.launch_record.is_some();
+        let Some(smx_idx) = self.pick_smx(&kernel, dynamic) else {
+            return false;
+        };
+
+        let first_load = !self.smxs[smx_idx].kernels_loaded.contains(&kernel_id);
+        let ready_at = now
+            + if first_load {
+                self.cfg.pipeline.context_setup
+            } else {
+                20 // block-dispatch handshake
+            };
+        if first_load {
+            self.smxs[smx_idx].kernels_loaded.insert(kernel_id);
+        }
+
+        if native_next {
+            let entry = self.kd.get_mut(kde).expect("checked above");
+            let blkid = entry.next_native_tb;
+            entry.next_native_tb += 1;
+            entry.native_exe += 1;
+            let nctaid = entry.grid_ntb;
+            let param = entry.param_addr;
+            let record = entry.launch_record;
+            let fully = entry.native_fully_scheduled();
+            self.smxs[smx_idx].place_tb(
+                kernel_id,
+                &kernel,
+                Tbcr {
+                    kdei: kde,
+                    agei: None,
+                    blkid,
+                },
+                nctaid,
+                param,
+                ready_at,
+                &mut self.warp_age,
+            );
+            if let Some(r) = record {
+                self.mark_launch_started(r, now);
+            }
+            if fully {
+                self.fcfs.clear_first_dispatch(kde);
+                if self.pool.nagei(kde).is_none() {
+                    self.fcfs.unmark(kde);
+                }
+            }
+        } else {
+            let group = self.pool.nagei(kde).expect("checked above");
+            // A spilled descriptor lives in global memory: the scheduler
+            // must fetch it before it can distribute the group's thread
+            // blocks (§4.3), stalling this kernel's dispatch — unlike a
+            // zero-cost on-chip AGE.
+            if group.is_overflow() {
+                match self.agt_walk.get(&kde) {
+                    Some(&(g, ready)) if g == group => {
+                        if now < ready {
+                            return false;
+                        }
+                    }
+                    _ => {
+                        self.agt_walk
+                            .insert(kde, (group, now + self.cfg.pipeline.agt_overflow_load));
+                        return false;
+                    }
+                }
+            }
+            let info = self.pool.agt().info(group);
+            let blkid = self.pool.agt_mut().tb_scheduled(group);
+            self.kd.get_mut(kde).expect("resident").agg_exe += 1;
+            self.smxs[smx_idx].place_tb(
+                kernel_id,
+                &kernel,
+                Tbcr {
+                    kdei: kde,
+                    agei: Some(group),
+                    blkid,
+                },
+                info.ntb,
+                info.param_addr,
+                ready_at,
+                &mut self.warp_age,
+            );
+            if let Some(r) = self.group_record.remove(&group) {
+                self.mark_launch_started(r, now);
+                if blkid + 1 < info.ntb {
+                    // Keep the record findable until we no longer need it;
+                    // only the first block matters, so drop it for good.
+                }
+            }
+            if self.pool.agt().fully_scheduled(group) && self.pool.advance_nagei(kde).is_none() {
+                // Pool drained: the kernel leaves the FCFS queue once its
+                // native blocks are also all distributed.
+                if self.kd.get(kde).expect("resident").native_fully_scheduled() {
+                    self.fcfs.unmark(kde);
+                }
+            }
+        }
+        true
+    }
+
+    fn mark_launch_started(&mut self, record: usize, now: u64) {
+        let rec = &mut self.stats.launches[record];
+        if rec.first_tb_at.is_none() {
+            rec.first_tb_at = Some(now);
+            let bytes = rec.reserved_bytes;
+            self.stats.remove_pending(bytes);
+        }
+    }
+
+    /// Round-robin SMX selection among those with room for one block of
+    /// `kernel`. With spatial sharing enabled, non-dynamic blocks are
+    /// confined to the first `num_smx - dyn_reserved_smx` SMXs.
+    fn pick_smx(&mut self, kernel: &gpu_isa::Kernel, dynamic: bool) -> Option<usize> {
+        let n = self.smxs.len();
+        let limit = if dynamic {
+            n
+        } else {
+            n.saturating_sub(self.cfg.dyn_reserved_smx).max(1)
+        };
+        for k in 0..limit {
+            let s = (self.rr_smx + k) % limit;
+            if self.smxs[s].can_fit(kernel, &self.cfg) {
+                self.rr_smx = (s + 1) % limit;
+                return Some(s);
+            }
+        }
+        None
+    }
+
+    // ---- warp issue --------------------------------------------------------
+
+    /// Issues one instruction for warp `w` on SMX `s`. Returns the TB slot
+    /// index when this issue completed the warp's entire thread block.
+    fn issue_warp(&mut self, s: usize, w: usize, now: u64) -> Option<usize> {
+        let smx = &mut self.smxs[s];
+        let Smx {
+            warps, tb_slots, ..
+        } = smx;
+        let warp = warps[w].as_mut()?;
+        if !matches!(warp.state, WarpState::Ready) || warp.ready_at > now {
+            return None;
+        }
+        warp.sync_reconvergence();
+        if warp.is_done() {
+            warp.state = WarpState::Done;
+            smx.live_warps -= 1;
+            let tb = tb_slots[warp.tb_slot].as_mut().expect("warp's TB resident");
+            tb.live_warps -= 1;
+            let slot = warp.tb_slot;
+            let released = tb.live_warps == 0;
+            // A disappearing warp can satisfy a barrier.
+            if !released && tb.live_warps > 0 && tb.barrier_arrived >= tb.live_warps {
+                Self::release_barrier(warps, tb_slots[slot].as_mut().expect("tb"), now, 20);
+            }
+            return released.then_some(slot);
+        }
+
+        let tb_slot = warp.tb_slot;
+        let tb = tb_slots[tb_slot].as_mut().expect("warp's TB resident");
+        let kernel = self.program.kernel(tb.kernel);
+        let (pc, mask) = warp.current();
+        let inst = *kernel.fetch(pc);
+
+        self.stats.warp_issues += 1;
+        self.stats.active_lanes += u64::from(mask.count_ones());
+
+        let pipe = self.cfg.pipeline;
+        let lat = self.cfg.latency;
+
+        let block_dim = tb.block_dim;
+        let blkid = tb.tbcr.blkid;
+        let nctaid = tb.nctaid;
+        let param_base = tb.param_base;
+        let env_of = move |lane: u32, warp_in_tb: u32| -> ThreadEnv {
+            let linear = u64::from(warp_in_tb) * WARP_SIZE as u64 + u64::from(lane);
+            let tid = block_dim.delinearize(linear);
+            ThreadEnv {
+                tid,
+                ctaid: (blkid, 0, 0),
+                ntid: block_dim,
+                nctaid: Dim3::x(nctaid),
+                lane,
+                smid: s as u32,
+                param_base,
+            }
+        };
+
+        match inst {
+            Inst::Bra {
+                pred,
+                target,
+                reconv,
+            } => {
+                let taken = match pred {
+                    None => mask,
+                    Some((p, negate)) => {
+                        let mut t = 0u32;
+                        for lane in 0..WARP_SIZE as u32 {
+                            if mask & (1 << lane) != 0
+                                && (warp.threads[lane as usize].pred(p) != negate)
+                            {
+                                t |= 1 << lane;
+                            }
+                        }
+                        t
+                    }
+                };
+                warp.branch(taken, target, reconv);
+                warp.ready_at = now + pipe.alu;
+            }
+            Inst::Exit => {
+                warp.exit_lanes(mask);
+                if warp.is_done() {
+                    smx.live_warps -= 1;
+                    tb.live_warps -= 1;
+                    let released = tb.live_warps == 0;
+                    if !released && tb.barrier_arrived >= tb.live_warps {
+                        Self::release_barrier(
+                            warps,
+                            tb_slots[tb_slot].as_mut().expect("tb"),
+                            now,
+                            pipe.alu,
+                        );
+                    }
+                    return released.then_some(tb_slot);
+                }
+                warp.ready_at = now + pipe.alu;
+            }
+            Inst::Bar => {
+                warp.advance_pc();
+                warp.state = WarpState::AtBarrier;
+                tb.barrier_arrived += 1;
+                self.stats.barrier_waits += 1;
+                if tb.barrier_arrived >= tb.live_warps {
+                    Self::release_barrier(warps, tb, now, pipe.shared_mem);
+                }
+            }
+            Inst::GetParamBuf { dst, words } => {
+                warp.advance_pc();
+                let x = u64::from(mask.count_ones());
+                let bytes = u32::from(words.max(1)) * 4;
+                for lane in 0..WARP_SIZE as u32 {
+                    if mask & (1 << lane) == 0 {
+                        continue;
+                    }
+                    let addr = self
+                        .alloc
+                        .alloc(bytes)
+                        .expect("device heap exhausted during cudaGetParameterBuffer");
+                    self.param_bytes.insert(addr, bytes);
+                    self.stats.add_pending(u64::from(bytes));
+                    warp.threads[lane as usize].write_reg(dst, addr);
+                }
+                warp.ready_at = now + lat.get_param_buf(x);
+            }
+            Inst::LaunchDevice { .. } | Inst::LaunchAgg { .. } => {
+                warp.advance_pc();
+                let warp_in_tb = warp.warp_in_tb;
+                let hw_base = warp.hw_slot as u32 * WARP_SIZE as u32;
+                let mut reqs = Vec::new();
+                for lane in 0..WARP_SIZE as u32 {
+                    if mask & (1 << lane) == 0 {
+                        continue;
+                    }
+                    let env = env_of(lane, warp_in_tb);
+                    if let Effect::Launch(req) = warp.threads[lane as usize].step(&inst, &env) {
+                        reqs.push((hw_base + lane, req));
+                    }
+                }
+                let x = reqs.len() as u64;
+                let is_agg = matches!(inst, Inst::LaunchAgg { .. });
+                warp.ready_at = now
+                    + if is_agg {
+                        lat.agg_launch
+                    } else {
+                        lat.launch_device(x)
+                    };
+                let visible_at = warp.ready_at;
+                for (hw_tid, req) in reqs {
+                    self.handle_launch(hw_tid, req, now, visible_at);
+                }
+            }
+            ref mem_inst if mem_inst.is_memory() => {
+                warp.advance_pc();
+                let warp_in_tb = warp.warp_in_tb;
+                let mut global_addrs: Vec<Option<u32>> = vec![None; WARP_SIZE];
+                let mut any_shared = false;
+                let mut is_load_or_atomic = false;
+                let mut is_atomic = false;
+                for lane in 0..WARP_SIZE as u32 {
+                    if mask & (1 << lane) == 0 {
+                        continue;
+                    }
+                    let env = env_of(lane, warp_in_tb);
+                    let eff = warp.threads[lane as usize].step(mem_inst, &env);
+                    match eff {
+                        Effect::Load { dst, req } => {
+                            is_load_or_atomic = true;
+                            match req.space {
+                                Space::Shared => {
+                                    any_shared = true;
+                                    let v = tb.shared_read(req.addr);
+                                    warp.threads[lane as usize].write_reg(dst, v);
+                                }
+                                Space::Global => {
+                                    let v = self.mem.read_u32(req.addr);
+                                    warp.threads[lane as usize].write_reg(dst, v);
+                                    global_addrs[lane as usize] = Some(req.addr);
+                                }
+                            }
+                        }
+                        Effect::Store { req, value } => match req.space {
+                            Space::Shared => {
+                                any_shared = true;
+                                tb.shared_write(req.addr, value);
+                            }
+                            Space::Global => {
+                                self.mem.write_u32(req.addr, value);
+                                global_addrs[lane as usize] = Some(req.addr);
+                            }
+                        },
+                        Effect::Atomic {
+                            dst,
+                            op,
+                            req,
+                            operand,
+                            comparand,
+                        } => {
+                            is_load_or_atomic = true;
+                            is_atomic = true;
+                            let old = match req.space {
+                                Space::Shared => tb.shared_read(req.addr),
+                                Space::Global => self.mem.read_u32(req.addr),
+                            };
+                            let new = apply_atomic(op, old, operand, comparand);
+                            match req.space {
+                                Space::Shared => {
+                                    any_shared = true;
+                                    tb.shared_write(req.addr, new);
+                                }
+                                Space::Global => {
+                                    self.mem.write_u32(req.addr, new);
+                                    global_addrs[lane as usize] = Some(req.addr);
+                                }
+                            }
+                            if let Some(d) = dst {
+                                warp.threads[lane as usize].write_reg(d, old);
+                            }
+                        }
+                        _ => unreachable!("memory instruction produced a non-memory effect"),
+                    }
+                }
+                let txns = coalesce(&global_addrs);
+                if txns.is_empty() {
+                    // Shared-memory only.
+                    warp.ready_at = now
+                        + if any_shared {
+                            pipe.shared_mem
+                        } else {
+                            pipe.alu
+                        };
+                } else if is_load_or_atomic {
+                    let kind = if is_atomic {
+                        AccessKind::Atomic
+                    } else {
+                        AccessKind::Load
+                    };
+                    let mut outstanding = 0u32;
+                    for t in txns {
+                        if let Some(id) = self.timing.access(s, t, kind, now) {
+                            self.access_owner.insert(id, (s, w));
+                            outstanding += 1;
+                        }
+                    }
+                    warp.state = WarpState::WaitingMem { outstanding };
+                } else {
+                    // Posted stores.
+                    for t in txns {
+                        let _ = self.timing.access(s, t, AccessKind::Store, now);
+                    }
+                    warp.ready_at = now + pipe.store_issue;
+                }
+            }
+            Inst::MemFence => {
+                warp.advance_pc();
+                warp.ready_at = now + pipe.memfence;
+            }
+            Inst::Nop => {
+                warp.advance_pc();
+                warp.ready_at = now + 1;
+            }
+            ref alu => {
+                warp.advance_pc();
+                let warp_in_tb = warp.warp_in_tb;
+                for lane in 0..WARP_SIZE as u32 {
+                    if mask & (1 << lane) == 0 {
+                        continue;
+                    }
+                    let env = env_of(lane, warp_in_tb);
+                    let eff = warp.threads[lane as usize].step(alu, &env);
+                    debug_assert_eq!(eff, Effect::None, "ALU class must be self-contained");
+                }
+                warp.ready_at = now + alu_latency(alu, &pipe);
+            }
+        }
+        None
+    }
+
+    fn release_barrier(
+        warps: &mut [Option<crate::smx::warp::Warp>],
+        tb: &mut crate::smx::TbSlot,
+        now: u64,
+        latency: u64,
+    ) {
+        for ws in &tb.warp_slots {
+            if let Some(w) = warps[*ws].as_mut() {
+                if matches!(w.state, WarpState::AtBarrier) {
+                    w.state = WarpState::Ready;
+                    w.ready_at = now + latency;
+                }
+            }
+        }
+        tb.barrier_arrived = 0;
+    }
+
+    // ---- device-side launches ------------------------------------------------
+
+    fn handle_launch(
+        &mut self,
+        hw_tid: u32,
+        req: gpu_isa::LaunchRequest,
+        now: u64,
+        visible_at: u64,
+    ) {
+        if req.ntb == 0 {
+            return;
+        }
+        let child = self
+            .program
+            .get(req.kernel)
+            .unwrap_or_else(|| panic!("device launch of unknown kernel {}", req.kernel));
+        let threads_per_tb = child.threads_per_block();
+        let param_sz = u64::from(self.param_bytes.remove(&req.param_addr).unwrap_or(0));
+
+        let force_fallback = self.cfg.dtbl_disable_coalescing;
+        let as_agg = req.kind == LaunchKind::Agg && !force_fallback;
+
+        if as_agg {
+            let eligible = self.kd.find_eligible(req.kernel);
+            let marked = eligible.is_some_and(|k| self.fcfs.is_marked(k));
+            let info = dtbl_core::AggGroupInfo {
+                kernel: req.kernel,
+                ntb: req.ntb,
+                param_addr: req.param_addr,
+                kde: 0,
+            };
+            let alloc = &mut self.alloc;
+            let outcome = self.pool.coalesce(eligible, marked, hw_tid, info, || {
+                alloc
+                    .alloc(AGG_OVERFLOW_RECORD_BYTES as u32)
+                    .expect("device heap exhausted spilling an AGE")
+            });
+            match outcome {
+                CoalesceOutcome::Coalesced { group, remark } => {
+                    let kde = eligible.expect("coalesced implies eligible");
+                    if remark {
+                        self.fcfs.remark(kde);
+                    }
+                    self.stats.agg_coalesced += 1;
+                    let descr = if group.is_overflow() {
+                        self.stats.agt_overflows += 1;
+                        AGG_OVERFLOW_RECORD_BYTES
+                    } else {
+                        0
+                    };
+                    self.stats.add_pending(descr);
+                    let record = self.stats.launches.len();
+                    self.stats.launches.push(LaunchRecord {
+                        kind: DynLaunchKind::AggGroup,
+                        launched_at: now,
+                        first_tb_at: None,
+                        ntb: req.ntb,
+                        threads_per_tb,
+                        reserved_bytes: param_sz + descr,
+                    });
+                    self.group_record.insert(group, record);
+                    return;
+                }
+                CoalesceOutcome::Fallback => {
+                    self.stats.agg_fallbacks += 1;
+                    self.enqueue_device_kernel(
+                        req,
+                        threads_per_tb,
+                        param_sz,
+                        DynLaunchKind::AggFallback,
+                        now,
+                        visible_at,
+                    );
+                    return;
+                }
+            }
+        }
+        if req.kind == LaunchKind::Agg {
+            self.stats.agg_fallbacks += 1;
+            self.enqueue_device_kernel(
+                req,
+                threads_per_tb,
+                param_sz,
+                DynLaunchKind::AggFallback,
+                now,
+                visible_at,
+            );
+        } else {
+            self.enqueue_device_kernel(
+                req,
+                threads_per_tb,
+                param_sz,
+                DynLaunchKind::DeviceKernel,
+                now,
+                visible_at,
+            );
+        }
+    }
+
+    fn enqueue_device_kernel(
+        &mut self,
+        req: gpu_isa::LaunchRequest,
+        threads_per_tb: u32,
+        param_sz: u64,
+        kind: DynLaunchKind,
+        now: u64,
+        visible_at: u64,
+    ) {
+        self.stats.add_pending(CDP_PENDING_RECORD_BYTES);
+        let record = self.stats.launches.len();
+        self.stats.launches.push(LaunchRecord {
+            kind,
+            launched_at: now,
+            first_tb_at: None,
+            ntb: req.ntb,
+            threads_per_tb,
+            reserved_bytes: param_sz + CDP_PENDING_RECORD_BYTES,
+        });
+        self.kmu.push_device(
+            visible_at,
+            PendingKernel {
+                kernel: req.kernel,
+                ntb: req.ntb,
+                param_addr: req.param_addr,
+                origin: Origin::Device { record },
+            },
+        );
+    }
+
+    // ---- thread-block / kernel completion ----------------------------------------
+
+    fn on_tb_complete(&mut self, s: usize, slot: usize, _now: u64) {
+        let tbcr = self.smxs[s].release_tb(slot);
+        self.stats.tb_completed += 1;
+        let kde = tbcr.kdei;
+        {
+            let entry = self.kd.get_mut(kde).expect("TB of a released kernel");
+            match tbcr.agei {
+                None => {
+                    entry.native_done += 1;
+                    entry.native_exe -= 1;
+                }
+                Some(group) => {
+                    entry.agg_exe -= 1;
+                    self.pool.agt_mut().tb_finished(group);
+                }
+            }
+        }
+        let entry = self.kd.get(kde).expect("still resident");
+        let done = entry.native_fully_scheduled()
+            && entry.native_all_done()
+            && entry.agg_exe == 0
+            && self.pool.nagei(kde).is_none();
+        if done {
+            let entry = self.kd.release(kde);
+            self.pool.reset_kde(kde);
+            self.agt_walk.remove(&kde);
+            self.fcfs.unmark(kde);
+            if let Some(hwq) = entry.hwq {
+                self.kmu.unblock_hwq(hwq);
+            }
+            // Parameter buffers of completed kernels no longer pin heap
+            // accounting (bump allocator: bytes only, no address reuse).
+            self.alloc.free_accounting(4);
+        }
+    }
+}
+
+fn alu_latency(inst: &Inst, pipe: &crate::config::PipelineLatencies) -> u64 {
+    match inst {
+        Inst::IMul { .. } | Inst::IMad { .. } => pipe.imul,
+        Inst::IDivU { .. } | Inst::IRemU { .. } => pipe.idiv,
+        Inst::FDiv { .. } | Inst::FSqrt { .. } => pipe.fdiv,
+        _ => pipe.alu,
+    }
+}

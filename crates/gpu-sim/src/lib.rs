@@ -1,0 +1,37 @@
+//! Cycle-level GK110-class GPU simulator with CDP and DTBL.
+//!
+//! This crate assembles the substrates into the machine the DTBL paper
+//! evaluates on:
+//!
+//! * the **baseline GPU** of §2: SMXs with warp contexts, a PDOM SIMT
+//!   reconvergence stack, greedy-then-oldest warp scheduling, memory
+//!   coalescing into the [`gpu_mem`] hierarchy, hardware work queues, the
+//!   Kernel Management Unit and the 32-entry Kernel Distributor with
+//!   concurrent kernel execution;
+//! * **CUDA Dynamic Parallelism** (§2.4): `cudaGetParameterBuffer` /
+//!   `cudaLaunchDevice` with the per-warp `A·x + b` latency model of
+//!   Table 3, per-launch stream creation, and the 283-cycle KMU dispatch;
+//! * **Dynamic Thread Block Launch** (§4): `cudaLaunchAggGroup` backed by
+//!   the [`dtbl_core`] Aggregated Group Table and scheduling pool, with
+//!   eligibility search, hash allocation, coalescing to resident kernels,
+//!   fallback device-kernel launches, and the extended SMX-scheduler flow.
+//!
+//! The entry point is [`Gpu`]: load a [`gpu_isa::Program`], `malloc` and
+//! fill device memory, `launch` kernels into streams, then
+//! [`Gpu::run_to_idle`] and read the [`Stats`] — which carry exactly the
+//! metrics plotted in the paper's Figures 6–11.
+
+#![warn(missing_docs)]
+
+mod config;
+mod dispatch;
+mod gpu;
+mod smx;
+mod stats;
+
+pub use config::{GpuConfig, LatencyTable, PipelineLatencies, WarpSchedPolicy};
+pub use dispatch::{KdeEntry, KernelDistributor, Kmu, Origin, PendingKernel};
+pub use gpu::{Gpu, SimError};
+pub use smx::warp::{StackEntry, Warp, WarpState, NO_RECONV};
+pub use smx::{Smx, TbSlot, Tbcr};
+pub use stats::{DynLaunchKind, LaunchRecord, Stats};

@@ -1,0 +1,425 @@
+//! Streaming Multiprocessor (SMX): resident thread blocks, warps, resource
+//! accounting, and warp selection.
+
+pub mod warp;
+
+use crate::config::{GpuConfig, WarpSchedPolicy};
+use dtbl_core::GroupRef;
+use gpu_isa::{Dim3, Kernel, KernelId};
+use std::collections::HashSet;
+use warp::{Warp, WarpState};
+
+/// The Thread Block Control Register contents (Figure 4): which Kernel
+/// Distributor entry and (for aggregated TBs) which AGE this block belongs
+/// to, plus its block id within the kernel grid or aggregated group.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Tbcr {
+    /// Kernel Distributor entry index (KDEI).
+    pub kdei: u32,
+    /// Aggregated group reference (AGEI); `None` for native blocks.
+    pub agei: Option<GroupRef>,
+    /// Block index within the kernel grid or aggregated group (BLKID).
+    pub blkid: u32,
+}
+
+/// A resident thread block.
+#[derive(Clone, Debug)]
+pub struct TbSlot {
+    /// Control-register contents.
+    pub tbcr: Tbcr,
+    /// Kernel function executed by this block.
+    pub kernel: KernelId,
+    /// Block shape.
+    pub block_dim: Dim3,
+    /// Grid/group extent the block indexes into.
+    pub nctaid: u32,
+    /// Parameter-buffer base for `LdParam`.
+    pub param_base: u32,
+    /// Warp slot indices (into [`Smx::warps`]) belonging to this block.
+    pub warp_slots: Vec<usize>,
+    /// Warps still running.
+    pub live_warps: u32,
+    /// Warps currently stopped at the barrier.
+    pub barrier_arrived: u32,
+    /// Functional shared-memory storage for the block.
+    pub shared: Vec<u8>,
+    /// Registers reserved (for release accounting).
+    pub regs_reserved: u32,
+    /// Threads reserved.
+    pub threads_reserved: u32,
+}
+
+impl TbSlot {
+    /// Reads a 32-bit word of shared memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the access is outside the block's static allocation —
+    /// that is a workload bug worth failing loudly on.
+    pub fn shared_read(&self, addr: u32) -> u32 {
+        let a = addr as usize;
+        assert!(
+            a + 4 <= self.shared.len(),
+            "shared-memory read OOB: {addr} in a {}B allocation",
+            self.shared.len()
+        );
+        u32::from_le_bytes(self.shared[a..a + 4].try_into().expect("4 bytes"))
+    }
+
+    /// Writes a 32-bit word of shared memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds access.
+    pub fn shared_write(&mut self, addr: u32, v: u32) {
+        let a = addr as usize;
+        assert!(
+            a + 4 <= self.shared.len(),
+            "shared-memory write OOB: {addr} in a {}B allocation",
+            self.shared.len()
+        );
+        self.shared[a..a + 4].copy_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// One streaming multiprocessor.
+#[derive(Clone, Debug)]
+pub struct Smx {
+    /// SMX index.
+    pub id: usize,
+    /// Thread-block slots (bounded by `max_tb_per_smx`).
+    pub tb_slots: Vec<Option<TbSlot>>,
+    /// Warp slots (slab with free list).
+    pub warps: Vec<Option<Warp>>,
+    free_warp_slots: Vec<usize>,
+    /// Threads currently resident.
+    pub used_threads: u32,
+    /// Registers currently reserved.
+    pub used_regs: u32,
+    /// Shared memory currently reserved.
+    pub used_shared: u32,
+    /// Live (not Done) warps, maintained incrementally for occupancy
+    /// sampling.
+    pub live_warps: u32,
+    /// Kernels whose code/context has been set up on this SMX already
+    /// (first block of a kernel pays `context_setup`).
+    pub kernels_loaded: HashSet<KernelId>,
+    /// Warp slot that issued most recently (GTO greedy pointer).
+    pub greedy: Option<usize>,
+    rr_cursor: usize,
+}
+
+impl Smx {
+    /// Creates an empty SMX.
+    pub fn new(id: usize, cfg: &GpuConfig) -> Self {
+        Smx {
+            id,
+            tb_slots: vec![None; cfg.max_tb_per_smx],
+            warps: Vec::new(),
+            free_warp_slots: Vec::new(),
+            used_threads: 0,
+            used_regs: 0,
+            used_shared: 0,
+            live_warps: 0,
+            kernels_loaded: HashSet::new(),
+            greedy: None,
+            rr_cursor: 0,
+        }
+    }
+
+    /// Registers needed by one thread block of `kernel`.
+    fn regs_for(kernel: &Kernel) -> u32 {
+        kernel.threads_per_block() * u32::from(kernel.regs_per_thread())
+    }
+
+    /// True when a thread block of `kernel` fits in the remaining
+    /// resources (threads, registers, shared memory, TB slot, warp slots).
+    pub fn can_fit(&self, kernel: &Kernel, cfg: &GpuConfig) -> bool {
+        let threads = kernel.threads_per_block();
+        self.tb_slots.iter().any(Option::is_none)
+            && self.used_threads + threads <= cfg.max_threads_per_smx
+            && self.used_regs + Self::regs_for(kernel) <= cfg.regs_per_smx
+            && self.used_shared + kernel.shared_mem_bytes() <= cfg.shared_mem_per_smx
+    }
+
+    /// Installs one thread block and its warps. Returns the TB slot index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block does not fit (callers must check
+    /// [`can_fit`](Self::can_fit)).
+    #[allow(clippy::too_many_arguments)]
+    pub fn place_tb(
+        &mut self,
+        kernel_id: KernelId,
+        kernel: &Kernel,
+        tbcr: Tbcr,
+        nctaid: u32,
+        param_base: u32,
+        ready_at: u64,
+        warp_age: &mut u64,
+    ) -> usize {
+        let slot = self
+            .tb_slots
+            .iter()
+            .position(Option::is_none)
+            .expect("no free TB slot — caller must check can_fit");
+        let threads = kernel.threads_per_block();
+        let n_warps = threads.div_ceil(gpu_isa::WARP_SIZE as u32);
+        let mut warp_slots = Vec::with_capacity(n_warps as usize);
+        for wi in 0..n_warps {
+            let lanes_left = threads - wi * gpu_isa::WARP_SIZE as u32;
+            let valid = if lanes_left >= 32 {
+                u32::MAX
+            } else {
+                (1u32 << lanes_left) - 1
+            };
+            let ws = self.free_warp_slots.pop().unwrap_or_else(|| {
+                self.warps.push(None);
+                self.warps.len() - 1
+            });
+            let mut w = Warp::new(slot, wi, ws, kernel.regs_per_thread(), valid, *warp_age);
+            *warp_age += 1;
+            w.ready_at = ready_at;
+            self.warps[ws] = Some(w);
+            warp_slots.push(ws);
+            self.live_warps += 1;
+        }
+        self.used_threads += threads;
+        self.used_regs += Self::regs_for(kernel);
+        self.used_shared += kernel.shared_mem_bytes();
+        self.tb_slots[slot] = Some(TbSlot {
+            tbcr,
+            kernel: kernel_id,
+            block_dim: kernel.block_dim(),
+            nctaid,
+            param_base,
+            warp_slots,
+            live_warps: n_warps,
+            barrier_arrived: 0,
+            shared: vec![0u8; kernel.shared_mem_bytes() as usize],
+            regs_reserved: Self::regs_for(kernel),
+            threads_reserved: threads,
+        });
+        slot
+    }
+
+    /// Releases a completed thread block's resources and returns its TBCR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is empty or warps are still live.
+    pub fn release_tb(&mut self, slot: usize) -> Tbcr {
+        let tb = self.tb_slots[slot]
+            .take()
+            .expect("releasing an empty TB slot");
+        assert_eq!(tb.live_warps, 0, "releasing a TB with live warps");
+        for ws in &tb.warp_slots {
+            self.warps[*ws] = None;
+            self.free_warp_slots.push(*ws);
+            if self.greedy == Some(*ws) {
+                self.greedy = None;
+            }
+        }
+        self.used_threads -= tb.threads_reserved;
+        self.used_regs -= tb.regs_reserved;
+        self.used_shared -= tb.shared.len() as u32;
+        tb.tbcr
+    }
+
+    /// Selects up to `budget` distinct ready warps to issue this cycle,
+    /// honoring the configured policy (GTO keeps the last-issued warp
+    /// first while it stays ready; round-robin rotates).
+    pub fn select_warps(&mut self, now: u64, budget: usize, policy: WarpSchedPolicy) -> Vec<usize> {
+        let mut picked = Vec::with_capacity(budget);
+        let ready = |w: &Warp| matches!(w.state, WarpState::Ready) && w.ready_at <= now;
+
+        if policy == WarpSchedPolicy::Gto {
+            if let Some(g) = self.greedy {
+                if let Some(Some(w)) = self.warps.get(g) {
+                    if ready(w) {
+                        picked.push(g);
+                    }
+                }
+            }
+        }
+        match policy {
+            WarpSchedPolicy::Gto => {
+                // Oldest-first among remaining ready warps.
+                let mut candidates: Vec<(u64, usize)> = self
+                    .warps
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, w)| w.as_ref().map(|w| (i, w)))
+                    .filter(|(i, w)| ready(w) && Some(*i) != self.greedy)
+                    .map(|(i, w)| (w.age, i))
+                    .collect();
+                candidates.sort_unstable();
+                for (_, i) in candidates {
+                    if picked.len() >= budget {
+                        break;
+                    }
+                    picked.push(i);
+                }
+            }
+            WarpSchedPolicy::RoundRobin => {
+                let n = self.warps.len();
+                for k in 0..n {
+                    if picked.len() >= budget {
+                        break;
+                    }
+                    let i = (self.rr_cursor + k) % n.max(1);
+                    if let Some(Some(w)) = self.warps.get(i) {
+                        if ready(w) {
+                            picked.push(i);
+                        }
+                    }
+                }
+                if let Some(last) = picked.last() {
+                    self.rr_cursor = (last + 1) % n.max(1);
+                }
+            }
+        }
+        picked.truncate(budget);
+        if let Some(first) = picked.first() {
+            self.greedy = Some(*first);
+        }
+        picked
+    }
+
+    /// True when no warps are resident.
+    pub fn is_idle(&self) -> bool {
+        self.live_warps == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_isa::KernelBuilder;
+
+    fn kernel(threads: u32, shared_words: u32) -> Kernel {
+        let mut b = KernelBuilder::new("k", Dim3::x(threads), 1);
+        if shared_words > 0 {
+            b.alloc_shared_words(shared_words);
+        }
+        let _ = b.imm(0);
+        b.build().unwrap()
+    }
+
+    fn tbcr() -> Tbcr {
+        Tbcr {
+            kdei: 0,
+            agei: None,
+            blkid: 0,
+        }
+    }
+
+    #[test]
+    fn place_and_release_roundtrip() {
+        let cfg = GpuConfig::test_small();
+        let mut smx = Smx::new(0, &cfg);
+        let k = kernel(100, 8);
+        assert!(smx.can_fit(&k, &cfg));
+        let mut age = 0;
+        let slot = smx.place_tb(KernelId(0), &k, tbcr(), 4, 0x100, 0, &mut age);
+        assert_eq!(smx.used_threads, 100);
+        assert_eq!(smx.live_warps, 4, "100 threads = 4 warps (last partial)");
+        let tb = smx.tb_slots[slot].as_ref().unwrap();
+        assert_eq!(tb.warp_slots.len(), 4);
+        let last = smx.warps[tb.warp_slots[3]].as_ref().unwrap();
+        assert_eq!(last.valid_mask.count_ones(), 4, "100 - 96 lanes");
+
+        // Drain warps, then release.
+        let slots: Vec<usize> = tb.warp_slots.clone();
+        for ws in slots {
+            smx.warps[ws].as_mut().unwrap().state = WarpState::Done;
+            smx.live_warps -= 1;
+        }
+        smx.tb_slots[slot].as_mut().unwrap().live_warps = 0;
+        smx.release_tb(slot);
+        assert_eq!(smx.used_threads, 0);
+        assert_eq!(smx.used_regs, 0);
+        assert_eq!(smx.used_shared, 0);
+        assert!(smx.is_idle());
+    }
+
+    #[test]
+    fn capacity_limits_enforced() {
+        let cfg = GpuConfig::test_small();
+        let mut smx = Smx::new(0, &cfg);
+        let k = kernel(1024, 0);
+        let mut age = 0;
+        smx.place_tb(KernelId(0), &k, tbcr(), 4, 0, 0, &mut age);
+        assert!(smx.can_fit(&k, &cfg), "2048 threads total allowed");
+        smx.place_tb(KernelId(0), &k, tbcr(), 4, 0, 0, &mut age);
+        assert!(!smx.can_fit(&k, &cfg), "thread limit reached");
+    }
+
+    #[test]
+    fn shared_memory_limit() {
+        let cfg = GpuConfig::test_small();
+        let mut smx = Smx::new(0, &cfg);
+        // 32 KiB of shared per block: only one fits in 48 KiB.
+        let k = kernel(32, 8 * 1024);
+        let mut age = 0;
+        smx.place_tb(KernelId(0), &k, tbcr(), 1, 0, 0, &mut age);
+        assert!(!smx.can_fit(&k, &cfg));
+    }
+
+    #[test]
+    fn shared_rw_and_oob_panic() {
+        let cfg = GpuConfig::test_small();
+        let mut smx = Smx::new(0, &cfg);
+        let k = kernel(32, 4);
+        let mut age = 0;
+        let slot = smx.place_tb(KernelId(0), &k, tbcr(), 1, 0, 0, &mut age);
+        let tb = smx.tb_slots[slot].as_mut().unwrap();
+        tb.shared_write(8, 77);
+        assert_eq!(tb.shared_read(8), 77);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| tb.shared_read(16)));
+        assert!(r.is_err(), "OOB shared read must panic");
+    }
+
+    #[test]
+    fn gto_prefers_greedy_then_oldest() {
+        let cfg = GpuConfig::test_small();
+        let mut smx = Smx::new(0, &cfg);
+        let k = kernel(96, 0); // 3 warps, ages 0,1,2
+        let mut age = 0;
+        smx.place_tb(KernelId(0), &k, tbcr(), 1, 0, 0, &mut age);
+        let first = smx.select_warps(0, 1, WarpSchedPolicy::Gto);
+        assert_eq!(first.len(), 1);
+        let g = first[0];
+        // Greedy warp keeps priority while ready.
+        let again = smx.select_warps(0, 2, WarpSchedPolicy::Gto);
+        assert_eq!(again[0], g);
+        // Stall the greedy warp: oldest other warp wins.
+        smx.warps[g].as_mut().unwrap().ready_at = 100;
+        let next = smx.select_warps(0, 1, WarpSchedPolicy::Gto);
+        assert_eq!(next.len(), 1);
+        assert_ne!(next[0], g);
+        let age_next = smx.warps[next[0]].as_ref().unwrap().age;
+        assert_eq!(age_next, if g == 0 { 1 } else { 0 });
+    }
+
+    #[test]
+    fn warp_slots_are_recycled() {
+        let cfg = GpuConfig::test_small();
+        let mut smx = Smx::new(0, &cfg);
+        let k = kernel(64, 0);
+        let mut age = 0;
+        let slot = smx.place_tb(KernelId(0), &k, tbcr(), 1, 0, 0, &mut age);
+        let used: Vec<usize> = smx.tb_slots[slot].as_ref().unwrap().warp_slots.clone();
+        for ws in &used {
+            smx.warps[*ws].as_mut().unwrap().state = WarpState::Done;
+            smx.live_warps -= 1;
+        }
+        smx.tb_slots[slot].as_mut().unwrap().live_warps = 0;
+        smx.release_tb(slot);
+        let slot2 = smx.place_tb(KernelId(0), &k, tbcr(), 1, 0, 0, &mut age);
+        let reused = &smx.tb_slots[slot2].as_ref().unwrap().warp_slots;
+        assert!(reused.iter().all(|ws| used.contains(ws)), "slab reuse");
+        assert_eq!(smx.warps.len(), 2);
+    }
+}

@@ -1,0 +1,268 @@
+//! Run statistics — every metric the paper's evaluation section plots.
+
+use gpu_mem::MemStats;
+
+/// Which launch mechanism produced a dynamic launch (for the per-category
+/// waiting-time and footprint statistics).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DynLaunchKind {
+    /// CDP device kernel (`cudaLaunchDevice`).
+    DeviceKernel,
+    /// DTBL aggregated group (`cudaLaunchAggGroup`), coalesced.
+    AggGroup,
+    /// DTBL launch that fell back to a device kernel (no eligible kernel).
+    AggFallback,
+}
+
+/// One dynamic launch's lifecycle timestamps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LaunchRecord {
+    /// Launch mechanism.
+    pub kind: DynLaunchKind,
+    /// Cycle the launch command was issued by the warp.
+    pub launched_at: u64,
+    /// Cycle the first thread block started executing on an SMX.
+    pub first_tb_at: Option<u64>,
+    /// Thread blocks in the launch.
+    pub ntb: u32,
+    /// Threads per block.
+    pub threads_per_tb: u32,
+    /// Global-memory bytes reserved while the launch is pending
+    /// (parameter buffer + descriptor); released when the first thread
+    /// block starts.
+    pub reserved_bytes: u64,
+}
+
+impl LaunchRecord {
+    /// Waiting time (Figure 9): launch to first thread block start.
+    pub fn waiting_time(&self) -> Option<u64> {
+        self.first_tb_at.map(|t| t.saturating_sub(self.launched_at))
+    }
+}
+
+/// All counters accumulated during one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct Stats {
+    /// Total cycles simulated (kernel launch to all-idle).
+    pub cycles: u64,
+    /// Dynamic instructions issued (warp granularity).
+    pub warp_issues: u64,
+    /// Sum over issued instructions of active lanes.
+    pub active_lanes: u64,
+    /// Per-cycle sum of resident (not finished) warps across all SMXs.
+    pub resident_warp_cycles: u64,
+    /// Cycles during which at least one SMX had a resident warp.
+    pub busy_cycles: u64,
+    /// Thread blocks that completed execution.
+    pub tb_completed: u64,
+    /// Host kernel launches.
+    pub host_launches: u64,
+    /// Dynamic launches (CDP kernels, aggregated groups, fallbacks).
+    pub launches: Vec<LaunchRecord>,
+    /// Peak bytes of global memory reserved for *pending* dynamic
+    /// launches (parameter buffers + descriptors) — Figure 10.
+    pub peak_pending_bytes: u64,
+    /// Currently pending bytes (bookkeeping for the peak).
+    pub pending_bytes: u64,
+    /// Aggregated-group coalesce successes (DTBL).
+    pub agg_coalesced: u64,
+    /// Aggregated-group fallbacks to device kernels (DTBL).
+    pub agg_fallbacks: u64,
+    /// Groups whose descriptor spilled to global memory (AGT full).
+    pub agt_overflows: u64,
+    /// Memory-subsystem statistics snapshot (filled at run end).
+    pub mem: MemStats,
+    /// Barrier waits observed (diagnostics).
+    pub barrier_waits: u64,
+    /// Maximum resident warps per SMX (copied from config for occupancy).
+    pub max_warps_per_smx: u32,
+    /// Number of SMXs (for occupancy normalization).
+    pub num_smx: u32,
+}
+
+impl Stats {
+    /// Warp activity percentage (Figure 6): average fraction of active
+    /// lanes per issued warp-instruction, in percent.
+    pub fn warp_activity_pct(&self) -> f64 {
+        if self.warp_issues == 0 {
+            0.0
+        } else {
+            100.0 * self.active_lanes as f64 / (self.warp_issues as f64 * gpu_isa::WARP_SIZE as f64)
+        }
+    }
+
+    /// SMX occupancy (Figure 8): average resident warps per SMX per cycle
+    /// divided by the maximum resident warps, in percent. Averaged over
+    /// *busy* cycles so pure launch-tail idle time does not dilute it.
+    pub fn smx_occupancy_pct(&self) -> f64 {
+        if self.busy_cycles == 0 || self.num_smx == 0 || self.max_warps_per_smx == 0 {
+            0.0
+        } else {
+            100.0 * self.resident_warp_cycles as f64
+                / (self.busy_cycles as f64 * self.num_smx as f64 * self.max_warps_per_smx as f64)
+        }
+    }
+
+    /// DRAM efficiency (Figure 7).
+    pub fn dram_efficiency(&self) -> f64 {
+        self.mem.dram_efficiency()
+    }
+
+    /// Mean waiting time over dynamic launches that started (Figure 9).
+    pub fn avg_waiting_time(&self) -> f64 {
+        let waits: Vec<u64> = self
+            .launches
+            .iter()
+            .filter_map(LaunchRecord::waiting_time)
+            .collect();
+        if waits.is_empty() {
+            0.0
+        } else {
+            waits.iter().sum::<u64>() as f64 / waits.len() as f64
+        }
+    }
+
+    /// Mean waiting time restricted to one launch mechanism (separates
+    /// coalesced aggregated groups from fallback device kernels).
+    pub fn avg_waiting_time_of(&self, kind: DynLaunchKind) -> f64 {
+        let waits: Vec<u64> = self
+            .launches
+            .iter()
+            .filter(|l| l.kind == kind)
+            .filter_map(LaunchRecord::waiting_time)
+            .collect();
+        if waits.is_empty() {
+            0.0
+        } else {
+            waits.iter().sum::<u64>() as f64 / waits.len() as f64
+        }
+    }
+
+    /// Number of launches of one mechanism.
+    pub fn launches_of(&self, kind: DynLaunchKind) -> usize {
+        self.launches.iter().filter(|l| l.kind == kind).count()
+    }
+
+    /// Number of dynamic launches recorded.
+    pub fn dyn_launches(&self) -> usize {
+        self.launches.len()
+    }
+
+    /// Average threads per dynamic launch (the paper's "low compute
+    /// intensity" characterization, ~40 threads).
+    pub fn avg_dyn_launch_threads(&self) -> f64 {
+        if self.launches.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self
+            .launches
+            .iter()
+            .map(|l| u64::from(l.ntb) * u64::from(l.threads_per_tb))
+            .sum();
+        total as f64 / self.launches.len() as f64
+    }
+
+    /// Eligible-kernel match rate for DTBL launches (§4.2 reports ~98%).
+    pub fn match_rate(&self) -> f64 {
+        let total = self.agg_coalesced + self.agg_fallbacks;
+        if total == 0 {
+            0.0
+        } else {
+            self.agg_coalesced as f64 / total as f64
+        }
+    }
+
+    pub(crate) fn add_pending(&mut self, bytes: u64) {
+        self.pending_bytes += bytes;
+        self.peak_pending_bytes = self.peak_pending_bytes.max(self.pending_bytes);
+    }
+
+    pub(crate) fn remove_pending(&mut self, bytes: u64) {
+        self.pending_bytes = self.pending_bytes.saturating_sub(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warp_activity_percentage() {
+        let s = Stats {
+            warp_issues: 10,
+            active_lanes: 160,
+            ..Stats::default()
+        };
+        assert!((s.warp_activity_pct() - 50.0).abs() < 1e-12);
+        assert_eq!(Stats::default().warp_activity_pct(), 0.0);
+    }
+
+    #[test]
+    fn occupancy_normalizes_by_busy_cycles() {
+        let s = Stats {
+            busy_cycles: 100,
+            resident_warp_cycles: 100 * 2 * 32, // 32 warps avg on 2 SMXs
+            num_smx: 2,
+            max_warps_per_smx: 64,
+            ..Stats::default()
+        };
+        assert!((s.smx_occupancy_pct() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn waiting_time_averages_started_launches() {
+        let mut s = Stats::default();
+        s.launches.push(LaunchRecord {
+            kind: DynLaunchKind::AggGroup,
+            launched_at: 100,
+            first_tb_at: Some(150),
+            ntb: 1,
+            threads_per_tb: 64,
+            reserved_bytes: 0,
+        });
+        s.launches.push(LaunchRecord {
+            kind: DynLaunchKind::DeviceKernel,
+            launched_at: 0,
+            first_tb_at: Some(250),
+            ntb: 2,
+            threads_per_tb: 32,
+            reserved_bytes: 0,
+        });
+        s.launches.push(LaunchRecord {
+            kind: DynLaunchKind::DeviceKernel,
+            launched_at: 0,
+            first_tb_at: None, // never started: excluded
+            ntb: 1,
+            threads_per_tb: 32,
+            reserved_bytes: 0,
+        });
+        assert!((s.avg_waiting_time() - 150.0).abs() < 1e-12);
+        assert_eq!(s.dyn_launches(), 3);
+        assert!((s.avg_waiting_time_of(DynLaunchKind::AggGroup) - 50.0).abs() < 1e-12);
+        assert!((s.avg_waiting_time_of(DynLaunchKind::DeviceKernel) - 250.0).abs() < 1e-12);
+        assert_eq!(s.launches_of(DynLaunchKind::DeviceKernel), 2);
+        assert_eq!(s.launches_of(DynLaunchKind::AggFallback), 0);
+        assert!((s.avg_dyn_launch_threads() - (64.0 + 64.0 + 32.0) / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pending_bytes_tracks_peak() {
+        let mut s = Stats::default();
+        s.add_pending(100);
+        s.add_pending(50);
+        s.remove_pending(120);
+        s.add_pending(10);
+        assert_eq!(s.peak_pending_bytes, 150);
+        assert_eq!(s.pending_bytes, 40);
+    }
+
+    #[test]
+    fn match_rate() {
+        let s = Stats {
+            agg_coalesced: 98,
+            agg_fallbacks: 2,
+            ..Stats::default()
+        };
+        assert!((s.match_rate() - 0.98).abs() < 1e-12);
+    }
+}

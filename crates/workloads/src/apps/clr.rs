@@ -1,0 +1,281 @@
+//! Greedy graph coloring (Jones–Plassmann style, after Cohen &
+//! Castonguay\[10\]).
+//!
+//! Rounds of two kernels: `clr_check` decides, per uncolored vertex,
+//! whether it is a local maximum of a random priority among its uncolored
+//! neighbours (the neighbour scan is the dynamically-formed parallelism);
+//! `clr_assign` colors the winners with the round number and builds the
+//! next round's worklist. Balanced-degree inputs (`graph500`, `cage15`)
+//! make the flat variant already well balanced, which is why the paper
+//! sees little or negative benefit there (§5.2A).
+
+use crate::common::{ceil_div, child_guard, emit_dfp, Variant};
+use crate::data::CsrGraph;
+use crate::report::RunReport;
+use gpu_isa::{AtomOp, CmpOp, CmpTy, Dim3, KernelBuilder, KernelId, Op, Program, Space};
+use gpu_sim::{Gpu, GpuConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const PARENT_TB: u32 = 128;
+const UNCOLORED: u32 = u32::MAX;
+
+fn build_program(variant: Variant) -> (Program, KernelId, KernelId) {
+    let mut prog = Program::new();
+
+    // Child: scan `count` neighbours of v; if any uncolored neighbour has
+    // higher (priority, id), set v's loser flag.
+    // Params: [count, edge_addr, colors, prios, flag_addr, pv, v].
+    let mut cb = KernelBuilder::new("clr_scan", Dim3::x(crate::common::CHILD_TB), 7);
+    let i = child_guard(&mut cb);
+    let edges = cb.ld_param(1);
+    let colors = cb.ld_param(2);
+    let prios = cb.ld_param(3);
+    let flag_addr = cb.ld_param(4);
+    let pv = cb.ld_param(5);
+    let v = cb.ld_param(6);
+    emit_scan(&mut cb, i, edges, colors, prios, flag_addr, pv, v);
+    let child = prog.add(cb.build().expect("clr_scan builds"));
+
+    // Check kernel: one thread per worklist vertex.
+    // Params: [row, col, colors, prios, flags, wl, nwl].
+    let mut kb = KernelBuilder::new("clr_check", Dim3::x(PARENT_TB), 7);
+    let gtid = kb.global_tid();
+    let nwl = kb.ld_param(6);
+    let oob = kb.setp(CmpOp::Ge, CmpTy::U32, gtid, Op::Reg(nwl));
+    kb.if_(oob, |b| b.exit());
+    let row = kb.ld_param(0);
+    let col = kb.ld_param(1);
+    let colors = kb.ld_param(2);
+    let prios = kb.ld_param(3);
+    let flags = kb.ld_param(4);
+    let wl = kb.ld_param(5);
+    let va = kb.mad(gtid, Op::Imm(4), Op::Reg(wl));
+    let v = kb.ld(Space::Global, va, 0);
+    let fa = kb.mad(v, Op::Imm(4), Op::Reg(flags));
+    kb.st(Space::Global, fa, 0, Op::Imm(0));
+    let ra = kb.mad(v, Op::Imm(4), Op::Reg(row));
+    let start = kb.ld(Space::Global, ra, 0);
+    let end = kb.ld(Space::Global, ra, 4);
+    let deg = kb.isub(end, Op::Reg(start));
+    let edge_addr = kb.mad(start, Op::Imm(4), Op::Reg(col));
+    let pa = kb.mad(v, Op::Imm(4), Op::Reg(prios));
+    let pv = kb.ld(Space::Global, pa, 0);
+    emit_dfp(
+        &mut kb,
+        variant.launch_mode(),
+        child,
+        deg,
+        &[
+            Op::Reg(edge_addr),
+            Op::Reg(colors),
+            Op::Reg(prios),
+            Op::Reg(fa),
+            Op::Reg(pv),
+            Op::Reg(v),
+        ],
+        |b, i| {
+            emit_scan(b, i, edge_addr, colors, prios, fa, pv, v);
+        },
+    );
+    let check = prog.add(kb.build().expect("clr_check builds"));
+
+    // Assign kernel (flat in every variant): winners take color `round`,
+    // losers re-enter the worklist.
+    // Params: [colors, flags, wl_in, wl_out, cnt, nwl, round].
+    let mut ab = KernelBuilder::new("clr_assign", Dim3::x(PARENT_TB), 7);
+    let gtid = ab.global_tid();
+    let nwl = ab.ld_param(5);
+    let oob = ab.setp(CmpOp::Ge, CmpTy::U32, gtid, Op::Reg(nwl));
+    ab.if_(oob, |b| b.exit());
+    let colors = ab.ld_param(0);
+    let flags = ab.ld_param(1);
+    let wl_in = ab.ld_param(2);
+    let wl_out = ab.ld_param(3);
+    let cnt = ab.ld_param(4);
+    let round = ab.ld_param(6);
+    let va = ab.mad(gtid, Op::Imm(4), Op::Reg(wl_in));
+    let v = ab.ld(Space::Global, va, 0);
+    let fa = ab.mad(v, Op::Imm(4), Op::Reg(flags));
+    let lost = ab.ld(Space::Global, fa, 0);
+    let won = ab.setp(CmpOp::Eq, CmpTy::U32, lost, Op::Imm(0));
+    ab.if_else_(
+        won,
+        |b| {
+            let ca = b.mad(v, Op::Imm(4), Op::Reg(colors));
+            b.st(Space::Global, ca, 0, Op::Reg(round));
+        },
+        |b| {
+            let pos = b.atom(AtomOp::Add, Space::Global, cnt, 0, Op::Imm(1));
+            let oa = b.mad(pos, Op::Imm(4), Op::Reg(wl_out));
+            b.st(Space::Global, oa, 0, Op::Reg(v));
+        },
+    );
+    let assign = prog.add(ab.build().expect("clr_assign builds"));
+    (prog, check, assign)
+}
+
+/// Emits the neighbour-priority check for neighbour index `i`.
+#[allow(clippy::too_many_arguments)]
+fn emit_scan(
+    b: &mut KernelBuilder,
+    i: gpu_isa::Reg,
+    edges: gpu_isa::Reg,
+    colors: gpu_isa::Reg,
+    prios: gpu_isa::Reg,
+    flag_addr: gpu_isa::Reg,
+    pv: gpu_isa::Reg,
+    v: gpu_isa::Reg,
+) {
+    let ea = b.mad(i, Op::Imm(4), Op::Reg(edges));
+    let u = b.ld(Space::Global, ea, 0);
+    let ca = b.mad(u, Op::Imm(4), Op::Reg(colors));
+    let cu = b.ld(Space::Global, ca, 0);
+    let uncolored = b.setp(CmpOp::Eq, CmpTy::U32, cu, Op::Imm(UNCOLORED));
+    let pa = b.mad(u, Op::Imm(4), Op::Reg(prios));
+    let pu = b.ld(Space::Global, pa, 0);
+    let gt = b.setp(CmpOp::Gt, CmpTy::U32, pu, Op::Reg(pv));
+    let eq = b.setp(CmpOp::Eq, CmpTy::U32, pu, Op::Reg(pv));
+    let idgt = b.setp(CmpOp::Gt, CmpTy::U32, u, Op::Reg(v));
+    let tie = b.pand(eq, idgt);
+    let wins = b.por(gt, tie);
+    let loses = b.pand(uncolored, wins);
+    b.if_(loses, |b| {
+        b.st(Space::Global, flag_addr, 0, Op::Imm(1));
+    });
+}
+
+/// Host reference implementing the identical Jones–Plassmann rounds.
+pub fn host_coloring(g: &CsrGraph, prios: &[u32]) -> Vec<u32> {
+    let n = g.num_vertices() as usize;
+    let mut colors = vec![UNCOLORED; n];
+    let mut wl: Vec<u32> = (0..n as u32).collect();
+    let mut round = 0u32;
+    while !wl.is_empty() {
+        let mut winners = Vec::new();
+        let mut losers = Vec::new();
+        for &v in &wl {
+            let pv = prios[v as usize];
+            let lost = g.neighbors(v).iter().any(|&u| {
+                colors[u as usize] == UNCOLORED
+                    && (prios[u as usize] > pv || (prios[u as usize] == pv && u > v))
+            });
+            if lost {
+                losers.push(v);
+            } else {
+                winners.push(v);
+            }
+        }
+        for v in winners {
+            colors[v as usize] = round;
+        }
+        wl = losers;
+        round += 1;
+    }
+    colors
+}
+
+/// True when no two adjacent vertices share a color and all are colored.
+pub fn is_proper_coloring(g: &CsrGraph, colors: &[u32]) -> bool {
+    (0..g.num_vertices()).all(|v| {
+        colors[v as usize] != UNCOLORED
+            && g.neighbors(v)
+                .iter()
+                .all(|&u| u == v || colors[u as usize] != colors[v as usize])
+    })
+}
+
+/// Runs graph coloring and validates against the host reference.
+pub fn run(name: &str, g: &CsrGraph, variant: Variant, base_cfg: GpuConfig) -> RunReport {
+    let n = g.num_vertices();
+    let mut rng = StdRng::seed_from_u64(0xC01);
+    let prios: Vec<u32> = (0..n).map(|_| rng.gen()).collect();
+
+    let (prog, check, assign) = build_program(variant);
+    let cfg = variant.configure(base_cfg);
+    let mut gpu = Gpu::new(cfg, prog);
+
+    let row = gpu.malloc((n + 1) * 4).expect("alloc row");
+    let col = gpu.malloc(g.num_edges().max(1) * 4).expect("alloc col");
+    let colors = gpu.malloc(n * 4).expect("alloc colors");
+    let pri = gpu.malloc(n * 4).expect("alloc prios");
+    let flags = gpu.malloc(n * 4).expect("alloc flags");
+    let wl_a = gpu.malloc(n * 4).expect("alloc worklist a");
+    let wl_b = gpu.malloc(n * 4).expect("alloc worklist b");
+    let cnt = gpu.malloc(4).expect("alloc counter");
+
+    gpu.mem_mut().write_slice_u32(row, &g.row_offsets);
+    gpu.mem_mut().write_slice_u32(col, &g.col_indices);
+    gpu.mem_mut()
+        .write_slice_u32(colors, &vec![UNCOLORED; n as usize]);
+    gpu.mem_mut().write_slice_u32(pri, &prios);
+    gpu.mem_mut()
+        .write_slice_u32(wl_a, &(0..n).collect::<Vec<u32>>());
+
+    let mut wl = (wl_a, wl_b);
+    let mut nwl = n;
+    let mut round = 0u32;
+    while nwl > 0 && round <= n {
+        gpu.launch(
+            check,
+            ceil_div(nwl, PARENT_TB),
+            &[row, col, colors, pri, flags, wl.0, nwl],
+            0,
+        )
+        .expect("launch clr_check");
+        gpu.run_to_idle().expect("check converges");
+        gpu.mem_mut().write_u32(cnt, 0);
+        gpu.launch(
+            assign,
+            ceil_div(nwl, PARENT_TB),
+            &[colors, flags, wl.0, wl.1, cnt, nwl, round],
+            0,
+        )
+        .expect("launch clr_assign");
+        gpu.run_to_idle().expect("assign converges");
+        nwl = gpu.mem().read_u32(cnt);
+        wl = (wl.1, wl.0);
+        round += 1;
+    }
+
+    let got = gpu.mem().read_vec_u32(colors, n as usize);
+    let want = host_coloring(g, &prios);
+    let validated = got == want && is_proper_coloring(g, &got);
+    let stats = gpu.stats().clone();
+    RunReport {
+        benchmark: name.to_string(),
+        variant,
+        stats,
+        validated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::graph;
+
+    #[test]
+    fn host_coloring_is_proper() {
+        let g = graph::citation(300, 3, 1);
+        let prios: Vec<u32> = (0..300u32).map(|v| v.wrapping_mul(2654435761)).collect();
+        let c = host_coloring(&g, &prios);
+        assert!(is_proper_coloring(&g, &c));
+    }
+
+    #[test]
+    fn gpu_matches_host_on_all_variants() {
+        let g = graph::graph500_logn(200, 4, 2);
+        for v in [Variant::Flat, Variant::Cdp, Variant::Dtbl] {
+            run("clr_test", &g, v, GpuConfig::test_small()).assert_valid();
+        }
+    }
+
+    #[test]
+    fn skewed_graph_launches_dynamically() {
+        let g = graph::citation(400, 4, 9);
+        let r = run("clr_cit", &g, Variant::Dtbl, GpuConfig::test_small());
+        r.assert_valid();
+        assert!(r.stats.dyn_launches() > 0);
+    }
+}

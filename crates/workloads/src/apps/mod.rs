@@ -1,0 +1,12 @@
+//! The eight irregular applications of Table 4, each in Flat/CDP/DTBL
+//! variants sharing identical algorithms and data structures (the paper's
+//! fair-comparison methodology, §5.1).
+
+pub mod amr;
+pub mod bfs;
+pub mod bht;
+pub mod clr;
+pub mod join;
+pub mod pre;
+pub mod regx;
+pub mod sssp;

@@ -1,0 +1,181 @@
+//! Product recommendation: item-based collaborative filtering (after
+//! Nadungodage et al.\[25\]).
+//!
+//! Computes the similarity of every catalogue item to a query item as the
+//! dot product of their rating vectors. The parent kernel owns one item
+//! per thread; the loop over the item's rating list — power-law sized,
+//! often in the thousands — is the dynamically-formed parallelism. This
+//! is the paper's *coarse-grained* DFP benchmark (≈1528 threads per
+//! dynamic launch), which is why its occupancy and waiting-time gains are
+//! small (§5.2B).
+
+use crate::common::{ceil_div, child_guard, emit_dfp, Variant};
+use crate::data::ratings::RatingSet;
+use crate::report::RunReport;
+use gpu_isa::{AtomOp, CmpOp, CmpTy, Dim3, KernelBuilder, KernelId, Op, Program, Space};
+use gpu_sim::{Gpu, GpuConfig};
+
+const PARENT_TB: u32 = 128;
+
+fn build_program(variant: Variant) -> (Program, KernelId) {
+    let mut prog = Program::new();
+
+    // Child: accumulate `count` rating products; params:
+    // [count, users_addr, vals_addr, qvec, sim_addr].
+    let mut cb = KernelBuilder::new("pre_dot", Dim3::x(crate::common::CHILD_TB), 5);
+    let i = child_guard(&mut cb);
+    let users = cb.ld_param(1);
+    let vals = cb.ld_param(2);
+    let qvec = cb.ld_param(3);
+    let sim = cb.ld_param(4);
+    emit_dot_step(&mut cb, i, users, vals, qvec, sim);
+    let child = prog.add(cb.build().expect("pre_dot builds"));
+
+    // Parent: one thread per item; params:
+    // [item_offsets, users, vals, qvec, sims, n_items].
+    let mut pb = KernelBuilder::new("pre_item", Dim3::x(PARENT_TB), 6);
+    let gtid = pb.global_tid();
+    let n_items = pb.ld_param(5);
+    let oob = pb.setp(CmpOp::Ge, CmpTy::U32, gtid, Op::Reg(n_items));
+    pb.if_(oob, |b| b.exit());
+    let offs = pb.ld_param(0);
+    let users = pb.ld_param(1);
+    let vals = pb.ld_param(2);
+    let qvec = pb.ld_param(3);
+    let sims = pb.ld_param(4);
+    let oa = pb.mad(gtid, Op::Imm(4), Op::Reg(offs));
+    let start = pb.ld(Space::Global, oa, 0);
+    let end = pb.ld(Space::Global, oa, 4);
+    let cnt = pb.isub(end, Op::Reg(start));
+    let users_addr = pb.mad(start, Op::Imm(4), Op::Reg(users));
+    let vals_addr = pb.mad(start, Op::Imm(4), Op::Reg(vals));
+    let sim_addr = pb.mad(gtid, Op::Imm(4), Op::Reg(sims));
+    emit_dfp(
+        &mut pb,
+        variant.launch_mode(),
+        child,
+        cnt,
+        &[
+            Op::Reg(users_addr),
+            Op::Reg(vals_addr),
+            Op::Reg(qvec),
+            Op::Reg(sim_addr),
+        ],
+        |b, i| {
+            emit_dot_step(b, i, users_addr, vals_addr, qvec, sim_addr);
+        },
+    );
+    let parent = prog.add(pb.build().expect("pre_item builds"));
+    (prog, parent)
+}
+
+/// Emits one dot-product term: `sim += vals[i] * qvec[users[i]]`
+/// (atomic so the child and inline variants share the exact algorithm).
+fn emit_dot_step(
+    b: &mut KernelBuilder,
+    i: gpu_isa::Reg,
+    users: gpu_isa::Reg,
+    vals: gpu_isa::Reg,
+    qvec: gpu_isa::Reg,
+    sim_addr: gpu_isa::Reg,
+) {
+    let ua = b.mad(i, Op::Imm(4), Op::Reg(users));
+    let u = b.ld(Space::Global, ua, 0);
+    let va = b.mad(i, Op::Imm(4), Op::Reg(vals));
+    let r = b.ld(Space::Global, va, 0);
+    let qa = b.mad(u, Op::Imm(4), Op::Reg(qvec));
+    let q = b.ld(Space::Global, qa, 0);
+    let prod = b.imul(r, Op::Reg(q));
+    let nz = b.setp(CmpOp::Ne, CmpTy::U32, prod, Op::Imm(0));
+    b.if_(nz, |b| {
+        b.atom_noret(AtomOp::Add, Space::Global, sim_addr, 0, Op::Reg(prod));
+    });
+}
+
+/// Host reference: per-item dot products against the query item's dense
+/// rating vector.
+pub fn host_similarities(r: &RatingSet, query_item: u32) -> Vec<u32> {
+    let mut qvec = vec![0u32; r.num_users as usize];
+    for (u, v) in r.item_ratings(query_item) {
+        qvec[u as usize] = v;
+    }
+    (0..r.num_items())
+        .map(|i| {
+            r.item_ratings(i)
+                .map(|(u, v)| v.wrapping_mul(qvec[u as usize]))
+                .fold(0u32, u32::wrapping_add)
+        })
+        .collect()
+}
+
+/// Runs the similarity computation and validates every item's score.
+pub fn run(name: &str, r: &RatingSet, variant: Variant, base_cfg: GpuConfig) -> RunReport {
+    let query_item = 0u32;
+    let mut qvec_host = vec![0u32; r.num_users as usize];
+    for (u, v) in r.item_ratings(query_item) {
+        qvec_host[u as usize] = v;
+    }
+
+    let (prog, parent) = build_program(variant);
+    let cfg = variant.configure(base_cfg);
+    let mut gpu = Gpu::new(cfg, prog);
+    let n_items = r.num_items();
+
+    let offs = gpu.malloc((n_items + 1) * 4).expect("alloc item offsets");
+    let users = gpu.malloc(r.num_ratings().max(1) * 4).expect("alloc users");
+    let vals = gpu.malloc(r.num_ratings().max(1) * 4).expect("alloc vals");
+    let qvec = gpu.malloc(r.num_users.max(1) * 4).expect("alloc qvec");
+    let sims = gpu.malloc(n_items * 4).expect("alloc sims");
+
+    gpu.mem_mut().write_slice_u32(offs, &r.item_offsets);
+    gpu.mem_mut().write_slice_u32(users, &r.users);
+    gpu.mem_mut().write_slice_u32(vals, &r.values);
+    gpu.mem_mut().write_slice_u32(qvec, &qvec_host);
+
+    gpu.launch(
+        parent,
+        ceil_div(n_items, PARENT_TB),
+        &[offs, users, vals, qvec, sims, n_items],
+        0,
+    )
+    .expect("launch pre_item");
+    gpu.run_to_idle().expect("pre converges");
+
+    let got = gpu.mem().read_vec_u32(sims, n_items as usize);
+    let validated = got == host_similarities(r, query_item);
+    let stats = gpu.stats().clone();
+    RunReport {
+        benchmark: name.to_string(),
+        variant,
+        stats,
+        validated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::ratings;
+
+    #[test]
+    fn similarities_match_host() {
+        let r = ratings::movielens_like(60, 400, 120, 1);
+        for v in [Variant::Flat, Variant::Cdp, Variant::Dtbl] {
+            run("pre_test", &r, v, GpuConfig::test_small()).assert_valid();
+        }
+    }
+
+    #[test]
+    fn dfp_is_coarse_grained() {
+        let r = ratings::movielens_like(60, 1500, 900, 2);
+        let rep = run("pre_test", &r, Variant::Dtbl, GpuConfig::test_small());
+        rep.assert_valid();
+        if rep.stats.dyn_launches() > 0 {
+            assert!(
+                rep.stats.avg_dyn_launch_threads() > 100.0,
+                "popular-item lists are large: {}",
+                rep.stats.avg_dyn_launch_threads()
+            );
+        }
+    }
+}

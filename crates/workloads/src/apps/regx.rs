@@ -1,0 +1,194 @@
+//! Regular-expression matching over packet traffic (after GRegex\[37\]).
+//!
+//! A host-compiled DFA (the `.*012.*` intrusion signature over the
+//! synthetic alphabet) is walked over every segment of every packet. The
+//! parent kernel owns one packet per thread; the per-packet segment count
+//! is the dynamically-formed parallelism. `regx_string` (many segments
+//! per packet) is the launch-densest benchmark in the paper — the one
+//! whose launch overhead even DTBL cannot fully hide (§5.2C).
+
+use crate::common::{ceil_div, child_guard, emit_dfp, Variant};
+use crate::data::strings::{host_match, signature_dfa, PacketSet, ALPHABET};
+use crate::report::RunReport;
+use gpu_isa::{AtomOp, CmpOp, CmpTy, Dim3, KernelBuilder, KernelId, Op, Program, Space};
+use gpu_sim::{Gpu, GpuConfig};
+
+const PARENT_TB: u32 = 128;
+
+fn build_program(variant: Variant) -> (Program, KernelId) {
+    let mut prog = Program::new();
+
+    // Child: one thread per segment; params:
+    // [count, seg_entry_addr, symbols, dfa, hits, accept].
+    let mut cb = KernelBuilder::new("regx_seg", Dim3::x(crate::common::CHILD_TB), 6);
+    let i = child_guard(&mut cb);
+    let segs = cb.ld_param(1);
+    let symbols = cb.ld_param(2);
+    let dfa = cb.ld_param(3);
+    let hits = cb.ld_param(4);
+    let accept = cb.ld_param(5);
+    emit_dfa_walk(&mut cb, i, segs, symbols, dfa, hits, accept);
+    let child = prog.add(cb.build().expect("regx_seg builds"));
+
+    // Parent: one thread per packet; params:
+    // [packets, segments, symbols, dfa, hits, n_packets, accept].
+    let mut pb = KernelBuilder::new("regx_packet", Dim3::x(PARENT_TB), 7);
+    let gtid = pb.global_tid();
+    let np = pb.ld_param(5);
+    let oob = pb.setp(CmpOp::Ge, CmpTy::U32, gtid, Op::Reg(np));
+    pb.if_(oob, |b| b.exit());
+    let packets = pb.ld_param(0);
+    let segments = pb.ld_param(1);
+    let symbols = pb.ld_param(2);
+    let dfa = pb.ld_param(3);
+    let hits = pb.ld_param(4);
+    let accept = pb.ld_param(6);
+    // packets[i] = (first_segment, count): two words per packet.
+    let pa = pb.mad(gtid, Op::Imm(8), Op::Reg(packets));
+    let first = pb.ld(Space::Global, pa, 0);
+    let nseg = pb.ld(Space::Global, pa, 4);
+    // Segment table entry address of the packet's first segment.
+    let seg_entry = pb.mad(first, Op::Imm(8), Op::Reg(segments));
+    emit_dfp(
+        &mut pb,
+        variant.launch_mode(),
+        child,
+        nseg,
+        &[
+            Op::Reg(seg_entry),
+            Op::Reg(symbols),
+            Op::Reg(dfa),
+            Op::Reg(hits),
+            Op::Reg(accept),
+        ],
+        |b, i| {
+            emit_dfa_walk(b, i, seg_entry, symbols, dfa, hits, accept);
+        },
+    );
+    let parent = prog.add(pb.build().expect("regx_packet builds"));
+    (prog, parent)
+}
+
+/// Emits a DFA walk over segment `i` of the table at `seg_entry`
+/// ((offset, len) pairs), bumping `hits` when the accept state is reached.
+#[allow(clippy::too_many_arguments)]
+fn emit_dfa_walk(
+    b: &mut KernelBuilder,
+    i: gpu_isa::Reg,
+    seg_entry: gpu_isa::Reg,
+    symbols: gpu_isa::Reg,
+    dfa: gpu_isa::Reg,
+    hits: gpu_isa::Reg,
+    accept: gpu_isa::Reg,
+) {
+    let sa = b.mad(i, Op::Imm(8), Op::Reg(seg_entry));
+    let off = b.ld(Space::Global, sa, 0);
+    let len = b.ld(Space::Global, sa, 4);
+    let base = b.mad(off, Op::Imm(4), Op::Reg(symbols));
+    let state = b.imm(0);
+    b.for_range(Op::Imm(0), Op::Reg(len), |b, k| {
+        let ca = b.mad(k, Op::Imm(4), Op::Reg(base));
+        let sym = b.ld(Space::Global, ca, 0);
+        let row = b.imul(state, Op::Imm(ALPHABET));
+        let idx = b.iadd(row, Op::Reg(sym));
+        let ta = b.mad(idx, Op::Imm(4), Op::Reg(dfa));
+        let next = b.ld(Space::Global, ta, 0);
+        b.mov_to(state, Op::Reg(next));
+    });
+    let hit = b.setp(CmpOp::Eq, CmpTy::U32, state, Op::Reg(accept));
+    b.if_(hit, |b| {
+        b.atom_noret(AtomOp::Add, Space::Global, hits, 0, Op::Imm(1));
+    });
+}
+
+/// Host reference: total accepting segments.
+pub fn host_hits(p: &PacketSet) -> u32 {
+    let (table, _, accept) = signature_dfa();
+    p.segments
+        .iter()
+        .filter(|&&(off, len)| {
+            host_match(
+                &table,
+                accept,
+                &p.symbols[off as usize..(off + len) as usize],
+            )
+        })
+        .count() as u32
+}
+
+/// Runs the matcher and validates the hit count.
+pub fn run(name: &str, p: &PacketSet, variant: Variant, base_cfg: GpuConfig) -> RunReport {
+    let (table, _, accept) = signature_dfa();
+    let (prog, parent) = build_program(variant);
+    let cfg = variant.configure(base_cfg);
+    let mut gpu = Gpu::new(cfg, prog);
+
+    let syms = gpu
+        .malloc(p.symbols.len().max(1) as u32 * 4)
+        .expect("alloc symbols");
+    let segs = gpu
+        .malloc(p.segments.len().max(1) as u32 * 8)
+        .expect("alloc segments");
+    let pkts = gpu
+        .malloc(p.packets.len().max(1) as u32 * 8)
+        .expect("alloc packets");
+    let dfa = gpu.malloc(table.len() as u32 * 4).expect("alloc dfa");
+    let hits = gpu.malloc(4).expect("alloc hits");
+
+    gpu.mem_mut().write_slice_u32(syms, &p.symbols);
+    let seg_words: Vec<u32> = p.segments.iter().flat_map(|&(o, l)| [o, l]).collect();
+    gpu.mem_mut().write_slice_u32(segs, &seg_words);
+    let pkt_words: Vec<u32> = p.packets.iter().flat_map(|&(f, c)| [f, c]).collect();
+    gpu.mem_mut().write_slice_u32(pkts, &pkt_words);
+    gpu.mem_mut().write_slice_u32(dfa, &table);
+    gpu.mem_mut().write_u32(hits, 0);
+
+    let np = p.num_packets();
+    gpu.launch(
+        parent,
+        ceil_div(np, PARENT_TB),
+        &[pkts, segs, syms, dfa, hits, np, accept],
+        0,
+    )
+    .expect("launch regx_packet");
+    gpu.run_to_idle().expect("regx converges");
+
+    let got = gpu.mem().read_u32(hits);
+    let validated = got == host_hits(p);
+    let stats = gpu.stats().clone();
+    RunReport {
+        benchmark: name.to_string(),
+        variant,
+        stats,
+        validated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::strings;
+
+    #[test]
+    fn darpa_hits_match_host() {
+        let p = strings::darpa_like(120, 1);
+        for v in [Variant::Flat, Variant::Cdp, Variant::Dtbl] {
+            run("regx_darpa", &p, v, GpuConfig::test_small()).assert_valid();
+        }
+    }
+
+    #[test]
+    fn random_strings_are_launch_dense() {
+        let p = strings::random_strings(40, 2);
+        let r = run("regx_string", &p, Variant::Dtbl, GpuConfig::test_small());
+        r.assert_valid();
+        // Packets carry 24–96 segments; those at or above the warp-sized
+        // threshold launch — the large majority.
+        assert!(
+            r.stats.dyn_launches() as u32 >= p.num_packets() / 2,
+            "{} launches for {} packets",
+            r.stats.dyn_launches(),
+            p.num_packets()
+        );
+    }
+}

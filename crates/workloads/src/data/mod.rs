@@ -1,0 +1,14 @@
+//! Synthetic dataset generators standing in for the paper's inputs.
+//!
+//! See `DESIGN.md` ("Substitutions") for the mapping from each real input
+//! to its generator and why the substitution preserves the behaviour DTBL
+//! responds to.
+
+pub mod graph;
+pub mod mesh;
+pub mod points;
+pub mod ratings;
+pub mod relations;
+pub mod strings;
+
+pub use graph::CsrGraph;

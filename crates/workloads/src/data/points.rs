@@ -1,0 +1,112 @@
+//! Random point clouds for the Barnes-Hut tree benchmark.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// 2D points in a `[0, extent) × [0, extent)` box, stored as fixed-point
+/// integer coordinates (the ISA is 32-bit integer/float; fixed point keeps
+/// quadrant classification exact on host and device).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PointSet {
+    /// x coordinates.
+    pub xs: Vec<u32>,
+    /// y coordinates.
+    pub ys: Vec<u32>,
+    /// Box extent (power of two so quadrant splits stay integral).
+    pub extent: u32,
+}
+
+impl PointSet {
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+}
+
+/// Uniform random points (the paper's "Random Data Points" input for BHT).
+pub fn random_points(n: u32, extent_log2: u32, seed: u64) -> PointSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let extent = 1u32 << extent_log2;
+    PointSet {
+        xs: (0..n).map(|_| rng.gen_range(0..extent)).collect(),
+        ys: (0..n).map(|_| rng.gen_range(0..extent)).collect(),
+        extent,
+    }
+}
+
+/// Clustered points: a few Gaussian-ish blobs, giving an unbalanced tree
+/// (deep refinement in clusters, shallow elsewhere).
+pub fn clustered_points(n: u32, extent_log2: u32, clusters: u32, seed: u64) -> PointSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let extent = 1u32 << extent_log2;
+    let centers: Vec<(u32, u32)> = (0..clusters.max(1))
+        .map(|_| (rng.gen_range(0..extent), rng.gen_range(0..extent)))
+        .collect();
+    let spread = (extent / 16).max(1);
+    let mut xs = Vec::with_capacity(n as usize);
+    let mut ys = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let (cx, cy) = centers[rng.gen_range(0..centers.len())];
+        // Sum of two uniforms ≈ triangular; clamp into the box.
+        let dx = rng.gen_range(0..spread) + rng.gen_range(0..spread);
+        let dy = rng.gen_range(0..spread) + rng.gen_range(0..spread);
+        xs.push((cx.wrapping_add(dx)).min(extent - 1));
+        ys.push((cy.wrapping_add(dy)).min(extent - 1));
+    }
+    PointSet { xs, ys, extent }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_points_fill_the_box() {
+        let p = random_points(4000, 10, 1);
+        assert_eq!(p.len(), 4000);
+        assert!(p.xs.iter().all(|&x| x < 1024));
+        // All four quadrants populated.
+        let q: Vec<usize> = (0..4)
+            .map(|k| {
+                (0..4000)
+                    .filter(|&i| {
+                        let qx = (p.xs[i] >= 512) as usize;
+                        let qy = (p.ys[i] >= 512) as usize;
+                        qy * 2 + qx == k
+                    })
+                    .count()
+            })
+            .collect();
+        assert!(q.iter().all(|&c| c > 500), "balanced quadrants: {q:?}");
+    }
+
+    #[test]
+    fn clustered_points_are_unbalanced() {
+        let p = clustered_points(4000, 10, 2, 2);
+        let q: Vec<usize> = (0..4)
+            .map(|k| {
+                (0..4000)
+                    .filter(|&i| {
+                        let qx = (p.xs[i] >= 512) as usize;
+                        let qy = (p.ys[i] >= 512) as usize;
+                        qy * 2 + qx == k
+                    })
+                    .count()
+            })
+            .collect();
+        let max = *q.iter().max().unwrap();
+        let min = *q.iter().min().unwrap();
+        assert!(max > 4 * (min + 1), "clusters must skew quadrants: {q:?}");
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        assert_eq!(random_points(100, 8, 7), random_points(100, 8, 7));
+        assert_ne!(random_points(100, 8, 7), random_points(100, 8, 8));
+    }
+}

@@ -1,0 +1,112 @@
+//! MovieLens-shaped user-item ratings for the product-recommendation
+//! benchmark.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Ratings in CSR-by-item layout: `item_offsets[i]..item_offsets[i+1]`
+/// indexes parallel arrays of user ids and integer ratings (1–5).
+///
+/// Item popularity is power-law-ish like MovieLens, which makes the
+/// per-item rating lists the *coarse-grained* dynamically-formed
+/// parallelism the paper observes for `pre` (average ≈1528 threads per
+/// dynamic launch, §5.2B) — large lists, few launches.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RatingSet {
+    /// CSR offsets per item.
+    pub item_offsets: Vec<u32>,
+    /// User id of each rating.
+    pub users: Vec<u32>,
+    /// Rating value (1–5).
+    pub values: Vec<u32>,
+    /// Number of users.
+    pub num_users: u32,
+}
+
+impl RatingSet {
+    /// Number of items.
+    pub fn num_items(&self) -> u32 {
+        (self.item_offsets.len() - 1) as u32
+    }
+
+    /// Number of ratings.
+    pub fn num_ratings(&self) -> u32 {
+        self.users.len() as u32
+    }
+
+    /// Ratings of one item as `(user, value)` pairs.
+    pub fn item_ratings(&self, item: u32) -> impl Iterator<Item = (u32, u32)> + '_ {
+        let s = self.item_offsets[item as usize] as usize;
+        let e = self.item_offsets[item as usize + 1] as usize;
+        self.users[s..e]
+            .iter()
+            .copied()
+            .zip(self.values[s..e].iter().copied())
+    }
+}
+
+/// Generates `n_items` items rated by `n_users` users with power-law item
+/// popularity: item `i`'s expected rating count decays as `1/(i+1)^0.5`.
+pub fn movielens_like(n_items: u32, num_users: u32, base_count: u32, seed: u64) -> RatingSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut item_offsets = Vec::with_capacity(n_items as usize + 1);
+    let mut users = Vec::new();
+    let mut values = Vec::new();
+    item_offsets.push(0);
+    for i in 0..n_items {
+        let pop = (f64::from(base_count) / f64::from(i + 1).powf(0.5)).ceil() as u32;
+        let pop = pop.max(1).min(num_users);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..pop {
+            let u = rng.gen_range(0..num_users);
+            if seen.insert(u) {
+                users.push(u);
+                values.push(rng.gen_range(1..=5));
+            }
+        }
+        item_offsets.push(users.len() as u32);
+    }
+    RatingSet {
+        item_offsets,
+        users,
+        values,
+        num_users,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn popularity_decays() {
+        let r = movielens_like(200, 3000, 800, 1);
+        let count = |i: u32| r.item_offsets[i as usize + 1] - r.item_offsets[i as usize];
+        assert!(count(0) > 8 * count(150), "head items far more popular");
+        assert!(r.num_ratings() > 0);
+    }
+
+    #[test]
+    fn ratings_are_valid() {
+        let r = movielens_like(50, 500, 100, 2);
+        assert!(r.values.iter().all(|&v| (1..=5).contains(&v)));
+        assert!(r.users.iter().all(|&u| u < 500));
+        assert_eq!(*r.item_offsets.last().unwrap() as usize, r.users.len());
+        // No duplicate user within one item.
+        for i in 0..r.num_items() {
+            let us: Vec<u32> = r.item_ratings(i).map(|(u, _)| u).collect();
+            let mut dedup = us.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(us.len(), dedup.len(), "item {i} rated twice by a user");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            movielens_like(30, 100, 50, 9),
+            movielens_like(30, 100, 50, 9)
+        );
+    }
+}

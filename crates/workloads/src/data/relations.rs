@@ -1,0 +1,107 @@
+//! Relational tables for the hash-join benchmark.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Key distribution of a join column.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KeyDist {
+    /// Uniform keys: balanced hash buckets (the paper's `join_uniform`).
+    Uniform,
+    /// Gaussian-ish keys: heavily skewed buckets, severe per-thread
+    /// imbalance in the flat probe loop (`join_gaussian`, which shows the
+    /// second-largest warp-activity gain in Figure 6).
+    Gaussian,
+}
+
+/// A pair of relations to join on their key columns.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JoinInput {
+    /// Build-side keys (relation R).
+    pub build_keys: Vec<u32>,
+    /// Probe-side keys (relation S).
+    pub probe_keys: Vec<u32>,
+    /// Key domain: keys are in `[0, domain)`.
+    pub domain: u32,
+}
+
+impl JoinInput {
+    /// Host reference: number of matching pairs.
+    pub fn host_match_count(&self) -> u64 {
+        let mut hist = vec![0u64; self.domain as usize];
+        for &k in &self.build_keys {
+            hist[k as usize] += 1;
+        }
+        self.probe_keys.iter().map(|&k| hist[k as usize]).sum()
+    }
+}
+
+/// Generates a join input with `n_build`/`n_probe` tuples over `domain`
+/// keys.
+pub fn join_input(dist: KeyDist, n_build: u32, n_probe: u32, domain: u32, seed: u64) -> JoinInput {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let key = |rng: &mut StdRng| -> u32 {
+        match dist {
+            KeyDist::Uniform => rng.gen_range(0..domain),
+            KeyDist::Gaussian => {
+                // Sum of 6 uniforms ≈ normal, centred on domain/2, then
+                // squeezed toward the centre for a sharper peak.
+                let s: u32 = (0..6).map(|_| rng.gen_range(0..domain)).sum::<u32>() / 6;
+                let c = domain / 2;
+                let squeezed = c as i64 + (s as i64 - c as i64) / 2;
+                (squeezed.max(0) as u32).min(domain - 1)
+            }
+        }
+    };
+    JoinInput {
+        build_keys: (0..n_build).map(|_| key(&mut rng)).collect(),
+        probe_keys: (0..n_probe).map(|_| key(&mut rng)).collect(),
+        domain,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_buckets_are_balanced_gaussian_skewed() {
+        let u = join_input(KeyDist::Uniform, 8000, 100, 256, 1);
+        let g = join_input(KeyDist::Gaussian, 8000, 100, 256, 1);
+        let hist = |keys: &[u32]| {
+            let mut h = vec![0u32; 256];
+            for &k in keys {
+                h[k as usize] += 1;
+            }
+            h
+        };
+        let hu = hist(&u.build_keys);
+        let hg = hist(&g.build_keys);
+        let max_u = *hu.iter().max().unwrap();
+        let max_g = *hg.iter().max().unwrap();
+        assert!(
+            max_g > 3 * max_u,
+            "gaussian hot bucket ({max_g}) must dwarf uniform ({max_u})"
+        );
+    }
+
+    #[test]
+    fn host_match_count_small_case() {
+        let j = JoinInput {
+            build_keys: vec![1, 1, 2, 5],
+            probe_keys: vec![1, 2, 2, 3],
+            domain: 8,
+        };
+        // probe 1 matches 2 builds; each probe-2 matches 1; probe 3 none.
+        assert_eq!(j.host_match_count(), 2 + 1 + 1);
+    }
+
+    #[test]
+    fn keys_in_domain() {
+        for d in [KeyDist::Uniform, KeyDist::Gaussian] {
+            let j = join_input(d, 1000, 1000, 64, 2);
+            assert!(j.build_keys.iter().all(|&k| k < 64));
+            assert!(j.probe_keys.iter().all(|&k| k < 64));
+        }
+    }
+}

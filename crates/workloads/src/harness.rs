@@ -1,0 +1,208 @@
+//! The benchmark matrix of Table 4: eight applications × their input
+//! data sets, at test and evaluation scales.
+
+use crate::apps;
+use crate::common::Variant;
+use crate::data::{graph, mesh, points, ratings, relations, strings};
+use crate::report::RunReport;
+use gpu_sim::GpuConfig;
+use std::fmt;
+
+/// Problem scale: `Test` sizes finish in well under a second each (CI),
+/// `Eval` sizes are used by the figure-regeneration harnesses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// Small inputs for unit/integration tests.
+    Test,
+    /// Evaluation inputs for the fig06–fig12 harness binaries.
+    Eval,
+}
+
+/// The 16 benchmark configurations of the paper's evaluation (Table 4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Benchmark {
+    Amr,
+    Bht,
+    BfsCitation,
+    BfsUsaRoad,
+    BfsCage15,
+    ClrCitation,
+    ClrGraph500,
+    ClrCage15,
+    RegxDarpa,
+    RegxString,
+    PreMovielens,
+    JoinUniform,
+    JoinGaussian,
+    SsspCitation,
+    SsspFlight,
+    SsspCage15,
+}
+
+impl Benchmark {
+    /// Every configuration, in the paper's figure order.
+    pub const ALL: [Benchmark; 16] = [
+        Benchmark::Amr,
+        Benchmark::Bht,
+        Benchmark::BfsCitation,
+        Benchmark::BfsUsaRoad,
+        Benchmark::BfsCage15,
+        Benchmark::ClrCitation,
+        Benchmark::ClrGraph500,
+        Benchmark::ClrCage15,
+        Benchmark::RegxDarpa,
+        Benchmark::RegxString,
+        Benchmark::PreMovielens,
+        Benchmark::JoinUniform,
+        Benchmark::JoinGaussian,
+        Benchmark::SsspCitation,
+        Benchmark::SsspFlight,
+        Benchmark::SsspCage15,
+    ];
+
+    /// The configuration's name as it appears on the paper's x-axes.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Amr => "amr",
+            Benchmark::Bht => "bht",
+            Benchmark::BfsCitation => "bfs_citation",
+            Benchmark::BfsUsaRoad => "bfs_usa_road",
+            Benchmark::BfsCage15 => "bfs_cage15",
+            Benchmark::ClrCitation => "clr_citation",
+            Benchmark::ClrGraph500 => "clr_graph500",
+            Benchmark::ClrCage15 => "clr_cage15",
+            Benchmark::RegxDarpa => "regx_darpa",
+            Benchmark::RegxString => "regx_string",
+            Benchmark::PreMovielens => "pre_movielens",
+            Benchmark::JoinUniform => "join_uniform",
+            Benchmark::JoinGaussian => "join_gaussian",
+            Benchmark::SsspCitation => "sssp_citation",
+            Benchmark::SsspFlight => "sssp_flight",
+            Benchmark::SsspCage15 => "sssp_cage15",
+        }
+    }
+
+    /// Runs the benchmark at `scale` under `variant` on the default K20c
+    /// configuration.
+    pub fn run(self, variant: Variant, scale: Scale) -> RunReport {
+        self.run_with(variant, scale, GpuConfig::k20c())
+    }
+
+    /// Runs with a caller-supplied base configuration (the AGT-size sweep
+    /// of Figure 12 uses this).
+    pub fn run_with(self, variant: Variant, scale: Scale, cfg: GpuConfig) -> RunReport {
+        let name = self.name();
+        let t = scale == Scale::Test;
+        match self {
+            Benchmark::Amr => {
+                let f = mesh::combustion_field(if t { 128 } else { 1024 }, 6, 11);
+                apps::amr::run(name, &f, 32, variant, cfg)
+            }
+            Benchmark::Bht => {
+                let p = points::random_points(if t { 600 } else { 40_000 }, 11, 12);
+                apps::bht::run(name, &p, variant, cfg)
+            }
+            Benchmark::BfsCitation => {
+                let g = graph::citation(if t { 600 } else { 24_000 }, 4, 13);
+                apps::bfs::run(name, &g, 0, variant, cfg)
+            }
+            Benchmark::BfsUsaRoad => {
+                let (w, h) = if t { (20, 16) } else { (140, 100) };
+                let g = graph::usa_road(w, h);
+                apps::bfs::run(name, &g, 0, variant, cfg)
+            }
+            Benchmark::BfsCage15 => {
+                let g = graph::cage15_like(if t { 600 } else { 6_000 }, 2_000, 30, 14);
+                apps::bfs::run(name, &g, 0, variant, cfg)
+            }
+            Benchmark::ClrCitation => {
+                let g = graph::citation(if t { 400 } else { 10_000 }, 4, 15);
+                apps::clr::run(name, &g, variant, cfg)
+            }
+            Benchmark::ClrGraph500 => {
+                let g = graph::graph500_logn(if t { 400 } else { 1_500 }, 16, 16);
+                apps::clr::run(name, &g, variant, cfg)
+            }
+            Benchmark::ClrCage15 => {
+                let g = graph::cage15_like(if t { 400 } else { 1_500 }, 800, 30, 17);
+                apps::clr::run(name, &g, variant, cfg)
+            }
+            Benchmark::RegxDarpa => {
+                let p = strings::darpa_like(if t { 150 } else { 4_000 }, 18);
+                apps::regx::run(name, &p, variant, cfg)
+            }
+            Benchmark::RegxString => {
+                let p = strings::random_strings(if t { 60 } else { 2_500 }, 19);
+                apps::regx::run(name, &p, variant, cfg)
+            }
+            Benchmark::PreMovielens => {
+                let r = ratings::movielens_like(
+                    if t { 80 } else { 3_000 },
+                    if t { 800 } else { 12_000 },
+                    if t { 300 } else { 240 },
+                    20,
+                );
+                apps::pre::run(name, &r, variant, cfg)
+            }
+            Benchmark::JoinUniform => {
+                let j = relations::join_input(
+                    relations::KeyDist::Uniform,
+                    if t { 2_000 } else { 120_000 },
+                    if t { 500 } else { 20_000 },
+                    if t { 512 } else { 32_768 },
+                    21,
+                );
+                apps::join::run(name, &j, variant, cfg)
+            }
+            Benchmark::JoinGaussian => {
+                let j = relations::join_input(
+                    relations::KeyDist::Gaussian,
+                    if t { 2_000 } else { 120_000 },
+                    if t { 500 } else { 20_000 },
+                    if t { 512 } else { 32_768 },
+                    22,
+                );
+                apps::join::run(name, &j, variant, cfg)
+            }
+            Benchmark::SsspCitation => {
+                let g =
+                    graph::citation(if t { 400 } else { 12_000 }, 4, 23).with_random_weights(9, 23);
+                apps::sssp::run(name, &g, 0, variant, cfg)
+            }
+            Benchmark::SsspFlight => {
+                let g = graph::flight(if t { 400 } else { 12_000 }, if t { 8 } else { 500 }, 24)
+                    .with_random_weights(9, 24);
+                apps::sssp::run(name, &g, 0, variant, cfg)
+            }
+            Benchmark::SsspCage15 => {
+                let g = graph::cage15_like(if t { 400 } else { 4_000 }, 1_500, 30, 25)
+                    .with_random_weights(9, 25);
+                apps::sssp::run(name, &g, 0, variant, cfg)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_names_unique_and_in_paper_order() {
+        let names: Vec<&str> = Benchmark::ALL.iter().map(|b| b.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 16);
+        assert_eq!(names[0], "amr");
+        assert_eq!(names[15], "sssp_cage15");
+        assert_eq!(Benchmark::BfsCage15.to_string(), "bfs_cage15");
+    }
+}

@@ -1,0 +1,32 @@
+//! Benchmark run reports.
+
+use crate::common::Variant;
+use gpu_sim::Stats;
+
+/// Everything one benchmark run produces: the simulator statistics (the
+/// paper's metrics) plus functional validation against a host reference.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Benchmark configuration name (e.g. `bfs_citation`).
+    pub benchmark: String,
+    /// Execution variant.
+    pub variant: Variant,
+    /// Simulator statistics for the whole run (all kernels, all host
+    /// iterations).
+    pub stats: Stats,
+    /// True when the GPU result matched the host reference exactly.
+    pub validated: bool,
+}
+
+impl RunReport {
+    /// Panics with context when validation failed — used by tests and the
+    /// figure harnesses, where an unvalidated speedup is meaningless.
+    pub fn assert_valid(&self) -> &Self {
+        assert!(
+            self.validated,
+            "{} [{}] produced wrong results",
+            self.benchmark, self.variant
+        );
+        self
+    }
+}

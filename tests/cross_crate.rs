@@ -1,0 +1,190 @@
+//! Cross-crate integration tests: the full stack from kernel building
+//! through the cycle-level simulator to workload validation, exercising
+//! the paper's claims end to end at test scale.
+
+use dtbl_repro::gpu_sim::GpuConfig;
+use dtbl_repro::workloads::{Benchmark, Scale, Variant};
+
+/// Every benchmark configuration validates under Flat — the substrate's
+/// functional model is sound across all eight applications.
+#[test]
+fn all_benchmarks_validate_flat() {
+    for b in Benchmark::ALL {
+        let r = b.run(Variant::Flat, Scale::Test);
+        assert!(r.validated, "{b} [Flat] wrong result");
+        assert!(r.stats.cycles > 0);
+        assert_eq!(r.stats.dyn_launches(), 0, "{b}: flat must not launch");
+    }
+}
+
+/// Every benchmark validates under DTBL — the paper's mechanism never
+/// changes results.
+#[test]
+fn all_benchmarks_validate_dtbl() {
+    for b in Benchmark::ALL {
+        let r = b.run(Variant::Dtbl, Scale::Test);
+        assert!(r.validated, "{b} [DTBL] wrong result");
+    }
+}
+
+/// Every benchmark validates under CDP.
+#[test]
+fn all_benchmarks_validate_cdp() {
+    for b in Benchmark::ALL {
+        let r = b.run(Variant::Cdp, Scale::Test);
+        assert!(r.validated, "{b} [CDP] wrong result");
+    }
+}
+
+/// The ideal variants validate and are never slower than their measured
+/// counterparts (launch latency can only cost cycles).
+#[test]
+fn ideal_variants_upper_bound_measured_ones() {
+    for b in [
+        Benchmark::BfsCitation,
+        Benchmark::Amr,
+        Benchmark::JoinGaussian,
+    ] {
+        let cdpi = b.run(Variant::CdpIdeal, Scale::Test);
+        let cdp = b.run(Variant::Cdp, Scale::Test);
+        cdpi.assert_valid();
+        cdp.assert_valid();
+        assert!(
+            cdpi.stats.cycles <= cdp.stats.cycles,
+            "{b}: CDPI ({}) must not be slower than CDP ({})",
+            cdpi.stats.cycles,
+            cdp.stats.cycles
+        );
+        let dtbli = b.run(Variant::DtblIdeal, Scale::Test);
+        let dtbl = b.run(Variant::Dtbl, Scale::Test);
+        dtbli.assert_valid();
+        dtbl.assert_valid();
+        assert!(
+            dtbli.stats.cycles <= dtbl.stats.cycles,
+            "{b}: DTBLI ({}) must not be slower than DTBL ({})",
+            dtbli.stats.cycles,
+            dtbl.stats.cycles
+        );
+    }
+}
+
+/// Dynamic launching raises warp activity on imbalanced inputs — the
+/// Figure 6 direction — and DTBL/CDP produce identical activity (both
+/// run the same dynamic workload; §5.2A).
+#[test]
+fn warp_activity_rises_with_dynamic_launching() {
+    // AMR is excluded: this reproduction's level-synchronous flat AMR is
+    // better balanced than the paper's fully-serialized recursion, and
+    // its 16-thread groups run half-empty warps (see EXPERIMENTS.md).
+    for b in [Benchmark::Bht, Benchmark::BfsCitation] {
+        let flat = b.run(Variant::Flat, Scale::Test);
+        let dtbl = b.run(Variant::Dtbl, Scale::Test);
+        let cdp = b.run(Variant::Cdp, Scale::Test);
+        assert!(
+            dtbl.stats.warp_activity_pct() > flat.stats.warp_activity_pct(),
+            "{b}: DTBL activity {:.1}% must exceed flat {:.1}%",
+            dtbl.stats.warp_activity_pct(),
+            flat.stats.warp_activity_pct()
+        );
+        let diff = (dtbl.stats.warp_activity_pct() - cdp.stats.warp_activity_pct()).abs();
+        assert!(
+            diff < 2.0,
+            "{b}: CDP and DTBL launch the same dynamic work (Δ={diff:.2} points)"
+        );
+    }
+}
+
+/// DTBL outperforms CDP on launch-bearing benchmarks — the paper's
+/// headline 1.40x average — and reduces waiting time and footprint.
+#[test]
+fn dtbl_beats_cdp_on_launch_bearing_benchmarks() {
+    for b in [
+        Benchmark::BfsCitation,
+        Benchmark::Amr,
+        Benchmark::PreMovielens,
+    ] {
+        let cdp = b.run(Variant::Cdp, Scale::Test);
+        let dtbl = b.run(Variant::Dtbl, Scale::Test);
+        cdp.assert_valid();
+        dtbl.assert_valid();
+        if dtbl.stats.dyn_launches() == 0 {
+            continue;
+        }
+        assert!(
+            dtbl.stats.cycles < cdp.stats.cycles,
+            "{b}: DTBL ({}) must beat CDP ({})",
+            dtbl.stats.cycles,
+            cdp.stats.cycles
+        );
+        assert!(
+            dtbl.stats.peak_pending_bytes <= cdp.stats.peak_pending_bytes,
+            "{b}: DTBL footprint must not exceed CDP's"
+        );
+    }
+}
+
+/// Low-degree inputs stay near 1.0x under every launch mechanism — the
+/// paper's bfs_usa_road / sssp_flight observation (§5.2C).
+#[test]
+fn low_degree_inputs_are_unaffected() {
+    let flat = Benchmark::BfsUsaRoad.run(Variant::Flat, Scale::Test);
+    for v in [Variant::Cdp, Variant::Dtbl] {
+        let r = Benchmark::BfsUsaRoad.run(v, Scale::Test);
+        r.assert_valid();
+        let ratio = flat.stats.cycles as f64 / r.stats.cycles as f64;
+        assert!(
+            (0.8..=1.25).contains(&ratio),
+            "bfs_usa_road [{v}] speedup {ratio:.2} should be ~1.0"
+        );
+        assert_eq!(r.stats.dyn_launches(), 0, "degree ≤ 4 never launches");
+    }
+}
+
+/// The AGT-size knob works end to end: a tiny AGT forces descriptor
+/// spills but never changes results (Figure 12's mechanism).
+#[test]
+fn tiny_agt_spills_but_stays_correct() {
+    let cfg = GpuConfig {
+        agt_entries: 4,
+        ..GpuConfig::k20c()
+    };
+    let r = Benchmark::BfsCitation.run_with(Variant::Dtbl, Scale::Test, cfg);
+    r.assert_valid();
+    if r.stats.agg_coalesced > 8 {
+        assert!(
+            r.stats.agt_overflows > 0,
+            "a 4-entry AGT must overflow under {} coalesced groups",
+            r.stats.agg_coalesced
+        );
+    }
+    let big = Benchmark::BfsCitation.run_with(
+        Variant::Dtbl,
+        Scale::Test,
+        GpuConfig {
+            agt_entries: 4096,
+            ..GpuConfig::k20c()
+        },
+    );
+    big.assert_valid();
+}
+
+/// The coalescing-disabled ablation (§4.3's "more KDE entries instead")
+/// behaves like CDP without API latency: correct, but with no coalesces.
+#[test]
+fn no_coalesce_ablation_runs_correctly() {
+    let r = Benchmark::Amr.run(Variant::DtblNoCoalesce, Scale::Test);
+    r.assert_valid();
+    assert_eq!(r.stats.agg_coalesced, 0);
+    if r.stats.dyn_launches() > 0 {
+        assert_eq!(r.stats.agg_fallbacks as usize, r.stats.dyn_launches());
+    }
+}
+
+/// The §4.3 hardware-cost model reproduces the paper's numbers.
+#[test]
+fn overhead_numbers_match_paper() {
+    use dtbl_repro::dtbl_core::overhead::{sram_cost, OverheadParams};
+    let c = sram_cost(&OverheadParams::default());
+    assert_eq!(c.extension_register_bytes(), 1096);
+    assert_eq!(c.agt_bytes, 20 * 1024);
+}
