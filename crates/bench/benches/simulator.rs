@@ -1,40 +1,44 @@
-//! Criterion end-to-end benchmarks: whole simulated runs of a
-//! representative workload in each execution variant (test scale). These
-//! measure the *simulator's* wall-time; the simulated-cycle figures of
-//! the paper come from the `fig*` binaries.
+//! End-to-end benchmarks: whole simulated runs of a representative
+//! workload in each execution variant (test scale). These measure the
+//! *simulator's* wall-time; the simulated-cycle figures of the paper
+//! come from the `fig*` binaries.
+//!
+//! Plain self-timing harness (`cargo bench --bench simulator`).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
 use workloads::{Benchmark, Scale, Variant};
 
-fn bench_variants(c: &mut Criterion) {
-    let mut g = c.benchmark_group("bfs_citation_test_scale");
-    g.sample_size(10);
-    for v in [Variant::Flat, Variant::Cdp, Variant::Dtbl] {
-        g.bench_function(v.label(), |b| {
-            b.iter(|| {
-                let r = Benchmark::BfsCitation.run(v, Scale::Test);
-                assert!(r.validated);
-                black_box(r.stats.cycles)
-            })
-        });
+fn time_runs(bench: Benchmark, variants: &[Variant], samples: u32) {
+    for &v in variants {
+        // One warm-up run, then the timed samples.
+        let warm = bench.run(v, Scale::Test).expect("benchmark validates");
+        black_box(warm.stats.cycles);
+        let t = Instant::now();
+        for _ in 0..samples {
+            let r = bench.run(v, Scale::Test).expect("benchmark validates");
+            black_box(r.stats.cycles);
+        }
+        let per = t.elapsed() / samples;
+        println!(
+            "{:<16} {:<8} {per:>12.2?}/run ({samples} samples)",
+            bench.name(),
+            v.label()
+        );
     }
-    g.finish();
 }
 
-fn bench_amr_self_coalescing(c: &mut Criterion) {
-    let mut g = c.benchmark_group("amr_test_scale");
-    g.sample_size(10);
-    for v in [Variant::Flat, Variant::Dtbl] {
-        g.bench_function(v.label(), |b| {
-            b.iter(|| {
-                let r = Benchmark::Amr.run(v, Scale::Test);
-                assert!(r.validated);
-                black_box(r.stats.cycles)
-            })
-        });
-    }
-    g.finish();
+fn main() {
+    let samples = if std::env::args().any(|a| a == "--quick") {
+        2
+    } else {
+        10
+    };
+    println!("simulator wall-time per whole run (test scale, lower is better)");
+    time_runs(
+        Benchmark::BfsCitation,
+        &[Variant::Flat, Variant::Cdp, Variant::Dtbl],
+        samples,
+    );
+    time_runs(Benchmark::Amr, &[Variant::Flat, Variant::Dtbl], samples);
 }
-
-criterion_group!(benches, bench_variants, bench_amr_self_coalescing);
-criterion_main!(benches);

@@ -25,21 +25,19 @@ fn main() {
 
     println!("Ablation 1: thread-block coalescing (launch-bearing subset)");
     println!("------------------------------------------------------------");
-    let m = Matrix::run(
-        &SUBSET,
-        &[
-            Variant::Flat,
-            Variant::Cdp,
-            Variant::Dtbl,
-            Variant::DtblNoCoalesce,
-        ],
-        scale,
-    );
+    let variants = [
+        Variant::Flat,
+        Variant::Cdp,
+        Variant::Dtbl,
+        Variant::DtblNoCoalesce,
+    ];
+    let m = Matrix::run(&SUBSET, &variants, scale);
+    let subset = m.ok_benchmarks(&SUBSET, &variants);
     println!(
         "{:<16}{:>10}{:>10}{:>10}{:>12}",
         "benchmark", "CDP", "DTBL", "DTBL-NC", "coalesce-gain"
     );
-    for b in SUBSET {
+    for &b in &subset {
         let flat = m.get(b, Variant::Flat).stats.cycles as f64;
         let s = |v: Variant| flat / m.get(b, v).stats.cycles.max(1) as f64;
         println!(
@@ -51,7 +49,7 @@ fn main() {
             s(Variant::Dtbl) / s(Variant::DtblNoCoalesce),
         );
     }
-    let gain = geomean(SUBSET.iter().map(|&b| {
+    let gain = geomean(subset.iter().map(|&b| {
         m.get(b, Variant::DtblNoCoalesce).stats.cycles as f64
             / m.get(b, Variant::Dtbl).stats.cycles.max(1) as f64
     }));
@@ -65,13 +63,19 @@ fn main() {
             ..GpuConfig::k20c()
         };
         let run = |v: Variant| {
-            let r = Benchmark::BfsCitation.run_with(v, scale, cfg);
-            r.assert_valid();
-            r.stats.cycles
+            Benchmark::BfsCitation
+                .run_with(v, scale, cfg)
+                .map(|r| r.stats.cycles)
         };
-        let flat = run(Variant::Flat);
-        let cdp = run(Variant::Cdp);
-        let dtbl = run(Variant::Dtbl);
+        let (flat, cdp, dtbl) = match (run(Variant::Flat), run(Variant::Cdp), run(Variant::Dtbl)) {
+            (Ok(f), Ok(c), Ok(d)) => (f, c, d),
+            (f, c, d) => {
+                for e in [f, c, d].into_iter().filter_map(Result::err) {
+                    eprintln!("  {policy:?}: ** FAILED: {e}");
+                }
+                continue;
+            }
+        };
         println!(
             "{policy:?}: Flat {flat} cyc, CDP {:.2}x, DTBL {:.2}x, DTBL/CDP {:.2}x",
             flat as f64 / cdp as f64,
@@ -88,8 +92,13 @@ fn main() {
             dyn_reserved_smx: reserved,
             ..GpuConfig::k20c()
         };
-        let r = Benchmark::ClrGraph500.run_with(Variant::Dtbl, scale, cfg);
-        r.assert_valid();
+        let r = match Benchmark::ClrGraph500.run_with(Variant::Dtbl, scale, cfg) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("  reserved SMXs = {reserved}: ** FAILED: {e}");
+                continue;
+            }
+        };
         println!(
             "reserved SMXs = {reserved}: {} cycles, avg waiting {:.0} cycles, peak pending {} KB",
             r.stats.cycles,
@@ -99,5 +108,6 @@ fn main() {
     }
     println!("(the paper suggests spatial sharing to shorten the wait of pending groups)");
 
+    m.report_failures();
     let _ = Scale::Test; // referenced for the --test-scale hint in docs
 }

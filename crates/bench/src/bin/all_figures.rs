@@ -13,6 +13,10 @@ fn main() {
     let csv = csv_from_args();
     eprintln!("Running the 16-benchmark x 5-variant matrix ({scale:?} scale)...");
     let m = Matrix::run(&Benchmark::ALL, &Variant::MAIN, scale);
+    // Render only the rows whose five variants all completed; failed runs
+    // are reported at the end so one diverging benchmark never costs the
+    // whole sweep.
+    let benchmarks = m.ok_benchmarks(&Benchmark::ALL, &Variant::MAIN);
 
     let of = |b: Benchmark, v: Variant| m.get(b, v);
 
@@ -31,37 +35,34 @@ fn main() {
         let fourcols: [&str; 4] = ["CDPI", "DTBLI", "CDP", "DTBL"];
         write_csv(
             "fig06_warp_activity",
-            &Benchmark::ALL,
+            &benchmarks,
             &["Flat", "CDP", "DTBL"],
             |b, s| of(b, three(s)).stats.warp_activity_pct(),
         )
         .expect("csv");
         write_csv(
             "fig07_dram_efficiency",
-            &Benchmark::ALL,
+            &benchmarks,
             &["Flat", "CDP", "DTBL"],
             |b, s| of(b, three(s)).stats.dram_efficiency(),
         )
         .expect("csv");
-        write_csv("fig08_occupancy", &Benchmark::ALL, &fourcols, |b, s| {
+        write_csv("fig08_occupancy", &benchmarks, &fourcols, |b, s| {
             of(b, four_v(s)).stats.smx_occupancy_pct()
         })
         .expect("csv");
-        write_csv(
-            "fig09_waiting_kcycles",
-            &Benchmark::ALL,
-            &fourcols,
-            |b, s| of(b, four_v(s)).stats.avg_waiting_time() / 1000.0,
-        )
+        write_csv("fig09_waiting_kcycles", &benchmarks, &fourcols, |b, s| {
+            of(b, four_v(s)).stats.avg_waiting_time() / 1000.0
+        })
         .expect("csv");
         write_csv(
             "fig10_footprint_kb",
-            &Benchmark::ALL,
+            &benchmarks,
             &["CDP", "DTBL"],
             |b, s| of(b, four_v(s)).stats.peak_pending_bytes as f64 / 1024.0,
         )
         .expect("csv");
-        write_csv("fig11_speedup", &Benchmark::ALL, &fourcols, |b, s| {
+        write_csv("fig11_speedup", &benchmarks, &fourcols, |b, s| {
             of(b, Variant::Flat).stats.cycles as f64 / of(b, four_v(s)).stats.cycles.max(1) as f64
         })
         .expect("csv");
@@ -70,7 +71,7 @@ fn main() {
 
     print_figure(
         "Figure 6: Warp Activity Percentage",
-        &Benchmark::ALL,
+        &benchmarks,
         &["Flat", "CDP", "DTBL"],
         |b, s| {
             let v = match s {
@@ -85,7 +86,7 @@ fn main() {
 
     print_figure(
         "Figure 7: DRAM Efficiency",
-        &Benchmark::ALL,
+        &benchmarks,
         &["Flat", "CDP", "DTBL"],
         |b, s| {
             let v = match s {
@@ -107,7 +108,7 @@ fn main() {
 
     print_figure(
         "Figure 8: SMX Occupancy",
-        &Benchmark::ALL,
+        &benchmarks,
         &["CDPI", "DTBLI", "CDP", "DTBL"],
         |b, s| of(b, four(s)).stats.smx_occupancy_pct(),
         |v| format!("{v:.1}%"),
@@ -115,7 +116,7 @@ fn main() {
 
     print_figure(
         "Figure 9: Average Waiting Time (kcycles)",
-        &Benchmark::ALL,
+        &benchmarks,
         &["CDPI", "DTBLI", "CDP", "DTBL"],
         |b, s| of(b, four(s)).stats.avg_waiting_time() / 1000.0,
         |v| format!("{v:.1}"),
@@ -123,7 +124,7 @@ fn main() {
 
     print_figure(
         "Figure 10: Peak Pending-Launch Footprint (KB) + DTBL Reduction",
-        &Benchmark::ALL,
+        &benchmarks,
         &["CDP(KB)", "DTBL(KB)", "red(%)"],
         |b, s| {
             let cdp = of(b, Variant::Cdp).stats.peak_pending_bytes as f64;
@@ -143,7 +144,7 @@ fn main() {
     };
     print_figure(
         "Figure 11: Speedup over Flat Implementation",
-        &Benchmark::ALL,
+        &benchmarks,
         &["CDPI", "DTBLI", "CDP", "DTBL"],
         |b, s| speedup(b, four(s)),
         |v| format!("{v:.2}x"),
@@ -156,18 +157,18 @@ fn main() {
         (Variant::Cdp, "0.86x"),
         (Variant::Dtbl, "1.21x"),
     ] {
-        let g = geomean(Benchmark::ALL.iter().map(|&b| speedup(b, v)));
+        let g = geomean(benchmarks.iter().map(|&b| speedup(b, v)));
         println!("  {:6} speedup over Flat: {g:.2}x  ({paper})", v.label());
     }
     let rel = geomean(
-        Benchmark::ALL
+        benchmarks
             .iter()
             .map(|&b| speedup(b, Variant::Dtbl) / speedup(b, Variant::Cdp)),
     );
     println!("  DTBL over CDP: {rel:.2}x  (1.40x)");
 
     // DTBL diagnostics the paper quotes in the text.
-    let match_rates: Vec<f64> = Benchmark::ALL
+    let match_rates: Vec<f64> = benchmarks
         .iter()
         .filter(|&&b| of(b, Variant::Dtbl).stats.dyn_launches() > 0)
         .map(|&b| of(b, Variant::Dtbl).stats.match_rate())
@@ -178,7 +179,7 @@ fn main() {
             100.0 * match_rates.iter().sum::<f64>() / match_rates.len() as f64
         );
     }
-    let avg_threads: Vec<f64> = Benchmark::ALL
+    let avg_threads: Vec<f64> = benchmarks
         .iter()
         .filter(|&&b| of(b, Variant::Dtbl).stats.dyn_launches() > 0)
         .map(|&b| of(b, Variant::Dtbl).stats.avg_dyn_launch_threads())
@@ -189,4 +190,6 @@ fn main() {
             avg_threads.iter().sum::<f64>() / avg_threads.len() as f64
         );
     }
+
+    m.report_failures();
 }

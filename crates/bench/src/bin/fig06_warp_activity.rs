@@ -8,9 +8,10 @@ fn main() {
     let scale = scale_from_args();
     let variants = [Variant::Flat, Variant::Cdp, Variant::Dtbl];
     let m = Matrix::run(&Benchmark::ALL, &variants, scale);
+    let benchmarks = m.ok_benchmarks(&Benchmark::ALL, &variants);
     print_figure(
         "Figure 6: Warp Activity Percentage",
-        &Benchmark::ALL,
+        &benchmarks,
         &["Flat", "CDP", "DTBL"],
         |b, s| {
             let v = variants.iter().find(|v| v.label() == s).expect("series");
@@ -18,13 +19,14 @@ fn main() {
         },
         |v| format!("{v:.1}%"),
     );
-    let delta: f64 = Benchmark::ALL
+    let delta: f64 = benchmarks
         .iter()
         .map(|&b| {
             m.get(b, Variant::Dtbl).stats.warp_activity_pct()
                 - m.get(b, Variant::Flat).stats.warp_activity_pct()
         })
         .sum::<f64>()
-        / Benchmark::ALL.len() as f64;
+        / benchmarks.len().max(1) as f64;
     println!("\nAverage DTBL warp-activity gain over Flat: {delta:+.1} points (paper: +10.7)");
+    m.report_failures();
 }

@@ -8,9 +8,10 @@ fn main() {
     let scale = scale_from_args();
     let variants = [Variant::Flat, Variant::Cdp, Variant::Dtbl];
     let m = Matrix::run(&Benchmark::ALL, &variants, scale);
+    let benchmarks = m.ok_benchmarks(&Benchmark::ALL, &variants);
     print_figure(
         "Figure 7: DRAM Efficiency",
-        &Benchmark::ALL,
+        &benchmarks,
         &["Flat", "CDP", "DTBL"],
         |b, s| {
             let v = variants.iter().find(|v| v.label() == s).expect("series");
@@ -18,9 +19,10 @@ fn main() {
         },
         |v| format!("{v:.3}"),
     );
-    let rel: f64 = bench::geomean(Benchmark::ALL.iter().map(|&b| {
+    let rel: f64 = bench::geomean(benchmarks.iter().map(|&b| {
         let f = m.get(b, Variant::Flat).stats.dram_efficiency().max(1e-9);
         m.get(b, Variant::Dtbl).stats.dram_efficiency() / f
     }));
     println!("\nDTBL / Flat DRAM-efficiency ratio (geomean): {rel:.2}x (paper: 1.27x)");
+    m.report_failures();
 }

@@ -13,9 +13,10 @@ fn main() {
         Variant::Dtbl,
     ];
     let m = Matrix::run(&Benchmark::ALL, &variants, scale);
+    let benchmarks = m.ok_benchmarks(&Benchmark::ALL, &variants);
     print_figure(
         "Figure 8: SMX Occupancy",
-        &Benchmark::ALL,
+        &benchmarks,
         &["CDPI", "DTBLI", "CDP", "DTBL"],
         |b, s| {
             let v = variants.iter().find(|v| v.label() == s).expect("series");
@@ -24,15 +25,16 @@ fn main() {
         |v| format!("{v:.1}%"),
     );
     let avg = |v: Variant| {
-        Benchmark::ALL
+        benchmarks
             .iter()
             .map(|&b| m.get(b, v).stats.smx_occupancy_pct())
             .sum::<f64>()
-            / Benchmark::ALL.len() as f64
+            / benchmarks.len().max(1) as f64
     };
     println!(
         "\nDTBLI - CDPI occupancy: {:+.1} points (paper: +17.9); DTBL - CDP: {:+.1} points",
         avg(Variant::DtblIdeal) - avg(Variant::CdpIdeal),
         avg(Variant::Dtbl) - avg(Variant::Cdp),
     );
+    m.report_failures();
 }

@@ -13,9 +13,10 @@ fn main() {
         Variant::Dtbl,
     ];
     let m = Matrix::run(&Benchmark::ALL, &variants, scale);
+    let benchmarks = m.ok_benchmarks(&Benchmark::ALL, &variants);
     print_figure(
         "Figure 9: Average Waiting Time for a Kernel or an Aggregated Group (kcycles)",
-        &Benchmark::ALL,
+        &benchmarks,
         &["CDPI", "DTBLI", "CDP", "DTBL"],
         |b, s| {
             let v = variants.iter().find(|v| v.label() == s).expect("series");
@@ -24,7 +25,7 @@ fn main() {
         |v| format!("{v:.1}"),
     );
     // Relative reductions over launch-bearing benchmarks only.
-    let launching: Vec<Benchmark> = Benchmark::ALL
+    let launching: Vec<Benchmark> = benchmarks
         .iter()
         .copied()
         .filter(|&b| m.get(b, Variant::Dtbl).stats.dyn_launches() > 0)
@@ -42,4 +43,5 @@ fn main() {
         red(Variant::CdpIdeal, Variant::DtblIdeal),
         red(Variant::Cdp, Variant::Dtbl),
     );
+    m.report_failures();
 }

@@ -9,9 +9,10 @@ fn main() {
     let scale = scale_from_args();
     let variants = [Variant::Cdp, Variant::Dtbl];
     let m = Matrix::run(&Benchmark::ALL, &variants, scale);
+    let benchmarks = m.ok_benchmarks(&Benchmark::ALL, &variants);
     print_figure(
         "Figure 10: Memory Footprint of Pending Launches (peak KB) and DTBL Reduction",
-        &Benchmark::ALL,
+        &benchmarks,
         &["CDP(KB)", "DTBL(KB)", "red(%)"],
         |b, s| {
             let cdp = m.get(b, Variant::Cdp).stats.peak_pending_bytes as f64;
@@ -30,7 +31,7 @@ fn main() {
         },
         |v| format!("{v:.1}"),
     );
-    let launching: Vec<Benchmark> = Benchmark::ALL
+    let launching: Vec<Benchmark> = benchmarks
         .iter()
         .copied()
         .filter(|&b| m.get(b, Variant::Cdp).stats.peak_pending_bytes > 0)
@@ -47,4 +48,5 @@ fn main() {
     println!(
         "\nAverage footprint reduction (launch-bearing benchmarks): {avg_red:.1}% (paper: 25.6%)"
     );
+    m.report_failures();
 }

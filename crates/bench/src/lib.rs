@@ -7,6 +7,7 @@
 
 #![warn(missing_docs)]
 
+use gpu_sim::SimError;
 use std::collections::HashMap;
 use std::io::Write as _;
 use workloads::{Benchmark, RunReport, Scale, Variant};
@@ -15,12 +16,16 @@ use workloads::{Benchmark, RunReport, Scale, Variant};
 #[derive(Debug, Default)]
 pub struct Matrix {
     reports: HashMap<(Benchmark, Variant), RunReport>,
+    failures: Vec<(Benchmark, Variant, SimError)>,
 }
 
 impl Matrix {
-    /// Runs `benchmarks × variants` at `scale`, validating every run.
-    /// Progress is streamed to stderr since Eval-scale sweeps take a few
-    /// minutes.
+    /// Runs `benchmarks × variants` at `scale`. A run that fails — output
+    /// diverging from the host reference, a hang, an exhausted hardware
+    /// structure — is recorded in [`failures`](Matrix::failures) and the
+    /// sweep continues, so one broken benchmark never costs the rest of
+    /// an Eval-scale run. Progress is streamed to stderr since those
+    /// sweeps take a few minutes.
     pub fn run(benchmarks: &[Benchmark], variants: &[Variant], scale: Scale) -> Self {
         let mut m = Matrix::default();
         for &b in benchmarks {
@@ -28,16 +33,21 @@ impl Matrix {
                 eprint!("  running {:14} {:7}... ", b.name(), v.label());
                 std::io::stderr().flush().ok();
                 let t = std::time::Instant::now();
-                let r = b.run(v, scale);
-                eprintln!(
-                    "{} cycles, {} launches, {:.1?}{}",
-                    r.stats.cycles,
-                    r.stats.dyn_launches(),
-                    t.elapsed(),
-                    if r.validated { "" } else { "  ** INVALID **" }
-                );
-                r.assert_valid();
-                m.reports.insert((b, v), r);
+                match b.run(v, scale) {
+                    Ok(r) => {
+                        eprintln!(
+                            "{} cycles, {} launches, {:.1?}",
+                            r.stats.cycles,
+                            r.stats.dyn_launches(),
+                            t.elapsed(),
+                        );
+                        m.reports.insert((b, v), r);
+                    }
+                    Err(e) => {
+                        eprintln!("** FAILED: {e}");
+                        m.failures.push((b, v, e));
+                    }
+                }
             }
         }
         m
@@ -54,9 +64,36 @@ impl Matrix {
             .unwrap_or_else(|| panic!("no report for {b} [{v}]"))
     }
 
-    /// Whether a combination was run.
+    /// Whether a combination was run successfully.
     pub fn contains(&self, b: Benchmark, v: Variant) -> bool {
         self.reports.contains_key(&(b, v))
+    }
+
+    /// Every run that failed, with its typed error.
+    pub fn failures(&self) -> &[(Benchmark, Variant, SimError)] {
+        &self.failures
+    }
+
+    /// The subset of `benchmarks` for which every variant in `variants`
+    /// completed — the rows a figure can safely render.
+    pub fn ok_benchmarks(&self, benchmarks: &[Benchmark], variants: &[Variant]) -> Vec<Benchmark> {
+        benchmarks
+            .iter()
+            .copied()
+            .filter(|&b| variants.iter().all(|&v| self.contains(b, v)))
+            .collect()
+    }
+
+    /// Prints a summary of failed runs to stderr (no-op when everything
+    /// passed).
+    pub fn report_failures(&self) {
+        if self.failures.is_empty() {
+            return;
+        }
+        eprintln!("\n{} run(s) FAILED and were excluded:", self.failures.len());
+        for (b, v, e) in &self.failures {
+            eprintln!("  {} [{}]: {e}", b.name(), v.label());
+        }
     }
 }
 
@@ -186,13 +223,17 @@ mod tests {
 
     #[test]
     fn matrix_runs_and_validates() {
-        let m = Matrix::run(
-            &[Benchmark::BfsUsaRoad],
-            &[Variant::Flat, Variant::Dtbl],
-            Scale::Test,
-        );
+        let variants = [Variant::Flat, Variant::Dtbl];
+        let m = Matrix::run(&[Benchmark::BfsUsaRoad], &variants, Scale::Test);
         assert!(m.contains(Benchmark::BfsUsaRoad, Variant::Flat));
-        assert!(m.get(Benchmark::BfsUsaRoad, Variant::Dtbl).validated);
+        assert!(m.failures().is_empty());
         assert!(!m.contains(Benchmark::BfsUsaRoad, Variant::Cdp));
+        assert_eq!(
+            m.ok_benchmarks(&[Benchmark::BfsUsaRoad], &variants),
+            vec![Benchmark::BfsUsaRoad]
+        );
+        assert!(m
+            .ok_benchmarks(&[Benchmark::BfsUsaRoad], &[Variant::Cdp])
+            .is_empty());
     }
 }

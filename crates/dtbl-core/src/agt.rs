@@ -127,7 +127,7 @@ impl AgtStats {
 ///
 /// let mut agt = Agt::new(1024);
 /// let info = AggGroupInfo { kernel: KernelId(0), ntb: 4, param_addr: 0x100, kde: 0 };
-/// let r = agt.insert(77, info, || 0xdead_0000);
+/// let r = agt.insert(77, info, || Some(0xdead_0000)).unwrap();
 /// assert_eq!(r, GroupRef::Agt(dtbl_core::AgtIndex(77)));
 /// assert_eq!(agt.info(r).ntb, 4);
 /// ```
@@ -137,6 +137,9 @@ pub struct Agt {
     overflow: HashMap<u32, Age>,
     live_on_chip: usize,
     stats: AgtStats,
+    /// Fault-injection hook: treat every probe as a conflict so each
+    /// insert exercises the overflow path.
+    force_overflow: bool,
 }
 
 impl Agt {
@@ -153,7 +156,14 @@ impl Agt {
             overflow: HashMap::new(),
             live_on_chip: 0,
             stats: AgtStats::default(),
+            force_overflow: false,
         }
+    }
+
+    /// Fault injection: when `on`, every subsequent probe behaves as a
+    /// hash miss, spilling the descriptor through `overflow_addr`.
+    pub fn set_force_overflow(&mut self, on: bool) {
+        self.force_overflow = on;
     }
 
     /// Number of on-chip entries.
@@ -170,28 +180,56 @@ impl Agt {
     ///
     /// Probes the hashed slot; on conflict the descriptor spills to the
     /// global-memory address produced by `overflow_addr` (called only when
-    /// needed, since the address space belongs to the caller).
+    /// needed, since the address space belongs to the caller). Returns
+    /// `None` — allocating nothing — when the slot conflicts **and**
+    /// `overflow_addr` cannot produce an address (overflow storage
+    /// exhausted); callers then fall back to a device-kernel launch.
     pub fn insert(
         &mut self,
         hw_tid: u32,
         info: AggGroupInfo,
-        overflow_addr: impl FnOnce() -> u32,
-    ) -> GroupRef {
+        overflow_addr: impl FnOnce() -> Option<u32>,
+    ) -> Option<GroupRef> {
         let idx = self.hash_index(hw_tid);
         let slot = &mut self.entries[idx.0 as usize];
-        if slot.is_none() {
+        if slot.is_none() && !self.force_overflow {
             *slot = Some(Age::new(info));
             self.live_on_chip += 1;
             self.stats.on_chip_allocs += 1;
             self.stats.peak_on_chip = self.stats.peak_on_chip.max(self.live_on_chip);
-            GroupRef::Agt(idx)
+            Some(GroupRef::Agt(idx))
         } else {
-            let addr = overflow_addr();
+            let addr = overflow_addr()?;
             self.overflow.insert(addr, Age::new(info));
             self.stats.overflow_allocs += 1;
             self.stats.peak_overflow = self.stats.peak_overflow.max(self.overflow.len());
-            GroupRef::Memory(addr)
+            Some(GroupRef::Memory(addr))
         }
+    }
+
+    /// True when `r` names a live descriptor (on-chip or overflow).
+    pub fn contains(&self, r: GroupRef) -> bool {
+        match r {
+            GroupRef::Agt(i) => self
+                .entries
+                .get(i.0 as usize)
+                .is_some_and(|slot| slot.is_some()),
+            GroupRef::Memory(a) => self.overflow.contains_key(&a),
+        }
+    }
+
+    /// Thread blocks currently executing (scheduled, not yet finished)
+    /// across every live descriptor — the sum of all `ExeBL` fields; the
+    /// invariant checker balances this against SMX-resident TBs.
+    pub fn total_exe_bl(&self) -> u64 {
+        let on_chip: u64 = self
+            .entries
+            .iter()
+            .flatten()
+            .map(|a| u64::from(a.exe_bl))
+            .sum();
+        let spilled: u64 = self.overflow.values().map(|a| u64::from(a.exe_bl)).sum();
+        on_chip + spilled
     }
 
     fn age(&self, r: GroupRef) -> &Age {
@@ -326,7 +364,9 @@ mod tests {
     #[test]
     fn insert_uses_hashed_slot() {
         let mut agt = Agt::new(16);
-        let r = agt.insert(35, info(2), || unreachable!("no overflow expected"));
+        let r = agt
+            .insert(35, info(2), || unreachable!("no overflow expected"))
+            .unwrap();
         assert_eq!(r, GroupRef::Agt(AgtIndex(3)));
         assert_eq!(agt.live_on_chip(), 1);
         assert_eq!(agt.info(r), info(2));
@@ -335,8 +375,8 @@ mod tests {
     #[test]
     fn conflicting_insert_spills_to_memory() {
         let mut agt = Agt::new(16);
-        let a = agt.insert(3, info(1), || unreachable!());
-        let b = agt.insert(19, info(2), || 0x9000); // same slot 3
+        let a = agt.insert(3, info(1), || unreachable!()).unwrap();
+        let b = agt.insert(19, info(2), || Some(0x9000)).unwrap(); // same slot 3
         assert!(!a.is_overflow());
         assert_eq!(b, GroupRef::Memory(0x9000));
         assert_eq!(agt.live_overflow(), 1);
@@ -347,20 +387,20 @@ mod tests {
     #[test]
     fn release_frees_slot_for_reuse() {
         let mut agt = Agt::new(16);
-        let r = agt.insert(3, info(1), || unreachable!());
+        let r = agt.insert(3, info(1), || unreachable!()).unwrap();
         assert_eq!(agt.tb_scheduled(r), 0);
         assert!(agt.fully_scheduled(r));
         assert!(agt.tb_finished(r), "single-TB group releases on finish");
         assert_eq!(agt.live_on_chip(), 0);
         // Slot 3 is usable again.
-        let r2 = agt.insert(3, info(5), || unreachable!());
+        let r2 = agt.insert(3, info(5), || unreachable!()).unwrap();
         assert_eq!(r2, GroupRef::Agt(AgtIndex(3)));
     }
 
     #[test]
     fn release_requires_all_tbs_finished_and_scheduled() {
         let mut agt = Agt::new(16);
-        let r = agt.insert(0, info(3), || unreachable!());
+        let r = agt.insert(0, info(3), || unreachable!()).unwrap();
         agt.tb_scheduled(r);
         agt.tb_scheduled(r);
         assert!(!agt.tb_finished(r), "one of three TBs still unscheduled");
@@ -373,8 +413,8 @@ mod tests {
     #[test]
     fn overflow_entry_lifecycle() {
         let mut agt = Agt::new(2);
-        let _a = agt.insert(0, info(1), || unreachable!());
-        let b = agt.insert(2, info(1), || 0x100);
+        let _a = agt.insert(0, info(1), || unreachable!()).unwrap();
+        let b = agt.insert(2, info(1), || Some(0x100)).unwrap();
         agt.tb_scheduled(b);
         assert!(agt.tb_finished(b));
         assert_eq!(agt.live_overflow(), 0);
@@ -383,8 +423,8 @@ mod tests {
     #[test]
     fn link_fields() {
         let mut agt = Agt::new(16);
-        let a = agt.insert(0, info(1), || unreachable!());
-        let b = agt.insert(1, info(1), || unreachable!());
+        let a = agt.insert(0, info(1), || unreachable!()).unwrap();
+        let b = agt.insert(1, info(1), || unreachable!()).unwrap();
         assert_eq!(agt.next_of(a), None);
         agt.set_next(a, b);
         assert_eq!(agt.next_of(a), Some(b));
@@ -393,7 +433,7 @@ mod tests {
     #[test]
     fn tb_index_counts_up() {
         let mut agt = Agt::new(16);
-        let r = agt.insert(0, info(3), || unreachable!());
+        let r = agt.insert(0, info(3), || unreachable!()).unwrap();
         assert_eq!(agt.tb_scheduled(r), 0);
         assert_eq!(agt.tb_scheduled(r), 1);
         assert_eq!(agt.tb_scheduled(r), 2);
@@ -403,7 +443,7 @@ mod tests {
     #[should_panic(expected = "past the end")]
     fn overscheduling_panics() {
         let mut agt = Agt::new(16);
-        let r = agt.insert(0, info(1), || unreachable!());
+        let r = agt.insert(0, info(1), || unreachable!()).unwrap();
         agt.tb_scheduled(r);
         agt.tb_scheduled(r);
     }
@@ -411,8 +451,8 @@ mod tests {
     #[test]
     fn peak_statistics_track_high_water() {
         let mut agt = Agt::new(4);
-        let a = agt.insert(0, info(1), || unreachable!());
-        let _b = agt.insert(1, info(1), || unreachable!());
+        let a = agt.insert(0, info(1), || unreachable!()).unwrap();
+        let _b = agt.insert(1, info(1), || unreachable!()).unwrap();
         agt.tb_scheduled(a);
         agt.tb_finished(a);
         assert_eq!(agt.stats().peak_on_chip, 2);

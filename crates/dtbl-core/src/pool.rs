@@ -44,6 +44,10 @@ pub struct PoolStats {
     pub coalesced: u64,
     /// Groups that fell back to device-kernel launches.
     pub fallbacks: u64,
+    /// Fallbacks caused specifically by overflow-descriptor exhaustion
+    /// (the hashed AGT slot was busy and no spill address could be
+    /// allocated), a subset of `fallbacks`.
+    pub overflow_exhausted: u64,
 }
 
 impl PoolStats {
@@ -70,7 +74,7 @@ impl PoolStats {
 /// let mut pool = SchedulingPool::new(1024, 32);
 /// let info = AggGroupInfo { kernel: KernelId(0), ntb: 2, param_addr: 0, kde: 4 };
 /// // Kernel in KDE slot 4 is resident and still marked by the FCFS.
-/// let out = pool.coalesce(Some(4), true, 0, info, || 0x8000);
+/// let out = pool.coalesce(Some(4), true, 0, info, || Some(0x8000));
 /// assert!(matches!(out, CoalesceOutcome::Coalesced { remark: false, .. }));
 /// assert_eq!(pool.stats().match_rate(), 1.0);
 /// ```
@@ -118,21 +122,31 @@ impl SchedulingPool {
     /// * `hw_tid` — hardware thread index of the launching thread (hash
     ///   input).
     /// * `overflow_addr` — allocator for a global-memory descriptor slot,
-    ///   invoked only if the hashed AGT entry is occupied.
+    ///   invoked only if the hashed AGT entry is occupied; returning
+    ///   `None` (overflow storage exhausted) also falls back to a
+    ///   device-kernel launch, recorded in
+    ///   [`PoolStats::overflow_exhausted`].
     pub fn coalesce(
         &mut self,
         eligible: Option<u32>,
         marked: bool,
         hw_tid: u32,
         mut info: AggGroupInfo,
-        overflow_addr: impl FnOnce() -> u32,
+        overflow_addr: impl FnOnce() -> Option<u32>,
     ) -> CoalesceOutcome {
         let Some(kde) = eligible else {
             self.stats.fallbacks += 1;
             return CoalesceOutcome::Fallback;
         };
         info.kde = kde;
-        let group = self.agt.insert(hw_tid, info, overflow_addr);
+        let Some(group) = self.agt.insert(hw_tid, info, overflow_addr) else {
+            // Hashed slot occupied and no overflow address available: the
+            // group cannot be described anywhere, so degrade to a full
+            // device-kernel launch.
+            self.stats.fallbacks += 1;
+            self.stats.overflow_exhausted += 1;
+            return CoalesceOutcome::Fallback;
+        };
         let ext = &mut self.ext[kde as usize];
 
         if ext.nagei.is_none() {
@@ -207,6 +221,39 @@ impl SchedulingPool {
             cur = self.agt.next_of(g);
         }
         n
+    }
+
+    /// Verifies the NAGEI→…→LAGEI chain of `kde` is well-formed: every
+    /// link names a live descriptor, the walk is acyclic (bounded by the
+    /// number of live descriptors), and it terminates at `LAGEI`. Returns
+    /// the chain length, or a description of the first broken law. Used
+    /// by the simulator's per-cycle invariant checker.
+    pub fn chain_check(&self, kde: u32) -> Result<usize, String> {
+        let ext = &self.ext[kde as usize];
+        let bound = self.agt.live_on_chip() + self.agt.live_overflow();
+        let mut n = 0usize;
+        let mut cur = ext.nagei;
+        let mut last_seen = None;
+        while let Some(g) = cur {
+            if !self.agt.contains(g) {
+                return Err(format!("kde {kde}: chain links dangling group {g:?}"));
+            }
+            n += 1;
+            if n > bound {
+                return Err(format!(
+                    "kde {kde}: chain walk exceeded {bound} live groups (cycle)"
+                ));
+            }
+            last_seen = Some(g);
+            cur = self.agt.next_of(g);
+        }
+        if n > 0 && last_seen != ext.lagei {
+            return Err(format!(
+                "kde {kde}: chain tail {last_seen:?} disagrees with LAGEI {:?}",
+                ext.lagei
+            ));
+        }
+        Ok(n)
     }
 }
 
@@ -331,7 +378,7 @@ mod tests {
             _ => panic!(),
         };
         // Same hash slot: spills.
-        let g2 = match p.coalesce(Some(0), true, 2, info(1), || 0xBEEF00) {
+        let g2 = match p.coalesce(Some(0), true, 2, info(1), || Some(0xBEEF00)) {
             CoalesceOutcome::Coalesced { group, .. } => group,
             _ => panic!(),
         };

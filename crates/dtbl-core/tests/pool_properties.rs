@@ -1,4 +1,4 @@
-//! Property-based tests for the DTBL scheduling pool and AGT.
+//! Randomized tests for the DTBL scheduling pool and AGT.
 //!
 //! These check the invariants the SMX scheduler relies on across arbitrary
 //! interleavings of group launches and scheduling progress:
@@ -8,20 +8,23 @@
 //! 2. every launched thread block is scheduled exactly once;
 //! 3. AGT entries are always released once their group completes, so the
 //!    table never leaks;
-//! 4. the hash probe never produces an index outside the table.
+//! 4. the hash probe never produces an index outside the table;
+//! 5. forced hash collisions spill to overflow memory and always reclaim.
+//!
+//! Driven by seeded `sim_rand` loops so each case replays deterministically.
 
 use dtbl_core::{AggGroupInfo, Agt, CoalesceOutcome, SchedulingPool};
 use gpu_isa::KernelId;
-use proptest::prelude::*;
+use sim_rand::{Rng, SeedableRng, StdRng};
 
-fn arb_ops() -> impl Strategy<Value = Vec<(u8, u8, u32)>> {
-    // (kde in 0..4, ntb in 1..=4, hw_tid)
-    prop::collection::vec((0u8..4, 1u8..=4, any::<u32>()), 1..120)
-}
-
-proptest! {
-    #[test]
-    fn chains_are_fifo_and_complete(ops in arb_ops()) {
+#[test]
+fn chains_are_fifo_and_complete() {
+    let mut rng = StdRng::seed_from_u64(0xF1F0);
+    for case in 0..128 {
+        let n_ops = rng.gen_range(1usize..120);
+        let ops: Vec<(u8, u8, u32)> = (0..n_ops)
+            .map(|_| (rng.gen_range(0u8..4), rng.gen_range(1u8..=4), rng.gen()))
+            .collect();
         let mut pool = SchedulingPool::new(64, 4);
         let mut overflow_next = 0x8000_0000u32;
         let mut expected: [Vec<(u32, u32)>; 4] = Default::default(); // (launch seq, ntb)
@@ -34,10 +37,12 @@ proptest! {
             };
             let out = pool.coalesce(Some(u32::from(*kde)), true, *hw_tid, info, || {
                 overflow_next += 256;
-                overflow_next
+                Some(overflow_next)
             });
-            let coalesced = matches!(out, CoalesceOutcome::Coalesced { .. });
-            prop_assert!(coalesced);
+            assert!(
+                matches!(out, CoalesceOutcome::Coalesced { .. }),
+                "case {case}: eligible kernel must coalesce"
+            );
             expected[usize::from(*kde)].push((seq as u32, u32::from(*ntb)));
         }
 
@@ -48,61 +53,161 @@ proptest! {
             while let Some(g) = pool.nagei(kde) {
                 let info = pool.agt().info(g);
                 let (_, want_ntb) = expected[kde as usize][drained];
-                prop_assert_eq!(info.ntb, want_ntb, "FIFO order per kernel");
+                assert_eq!(info.ntb, want_ntb, "case {case}: FIFO order per kernel");
                 let mut tb_indices = Vec::new();
                 for _ in 0..info.ntb {
                     tb_indices.push(pool.agt_mut().tb_scheduled(g));
                 }
-                prop_assert_eq!(tb_indices, (0..info.ntb).collect::<Vec<_>>());
+                assert_eq!(tb_indices, (0..info.ntb).collect::<Vec<_>>(), "case {case}");
                 pool.advance_nagei(kde);
                 for i in 0..info.ntb {
                     let released = pool.agt_mut().tb_finished(g);
-                    prop_assert_eq!(released, i == info.ntb - 1);
+                    assert_eq!(released, i == info.ntb - 1, "case {case}");
                 }
                 drained += 1;
             }
-            prop_assert_eq!(drained, expected[kde as usize].len());
+            assert_eq!(drained, expected[kde as usize].len(), "case {case}");
         }
-        prop_assert_eq!(pool.agt().live_on_chip(), 0, "AGT must not leak");
-        prop_assert_eq!(pool.agt().live_overflow(), 0, "overflow must not leak");
+        assert_eq!(
+            pool.agt().live_on_chip(),
+            0,
+            "case {case}: AGT must not leak"
+        );
+        assert_eq!(
+            pool.agt().live_overflow(),
+            0,
+            "case {case}: overflow must not leak"
+        );
     }
+}
 
-    #[test]
-    fn hash_always_in_range(hw_tid in any::<u32>(), size_pow in 1u32..12) {
+#[test]
+fn hash_always_in_range() {
+    let mut rng = StdRng::seed_from_u64(0x4A58);
+    for _ in 0..512 {
+        let hw_tid: u32 = rng.gen();
+        let size_pow = rng.gen_range(1u32..12);
         let agt = Agt::new(1 << size_pow);
         let idx = agt.hash_index(hw_tid);
-        prop_assert!((idx.0 as usize) < agt.size());
-        prop_assert_eq!(idx.0, hw_tid & ((1 << size_pow) - 1));
+        assert!((idx.0 as usize) < agt.size());
+        assert_eq!(idx.0, hw_tid & ((1 << size_pow) - 1));
     }
+}
 
-    #[test]
-    fn overflow_only_on_slot_conflict(tids in prop::collection::vec(any::<u32>(), 1..64)) {
+#[test]
+fn overflow_only_on_slot_conflict() {
+    let mut rng = StdRng::seed_from_u64(0x0F10);
+    for case in 0..128 {
         let mut agt = Agt::new(256);
         let mut overflow_next = 0x9000_0000u32;
         let mut seen = std::collections::HashSet::new();
-        for t in tids {
-            let info = AggGroupInfo { kernel: KernelId(0), ntb: 1, param_addr: 0, kde: 0 };
-            let r = agt.insert(t, info, || { overflow_next += 256; overflow_next });
+        let n = rng.gen_range(1usize..64);
+        for _ in 0..n {
+            let t: u32 = rng.gen();
+            let info = AggGroupInfo {
+                kernel: KernelId(0),
+                ntb: 1,
+                param_addr: 0,
+                kde: 0,
+            };
+            let r = agt
+                .insert(t, info, || {
+                    overflow_next += 256;
+                    Some(overflow_next)
+                })
+                .expect("overflow address available");
             let slot = t & 255;
             if seen.insert(slot) {
-                prop_assert!(!r.is_overflow(), "free slot must be used on-chip");
+                assert!(
+                    !r.is_overflow(),
+                    "case {case}: free slot must be used on-chip"
+                );
             } else {
-                prop_assert!(r.is_overflow(), "occupied slot must spill");
+                assert!(r.is_overflow(), "case {case}: occupied slot must spill");
             }
         }
-        prop_assert_eq!(agt.live_on_chip(), seen.len());
+        assert_eq!(agt.live_on_chip(), seen.len(), "case {case}");
     }
+}
 
-    #[test]
-    fn interleaved_schedule_and_finish_releases_everything(
-        plan in prop::collection::vec((any::<u32>(), 1u32..5), 1..40)
-    ) {
+/// Forced hash collisions (every insert targets the same slot) spill to
+/// global memory, reclaim on completion, and never leak descriptors:
+/// after draining, both on-chip and overflow occupancy return to zero
+/// while the recorded peak proves the spill path actually ran.
+#[test]
+fn forced_collisions_spill_and_reclaim() {
+    let mut rng = StdRng::seed_from_u64(0x5F11);
+    for case in 0..64 {
+        let mut pool = SchedulingPool::new(32, 1);
+        let mut overflow_next = 0x9000_0000u32;
+        let n = rng.gen_range(2usize..40);
+        let mut groups = Vec::new();
+        for i in 0..n {
+            let info = AggGroupInfo {
+                kernel: KernelId(0),
+                ntb: rng.gen_range(1u32..4),
+                param_addr: 0,
+                kde: 0,
+            };
+            // Same hw_tid every time: one on-chip entry, the rest spill.
+            let out = pool.coalesce(Some(0), true, 7, info, || {
+                overflow_next += 256;
+                Some(overflow_next)
+            });
+            match out {
+                CoalesceOutcome::Coalesced { group, .. } => {
+                    assert_eq!(
+                        group.is_overflow(),
+                        i > 0,
+                        "case {case}: only the first insert stays on-chip"
+                    );
+                    groups.push(group);
+                }
+                CoalesceOutcome::Fallback => panic!("case {case}: eligible kernel fell back"),
+            }
+        }
+        assert_eq!(pool.agt().live_overflow(), n - 1, "case {case}");
+        assert!(
+            pool.agt().stats().peak_overflow >= n - 1,
+            "case {case}: peak must record the spill"
+        );
+        // Drain the chain completely.
+        while let Some(g) = pool.nagei(0) {
+            let info = pool.agt().info(g);
+            for _ in 0..info.ntb {
+                pool.agt_mut().tb_scheduled(g);
+            }
+            pool.advance_nagei(0);
+            for _ in 0..info.ntb {
+                pool.agt_mut().tb_finished(g);
+            }
+        }
+        assert_eq!(pool.agt().live_on_chip(), 0, "case {case}: on-chip leak");
+        assert_eq!(pool.agt().live_overflow(), 0, "case {case}: overflow leak");
+    }
+}
+
+#[test]
+fn interleaved_schedule_and_finish_releases_everything() {
+    let mut rng = StdRng::seed_from_u64(0x17E6);
+    for case in 0..128 {
         let mut pool = SchedulingPool::new(32, 1);
         let mut overflow_next = 0x9000_0000u32;
         let mut live: Vec<(dtbl_core::GroupRef, u32)> = Vec::new();
-        for (hw_tid, ntb) in plan {
-            let info = AggGroupInfo { kernel: KernelId(0), ntb, param_addr: 0, kde: 0 };
-            match pool.coalesce(Some(0), true, hw_tid, info, || { overflow_next += 256; overflow_next }) {
+        let n = rng.gen_range(1usize..40);
+        for _ in 0..n {
+            let hw_tid: u32 = rng.gen();
+            let ntb = rng.gen_range(1u32..5);
+            let info = AggGroupInfo {
+                kernel: KernelId(0),
+                ntb,
+                param_addr: 0,
+                kde: 0,
+            };
+            match pool.coalesce(Some(0), true, hw_tid, info, || {
+                overflow_next += 256;
+                Some(overflow_next)
+            }) {
                 CoalesceOutcome::Coalesced { group, .. } => live.push((group, ntb)),
                 CoalesceOutcome::Fallback => unreachable!(),
             }
@@ -131,7 +236,7 @@ proptest! {
                 pool.agt_mut().tb_finished(g);
             }
         }
-        prop_assert_eq!(pool.agt().live_on_chip(), 0);
-        prop_assert_eq!(pool.agt().live_overflow(), 0);
+        assert_eq!(pool.agt().live_on_chip(), 0, "case {case}");
+        assert_eq!(pool.agt().live_overflow(), 0, "case {case}");
     }
 }

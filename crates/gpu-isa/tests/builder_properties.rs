@@ -1,9 +1,13 @@
-//! Property-based tests for the structured kernel builder: arbitrarily
-//! nested control flow always produces kernels whose branch encodings
-//! satisfy the invariants the SIMT reconvergence stack relies on.
+//! Randomized tests for the structured kernel builder: arbitrarily nested
+//! control flow always produces kernels whose branch encodings satisfy
+//! the invariants the SIMT reconvergence stack relies on.
+//!
+//! Uses seeded `sim_rand` loops (the offline stand-in for proptest): each
+//! case is fully determined by the iteration index, so failures reproduce
+//! exactly.
 
 use gpu_isa::{CmpOp, CmpTy, Dim3, Inst, KernelBuilder, Op, Reg};
-use proptest::prelude::*;
+use sim_rand::{Rng, SeedableRng, StdRng};
 
 #[derive(Clone, Debug)]
 enum Shape {
@@ -13,19 +17,21 @@ enum Shape {
     For(u32, Vec<Shape>),
 }
 
-fn arb_shape(depth: u32) -> impl Strategy<Value = Shape> {
-    let leaf = Just(Shape::Alu);
-    leaf.prop_recursive(depth, 32, 3, |inner| {
-        prop_oneof![
-            prop::collection::vec(inner.clone(), 0..3).prop_map(Shape::If),
-            (
-                prop::collection::vec(inner.clone(), 0..3),
-                prop::collection::vec(inner.clone(), 0..3)
-            )
-                .prop_map(|(t, e)| Shape::IfElse(t, e)),
-            (1u32..4, prop::collection::vec(inner, 0..3)).prop_map(|(n, b)| Shape::For(n, b)),
-        ]
-    })
+fn gen_shapes(rng: &mut StdRng, depth: u32, max_len: usize) -> Vec<Shape> {
+    let n = rng.gen_range(0..=max_len);
+    (0..n).map(|_| gen_shape(rng, depth)).collect()
+}
+
+fn gen_shape(rng: &mut StdRng, depth: u32) -> Shape {
+    if depth == 0 {
+        return Shape::Alu;
+    }
+    match rng.gen_range(0u32..4) {
+        0 => Shape::Alu,
+        1 => Shape::If(gen_shapes(rng, depth - 1, 2)),
+        2 => Shape::IfElse(gen_shapes(rng, depth - 1, 2), gen_shapes(rng, depth - 1, 2)),
+        _ => Shape::For(rng.gen_range(1u32..4), gen_shapes(rng, depth - 1, 2)),
+    }
 }
 
 fn emit(b: &mut KernelBuilder, shapes: &[Shape], x: Reg) {
@@ -53,9 +59,11 @@ fn emit(b: &mut KernelBuilder, shapes: &[Shape], x: Reg) {
     }
 }
 
-proptest! {
-    #[test]
-    fn structured_control_flow_is_well_formed(shapes in prop::collection::vec(arb_shape(3), 0..5)) {
+#[test]
+fn structured_control_flow_is_well_formed() {
+    let mut rng = StdRng::seed_from_u64(0xB41D);
+    for case in 0..256 {
+        let shapes = gen_shapes(&mut rng, 3, 4);
         let mut b = KernelBuilder::new("p", Dim3::x(32), 0);
         let x = b.imm(0);
         emit(&mut b, &shapes, x);
@@ -63,30 +71,49 @@ proptest! {
             Ok(k) => k,
             // Deep nests can exhaust the predicate budget; that is a
             // legal, well-reported outcome, not a violation.
-            Err(gpu_isa::BuildError::TooManyPreds { .. }) => return Ok(()),
-            Err(e) => return Err(TestCaseError::fail(format!("unexpected build error: {e}"))),
+            Err(gpu_isa::BuildError::TooManyPreds { .. }) => continue,
+            Err(e) => panic!("case {case}: unexpected build error: {e}"),
         };
         let len = k.insts().len() as u32;
-        prop_assert!(matches!(k.insts().last(), Some(Inst::Exit)));
+        assert!(
+            matches!(k.insts().last(), Some(Inst::Exit)),
+            "case {case}: kernel must end in Exit"
+        );
         for (pc, inst) in k.insts().iter().enumerate() {
-            if let Inst::Bra { pred, target, reconv } = inst {
-                prop_assert!(*target < len, "target in range");
-                prop_assert!(*reconv < len, "reconv in range");
+            if let Inst::Bra {
+                pred,
+                target,
+                reconv,
+            } = inst
+            {
+                assert!(*target < len, "case {case}: target in range");
+                assert!(*reconv < len, "case {case}: reconv in range");
                 if pred.is_some() {
                     // Predicated branches are forward with a reconvergence
                     // point at or after the target (immediate
                     // post-dominator of a structured construct).
-                    prop_assert!(*target > pc as u32, "predicated branch is forward");
-                    prop_assert!(*reconv >= *target, "reconv post-dominates the target");
+                    assert!(
+                        *target > pc as u32,
+                        "case {case}: predicated branch is forward"
+                    );
+                    assert!(
+                        *reconv >= *target,
+                        "case {case}: reconv post-dominates the target"
+                    );
                 }
             }
         }
     }
+}
 
-    /// Register/predicate accounting is exact: the kernel declares exactly
-    /// as many registers as the builder allocated.
-    #[test]
-    fn register_accounting(n_regs in 1u32..200, n_preds in 0u32..60) {
+/// Register/predicate accounting is exact: the kernel declares exactly
+/// as many registers as the builder allocated.
+#[test]
+fn register_accounting() {
+    let mut rng = StdRng::seed_from_u64(0xACC7);
+    for case in 0..64 {
+        let n_regs = rng.gen_range(1u32..200);
+        let n_preds = rng.gen_range(0u32..60);
         let mut b = KernelBuilder::new("p", Dim3::x(32), 0);
         for _ in 0..n_regs {
             let _ = b.alloc();
@@ -94,8 +121,11 @@ proptest! {
         for _ in 0..n_preds {
             let _ = b.alloc_pred();
         }
-        let k = b.build().unwrap();
-        prop_assert_eq!(u32::from(k.regs_per_thread()), n_regs.max(1));
-        prop_assert_eq!(u32::from(k.preds_per_thread()), n_preds);
+        let k = match b.build() {
+            Ok(k) => k,
+            Err(e) => panic!("case {case}: build failed: {e}"),
+        };
+        assert_eq!(u32::from(k.regs_per_thread()), n_regs.max(1), "case {case}");
+        assert_eq!(u32::from(k.preds_per_thread()), n_preds, "case {case}");
     }
 }

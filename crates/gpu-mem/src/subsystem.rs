@@ -306,6 +306,23 @@ impl MemSubsystem {
         }
     }
 
+    /// Number of load/atomic transactions issued but not yet reported
+    /// complete: every [`AccessId`] the caller is still waiting on. Used
+    /// by the simulator's invariant checker to prove request conservation
+    /// across L1 → L2 → DRAM (each id is in exactly one place: the
+    /// partition input queue, an L2 miss-waiter list, or the completion
+    /// heap).
+    pub fn in_flight(&self) -> usize {
+        self.completions.len()
+            + self.miss_waiters.values().map(Vec::len).sum::<usize>()
+            + self
+                .part_in
+                .iter()
+                .flatten()
+                .filter(|r| r.id.is_some())
+                .count()
+    }
+
     /// True when no transaction is queued or in flight anywhere.
     pub fn quiescent(&self) -> bool {
         self.completions.is_empty()

@@ -1,43 +1,77 @@
-//! Property-based tests for the memory substrate.
+//! Randomized tests for the memory substrate, driven by seeded
+//! `sim_rand` loops so every case replays deterministically offline.
 
 use gpu_mem::coalesce::coalesce;
 use gpu_mem::{AccessKind, Cache, CacheConfig, DramConfig, DramPartition, MemConfig, MemSubsystem};
-use proptest::prelude::*;
+use sim_rand::{Rng, SeedableRng, StdRng};
 use std::collections::HashSet;
 
-proptest! {
-    /// Coalescing invariants: results are sorted, unique, segment-aligned,
-    /// bounded by 2× the active-lane count (a 32-bit word can straddle at
-    /// most two segments), and invariant under lane permutation.
-    #[test]
-    fn coalesce_invariants(addrs in prop::collection::vec(prop::option::of(any::<u32>()), 0..32)) {
+/// Coalescing invariants: results are sorted, unique, segment-aligned,
+/// bounded by 2× the active-lane count (a 32-bit word can straddle at
+/// most two segments), and invariant under lane permutation.
+#[test]
+fn coalesce_invariants() {
+    let mut rng = StdRng::seed_from_u64(0xC0A1);
+    for case in 0..512 {
+        let n = rng.gen_range(0usize..32);
+        let addrs: Vec<Option<u32>> = (0..n)
+            .map(|_| {
+                if rng.gen_bool(0.8) {
+                    // Mix of full-range and clustered addresses so both
+                    // straddling and shared segments occur.
+                    Some(if rng.gen_bool(0.5) {
+                        rng.gen()
+                    } else {
+                        rng.gen_range(0u32..4096)
+                    })
+                } else {
+                    None
+                }
+            })
+            .collect();
         let segs = coalesce(&addrs);
         let active = addrs.iter().flatten().count();
-        prop_assert!(segs.len() <= 2 * active.max(1));
-        prop_assert!(segs.windows(2).all(|w| w[0] < w[1]), "sorted and unique");
-        prop_assert!(segs.iter().all(|s| s % 128 == 0), "segment aligned");
+        assert!(segs.len() <= 2 * active.max(1), "case {case}");
+        assert!(
+            segs.windows(2).all(|w| w[0] < w[1]),
+            "case {case}: sorted and unique"
+        );
+        assert!(
+            segs.iter().all(|s| s % 128 == 0),
+            "case {case}: segment aligned"
+        );
         // Every active lane's word must be covered by returned segments.
         let set: HashSet<u32> = segs.iter().copied().collect();
         for a in addrs.iter().flatten() {
-            prop_assert!(set.contains(&(a & !127)));
-            prop_assert!(set.contains(&(a.wrapping_add(3) & !127)));
+            assert!(set.contains(&(a & !127)), "case {case}");
+            assert!(set.contains(&(a.wrapping_add(3) & !127)), "case {case}");
         }
         // Permutation invariance.
         let mut rev = addrs.clone();
         rev.reverse();
-        prop_assert_eq!(coalesce(&rev), segs);
+        assert_eq!(coalesce(&rev), segs, "case {case}");
     }
+}
 
-    /// The cache agrees with a brute-force LRU model on hit/miss for any
-    /// access trace.
-    #[test]
-    fn cache_matches_lru_model(trace in prop::collection::vec(0u32..4096, 1..200)) {
-        let cfg = CacheConfig { size_bytes: 1024, line_bytes: 128, ways: 2, write_back: true };
+/// The cache agrees with a brute-force LRU model on hit/miss for any
+/// access trace.
+#[test]
+fn cache_matches_lru_model() {
+    let mut rng = StdRng::seed_from_u64(0x1C4E);
+    for case in 0..128 {
+        let cfg = CacheConfig {
+            size_bytes: 1024,
+            line_bytes: 128,
+            ways: 2,
+            write_back: true,
+        };
         let mut cache = Cache::new(cfg);
         // Model: per set, vector of tags in LRU order (front = LRU).
         let sets = cfg.size_bytes / cfg.line_bytes / cfg.ways;
         let mut model: Vec<Vec<u32>> = vec![Vec::new(); sets as usize];
-        for addr in trace {
+        let len = rng.gen_range(1usize..200);
+        for _ in 0..len {
+            let addr = rng.gen_range(0u32..4096);
             let line = addr / cfg.line_bytes;
             let set = (line % sets) as usize;
             let tag = line / sets;
@@ -49,23 +83,30 @@ proptest! {
             }
             model[set].push(tag);
             let got = cache.access_read(addr);
-            prop_assert_eq!(
+            assert_eq!(
                 matches!(got, gpu_mem::Lookup::Hit),
                 model_hit,
-                "addr {} disagreed with the LRU model", addr
+                "case {case}: addr {addr} disagreed with the LRU model"
             );
         }
     }
+}
 
-    /// Every DRAM read completes exactly once; command counts are
-    /// conserved; efficiency is in (0, 1/t_burst].
-    #[test]
-    fn dram_conserves_requests(reqs in prop::collection::vec((any::<u32>(), any::<bool>()), 1..60)) {
+/// Every DRAM read completes exactly once; command counts are
+/// conserved; efficiency is in (0, 1/t_burst].
+#[test]
+fn dram_conserves_requests() {
+    let mut rng = StdRng::seed_from_u64(0xD4A8);
+    for case in 0..96 {
         let cfg = DramConfig::default();
         let mut d = DramPartition::new(cfg);
         let mut done = Vec::new();
         let mut now = 0u64;
         let mut pushed_reads = HashSet::new();
+        let n_reqs = rng.gen_range(1usize..60);
+        let reqs: Vec<(u32, bool)> = (0..n_reqs)
+            .map(|_| (rng.gen(), rng.gen_bool(0.4)))
+            .collect();
         for (i, (addr, is_write)) in reqs.iter().enumerate() {
             while !d.can_accept() {
                 d.tick(now, &mut done);
@@ -81,32 +122,50 @@ proptest! {
         while !d.quiescent() {
             d.tick(now, &mut done);
             now += 1;
-            prop_assert!(now < 1_000_000, "controller wedged");
+            assert!(now < 1_000_000, "case {case}: controller wedged");
         }
         let completed: HashSet<u64> = done.iter().copied().collect();
-        prop_assert_eq!(completed.len(), done.len(), "no duplicate completions");
-        prop_assert_eq!(&completed, &pushed_reads, "every read completes once");
+        assert_eq!(
+            completed.len(),
+            done.len(),
+            "case {case}: no duplicate completions"
+        );
+        assert_eq!(
+            completed, pushed_reads,
+            "case {case}: every read completes once"
+        );
         let s = d.stats();
         let writes = reqs.iter().filter(|(_, w)| *w).count() as u64;
-        prop_assert_eq!(s.n_rd, pushed_reads.len() as u64);
-        prop_assert_eq!(s.n_wr, writes);
-        prop_assert_eq!(s.row_hits + s.row_misses, s.n_rd + s.n_wr);
-        prop_assert!(s.efficiency() > 0.0 && s.efficiency() <= 1.0 / cfg.t_burst as f64 + 1e-9);
+        assert_eq!(s.n_rd, pushed_reads.len() as u64, "case {case}");
+        assert_eq!(s.n_wr, writes, "case {case}");
+        assert_eq!(s.row_hits + s.row_misses, s.n_rd + s.n_wr, "case {case}");
+        assert!(
+            s.efficiency() > 0.0 && s.efficiency() <= 1.0 / cfg.t_burst as f64 + 1e-9,
+            "case {case}"
+        );
     }
+}
 
-    /// The full subsystem completes every load/atomic exactly once, for
-    /// arbitrary SMX/address/kind mixes.
-    #[test]
-    fn subsystem_conserves_transactions(
-        reqs in prop::collection::vec((0usize..2, any::<u32>(), 0u8..3), 1..120)
-    ) {
-        let cfg = MemConfig { num_smx: 2, num_partitions: 2, ..MemConfig::default() };
+/// The full subsystem completes every load/atomic exactly once, for
+/// arbitrary SMX/address/kind mixes.
+#[test]
+fn subsystem_conserves_transactions() {
+    let mut rng = StdRng::seed_from_u64(0x5B57);
+    for case in 0..64 {
+        let cfg = MemConfig {
+            num_smx: 2,
+            num_partitions: 2,
+            ..MemConfig::default()
+        };
         let mut mem = MemSubsystem::new(cfg);
         let mut done = Vec::new();
         let mut now = 0u64;
         let mut expect = HashSet::new();
-        for (smx, addr, kind) in reqs {
-            let kind = match kind {
+        let n_reqs = rng.gen_range(1usize..120);
+        for _ in 0..n_reqs {
+            let smx = rng.gen_range(0usize..2);
+            let addr: u32 = rng.gen();
+            let kind = match rng.gen_range(0u8..3) {
                 0 => AccessKind::Load,
                 1 => AccessKind::Store,
                 _ => AccessKind::Atomic,
@@ -120,10 +179,17 @@ proptest! {
         while !mem.quiescent() {
             mem.tick(now, &mut done);
             now += 1;
-            prop_assert!(now < 2_000_000, "subsystem wedged");
+            assert!(now < 2_000_000, "case {case}: subsystem wedged");
         }
         let completed: HashSet<_> = done.iter().copied().collect();
-        prop_assert_eq!(completed.len(), done.len(), "no duplicate completions");
-        prop_assert_eq!(completed, expect, "every waited transaction completes");
+        assert_eq!(
+            completed.len(),
+            done.len(),
+            "case {case}: no duplicate completions"
+        );
+        assert_eq!(
+            completed, expect,
+            "case {case}: every waited transaction completes"
+        );
     }
 }

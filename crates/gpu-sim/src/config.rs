@@ -1,5 +1,7 @@
 //! Simulator configuration: Table 2 (GPU geometry) and Table 3 (launch
-//! latencies) of the paper, plus the experiment knobs.
+//! latencies) of the paper, plus the experiment and robustness knobs.
+
+use crate::fault::FaultPlan;
 
 /// Device-runtime API latency model measured on a Tesla K20c (Table 3).
 ///
@@ -167,6 +169,21 @@ pub struct GpuConfig {
     pub dyn_reserved_smx: usize,
     /// Hard cycle limit; exceeding it aborts the run with an error.
     pub max_cycles: u64,
+    /// Forward-progress watchdog window: if no thread block retires, no
+    /// kernel installs, no memory transaction completes and no launch is
+    /// observed for this many cycles, the run aborts with a structured
+    /// [`HangReport`](crate::HangReport) (`BarrierDeadlock` when every
+    /// stuck warp is parked at a barrier, `Hang` otherwise) — long before
+    /// `max_cycles` burns. 0 disables the watchdog.
+    pub watchdog_window: u64,
+    /// Run the per-cycle invariant checker
+    /// ([`Gpu::check_invariants`](crate::Gpu::check_invariants)): resource
+    /// accounting, leak freedom, chain well-formedness and memory-request
+    /// conservation, failing fast with the first broken law. Defaults to
+    /// on in debug/test builds and off in release.
+    pub check_invariants: bool,
+    /// Deterministic fault-injection plan (default: inject nothing).
+    pub fault: FaultPlan,
 }
 
 /// Warp scheduler policy (§5.1 uses greedy-then-oldest).
@@ -198,6 +215,9 @@ impl Default for GpuConfig {
             dtbl_disable_coalescing: false,
             dyn_reserved_smx: 0,
             max_cycles: 2_000_000_000,
+            watchdog_window: 2_000_000,
+            check_invariants: cfg!(debug_assertions),
+            fault: FaultPlan::default(),
         }
     }
 }
@@ -228,6 +248,7 @@ impl GpuConfig {
                 ..gpu_mem::MemConfig::default()
             },
             max_cycles: 80_000_000,
+            watchdog_window: 500_000,
             ..GpuConfig::default()
         }
     }

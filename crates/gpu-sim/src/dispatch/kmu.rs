@@ -129,12 +129,9 @@ impl Kmu {
         dispatch_latency: u64,
         free_slot: impl Fn(&[u32]) -> Option<u32>,
     ) -> Option<(u32, PendingKernel)> {
-        while let Some(top) = self.arrivals.peek() {
-            if top.at <= now {
-                let a = self.arrivals.pop().expect("peeked");
+        while self.arrivals.peek().is_some_and(|top| top.at <= now) {
+            if let Some(a) = self.arrivals.pop() {
                 self.device_q.push_back(a.pk);
-            } else {
-                break;
             }
         }
 
@@ -147,8 +144,10 @@ impl Kmu {
             let mut found = None;
             for k in 0..n {
                 let q = (self.rr_hwq + k) % n;
-                if !self.blocked[q] && !self.hwqs[q].is_empty() {
-                    let pk = self.hwqs[q].pop_front().expect("checked nonempty");
+                if self.blocked[q] {
+                    continue;
+                }
+                if let Some(pk) = self.hwqs[q].pop_front() {
                     self.blocked[q] = true;
                     self.rr_hwq = (q + 1) % n;
                     found = Some(pk);
@@ -200,6 +199,18 @@ impl Kmu {
     /// Pending device-launched kernels (matured + yet to mature).
     pub fn pending_device_kernels(&self) -> usize {
         self.device_q.len() + self.arrivals.len()
+    }
+
+    /// Kernels queued in the hardware work queue serving `stream`
+    /// (excluding the head once it has been dispatched).
+    pub fn hwq_depth(&self, stream: u32) -> usize {
+        self.hwqs[self.hwq_of_stream(stream)].len()
+    }
+
+    /// Queue depth of every hardware work queue, in index order — part of
+    /// the diagnostics attached to a hang report.
+    pub fn hwq_depths(&self) -> Vec<usize> {
+        self.hwqs.iter().map(VecDeque::len).collect()
     }
 }
 

@@ -2,66 +2,53 @@
 
 use crate::config::GpuConfig;
 use crate::dispatch::{KdeEntry, KernelDistributor, Kmu, Origin, PendingKernel};
+use crate::error::SimError;
+use crate::fault::FaultPlan;
 use crate::smx::warp::WarpState;
 use crate::smx::{Smx, Tbcr};
-use crate::stats::{DynLaunchKind, LaunchRecord, Stats};
-use dtbl_core::{CoalesceOutcome, FcfsController, GroupRef, SchedulingPool};
-use gpu_isa::{
-    apply_atomic, Dim3, Effect, Inst, KernelId, LaunchKind, Program, Space, ThreadEnv, WARP_SIZE,
-};
+use crate::stats::Stats;
+use dtbl_core::{FcfsController, GroupRef, SchedulingPool};
+use gpu_isa::{apply_atomic, Dim3, Effect, Inst, KernelId, Program, Space, ThreadEnv, WARP_SIZE};
 use gpu_mem::{
     coalesce::coalesce, AccessId, AccessKind, BackingStore, LinearAllocator, MemSubsystem,
 };
 use std::collections::HashMap;
-use std::error::Error;
-use std::fmt;
 
 /// Base of the heap served by [`Gpu::malloc`].
-const HEAP_BASE: u32 = 0x1000_0000;
+pub(crate) const HEAP_BASE: u32 = 0x1000_0000;
 /// Size of the device heap.
-const HEAP_SIZE: u32 = 0xD000_0000;
+pub(crate) const HEAP_SIZE: u32 = 0xD000_0000;
 /// Global-memory bytes the runtime reserves per pending device-launched
 /// kernel beyond its parameter buffer (kernel configuration record, stream
 /// object, KMU bookkeeping). CDP pays this; a coalesced DTBL group's
 /// descriptor lives on-chip in the AGT instead.
-const CDP_PENDING_RECORD_BYTES: u64 = 192;
+pub(crate) const CDP_PENDING_RECORD_BYTES: u64 = 192;
 /// Bytes of a spilled aggregated-group descriptor (an AGE image plus
 /// alignment) when the AGT hash probe misses.
-const AGG_OVERFLOW_RECORD_BYTES: u64 = 32;
+pub(crate) const AGG_OVERFLOW_RECORD_BYTES: u64 = 32;
 
-/// Simulation failure modes.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum SimError {
-    /// The run exceeded `GpuConfig::max_cycles` — almost always a hung
-    /// kernel (barrier deadlock, runaway loop).
-    CycleLimit {
-        /// The limit that was hit.
-        cycles: u64,
-    },
-    /// The device heap is exhausted.
-    OutOfMemory {
-        /// The allocation size that failed.
-        bytes: u32,
-    },
-    /// A launch named a kernel id not present in the program.
-    UnknownKernel(KernelId),
+/// Builds an [`SimError::InvariantViolation`] — the uniform way the
+/// engine reports state that breaks its own bookkeeping laws.
+pub(crate) fn invariant(cycle: u64, law: String) -> SimError {
+    SimError::InvariantViolation { cycle, law }
 }
 
-impl fmt::Display for SimError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            SimError::CycleLimit { cycles } => {
-                write!(f, "simulation exceeded the {cycles}-cycle limit")
-            }
-            SimError::OutOfMemory { bytes } => {
-                write!(f, "device heap exhausted allocating {bytes} bytes")
-            }
-            SimError::UnknownKernel(k) => write!(f, "kernel {k} is not in the loaded program"),
+/// Allocates from the device heap, honoring an injected heap-byte cap.
+pub(crate) fn heap_alloc(
+    alloc: &mut LinearAllocator,
+    fault: &FaultPlan,
+    now: u64,
+    stats: &mut Stats,
+    bytes: u32,
+) -> Option<u32> {
+    if let Some(limit) = fault.heap_limit_bytes {
+        if fault.active_at(now) && alloc.live_bytes() + u64::from(bytes) > limit {
+            stats.heap_cap_denials += 1;
+            return None;
         }
     }
+    alloc.alloc(bytes)
 }
-
-impl Error for SimError {}
 
 /// A simulated Kepler-class GPU with CDP device-kernel launch and the DTBL
 /// extension.
@@ -92,29 +79,33 @@ impl Error for SimError {}
 /// ```
 #[derive(Debug)]
 pub struct Gpu {
-    cfg: GpuConfig,
-    program: Program,
-    mem: BackingStore,
-    alloc: LinearAllocator,
-    timing: MemSubsystem,
-    kmu: Kmu,
-    kd: KernelDistributor,
-    pool: SchedulingPool,
-    fcfs: FcfsController,
-    smxs: Vec<Smx>,
-    cycle: u64,
-    warp_age: u64,
-    stats: Stats,
-    access_owner: HashMap<AccessId, (usize, usize)>,
-    group_record: HashMap<GroupRef, usize>,
-    param_bytes: HashMap<u32, u32>,
+    pub(crate) cfg: GpuConfig,
+    pub(crate) program: Program,
+    pub(crate) mem: BackingStore,
+    pub(crate) alloc: LinearAllocator,
+    pub(crate) timing: MemSubsystem,
+    pub(crate) kmu: Kmu,
+    pub(crate) kd: KernelDistributor,
+    pub(crate) pool: SchedulingPool,
+    pub(crate) fcfs: FcfsController,
+    pub(crate) smxs: Vec<Smx>,
+    pub(crate) cycle: u64,
+    pub(crate) warp_age: u64,
+    pub(crate) stats: Stats,
+    pub(crate) access_owner: HashMap<AccessId, (usize, usize)>,
+    pub(crate) group_record: HashMap<GroupRef, usize>,
+    pub(crate) param_bytes: HashMap<u32, u32>,
     /// Per-KDE descriptor-walk state: a spilled (overflow) aggregated
     /// group's descriptor must be fetched from global memory before the
     /// SMX scheduler can distribute its thread blocks (§4.3); this holds
     /// `(group, ready_at)` for the fetch in progress / completed.
-    agt_walk: HashMap<u32, (GroupRef, u64)>,
-    rr_smx: usize,
-    mem_buf: Vec<AccessId>,
+    pub(crate) agt_walk: HashMap<u32, (GroupRef, u64)>,
+    pub(crate) rr_smx: usize,
+    pub(crate) mem_buf: Vec<AccessId>,
+    /// Monotone counter bumped by every forward-progress signal (kernel
+    /// installation, thread-block placement/retirement, memory completion,
+    /// device launch); the run loop's watchdog compares it across cycles.
+    pub(crate) progress_marker: u64,
 }
 
 impl Gpu {
@@ -144,6 +135,7 @@ impl Gpu {
             agt_walk: HashMap::new(),
             rr_smx: 0,
             mem_buf: Vec::new(),
+            progress_marker: 0,
             cfg,
         }
     }
@@ -184,11 +176,32 @@ impl Gpu {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::OutOfMemory`] when the heap is exhausted.
+    /// Returns [`SimError::OutOfMemory`] when the heap is exhausted (or an
+    /// injected heap cap denies the allocation).
     pub fn malloc(&mut self, bytes: u32) -> Result<u32, SimError> {
-        self.alloc
-            .alloc(bytes)
-            .ok_or(SimError::OutOfMemory { bytes })
+        heap_alloc(
+            &mut self.alloc,
+            &self.cfg.fault,
+            self.cycle,
+            &mut self.stats,
+            bytes,
+        )
+        .ok_or(SimError::OutOfMemory { bytes })
+    }
+
+    /// Rejects a host launch when the target hardware work queue sits at
+    /// an injected capacity limit.
+    fn check_hwq_capacity(&mut self, stream: u32) -> Result<(), SimError> {
+        if let Some(cap) = self.cfg.fault.hwq_capacity {
+            if self.cfg.fault.active_at(self.cycle) {
+                let depth = self.kmu.hwq_depth(stream);
+                if depth >= cap {
+                    self.stats.hwq_full_rejections += 1;
+                    return Err(SimError::HwqFull { stream, depth });
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Launches `kernel` with `ntb` thread blocks on `stream` (the
@@ -197,7 +210,8 @@ impl Gpu {
     ///
     /// # Errors
     ///
-    /// Returns an error for unknown kernels or heap exhaustion.
+    /// Returns an error for unknown kernels, heap exhaustion, or a full
+    /// hardware work queue (injected-fault runs).
     pub fn launch(
         &mut self,
         kernel: KernelId,
@@ -208,6 +222,7 @@ impl Gpu {
         if self.program.get(kernel).is_none() {
             return Err(SimError::UnknownKernel(kernel));
         }
+        self.check_hwq_capacity(stream)?;
         let param_addr = self.malloc((params.len().max(1) * 4) as u32)?;
         self.mem.write_slice_u32(param_addr, params);
         self.stats.host_launches += 1;
@@ -230,7 +245,8 @@ impl Gpu {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::UnknownKernel`] for kernels not in the program.
+    /// Returns [`SimError::UnknownKernel`] for kernels not in the program
+    /// and [`SimError::HwqFull`] under an injected work-queue cap.
     pub fn launch_with_param_addr(
         &mut self,
         kernel: KernelId,
@@ -241,6 +257,7 @@ impl Gpu {
         if self.program.get(kernel).is_none() {
             return Err(SimError::UnknownKernel(kernel));
         }
+        self.check_hwq_capacity(stream)?;
         self.stats.host_launches += 1;
         self.kmu.push_host(
             stream,
@@ -264,13 +281,37 @@ impl Gpu {
 
     /// Runs until the machine is idle, returning the accumulated stats.
     ///
+    /// Never panics on simulated-program misbehaviour: hung kernels are
+    /// caught by the forward-progress watchdog (well before `max_cycles`)
+    /// and reported with a structured [`HangReport`](crate::HangReport);
+    /// resource exhaustion and guest memory faults come back as their own
+    /// [`SimError`] variants.
+    ///
     /// # Errors
     ///
-    /// Returns [`SimError::CycleLimit`] if the configured cycle budget is
-    /// exceeded (hung workload).
+    /// * [`SimError::BarrierDeadlock`] / [`SimError::Hang`] when the
+    ///   watchdog window elapses with no forward progress;
+    /// * [`SimError::CycleLimit`] when the configured cycle budget is
+    ///   exceeded;
+    /// * any error bubbling out of [`step`](Self::step).
     pub fn run_to_idle(&mut self) -> Result<&Stats, SimError> {
+        let mut last_marker = self.progress_marker;
+        let mut last_progress = self.cycle;
         while !self.is_idle() {
-            self.step();
+            self.step()?;
+            if self.progress_marker != last_marker {
+                last_marker = self.progress_marker;
+                last_progress = self.cycle;
+            } else if self.cfg.watchdog_window > 0
+                && self.cycle - last_progress >= self.cfg.watchdog_window
+            {
+                let report = Box::new(self.hang_report(last_progress));
+                return Err(if report.barrier_deadlock() {
+                    SimError::BarrierDeadlock { report }
+                } else {
+                    SimError::Hang { report }
+                });
+            }
             if self.cycle >= self.cfg.max_cycles {
                 return Err(SimError::CycleLimit {
                     cycles: self.cfg.max_cycles,
@@ -283,7 +324,12 @@ impl Gpu {
     }
 
     /// Advances the machine by one core cycle.
-    pub fn step(&mut self) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates typed failures from the launch paths, guest memory
+    /// faults, and (when enabled) the per-cycle invariant checker.
+    pub fn step(&mut self) -> Result<(), SimError> {
         let now = self.cycle;
 
         // 1. KMU: mature device launches, advance the dispatch pipeline.
@@ -298,37 +344,52 @@ impl Gpu {
         }
 
         // 2. SMX scheduler: distribute thread blocks.
-        self.distribute_tbs(now);
+        self.distribute_tbs(now)?;
 
         // 3. SMXs: issue warps.
         for s in 0..self.smxs.len() {
             let picks =
                 self.smxs[s].select_warps(now, self.cfg.issue_per_cycle, self.cfg.warp_sched);
             for w in picks {
-                if let Some(done_slot) = self.issue_warp(s, w, now) {
-                    self.on_tb_complete(s, done_slot, now);
+                if let Some(done_slot) = self.issue_warp(s, w, now)? {
+                    self.on_tb_complete(s, done_slot, now)?;
                 }
             }
         }
 
-        // 4. Memory timing.
+        // 4. Memory timing (an injected fault may delay the wake-ups).
+        let wake_delay = if self.cfg.fault.mem_delay > 0 && self.cfg.fault.active_at(now) {
+            self.cfg.fault.mem_delay
+        } else {
+            0
+        };
         let mut buf = std::mem::take(&mut self.mem_buf);
         buf.clear();
         self.timing.tick(now, &mut buf);
+        let mut delayed = 0u64;
+        let mut completions = 0u64;
         for id in buf.drain(..) {
             if let Some((s, w)) = self.access_owner.remove(&id) {
+                completions += 1;
                 if let Some(warp) = self.smxs[s].warps[w].as_mut() {
                     if let WarpState::WaitingMem { outstanding } = &mut warp.state {
                         *outstanding -= 1;
                         if *outstanding == 0 {
                             warp.state = WarpState::Ready;
-                            warp.ready_at = now + 1;
+                            warp.ready_at = now + 1 + wake_delay;
+                            if wake_delay > 0 {
+                                delayed += 1;
+                            }
                         }
                     }
                 }
             }
         }
         self.mem_buf = buf;
+        self.stats.forced_mem_delays += delayed;
+        if completions > 0 {
+            self.progress_marker += 1;
+        }
 
         // 5. Occupancy sampling.
         let resident: u32 = self.smxs.iter().map(|s| s.live_warps).sum();
@@ -338,6 +399,10 @@ impl Gpu {
         }
 
         self.cycle += 1;
+        if self.cfg.check_invariants {
+            self.check_invariants()?;
+        }
+        Ok(())
     }
 
     fn install_kernel(&mut self, slot: u32, pk: PendingKernel, now: u64) {
@@ -361,14 +426,15 @@ impl Gpu {
             },
         );
         self.fcfs.mark_new(slot);
+        self.progress_marker += 1;
     }
 
     // ---- thread-block distribution (§2.3 + §4.2 DTBL flow) ----------------
 
-    fn distribute_tbs(&mut self, now: u64) {
+    fn distribute_tbs(&mut self, now: u64) -> Result<(), SimError> {
         let mut budget = self.cfg.tb_dispatch_per_cycle;
         if budget == 0 {
-            return;
+            return Ok(());
         }
         let kdes: Vec<u32> = self.fcfs.marked_in_order().collect();
         'kernels: for kde in kdes {
@@ -376,19 +442,20 @@ impl Gpu {
                 if budget == 0 {
                     break 'kernels;
                 }
-                if !self.try_dispatch_one(kde, now) {
+                if !self.try_dispatch_one(kde, now)? {
                     continue 'kernels;
                 }
                 budget -= 1;
             }
         }
+        Ok(())
     }
 
     /// Attempts to distribute one thread block of kernel `kde`; returns
     /// whether a block was placed.
-    fn try_dispatch_one(&mut self, kde: u32, now: u64) -> bool {
+    fn try_dispatch_one(&mut self, kde: u32, now: u64) -> Result<bool, SimError> {
         let Some(entry) = self.kd.get(kde) else {
-            return false;
+            return Ok(false);
         };
         let kernel_id = entry.kernel;
         let native_next = if self.fcfs.is_first_dispatch(kde) && !entry.native_fully_scheduled() {
@@ -402,7 +469,7 @@ impl Gpu {
             if entry.native_fully_scheduled() {
                 self.fcfs.unmark(kde);
             }
-            return false;
+            return Ok(false);
         };
 
         let kernel = self.program.kernel(kernel_id).clone();
@@ -410,7 +477,7 @@ impl Gpu {
         // blocks keep off the reserved SMXs; dynamic work may go anywhere.
         let dynamic = !native_next || entry.launch_record.is_some();
         let Some(smx_idx) = self.pick_smx(&kernel, dynamic) else {
-            return false;
+            return Ok(false);
         };
 
         let first_load = !self.smxs[smx_idx].kernels_loaded.contains(&kernel_id);
@@ -425,7 +492,9 @@ impl Gpu {
         }
 
         if native_next {
-            let entry = self.kd.get_mut(kde).expect("checked above");
+            let Some(entry) = self.kd.get_mut(kde) else {
+                return Err(invariant(now, format!("KDE {kde} vanished mid-dispatch")));
+            };
             let blkid = entry.next_native_tb;
             entry.next_native_tb += 1;
             entry.native_exe += 1;
@@ -433,19 +502,27 @@ impl Gpu {
             let param = entry.param_addr;
             let record = entry.launch_record;
             let fully = entry.native_fully_scheduled();
-            self.smxs[smx_idx].place_tb(
-                kernel_id,
-                &kernel,
-                Tbcr {
-                    kdei: kde,
-                    agei: None,
-                    blkid,
-                },
-                nctaid,
-                param,
-                ready_at,
-                &mut self.warp_age,
-            );
+            if self.smxs[smx_idx]
+                .place_tb(
+                    kernel_id,
+                    &kernel,
+                    Tbcr {
+                        kdei: kde,
+                        agei: None,
+                        blkid,
+                    },
+                    nctaid,
+                    param,
+                    ready_at,
+                    &mut self.warp_age,
+                )
+                .is_none()
+            {
+                return Err(invariant(
+                    now,
+                    format!("SMX {smx_idx} refused a native TB despite can_fit"),
+                ));
+            }
             if let Some(r) = record {
                 self.mark_launch_started(r, now);
             }
@@ -456,7 +533,9 @@ impl Gpu {
                 }
             }
         } else {
-            let group = self.pool.nagei(kde).expect("checked above");
+            let Some(group) = self.pool.nagei(kde) else {
+                return Err(invariant(now, format!("KDE {kde} lost its NAGEI group")));
+            };
             // A spilled descriptor lives in global memory: the scheduler
             // must fetch it before it can distribute the group's thread
             // blocks (§4.3), stalling this kernel's dispatch — unlike a
@@ -465,48 +544,60 @@ impl Gpu {
                 match self.agt_walk.get(&kde) {
                     Some(&(g, ready)) if g == group => {
                         if now < ready {
-                            return false;
+                            return Ok(false);
                         }
                     }
                     _ => {
                         self.agt_walk
                             .insert(kde, (group, now + self.cfg.pipeline.agt_overflow_load));
-                        return false;
+                        return Ok(false);
                     }
                 }
             }
             let info = self.pool.agt().info(group);
             let blkid = self.pool.agt_mut().tb_scheduled(group);
-            self.kd.get_mut(kde).expect("resident").agg_exe += 1;
-            self.smxs[smx_idx].place_tb(
-                kernel_id,
-                &kernel,
-                Tbcr {
-                    kdei: kde,
-                    agei: Some(group),
-                    blkid,
-                },
-                info.ntb,
-                info.param_addr,
-                ready_at,
-                &mut self.warp_age,
-            );
+            let Some(entry) = self.kd.get_mut(kde) else {
+                return Err(invariant(now, format!("KDE {kde} vanished mid-dispatch")));
+            };
+            entry.agg_exe += 1;
+            if self.smxs[smx_idx]
+                .place_tb(
+                    kernel_id,
+                    &kernel,
+                    Tbcr {
+                        kdei: kde,
+                        agei: Some(group),
+                        blkid,
+                    },
+                    info.ntb,
+                    info.param_addr,
+                    ready_at,
+                    &mut self.warp_age,
+                )
+                .is_none()
+            {
+                return Err(invariant(
+                    now,
+                    format!("SMX {smx_idx} refused an aggregated TB despite can_fit"),
+                ));
+            }
             if let Some(r) = self.group_record.remove(&group) {
                 self.mark_launch_started(r, now);
-                if blkid + 1 < info.ntb {
-                    // Keep the record findable until we no longer need it;
-                    // only the first block matters, so drop it for good.
-                }
             }
             if self.pool.agt().fully_scheduled(group) && self.pool.advance_nagei(kde).is_none() {
                 // Pool drained: the kernel leaves the FCFS queue once its
                 // native blocks are also all distributed.
-                if self.kd.get(kde).expect("resident").native_fully_scheduled() {
+                let native_done = self
+                    .kd
+                    .get(kde)
+                    .is_some_and(KdeEntry::native_fully_scheduled);
+                if native_done {
                     self.fcfs.unmark(kde);
                 }
             }
         }
-        true
+        self.progress_marker += 1;
+        Ok(true)
     }
 
     fn mark_launch_started(&mut self, record: usize, now: u64) {
@@ -542,32 +633,38 @@ impl Gpu {
 
     /// Issues one instruction for warp `w` on SMX `s`. Returns the TB slot
     /// index when this issue completed the warp's entire thread block.
-    fn issue_warp(&mut self, s: usize, w: usize, now: u64) -> Option<usize> {
+    fn issue_warp(&mut self, s: usize, w: usize, now: u64) -> Result<Option<usize>, SimError> {
         let smx = &mut self.smxs[s];
         let Smx {
             warps, tb_slots, ..
         } = smx;
-        let warp = warps[w].as_mut()?;
+        let Some(warp) = warps[w].as_mut() else {
+            return Ok(None);
+        };
         if !matches!(warp.state, WarpState::Ready) || warp.ready_at > now {
-            return None;
+            return Ok(None);
         }
         warp.sync_reconvergence();
         if warp.is_done() {
             warp.state = WarpState::Done;
             smx.live_warps -= 1;
-            let tb = tb_slots[warp.tb_slot].as_mut().expect("warp's TB resident");
-            tb.live_warps -= 1;
             let slot = warp.tb_slot;
+            let Some(tb) = tb_slots[slot].as_mut() else {
+                return Err(invariant(now, format!("warp {w} on SMX {s} has no TB")));
+            };
+            tb.live_warps -= 1;
             let released = tb.live_warps == 0;
             // A disappearing warp can satisfy a barrier.
             if !released && tb.live_warps > 0 && tb.barrier_arrived >= tb.live_warps {
-                Self::release_barrier(warps, tb_slots[slot].as_mut().expect("tb"), now, 20);
+                Self::release_barrier(warps, tb, now, 20);
             }
-            return released.then_some(slot);
+            return Ok(released.then_some(slot));
         }
 
         let tb_slot = warp.tb_slot;
-        let tb = tb_slots[tb_slot].as_mut().expect("warp's TB resident");
+        let Some(tb) = tb_slots[tb_slot].as_mut() else {
+            return Err(invariant(now, format!("warp {w} on SMX {s} has no TB")));
+        };
         let kernel = self.program.kernel(tb.kernel);
         let (pc, mask) = warp.current();
         let inst = *kernel.fetch(pc);
@@ -577,6 +674,7 @@ impl Gpu {
 
         let pipe = self.cfg.pipeline;
         let lat = self.cfg.latency;
+        let fault = self.cfg.fault;
 
         let block_dim = tb.block_dim;
         let blkid = tb.tbcr.blkid;
@@ -594,6 +692,12 @@ impl Gpu {
                 smid: s as u32,
                 param_base,
             }
+        };
+        let shared_fault = |addr: u32, size: usize| SimError::SharedMemFault {
+            smx: s,
+            tb_slot,
+            addr,
+            size: size as u32,
         };
 
         match inst {
@@ -626,14 +730,9 @@ impl Gpu {
                     tb.live_warps -= 1;
                     let released = tb.live_warps == 0;
                     if !released && tb.barrier_arrived >= tb.live_warps {
-                        Self::release_barrier(
-                            warps,
-                            tb_slots[tb_slot].as_mut().expect("tb"),
-                            now,
-                            pipe.alu,
-                        );
+                        Self::release_barrier(warps, tb, now, pipe.alu);
                     }
-                    return released.then_some(tb_slot);
+                    return Ok(released.then_some(tb_slot));
                 }
                 warp.ready_at = now + pipe.alu;
             }
@@ -654,10 +753,11 @@ impl Gpu {
                     if mask & (1 << lane) == 0 {
                         continue;
                     }
-                    let addr = self
-                        .alloc
-                        .alloc(bytes)
-                        .expect("device heap exhausted during cudaGetParameterBuffer");
+                    let Some(addr) =
+                        heap_alloc(&mut self.alloc, &fault, now, &mut self.stats, bytes)
+                    else {
+                        return Err(SimError::OutOfMemory { bytes });
+                    };
                     self.param_bytes.insert(addr, bytes);
                     self.stats.add_pending(u64::from(bytes));
                     warp.threads[lane as usize].write_reg(dst, addr);
@@ -688,7 +788,7 @@ impl Gpu {
                     };
                 let visible_at = warp.ready_at;
                 for (hw_tid, req) in reqs {
-                    self.handle_launch(hw_tid, req, now, visible_at);
+                    self.handle_launch(hw_tid, req, now, visible_at)?;
                 }
             }
             ref mem_inst if mem_inst.is_memory() => {
@@ -710,7 +810,9 @@ impl Gpu {
                             match req.space {
                                 Space::Shared => {
                                     any_shared = true;
-                                    let v = tb.shared_read(req.addr);
+                                    let v = tb
+                                        .shared_read(req.addr)
+                                        .ok_or_else(|| shared_fault(req.addr, tb.shared.len()))?;
                                     warp.threads[lane as usize].write_reg(dst, v);
                                 }
                                 Space::Global => {
@@ -723,7 +825,8 @@ impl Gpu {
                         Effect::Store { req, value } => match req.space {
                             Space::Shared => {
                                 any_shared = true;
-                                tb.shared_write(req.addr, value);
+                                tb.shared_write(req.addr, value)
+                                    .ok_or_else(|| shared_fault(req.addr, tb.shared.len()))?;
                             }
                             Space::Global => {
                                 self.mem.write_u32(req.addr, value);
@@ -740,14 +843,17 @@ impl Gpu {
                             is_load_or_atomic = true;
                             is_atomic = true;
                             let old = match req.space {
-                                Space::Shared => tb.shared_read(req.addr),
+                                Space::Shared => tb
+                                    .shared_read(req.addr)
+                                    .ok_or_else(|| shared_fault(req.addr, tb.shared.len()))?,
                                 Space::Global => self.mem.read_u32(req.addr),
                             };
                             let new = apply_atomic(op, old, operand, comparand);
                             match req.space {
                                 Space::Shared => {
                                     any_shared = true;
-                                    tb.shared_write(req.addr, new);
+                                    tb.shared_write(req.addr, new)
+                                        .ok_or_else(|| shared_fault(req.addr, tb.shared.len()))?;
                                 }
                                 Space::Global => {
                                     self.mem.write_u32(req.addr, new);
@@ -758,7 +864,12 @@ impl Gpu {
                                 warp.threads[lane as usize].write_reg(d, old);
                             }
                         }
-                        _ => unreachable!("memory instruction produced a non-memory effect"),
+                        _ => {
+                            return Err(invariant(
+                                now,
+                                "memory instruction produced a non-memory effect".into(),
+                            ))
+                        }
                     }
                 }
                 let txns = coalesce(&global_addrs);
@@ -814,10 +925,10 @@ impl Gpu {
                 warp.ready_at = now + alu_latency(alu, &pipe);
             }
         }
-        None
+        Ok(None)
     }
 
-    fn release_barrier(
+    pub(crate) fn release_barrier(
         warps: &mut [Option<crate::smx::warp::Warp>],
         tb: &mut crate::smx::TbSlot,
         now: u64,
@@ -834,143 +945,25 @@ impl Gpu {
         tb.barrier_arrived = 0;
     }
 
-    // ---- device-side launches ------------------------------------------------
-
-    fn handle_launch(
-        &mut self,
-        hw_tid: u32,
-        req: gpu_isa::LaunchRequest,
-        now: u64,
-        visible_at: u64,
-    ) {
-        if req.ntb == 0 {
-            return;
-        }
-        let child = self
-            .program
-            .get(req.kernel)
-            .unwrap_or_else(|| panic!("device launch of unknown kernel {}", req.kernel));
-        let threads_per_tb = child.threads_per_block();
-        let param_sz = u64::from(self.param_bytes.remove(&req.param_addr).unwrap_or(0));
-
-        let force_fallback = self.cfg.dtbl_disable_coalescing;
-        let as_agg = req.kind == LaunchKind::Agg && !force_fallback;
-
-        if as_agg {
-            let eligible = self.kd.find_eligible(req.kernel);
-            let marked = eligible.is_some_and(|k| self.fcfs.is_marked(k));
-            let info = dtbl_core::AggGroupInfo {
-                kernel: req.kernel,
-                ntb: req.ntb,
-                param_addr: req.param_addr,
-                kde: 0,
-            };
-            let alloc = &mut self.alloc;
-            let outcome = self.pool.coalesce(eligible, marked, hw_tid, info, || {
-                alloc
-                    .alloc(AGG_OVERFLOW_RECORD_BYTES as u32)
-                    .expect("device heap exhausted spilling an AGE")
-            });
-            match outcome {
-                CoalesceOutcome::Coalesced { group, remark } => {
-                    let kde = eligible.expect("coalesced implies eligible");
-                    if remark {
-                        self.fcfs.remark(kde);
-                    }
-                    self.stats.agg_coalesced += 1;
-                    let descr = if group.is_overflow() {
-                        self.stats.agt_overflows += 1;
-                        AGG_OVERFLOW_RECORD_BYTES
-                    } else {
-                        0
-                    };
-                    self.stats.add_pending(descr);
-                    let record = self.stats.launches.len();
-                    self.stats.launches.push(LaunchRecord {
-                        kind: DynLaunchKind::AggGroup,
-                        launched_at: now,
-                        first_tb_at: None,
-                        ntb: req.ntb,
-                        threads_per_tb,
-                        reserved_bytes: param_sz + descr,
-                    });
-                    self.group_record.insert(group, record);
-                    return;
-                }
-                CoalesceOutcome::Fallback => {
-                    self.stats.agg_fallbacks += 1;
-                    self.enqueue_device_kernel(
-                        req,
-                        threads_per_tb,
-                        param_sz,
-                        DynLaunchKind::AggFallback,
-                        now,
-                        visible_at,
-                    );
-                    return;
-                }
-            }
-        }
-        if req.kind == LaunchKind::Agg {
-            self.stats.agg_fallbacks += 1;
-            self.enqueue_device_kernel(
-                req,
-                threads_per_tb,
-                param_sz,
-                DynLaunchKind::AggFallback,
-                now,
-                visible_at,
-            );
-        } else {
-            self.enqueue_device_kernel(
-                req,
-                threads_per_tb,
-                param_sz,
-                DynLaunchKind::DeviceKernel,
-                now,
-                visible_at,
-            );
-        }
-    }
-
-    fn enqueue_device_kernel(
-        &mut self,
-        req: gpu_isa::LaunchRequest,
-        threads_per_tb: u32,
-        param_sz: u64,
-        kind: DynLaunchKind,
-        now: u64,
-        visible_at: u64,
-    ) {
-        self.stats.add_pending(CDP_PENDING_RECORD_BYTES);
-        let record = self.stats.launches.len();
-        self.stats.launches.push(LaunchRecord {
-            kind,
-            launched_at: now,
-            first_tb_at: None,
-            ntb: req.ntb,
-            threads_per_tb,
-            reserved_bytes: param_sz + CDP_PENDING_RECORD_BYTES,
-        });
-        self.kmu.push_device(
-            visible_at,
-            PendingKernel {
-                kernel: req.kernel,
-                ntb: req.ntb,
-                param_addr: req.param_addr,
-                origin: Origin::Device { record },
-            },
-        );
-    }
-
     // ---- thread-block / kernel completion ----------------------------------------
 
-    fn on_tb_complete(&mut self, s: usize, slot: usize, _now: u64) {
-        let tbcr = self.smxs[s].release_tb(slot);
+    fn on_tb_complete(&mut self, s: usize, slot: usize, now: u64) -> Result<(), SimError> {
+        let Some(tbcr) = self.smxs[s].release_tb(slot) else {
+            return Err(invariant(
+                now,
+                format!("releasing TB slot {slot} on SMX {s}: empty or warps still live"),
+            ));
+        };
         self.stats.tb_completed += 1;
+        self.progress_marker += 1;
         let kde = tbcr.kdei;
         {
-            let entry = self.kd.get_mut(kde).expect("TB of a released kernel");
+            let Some(entry) = self.kd.get_mut(kde) else {
+                return Err(invariant(
+                    now,
+                    format!("TB completed for non-resident KDE {kde}"),
+                ));
+            };
             match tbcr.agei {
                 None => {
                     entry.native_done += 1;
@@ -982,7 +975,12 @@ impl Gpu {
                 }
             }
         }
-        let entry = self.kd.get(kde).expect("still resident");
+        let Some(entry) = self.kd.get(kde) else {
+            return Err(invariant(
+                now,
+                format!("KDE {kde} vanished during completion"),
+            ));
+        };
         let done = entry.native_fully_scheduled()
             && entry.native_all_done()
             && entry.agg_exe == 0
@@ -999,6 +997,7 @@ impl Gpu {
             // accounting (bump allocator: bytes only, no address reuse).
             self.alloc.free_accounting(4);
         }
+        Ok(())
     }
 }
 

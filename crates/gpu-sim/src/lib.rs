@@ -25,13 +25,20 @@
 
 mod config;
 mod dispatch;
+mod error;
+mod fault;
 mod gpu;
+mod invariants;
+mod runtime;
 mod smx;
 mod stats;
+mod watchdog;
 
 pub use config::{GpuConfig, LatencyTable, PipelineLatencies, WarpSchedPolicy};
 pub use dispatch::{KdeEntry, KernelDistributor, Kmu, Origin, PendingKernel};
-pub use gpu::{Gpu, SimError};
+pub use error::{HangReport, SimError, StuckWarp, StuckWarpState};
+pub use fault::FaultPlan;
+pub use gpu::Gpu;
 pub use smx::warp::{StackEntry, Warp, WarpState, NO_RECONV};
 pub use smx::{Smx, TbSlot, Tbcr};
 pub use stats::{DynLaunchKind, LaunchRecord, Stats};

@@ -1,0 +1,57 @@
+//! CDP device-kernel launch path (`cudaLaunchDevice`).
+
+use crate::dispatch::{Origin, PendingKernel};
+use crate::error::SimError;
+use crate::gpu::{Gpu, CDP_PENDING_RECORD_BYTES};
+use crate::stats::{DynLaunchKind, LaunchRecord};
+
+impl Gpu {
+    /// Queues a device-launched kernel in the KMU (both genuine CDP
+    /// launches and DTBL fallbacks end here).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::KmuSaturated`] when an injected cap on the
+    /// KMU's pending device-kernel pool is already met — modelling the
+    /// hardware pool backing up — without mutating any state.
+    pub(crate) fn enqueue_device_kernel(
+        &mut self,
+        req: gpu_isa::LaunchRequest,
+        threads_per_tb: u32,
+        param_sz: u64,
+        kind: DynLaunchKind,
+        now: u64,
+        visible_at: u64,
+    ) -> Result<(), SimError> {
+        if let Some(cap) = self.cfg.fault.kmu_device_capacity {
+            if self.cfg.fault.active_at(now) {
+                let pending = self.kmu.pending_device_kernels();
+                if pending >= cap {
+                    self.stats.kmu_saturation_rejections += 1;
+                    return Err(SimError::KmuSaturated { pending });
+                }
+            }
+        }
+        self.stats.add_pending(CDP_PENDING_RECORD_BYTES);
+        let record = self.stats.launches.len();
+        self.stats.launches.push(LaunchRecord {
+            kind,
+            launched_at: now,
+            first_tb_at: None,
+            ntb: req.ntb,
+            threads_per_tb,
+            reserved_bytes: param_sz + CDP_PENDING_RECORD_BYTES,
+        });
+        self.kmu.push_device(
+            visible_at,
+            PendingKernel {
+                kernel: req.kernel,
+                ntb: req.ntb,
+                param_addr: req.param_addr,
+                origin: Origin::Device { record },
+            },
+        );
+        self.progress_marker += 1;
+        Ok(())
+    }
+}

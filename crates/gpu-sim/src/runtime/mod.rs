@@ -1,0 +1,16 @@
+//! Device-side runtime: the two dynamic-launch mechanisms.
+//!
+//! * [`cdp`] — CUDA Dynamic Parallelism's `cudaLaunchDevice` path: the
+//!   launch becomes a pending *device kernel* in the KMU's pool, pays the
+//!   Table-3 software stack latencies, and waits for a free Kernel
+//!   Distributor entry.
+//! * [`dtbl`] — the paper's Dynamic Thread Block Launch path
+//!   (`cudaLaunchAggGroup`): thread blocks coalesce onto an *eligible*
+//!   already-resident kernel through the Aggregated Group Table, falling
+//!   back to a CDP-style device kernel when no eligible kernel exists.
+//!
+//! Both paths are methods on [`Gpu`](crate::Gpu); the split keeps each
+//! mechanism's fault hooks and bookkeeping in one place.
+
+pub(crate) mod cdp;
+pub(crate) mod dtbl;

@@ -50,35 +50,23 @@ pub struct TbSlot {
 }
 
 impl TbSlot {
-    /// Reads a 32-bit word of shared memory.
-    ///
-    /// # Panics
-    ///
-    /// Panics when the access is outside the block's static allocation —
-    /// that is a workload bug worth failing loudly on.
-    pub fn shared_read(&self, addr: u32) -> u32 {
+    /// Reads a 32-bit word of shared memory. Returns `None` when the
+    /// access is outside the block's static allocation — a bug in the
+    /// simulated program, which the engine reports as a
+    /// [`SimError::SharedMemFault`](crate::SimError::SharedMemFault)
+    /// instead of crashing.
+    pub fn shared_read(&self, addr: u32) -> Option<u32> {
         let a = addr as usize;
-        assert!(
-            a + 4 <= self.shared.len(),
-            "shared-memory read OOB: {addr} in a {}B allocation",
-            self.shared.len()
-        );
-        u32::from_le_bytes(self.shared[a..a + 4].try_into().expect("4 bytes"))
+        let bytes = self.shared.get(a..a + 4)?;
+        Some(u32::from_le_bytes(bytes.try_into().ok()?))
     }
 
-    /// Writes a 32-bit word of shared memory.
-    ///
-    /// # Panics
-    ///
-    /// Panics on out-of-bounds access.
-    pub fn shared_write(&mut self, addr: u32, v: u32) {
+    /// Writes a 32-bit word of shared memory; `None` on out-of-bounds.
+    pub fn shared_write(&mut self, addr: u32, v: u32) -> Option<()> {
         let a = addr as usize;
-        assert!(
-            a + 4 <= self.shared.len(),
-            "shared-memory write OOB: {addr} in a {}B allocation",
-            self.shared.len()
-        );
-        self.shared[a..a + 4].copy_from_slice(&v.to_le_bytes());
+        let bytes = self.shared.get_mut(a..a + 4)?;
+        bytes.copy_from_slice(&v.to_le_bytes());
+        Some(())
     }
 }
 
@@ -142,12 +130,11 @@ impl Smx {
             && self.used_shared + kernel.shared_mem_bytes() <= cfg.shared_mem_per_smx
     }
 
-    /// Installs one thread block and its warps. Returns the TB slot index.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the block does not fit (callers must check
-    /// [`can_fit`](Self::can_fit)).
+    /// Installs one thread block and its warps. Returns the TB slot
+    /// index, or `None` when no slot is free (callers should check
+    /// [`can_fit`](Self::can_fit) first; a `None` here means the
+    /// scheduler's accounting is broken and is reported as an invariant
+    /// violation).
     #[allow(clippy::too_many_arguments)]
     pub fn place_tb(
         &mut self,
@@ -158,12 +145,8 @@ impl Smx {
         param_base: u32,
         ready_at: u64,
         warp_age: &mut u64,
-    ) -> usize {
-        let slot = self
-            .tb_slots
-            .iter()
-            .position(Option::is_none)
-            .expect("no free TB slot — caller must check can_fit");
+    ) -> Option<usize> {
+        let slot = self.tb_slots.iter().position(Option::is_none)?;
         let threads = kernel.threads_per_block();
         let n_warps = threads.div_ceil(gpu_isa::WARP_SIZE as u32);
         let mut warp_slots = Vec::with_capacity(n_warps as usize);
@@ -201,19 +184,18 @@ impl Smx {
             regs_reserved: Self::regs_for(kernel),
             threads_reserved: threads,
         });
-        slot
+        Some(slot)
     }
 
-    /// Releases a completed thread block's resources and returns its TBCR.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the slot is empty or warps are still live.
-    pub fn release_tb(&mut self, slot: usize) -> Tbcr {
-        let tb = self.tb_slots[slot]
-            .take()
-            .expect("releasing an empty TB slot");
-        assert_eq!(tb.live_warps, 0, "releasing a TB with live warps");
+    /// Releases a completed thread block's resources and returns its
+    /// TBCR; `None` when the slot is empty or warps are still live
+    /// (either is a scheduler-accounting bug, surfaced as an invariant
+    /// violation by the caller).
+    pub fn release_tb(&mut self, slot: usize) -> Option<Tbcr> {
+        if self.tb_slots[slot].as_ref()?.live_warps != 0 {
+            return None;
+        }
+        let tb = self.tb_slots[slot].take()?;
         for ws in &tb.warp_slots {
             self.warps[*ws] = None;
             self.free_warp_slots.push(*ws);
@@ -224,7 +206,7 @@ impl Smx {
         self.used_threads -= tb.threads_reserved;
         self.used_regs -= tb.regs_reserved;
         self.used_shared -= tb.shared.len() as u32;
-        tb.tbcr
+        Some(tb.tbcr)
     }
 
     /// Selects up to `budget` distinct ready warps to issue this cycle,
@@ -322,7 +304,9 @@ mod tests {
         let k = kernel(100, 8);
         assert!(smx.can_fit(&k, &cfg));
         let mut age = 0;
-        let slot = smx.place_tb(KernelId(0), &k, tbcr(), 4, 0x100, 0, &mut age);
+        let slot = smx
+            .place_tb(KernelId(0), &k, tbcr(), 4, 0x100, 0, &mut age)
+            .unwrap();
         assert_eq!(smx.used_threads, 100);
         assert_eq!(smx.live_warps, 4, "100 threads = 4 warps (last partial)");
         let tb = smx.tb_slots[slot].as_ref().unwrap();
@@ -337,7 +321,8 @@ mod tests {
             smx.live_warps -= 1;
         }
         smx.tb_slots[slot].as_mut().unwrap().live_warps = 0;
-        smx.release_tb(slot);
+        assert!(smx.release_tb(slot).is_some());
+        assert!(smx.release_tb(slot).is_none(), "double release refused");
         assert_eq!(smx.used_threads, 0);
         assert_eq!(smx.used_regs, 0);
         assert_eq!(smx.used_shared, 0);
@@ -350,9 +335,11 @@ mod tests {
         let mut smx = Smx::new(0, &cfg);
         let k = kernel(1024, 0);
         let mut age = 0;
-        smx.place_tb(KernelId(0), &k, tbcr(), 4, 0, 0, &mut age);
+        smx.place_tb(KernelId(0), &k, tbcr(), 4, 0, 0, &mut age)
+            .unwrap();
         assert!(smx.can_fit(&k, &cfg), "2048 threads total allowed");
-        smx.place_tb(KernelId(0), &k, tbcr(), 4, 0, 0, &mut age);
+        smx.place_tb(KernelId(0), &k, tbcr(), 4, 0, 0, &mut age)
+            .unwrap();
         assert!(!smx.can_fit(&k, &cfg), "thread limit reached");
     }
 
@@ -363,22 +350,25 @@ mod tests {
         // 32 KiB of shared per block: only one fits in 48 KiB.
         let k = kernel(32, 8 * 1024);
         let mut age = 0;
-        smx.place_tb(KernelId(0), &k, tbcr(), 1, 0, 0, &mut age);
+        smx.place_tb(KernelId(0), &k, tbcr(), 1, 0, 0, &mut age)
+            .unwrap();
         assert!(!smx.can_fit(&k, &cfg));
     }
 
     #[test]
-    fn shared_rw_and_oob_panic() {
+    fn shared_rw_and_oob_refused() {
         let cfg = GpuConfig::test_small();
         let mut smx = Smx::new(0, &cfg);
         let k = kernel(32, 4);
         let mut age = 0;
-        let slot = smx.place_tb(KernelId(0), &k, tbcr(), 1, 0, 0, &mut age);
+        let slot = smx
+            .place_tb(KernelId(0), &k, tbcr(), 1, 0, 0, &mut age)
+            .unwrap();
         let tb = smx.tb_slots[slot].as_mut().unwrap();
-        tb.shared_write(8, 77);
-        assert_eq!(tb.shared_read(8), 77);
-        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| tb.shared_read(16)));
-        assert!(r.is_err(), "OOB shared read must panic");
+        tb.shared_write(8, 77).unwrap();
+        assert_eq!(tb.shared_read(8), Some(77));
+        assert_eq!(tb.shared_read(16), None, "OOB shared read is refused");
+        assert_eq!(tb.shared_write(16, 1), None, "OOB shared write is refused");
     }
 
     #[test]
@@ -387,7 +377,8 @@ mod tests {
         let mut smx = Smx::new(0, &cfg);
         let k = kernel(96, 0); // 3 warps, ages 0,1,2
         let mut age = 0;
-        smx.place_tb(KernelId(0), &k, tbcr(), 1, 0, 0, &mut age);
+        smx.place_tb(KernelId(0), &k, tbcr(), 1, 0, 0, &mut age)
+            .unwrap();
         let first = smx.select_warps(0, 1, WarpSchedPolicy::Gto);
         assert_eq!(first.len(), 1);
         let g = first[0];
@@ -409,15 +400,19 @@ mod tests {
         let mut smx = Smx::new(0, &cfg);
         let k = kernel(64, 0);
         let mut age = 0;
-        let slot = smx.place_tb(KernelId(0), &k, tbcr(), 1, 0, 0, &mut age);
+        let slot = smx
+            .place_tb(KernelId(0), &k, tbcr(), 1, 0, 0, &mut age)
+            .unwrap();
         let used: Vec<usize> = smx.tb_slots[slot].as_ref().unwrap().warp_slots.clone();
         for ws in &used {
             smx.warps[*ws].as_mut().unwrap().state = WarpState::Done;
             smx.live_warps -= 1;
         }
         smx.tb_slots[slot].as_mut().unwrap().live_warps = 0;
-        smx.release_tb(slot);
-        let slot2 = smx.place_tb(KernelId(0), &k, tbcr(), 1, 0, 0, &mut age);
+        assert!(smx.release_tb(slot).is_some());
+        let slot2 = smx
+            .place_tb(KernelId(0), &k, tbcr(), 1, 0, 0, &mut age)
+            .unwrap();
         let reused = &smx.tb_slots[slot2].as_ref().unwrap().warp_slots;
         assert!(reused.iter().all(|ws| used.contains(ws)), "slab reuse");
         assert_eq!(smx.warps.len(), 2);

@@ -74,6 +74,19 @@ pub struct Stats {
     pub mem: MemStats,
     /// Barrier waits observed (diagnostics).
     pub barrier_waits: u64,
+    /// AGT hash-probe misses forced by the fault plan.
+    pub forced_agt_overflows: u64,
+    /// Memory-completion wake-ups delayed by the fault plan.
+    pub forced_mem_delays: u64,
+    /// Host launches rejected by an injected hardware-work-queue cap.
+    pub hwq_full_rejections: u64,
+    /// Device launches rejected by an injected KMU device-pool cap.
+    pub kmu_saturation_rejections: u64,
+    /// Aggregated launches that fell back to device kernels because the
+    /// injected overflow-descriptor cap left no spill storage.
+    pub agt_overflow_exhausted: u64,
+    /// Heap allocations denied by the injected heap-byte cap.
+    pub heap_cap_denials: u64,
     /// Maximum resident warps per SMX (copied from config for occupancy).
     pub max_warps_per_smx: u32,
     /// Number of SMXs (for occupancy normalization).

@@ -360,7 +360,7 @@ fn dtbl_is_faster_and_leaner_than_cdp() {
 #[test]
 fn concurrent_kernels_from_different_streams() {
     let mut prog = Program::new();
-    let mut mk = |name: &str, val: u32| {
+    let mk = |name: &str, val: u32| {
         let mut b = KernelBuilder::new(name, Dim3::x(32), 1);
         let gtid = b.global_tid();
         let outb = b.ld_param(0);

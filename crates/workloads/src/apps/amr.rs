@@ -8,11 +8,11 @@
 //! warp-activity winner (+45.3%): in the flat variant a few threads near
 //! flame fronts refine deeply while their warp-mates idle.
 
-use crate::common::{ceil_div, child_guard, emit_dfp_with_threshold, Variant};
+use crate::common::{build_kernel, ceil_div, child_guard, emit_dfp_with_threshold, Variant};
 use crate::data::mesh::ScalarField;
 use crate::report::RunReport;
 use gpu_isa::{AtomOp, CmpOp, CmpTy, Dim3, KernelBuilder, KernelId, Op, Program, Space};
-use gpu_sim::{Gpu, GpuConfig};
+use gpu_sim::{Gpu, GpuConfig, SimError};
 
 const PARENT_TB: u32 = 128;
 /// Sub-cells per refinement (4×4 split).
@@ -20,7 +20,7 @@ const SUBDIV: u32 = 16;
 /// Field-range threshold above which a cell refines.
 const THRESH: u32 = 150;
 
-fn build_program(variant: Variant) -> (Program, KernelId) {
+fn build_program(variant: Variant) -> Result<(Program, KernelId), SimError> {
     let mut prog = Program::new();
 
     // Child: emit `count` = 16 sub-cells of the refining cell; params:
@@ -36,7 +36,7 @@ fn build_program(variant: Variant) -> (Program, KernelId) {
     let fsize = cb.ld_param(7);
     let vals = cb.ld_param(8);
     emit_subcell(&mut cb, i, x, y, s4, out, cnt, field, fsize, vals);
-    let child = prog.add(cb.build().expect("amr_emit builds"));
+    let child = prog.add(build_kernel(cb)?);
 
     // Parent: one thread per cell; params:
     // [cells_in, n_cells, field, fsize, cell_size, cells_out, cnt, vals].
@@ -105,8 +105,8 @@ fn build_program(variant: Variant) -> (Program, KernelId) {
             },
         );
     });
-    let parent = prog.add(pb.build().expect("amr_level builds"));
-    (prog, parent)
+    let parent = prog.add(build_kernel(pb)?);
+    Ok((prog, parent))
 }
 
 /// Emits sub-cell `i` (row-major within the 4×4 split): interpolates the
@@ -194,20 +194,23 @@ pub fn host_refine(field: &ScalarField, cell0: u32) -> (u64, u64) {
 
 /// Runs the refinement cascade and validates cell count and coordinate
 /// checksum against the host mirror.
+///
+/// # Errors
+///
+/// Any [`SimError`] from the simulation, or
+/// [`SimError::ValidationFailed`] on divergence from the host mirror.
 pub fn run(
     name: &str,
     field: &ScalarField,
     cell0: u32,
     variant: Variant,
     base_cfg: GpuConfig,
-) -> RunReport {
-    let (prog, parent) = build_program(variant);
+) -> Result<RunReport, SimError> {
+    let (prog, parent) = build_program(variant)?;
     let cfg = variant.configure(base_cfg);
     let mut gpu = Gpu::new(cfg, prog);
 
-    let fbuf = gpu
-        .malloc(field.values.len() as u32 * 4)
-        .expect("alloc field");
+    let fbuf = gpu.malloc(field.values.len() as u32 * 4)?;
     gpu.mem_mut().write_slice_u32(fbuf, &field.values);
 
     // Upper bound on cells per level: every cell refines.
@@ -215,10 +218,10 @@ pub fn run(
         .flat_map(|cy| (0..field.size / cell0).flat_map(move |cx| [cx * cell0, cy * cell0]))
         .collect();
     let max_cells = (top.len() as u32 / 2) * SUBDIV * SUBDIV * SUBDIV;
-    let cells_a = gpu.malloc(max_cells.max(64) * 8).expect("alloc cells a");
-    let cells_b = gpu.malloc(max_cells.max(64) * 8).expect("alloc cells b");
-    let vals = gpu.malloc(max_cells.max(64) * 4).expect("alloc values");
-    let cnt = gpu.malloc(4).expect("alloc counter");
+    let cells_a = gpu.malloc(max_cells.max(64) * 8)?;
+    let cells_b = gpu.malloc(max_cells.max(64) * 8)?;
+    let vals = gpu.malloc(max_cells.max(64) * 4)?;
+    let cnt = gpu.malloc(4)?;
     gpu.mem_mut().write_slice_u32(cells_a, &top);
 
     let mut bufs = (cells_a, cells_b);
@@ -233,9 +236,8 @@ pub fn run(
             ceil_div(n_cells, PARENT_TB),
             &[bufs.0, n_cells, fbuf, field.size, size, bufs.1, cnt, vals],
             0,
-        )
-        .expect("launch amr_level");
-        gpu.run_to_idle().expect("amr level converges");
+        )?;
+        gpu.run_to_idle()?;
         let emitted = gpu.mem().read_u32(cnt);
         total += u64::from(emitted);
         for k in 0..emitted {
@@ -249,14 +251,21 @@ pub fn run(
     }
 
     let (want_total, want_sum) = host_refine(field, cell0);
-    let validated = total == want_total && checksum == want_sum;
+    if total != want_total || checksum != want_sum {
+        return Err(SimError::ValidationFailed {
+            app: name.to_string(),
+            detail: format!(
+                "refined {total} cells (checksum {checksum:#x}), \
+                 host refined {want_total} (checksum {want_sum:#x})"
+            ),
+        });
+    }
     let stats = gpu.stats().clone();
-    RunReport {
+    Ok(RunReport {
         benchmark: name.to_string(),
         variant,
         stats,
-        validated,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -265,34 +274,34 @@ mod tests {
     use crate::data::mesh;
 
     #[test]
-    fn refinement_matches_host_on_all_variants() {
+    fn refinement_matches_host_on_all_variants() -> Result<(), SimError> {
         let f = mesh::combustion_field(128, 2, 1);
         for v in [Variant::Flat, Variant::Cdp, Variant::Dtbl] {
-            let r = run("amr_test", &f, 32, v, GpuConfig::test_small());
-            r.assert_valid();
+            run("amr_test", &f, 32, v, GpuConfig::test_small())?;
         }
+        Ok(())
     }
 
     #[test]
-    fn fronts_cause_refinement_and_launches() {
+    fn fronts_cause_refinement_and_launches() -> Result<(), SimError> {
         let f = mesh::combustion_field(128, 3, 2);
         let (total, _) = host_refine(&f, 32);
         assert!(total > 0, "fronts must refine");
-        let r = run("amr_test", &f, 32, Variant::Dtbl, GpuConfig::test_small());
-        r.assert_valid();
+        let r = run("amr_test", &f, 32, Variant::Dtbl, GpuConfig::test_small())?;
         assert!(r.stats.dyn_launches() > 0);
+        Ok(())
     }
 
     #[test]
-    fn quiet_field_never_refines() {
+    fn quiet_field_never_refines() -> Result<(), SimError> {
         let f = ScalarField {
             size: 64,
             values: vec![100; 64 * 64],
         };
         let (total, sum) = host_refine(&f, 16);
         assert_eq!((total, sum), (0, 0));
-        let r = run("amr_quiet", &f, 16, Variant::Flat, GpuConfig::test_small());
-        r.assert_valid();
+        let r = run("amr_quiet", &f, 16, Variant::Flat, GpuConfig::test_small())?;
         assert_eq!(r.stats.dyn_launches(), 0);
+        Ok(())
     }
 }

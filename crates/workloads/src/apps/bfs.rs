@@ -8,11 +8,11 @@
 //! launches the same expansion as an aggregated group, which coalesces to
 //! the resident `bfs_expand` kernel (the Figure 2b shape).
 
-use crate::common::{ceil_div, child_guard, emit_dfp, Variant};
+use crate::common::{build_kernel, ceil_div, child_guard, emit_dfp, validate_u32, Variant};
 use crate::data::CsrGraph;
 use crate::report::RunReport;
 use gpu_isa::{AtomOp, CmpOp, CmpTy, Dim3, KernelBuilder, KernelId, Op, Program, Space};
-use gpu_sim::{Gpu, GpuConfig};
+use gpu_sim::{Gpu, GpuConfig, SimError};
 
 const PARENT_TB: u32 = 128;
 const INF: u32 = u32::MAX;
@@ -27,7 +27,7 @@ const P_CNT: u16 = 5;
 const P_NF: u16 = 6;
 const P_NEXT: u16 = 7;
 
-fn build_program(variant: Variant) -> (Program, KernelId, KernelId) {
+fn build_program(variant: Variant) -> Result<(Program, KernelId, KernelId), SimError> {
     let mut prog = Program::new();
 
     // Child: expand `count` neighbours starting at edge address `edges`;
@@ -50,7 +50,7 @@ fn build_program(variant: Variant) -> (Program, KernelId, KernelId) {
         let fa = b.mad(pos, Op::Imm(4), Op::Reg(fout));
         b.st(Space::Global, fa, 0, Op::Reg(u));
     });
-    let child = prog.add(cb.build().expect("bfs_expand builds"));
+    let child = prog.add(build_kernel(cb)?);
 
     // Parent: one thread per frontier vertex.
     let mut pb = KernelBuilder::new("bfs_level", Dim3::x(PARENT_TB), 8);
@@ -98,8 +98,8 @@ fn build_program(variant: Variant) -> (Program, KernelId, KernelId) {
             });
         },
     );
-    let parent = prog.add(pb.build().expect("bfs_level builds"));
-    (prog, parent, child)
+    let parent = prog.add(build_kernel(pb)?);
+    Ok((prog, parent, child))
 }
 
 /// Host-side reference BFS.
@@ -122,24 +122,30 @@ pub fn host_bfs(g: &CsrGraph, source: u32) -> Vec<u32> {
 
 /// Runs BFS from `source` on the simulator and validates distances
 /// against [`host_bfs`].
+///
+/// # Errors
+///
+/// Any [`SimError`] from the simulation, or
+/// [`SimError::ValidationFailed`] when the device distances diverge from
+/// the host reference.
 pub fn run(
     name: &str,
     g: &CsrGraph,
     source: u32,
     variant: Variant,
     base_cfg: GpuConfig,
-) -> RunReport {
-    let (prog, parent, _) = build_program(variant);
+) -> Result<RunReport, SimError> {
+    let (prog, parent, _) = build_program(variant)?;
     let cfg = variant.configure(base_cfg);
     let mut gpu = Gpu::new(cfg, prog);
     let n = g.num_vertices();
 
-    let row = gpu.malloc((n + 1) * 4).expect("alloc row");
-    let col = gpu.malloc(g.num_edges().max(1) * 4).expect("alloc col");
-    let dist = gpu.malloc(n * 4).expect("alloc dist");
-    let f_a = gpu.malloc(n * 4).expect("alloc frontier a");
-    let f_b = gpu.malloc(n * 4).expect("alloc frontier b");
-    let cnt = gpu.malloc(4).expect("alloc counter");
+    let row = gpu.malloc((n + 1) * 4)?;
+    let col = gpu.malloc(g.num_edges().max(1) * 4)?;
+    let dist = gpu.malloc(n * 4)?;
+    let f_a = gpu.malloc(n * 4)?;
+    let f_b = gpu.malloc(n * 4)?;
+    let cnt = gpu.malloc(4)?;
 
     gpu.mem_mut().write_slice_u32(row, &g.row_offsets);
     gpu.mem_mut().write_slice_u32(col, &g.col_indices);
@@ -157,9 +163,8 @@ pub fn run(
             ceil_div(nf, PARENT_TB),
             &[row, col, dist, frontier.0, frontier.1, cnt, nf, level + 1],
             0,
-        )
-        .expect("launch bfs_level");
-        gpu.run_to_idle().expect("bfs level converges");
+        )?;
+        gpu.run_to_idle()?;
         nf = gpu.mem().read_u32(cnt);
         frontier = (frontier.1, frontier.0);
         level += 1;
@@ -167,14 +172,13 @@ pub fn run(
 
     let got = gpu.mem().read_vec_u32(dist, n as usize);
     let want = host_bfs(g, source);
-    let validated = got == want;
+    validate_u32(name, "dist", &got, &want)?;
     let stats = gpu.stats().clone();
-    RunReport {
+    Ok(RunReport {
         benchmark: name.to_string(),
         variant,
         stats,
-        validated,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -187,41 +191,40 @@ mod tests {
     }
 
     #[test]
-    fn flat_bfs_is_correct_on_citation() {
+    fn flat_bfs_is_correct_on_citation() -> Result<(), SimError> {
         let g = graph::citation(400, 3, 1);
-        let r = run("bfs_test", &g, 0, Variant::Flat, small_cfg());
-        r.assert_valid();
+        let r = run("bfs_test", &g, 0, Variant::Flat, small_cfg())?;
         assert!(r.stats.cycles > 0);
         assert_eq!(r.stats.dyn_launches(), 0, "flat never launches");
+        Ok(())
     }
 
     #[test]
-    fn cdp_and_dtbl_bfs_are_correct() {
+    fn cdp_and_dtbl_bfs_are_correct() -> Result<(), SimError> {
         let g = graph::citation(400, 3, 2);
         for v in [Variant::Cdp, Variant::Dtbl] {
-            let r = run("bfs_test", &g, 0, v, small_cfg());
-            r.assert_valid();
+            let r = run("bfs_test", &g, 0, v, small_cfg())?;
             assert!(
                 r.stats.dyn_launches() > 0,
                 "{v}: skewed graph must trigger dynamic launches"
             );
         }
+        Ok(())
     }
 
     #[test]
-    fn road_grid_rarely_launches() {
+    fn road_grid_rarely_launches() -> Result<(), SimError> {
         let g = graph::usa_road(16, 16);
-        let r = run("bfs_road", &g, 0, Variant::Dtbl, small_cfg());
-        r.assert_valid();
+        let r = run("bfs_road", &g, 0, Variant::Dtbl, small_cfg())?;
         // Degree ≤ 4 < threshold: no DFP big enough to launch (§5.2C).
         assert_eq!(r.stats.dyn_launches(), 0);
+        Ok(())
     }
 
     #[test]
-    fn dtbl_coalesces_on_skewed_graph() {
+    fn dtbl_coalesces_on_skewed_graph() -> Result<(), SimError> {
         let g = graph::citation(2_000, 6, 3);
-        let r = run("bfs_cit", &g, 0, Variant::Dtbl, small_cfg());
-        r.assert_valid();
+        let r = run("bfs_cit", &g, 0, Variant::Dtbl, small_cfg())?;
         assert!(r.stats.dyn_launches() > 10, "skew must launch");
         // Early launches fall back (the eligible kernel is not resident
         // yet — the paper's "mismatches typically occur early"); once the
@@ -231,13 +234,14 @@ mod tests {
             "later groups must coalesce, rate {}",
             r.stats.match_rate()
         );
+        Ok(())
     }
 
     #[test]
-    fn disconnected_vertices_stay_unreached() {
+    fn disconnected_vertices_stay_unreached() -> Result<(), SimError> {
         // Two components: BFS from 0 must leave the other at INF.
         let g = CsrGraph::from_adjacency(vec![vec![1], vec![0], vec![3], vec![2]]);
-        let r = run("bfs_cc", &g, 0, Variant::Flat, small_cfg());
-        r.assert_valid();
+        run("bfs_cc", &g, 0, Variant::Flat, small_cfg())?;
+        Ok(())
     }
 }

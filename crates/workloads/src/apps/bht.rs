@@ -9,11 +9,11 @@
 //! reports for `bht` (avg ≈33 threads/launch, the biggest occupancy win
 //! in Figure 8).
 
-use crate::common::{ceil_div, child_guard, emit_dfp, Variant};
+use crate::common::{build_kernel, ceil_div, child_guard, emit_dfp, Variant};
 use crate::data::points::PointSet;
 use crate::report::RunReport;
 use gpu_isa::{AtomOp, CmpOp, CmpTy, Dim3, KernelBuilder, KernelId, Op, Program, Reg, Space};
-use gpu_sim::{Gpu, GpuConfig};
+use gpu_sim::{Gpu, GpuConfig, SimError};
 
 const PARENT_TB: u32 = 64;
 /// Maximum bodies in a leaf.
@@ -66,7 +66,7 @@ fn emit_mid(b: &mut KernelBuilder, x0: Reg, slog: Reg) -> Reg {
     b.iadd(x0, Op::Reg(half))
 }
 
-fn build_program(variant: Variant) -> (Program, KernelId, KernelId, KernelId) {
+fn build_program(variant: Variant) -> Result<(Program, KernelId, KernelId, KernelId), SimError> {
     let mut prog = Program::new();
 
     // Count child: params [count, bodies_addr, xs, ys, xmid, ymid, qc_addr].
@@ -81,7 +81,7 @@ fn build_program(variant: Variant) -> (Program, KernelId, KernelId, KernelId) {
     let (q, _) = emit_quadrant(&mut cb, i, bodies, xs, ys, xmid, ymid);
     let qa = cb.mad(q, Op::Imm(4), Op::Reg(qc));
     cb.atom_noret(AtomOp::Add, Space::Global, qa, 0, Op::Imm(1));
-    let count_child = prog.add(cb.build().expect("bht_count_child builds"));
+    let count_child = prog.add(build_kernel(cb)?);
 
     // Scatter child: params
     // [count, bodies_addr, xs, ys, xmid, ymid, qcur_addr, bodies_out].
@@ -99,7 +99,7 @@ fn build_program(variant: Variant) -> (Program, KernelId, KernelId, KernelId) {
     let pos = sb.atom(AtomOp::Add, Space::Global, qa, 0, Op::Imm(1));
     let oa = sb.mad(pos, Op::Imm(4), Op::Reg(bout));
     sb.st(Space::Global, oa, 0, Op::Reg(body));
-    let scatter_child = prog.add(sb.build().expect("bht_scatter_child builds"));
+    let scatter_child = prog.add(build_kernel(sb)?);
 
     // Count kernel: per node; params
     // [nodes, n_nodes, xs, ys, bodies_in, qcounts, leaf_total].
@@ -149,7 +149,7 @@ fn build_program(variant: Variant) -> (Program, KernelId, KernelId, KernelId) {
             );
         },
     );
-    let count_k = prog.add(kb.build().expect("bht_count builds"));
+    let count_k = prog.add(build_kernel(kb)?);
 
     // Emit kernel (flat in every variant): computes child offsets and
     // emits non-empty child nodes; params
@@ -207,7 +207,7 @@ fn build_program(variant: Variant) -> (Program, KernelId, KernelId, KernelId) {
             b.mov_to(running, Op::Reg(next));
         }
     });
-    let emit_k = prog.add(eb.build().expect("bht_emit builds"));
+    let emit_k = prog.add(build_kernel(eb)?);
 
     // Scatter kernel: per node; params
     // [nodes, n_nodes, xs, ys, bodies_in, bodies_out, qcursor].
@@ -255,9 +255,9 @@ fn build_program(variant: Variant) -> (Program, KernelId, KernelId, KernelId) {
             },
         );
     });
-    let scatter_k = prog.add(skb.build().expect("bht_scatter builds"));
+    let scatter_k = prog.add(build_kernel(skb)?);
 
-    (prog, count_k, emit_k, scatter_k)
+    Ok((prog, count_k, emit_k, scatter_k))
 }
 
 /// Side length (log2) of the host pre-split grid: real flat tree builders
@@ -355,8 +355,13 @@ pub fn host_build(p: &PointSet) -> (u64, u64, u32) {
 
 /// Runs the tree build and validates the leaf body total against the
 /// host mirror (every body must land in exactly one leaf).
-pub fn run(name: &str, p: &PointSet, variant: Variant, base_cfg: GpuConfig) -> RunReport {
-    let (prog, count_k, emit_k, scatter_k) = build_program(variant);
+pub fn run(
+    name: &str,
+    p: &PointSet,
+    variant: Variant,
+    base_cfg: GpuConfig,
+) -> Result<RunReport, SimError> {
+    let (prog, count_k, emit_k, scatter_k) = build_program(variant)?;
     let cfg = variant.configure(base_cfg);
     let mut gpu = Gpu::new(cfg, prog);
     let n = p.len() as u32;
@@ -364,21 +369,17 @@ pub fn run(name: &str, p: &PointSet, variant: Variant, base_cfg: GpuConfig) -> R
     // Generous node bound: each level splits off at most 4x nodes but is
     // also bounded by n / (CAP/4); use 8n/CAP + 64.
     let max_nodes = (8 * n / LEAF_CAP + 64).max(256);
-    let xs = gpu.malloc(n * 4).expect("alloc xs");
-    let ys = gpu.malloc(n * 4).expect("alloc ys");
-    let nodes_a = gpu
-        .malloc(max_nodes * NODE_WORDS * 4)
-        .expect("alloc nodes a");
-    let nodes_b = gpu
-        .malloc(max_nodes * NODE_WORDS * 4)
-        .expect("alloc nodes b");
-    let bodies_a = gpu.malloc(n * 4).expect("alloc bodies a");
-    let bodies_b = gpu.malloc(n * 4).expect("alloc bodies b");
-    let qcounts = gpu.malloc(max_nodes * 16).expect("alloc qcounts");
-    let qcursor = gpu.malloc(max_nodes * 16).expect("alloc qcursor");
-    let leaf_total = gpu.malloc(4).expect("alloc leaf total");
-    let out_cnt = gpu.malloc(4).expect("alloc out cnt");
-    let body_cur = gpu.malloc(4).expect("alloc body cursor");
+    let xs = gpu.malloc(n * 4)?;
+    let ys = gpu.malloc(n * 4)?;
+    let nodes_a = gpu.malloc(max_nodes * NODE_WORDS * 4)?;
+    let nodes_b = gpu.malloc(max_nodes * NODE_WORDS * 4)?;
+    let bodies_a = gpu.malloc(n * 4)?;
+    let bodies_b = gpu.malloc(n * 4)?;
+    let qcounts = gpu.malloc(max_nodes * 16)?;
+    let qcursor = gpu.malloc(max_nodes * 16)?;
+    let leaf_total = gpu.malloc(4)?;
+    let out_cnt = gpu.malloc(4)?;
+    let body_cur = gpu.malloc(4)?;
 
     gpu.mem_mut().write_slice_u32(xs, &p.xs);
     gpu.mem_mut().write_slice_u32(ys, &p.ys);
@@ -404,7 +405,12 @@ pub fn run(name: &str, p: &PointSet, variant: Variant, base_cfg: GpuConfig) -> R
     let mut bodies = (bodies_a, bodies_b);
     let mut n_nodes = top.len() as u32;
     while n_nodes > 0 {
-        assert!(n_nodes <= max_nodes, "node bound exceeded");
+        if n_nodes > max_nodes {
+            return Err(SimError::ValidationFailed {
+                app: name.to_string(),
+                detail: format!("node bound exceeded: {n_nodes} > {max_nodes}"),
+            });
+        }
         // Zero this level's quadrant counters.
         gpu.mem_mut()
             .write_slice_u32(qcounts, &vec![0u32; (n_nodes * 4) as usize]);
@@ -413,9 +419,8 @@ pub fn run(name: &str, p: &PointSet, variant: Variant, base_cfg: GpuConfig) -> R
             ceil_div(n_nodes, PARENT_TB),
             &[nodes.0, n_nodes, xs, ys, bodies.0, qcounts, leaf_total],
             0,
-        )
-        .expect("launch bht_count");
-        gpu.run_to_idle().expect("count converges");
+        )?;
+        gpu.run_to_idle()?;
 
         gpu.mem_mut().write_u32(out_cnt, 0);
         gpu.mem_mut().write_u32(body_cur, 0);
@@ -426,18 +431,16 @@ pub fn run(name: &str, p: &PointSet, variant: Variant, base_cfg: GpuConfig) -> R
                 nodes.0, n_nodes, qcounts, qcursor, nodes.1, out_cnt, body_cur,
             ],
             0,
-        )
-        .expect("launch bht_emit");
-        gpu.run_to_idle().expect("emit converges");
+        )?;
+        gpu.run_to_idle()?;
 
         gpu.launch(
             scatter_k,
             ceil_div(n_nodes, PARENT_TB),
             &[nodes.0, n_nodes, xs, ys, bodies.0, bodies.1, qcursor],
             0,
-        )
-        .expect("launch bht_scatter");
-        gpu.run_to_idle().expect("scatter converges");
+        )?;
+        gpu.run_to_idle()?;
 
         n_nodes = gpu.mem().read_u32(out_cnt);
         nodes = (nodes.1, nodes.0);
@@ -446,14 +449,20 @@ pub fn run(name: &str, p: &PointSet, variant: Variant, base_cfg: GpuConfig) -> R
 
     let got_leaf_bodies = u64::from(gpu.mem().read_u32(leaf_total));
     let (want_leaf_bodies, _, _) = host_build(p);
-    let validated = got_leaf_bodies == want_leaf_bodies && got_leaf_bodies == u64::from(n);
-    let stats = gpu.stats().clone();
-    RunReport {
+    if got_leaf_bodies != want_leaf_bodies || got_leaf_bodies != u64::from(n) {
+        return Err(SimError::ValidationFailed {
+            app: name.to_string(),
+            detail: format!(
+                "leaf body total {got_leaf_bodies}, host counted \
+                 {want_leaf_bodies} of {n} bodies"
+            ),
+        });
+    }
+    Ok(RunReport {
         benchmark: name.to_string(),
         variant,
-        stats,
-        validated,
-    }
+        stats: gpu.stats().clone(),
+    })
 }
 
 #[cfg(test)]
@@ -471,31 +480,34 @@ mod tests {
     }
 
     #[test]
-    fn gpu_build_matches_host_on_all_variants() {
+    fn gpu_build_matches_host_on_all_variants() -> Result<(), SimError> {
         let p = points::random_points(400, 8, 2);
         for v in [Variant::Flat, Variant::Cdp, Variant::Dtbl] {
-            run("bht_test", &p, v, GpuConfig::test_small()).assert_valid();
+            run("bht_test", &p, v, GpuConfig::test_small())?;
         }
+        Ok(())
     }
 
     #[test]
-    fn clustered_points_build_deeper_trees() {
+    fn clustered_points_build_deeper_trees() -> Result<(), SimError> {
         let u = points::random_points(600, 10, 3);
         let c = points::clustered_points(600, 10, 2, 3);
         let (_, _, du) = host_build(&u);
         let (_, _, dc) = host_build(&c);
         assert!(dc >= du, "clusters force deeper refinement ({dc} vs {du})");
-        run("bht_clustered", &c, Variant::Dtbl, GpuConfig::test_small()).assert_valid();
+        run("bht_clustered", &c, Variant::Dtbl, GpuConfig::test_small())?;
+        Ok(())
     }
 
     #[test]
-    fn tiny_input_makes_only_pre_split_leaves() {
+    fn tiny_input_makes_only_pre_split_leaves() -> Result<(), SimError> {
         let p = points::random_points(10, 6, 4);
         let (bodies, leaves, depth) = host_build(&p);
         assert_eq!(bodies, 10);
         // Every occupied pre-split cell is immediately a leaf (≤ cap).
         assert!((1..=10).contains(&leaves), "{leaves} leaves");
         assert_eq!(depth, 0, "nothing recurses below the pre-split grid");
-        run("bht_tiny", &p, Variant::Flat, GpuConfig::test_small()).assert_valid();
+        run("bht_tiny", &p, Variant::Flat, GpuConfig::test_small())?;
+        Ok(())
     }
 }

@@ -9,18 +9,17 @@
 //! make the flat variant already well balanced, which is why the paper
 //! sees little or negative benefit there (§5.2A).
 
-use crate::common::{ceil_div, child_guard, emit_dfp, Variant};
+use crate::common::{build_kernel, ceil_div, child_guard, emit_dfp, validate_u32, Variant};
 use crate::data::CsrGraph;
 use crate::report::RunReport;
 use gpu_isa::{AtomOp, CmpOp, CmpTy, Dim3, KernelBuilder, KernelId, Op, Program, Space};
-use gpu_sim::{Gpu, GpuConfig};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use gpu_sim::{Gpu, GpuConfig, SimError};
+use sim_rand::{Rng, SeedableRng, StdRng};
 
 const PARENT_TB: u32 = 128;
 const UNCOLORED: u32 = u32::MAX;
 
-fn build_program(variant: Variant) -> (Program, KernelId, KernelId) {
+fn build_program(variant: Variant) -> Result<(Program, KernelId, KernelId), SimError> {
     let mut prog = Program::new();
 
     // Child: scan `count` neighbours of v; if any uncolored neighbour has
@@ -35,7 +34,7 @@ fn build_program(variant: Variant) -> (Program, KernelId, KernelId) {
     let pv = cb.ld_param(5);
     let v = cb.ld_param(6);
     emit_scan(&mut cb, i, edges, colors, prios, flag_addr, pv, v);
-    let child = prog.add(cb.build().expect("clr_scan builds"));
+    let child = prog.add(build_kernel(cb)?);
 
     // Check kernel: one thread per worklist vertex.
     // Params: [row, col, colors, prios, flags, wl, nwl].
@@ -78,7 +77,7 @@ fn build_program(variant: Variant) -> (Program, KernelId, KernelId) {
             emit_scan(b, i, edge_addr, colors, prios, fa, pv, v);
         },
     );
-    let check = prog.add(kb.build().expect("clr_check builds"));
+    let check = prog.add(build_kernel(kb)?);
 
     // Assign kernel (flat in every variant): winners take color `round`,
     // losers re-enter the worklist.
@@ -111,8 +110,8 @@ fn build_program(variant: Variant) -> (Program, KernelId, KernelId) {
             b.st(Space::Global, oa, 0, Op::Reg(v));
         },
     );
-    let assign = prog.add(ab.build().expect("clr_assign builds"));
-    (prog, check, assign)
+    let assign = prog.add(build_kernel(ab)?);
+    Ok((prog, check, assign))
 }
 
 /// Emits the neighbour-priority check for neighbour index `i`.
@@ -186,23 +185,28 @@ pub fn is_proper_coloring(g: &CsrGraph, colors: &[u32]) -> bool {
 }
 
 /// Runs graph coloring and validates against the host reference.
-pub fn run(name: &str, g: &CsrGraph, variant: Variant, base_cfg: GpuConfig) -> RunReport {
+pub fn run(
+    name: &str,
+    g: &CsrGraph,
+    variant: Variant,
+    base_cfg: GpuConfig,
+) -> Result<RunReport, SimError> {
     let n = g.num_vertices();
     let mut rng = StdRng::seed_from_u64(0xC01);
     let prios: Vec<u32> = (0..n).map(|_| rng.gen()).collect();
 
-    let (prog, check, assign) = build_program(variant);
+    let (prog, check, assign) = build_program(variant)?;
     let cfg = variant.configure(base_cfg);
     let mut gpu = Gpu::new(cfg, prog);
 
-    let row = gpu.malloc((n + 1) * 4).expect("alloc row");
-    let col = gpu.malloc(g.num_edges().max(1) * 4).expect("alloc col");
-    let colors = gpu.malloc(n * 4).expect("alloc colors");
-    let pri = gpu.malloc(n * 4).expect("alloc prios");
-    let flags = gpu.malloc(n * 4).expect("alloc flags");
-    let wl_a = gpu.malloc(n * 4).expect("alloc worklist a");
-    let wl_b = gpu.malloc(n * 4).expect("alloc worklist b");
-    let cnt = gpu.malloc(4).expect("alloc counter");
+    let row = gpu.malloc((n + 1) * 4)?;
+    let col = gpu.malloc(g.num_edges().max(1) * 4)?;
+    let colors = gpu.malloc(n * 4)?;
+    let pri = gpu.malloc(n * 4)?;
+    let flags = gpu.malloc(n * 4)?;
+    let wl_a = gpu.malloc(n * 4)?;
+    let wl_b = gpu.malloc(n * 4)?;
+    let cnt = gpu.malloc(4)?;
 
     gpu.mem_mut().write_slice_u32(row, &g.row_offsets);
     gpu.mem_mut().write_slice_u32(col, &g.col_indices);
@@ -221,18 +225,16 @@ pub fn run(name: &str, g: &CsrGraph, variant: Variant, base_cfg: GpuConfig) -> R
             ceil_div(nwl, PARENT_TB),
             &[row, col, colors, pri, flags, wl.0, nwl],
             0,
-        )
-        .expect("launch clr_check");
-        gpu.run_to_idle().expect("check converges");
+        )?;
+        gpu.run_to_idle()?;
         gpu.mem_mut().write_u32(cnt, 0);
         gpu.launch(
             assign,
             ceil_div(nwl, PARENT_TB),
             &[colors, flags, wl.0, wl.1, cnt, nwl, round],
             0,
-        )
-        .expect("launch clr_assign");
-        gpu.run_to_idle().expect("assign converges");
+        )?;
+        gpu.run_to_idle()?;
         nwl = gpu.mem().read_u32(cnt);
         wl = (wl.1, wl.0);
         round += 1;
@@ -240,14 +242,18 @@ pub fn run(name: &str, g: &CsrGraph, variant: Variant, base_cfg: GpuConfig) -> R
 
     let got = gpu.mem().read_vec_u32(colors, n as usize);
     let want = host_coloring(g, &prios);
-    let validated = got == want && is_proper_coloring(g, &got);
-    let stats = gpu.stats().clone();
-    RunReport {
+    validate_u32(name, "color", &got, &want)?;
+    if !is_proper_coloring(g, &got) {
+        return Err(SimError::ValidationFailed {
+            app: name.to_string(),
+            detail: "coloring is not proper (adjacent vertices share a color)".into(),
+        });
+    }
+    Ok(RunReport {
         benchmark: name.to_string(),
         variant,
-        stats,
-        validated,
-    }
+        stats: gpu.stats().clone(),
+    })
 }
 
 #[cfg(test)]
@@ -264,18 +270,19 @@ mod tests {
     }
 
     #[test]
-    fn gpu_matches_host_on_all_variants() {
+    fn gpu_matches_host_on_all_variants() -> Result<(), SimError> {
         let g = graph::graph500_logn(200, 4, 2);
         for v in [Variant::Flat, Variant::Cdp, Variant::Dtbl] {
-            run("clr_test", &g, v, GpuConfig::test_small()).assert_valid();
+            run("clr_test", &g, v, GpuConfig::test_small())?;
         }
+        Ok(())
     }
 
     #[test]
-    fn skewed_graph_launches_dynamically() {
+    fn skewed_graph_launches_dynamically() -> Result<(), SimError> {
         let g = graph::citation(400, 4, 9);
-        let r = run("clr_cit", &g, Variant::Dtbl, GpuConfig::test_small());
-        r.assert_valid();
+        let r = run("clr_cit", &g, Variant::Dtbl, GpuConfig::test_small())?;
         assert!(r.stats.dyn_launches() > 0);
+        Ok(())
     }
 }

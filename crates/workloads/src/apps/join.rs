@@ -8,11 +8,11 @@
 //! makes `join_gaussian` one of the biggest warp-activity winners in
 //! Figure 6.
 
-use crate::common::{ceil_div, child_guard, emit_dfp, Variant};
+use crate::common::{build_kernel, ceil_div, child_guard, emit_dfp, Variant};
 use crate::data::relations::JoinInput;
 use crate::report::RunReport;
 use gpu_isa::{AtomOp, CmpOp, CmpTy, Dim3, KernelBuilder, KernelId, Op, Program, Space};
-use gpu_sim::{Gpu, GpuConfig};
+use gpu_sim::{Gpu, GpuConfig, SimError};
 
 const PARENT_TB: u32 = 128;
 
@@ -21,7 +21,7 @@ fn num_buckets(domain: u32) -> u32 {
     (domain / 4).max(1)
 }
 
-fn build_program(variant: Variant) -> (Program, KernelId) {
+fn build_program(variant: Variant) -> Result<(Program, KernelId), SimError> {
     let mut prog = Program::new();
 
     // Child: scan `count` chain entries; params:
@@ -34,7 +34,7 @@ fn build_program(variant: Variant) -> (Program, KernelId) {
     let out = cb.ld_param(4);
     let probe_idx = cb.ld_param(5);
     emit_probe_step(&mut cb, i, chain, key, matches, out, probe_idx);
-    let child = prog.add(cb.build().expect("join_chain builds"));
+    let child = prog.add(build_kernel(cb)?);
 
     // Probe kernel: one thread per probe tuple; params:
     // [bucket_off, bucket_keys, probe_keys, matches, out, n_probe, nbuckets].
@@ -73,8 +73,8 @@ fn build_program(variant: Variant) -> (Program, KernelId) {
             emit_probe_step(b, i, chain, key, matches, out, gtid);
         },
     );
-    let probe = prog.add(pb.build().expect("join_probe builds"));
-    (prog, probe)
+    let probe = prog.add(build_kernel(pb)?);
+    Ok((prog, probe))
 }
 
 /// Emits one chain comparison: on key equality, reserve an output slot and
@@ -121,23 +121,24 @@ fn build_buckets(input: &JoinInput) -> (Vec<u32>, Vec<u32>) {
 }
 
 /// Runs the probe phase and validates the match count against the host.
-pub fn run(name: &str, input: &JoinInput, variant: Variant, base_cfg: GpuConfig) -> RunReport {
+pub fn run(
+    name: &str,
+    input: &JoinInput,
+    variant: Variant,
+    base_cfg: GpuConfig,
+) -> Result<RunReport, SimError> {
     let (offsets, bkeys) = build_buckets(input);
-    let (prog, probe) = build_program(variant);
+    let (prog, probe) = build_program(variant)?;
     let cfg = variant.configure(base_cfg);
     let mut gpu = Gpu::new(cfg, prog);
 
     let want = input.host_match_count();
     let n_probe = input.probe_keys.len() as u32;
-    let boff = gpu.malloc(offsets.len() as u32 * 4).expect("alloc offsets");
-    let bk = gpu
-        .malloc(bkeys.len().max(1) as u32 * 4)
-        .expect("alloc bkeys");
-    let pk = gpu.malloc(n_probe.max(1) * 4).expect("alloc probe");
-    let matches = gpu.malloc(4).expect("alloc matches");
-    let out = gpu
-        .malloc(((want as u32).max(1)) * 4)
-        .expect("alloc output");
+    let boff = gpu.malloc(offsets.len() as u32 * 4)?;
+    let bk = gpu.malloc(bkeys.len().max(1) as u32 * 4)?;
+    let pk = gpu.malloc(n_probe.max(1) * 4)?;
+    let matches = gpu.malloc(4)?;
+    let out = gpu.malloc(((want as u32).max(1)) * 4)?;
 
     gpu.mem_mut().write_slice_u32(boff, &offsets);
     gpu.mem_mut().write_slice_u32(bk, &bkeys);
@@ -157,19 +158,21 @@ pub fn run(name: &str, input: &JoinInput, variant: Variant, base_cfg: GpuConfig)
             num_buckets(input.domain),
         ],
         0,
-    )
-    .expect("launch join_probe");
-    gpu.run_to_idle().expect("probe converges");
+    )?;
+    gpu.run_to_idle()?;
 
     let got = u64::from(gpu.mem().read_u32(matches));
-    let validated = got == want;
-    let stats = gpu.stats().clone();
-    RunReport {
+    if got != want {
+        return Err(SimError::ValidationFailed {
+            app: name.to_string(),
+            detail: format!("match count: got {got}, want {want}"),
+        });
+    }
+    Ok(RunReport {
         benchmark: name.to_string(),
         variant,
-        stats,
-        validated,
-    }
+        stats: gpu.stats().clone(),
+    })
 }
 
 #[cfg(test)]
@@ -178,21 +181,20 @@ mod tests {
     use crate::data::relations::{join_input, KeyDist};
 
     #[test]
-    fn uniform_join_counts_match() {
+    fn uniform_join_counts_match() -> Result<(), SimError> {
         let input = join_input(KeyDist::Uniform, 2000, 500, 256, 1);
         for v in [Variant::Flat, Variant::Cdp, Variant::Dtbl] {
-            run("join_u", &input, v, GpuConfig::test_small()).assert_valid();
+            run("join_u", &input, v, GpuConfig::test_small())?;
         }
+        Ok(())
     }
 
     #[test]
-    fn gaussian_join_counts_match_and_flat_diverges_more() {
-        let uni = join_input(KeyDist::Uniform, 2000, 400, 512, 2);
-        let gau = join_input(KeyDist::Gaussian, 2000, 400, 512, 2);
-        let ru = run("join_u", &uni, Variant::Flat, GpuConfig::test_small());
-        let rg = run("join_g", &gau, Variant::Flat, GpuConfig::test_small());
-        ru.assert_valid();
-        rg.assert_valid();
+    fn gaussian_join_counts_match_and_flat_diverges_more() -> Result<(), SimError> {
+        let uni = join_input(KeyDist::Uniform, 2000, 400, 256, 2);
+        let gau = join_input(KeyDist::Gaussian, 2000, 400, 256, 2);
+        let ru = run("join_u", &uni, Variant::Flat, GpuConfig::test_small())?;
+        let rg = run("join_g", &gau, Variant::Flat, GpuConfig::test_small())?;
         // The paper's point (Figure 6): with skewed chains, flat threads in
         // the same warp loop for wildly different trip counts, depressing
         // warp activity relative to the balanced uniform input.
@@ -203,7 +205,8 @@ mod tests {
             ru.stats.warp_activity_pct()
         );
         // And the DTBL variant stays functionally correct on both.
-        run("join_u", &uni, Variant::Dtbl, GpuConfig::test_small()).assert_valid();
-        run("join_g", &gau, Variant::Dtbl, GpuConfig::test_small()).assert_valid();
+        run("join_u", &uni, Variant::Dtbl, GpuConfig::test_small())?;
+        run("join_g", &gau, Variant::Dtbl, GpuConfig::test_small())?;
+        Ok(())
     }
 }

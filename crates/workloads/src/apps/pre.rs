@@ -9,15 +9,15 @@
 //! dynamic launch), which is why its occupancy and waiting-time gains are
 //! small (§5.2B).
 
-use crate::common::{ceil_div, child_guard, emit_dfp, Variant};
+use crate::common::{build_kernel, ceil_div, child_guard, emit_dfp, validate_u32, Variant};
 use crate::data::ratings::RatingSet;
 use crate::report::RunReport;
 use gpu_isa::{AtomOp, CmpOp, CmpTy, Dim3, KernelBuilder, KernelId, Op, Program, Space};
-use gpu_sim::{Gpu, GpuConfig};
+use gpu_sim::{Gpu, GpuConfig, SimError};
 
 const PARENT_TB: u32 = 128;
 
-fn build_program(variant: Variant) -> (Program, KernelId) {
+fn build_program(variant: Variant) -> Result<(Program, KernelId), SimError> {
     let mut prog = Program::new();
 
     // Child: accumulate `count` rating products; params:
@@ -29,7 +29,7 @@ fn build_program(variant: Variant) -> (Program, KernelId) {
     let qvec = cb.ld_param(3);
     let sim = cb.ld_param(4);
     emit_dot_step(&mut cb, i, users, vals, qvec, sim);
-    let child = prog.add(cb.build().expect("pre_dot builds"));
+    let child = prog.add(build_kernel(cb)?);
 
     // Parent: one thread per item; params:
     // [item_offsets, users, vals, qvec, sims, n_items].
@@ -65,8 +65,8 @@ fn build_program(variant: Variant) -> (Program, KernelId) {
             emit_dot_step(b, i, users_addr, vals_addr, qvec, sim_addr);
         },
     );
-    let parent = prog.add(pb.build().expect("pre_item builds"));
-    (prog, parent)
+    let parent = prog.add(build_kernel(pb)?);
+    Ok((prog, parent))
 }
 
 /// Emits one dot-product term: `sim += vals[i] * qvec[users[i]]`
@@ -109,23 +109,28 @@ pub fn host_similarities(r: &RatingSet, query_item: u32) -> Vec<u32> {
 }
 
 /// Runs the similarity computation and validates every item's score.
-pub fn run(name: &str, r: &RatingSet, variant: Variant, base_cfg: GpuConfig) -> RunReport {
+pub fn run(
+    name: &str,
+    r: &RatingSet,
+    variant: Variant,
+    base_cfg: GpuConfig,
+) -> Result<RunReport, SimError> {
     let query_item = 0u32;
     let mut qvec_host = vec![0u32; r.num_users as usize];
     for (u, v) in r.item_ratings(query_item) {
         qvec_host[u as usize] = v;
     }
 
-    let (prog, parent) = build_program(variant);
+    let (prog, parent) = build_program(variant)?;
     let cfg = variant.configure(base_cfg);
     let mut gpu = Gpu::new(cfg, prog);
     let n_items = r.num_items();
 
-    let offs = gpu.malloc((n_items + 1) * 4).expect("alloc item offsets");
-    let users = gpu.malloc(r.num_ratings().max(1) * 4).expect("alloc users");
-    let vals = gpu.malloc(r.num_ratings().max(1) * 4).expect("alloc vals");
-    let qvec = gpu.malloc(r.num_users.max(1) * 4).expect("alloc qvec");
-    let sims = gpu.malloc(n_items * 4).expect("alloc sims");
+    let offs = gpu.malloc((n_items + 1) * 4)?;
+    let users = gpu.malloc(r.num_ratings().max(1) * 4)?;
+    let vals = gpu.malloc(r.num_ratings().max(1) * 4)?;
+    let qvec = gpu.malloc(r.num_users.max(1) * 4)?;
+    let sims = gpu.malloc(n_items * 4)?;
 
     gpu.mem_mut().write_slice_u32(offs, &r.item_offsets);
     gpu.mem_mut().write_slice_u32(users, &r.users);
@@ -137,19 +142,16 @@ pub fn run(name: &str, r: &RatingSet, variant: Variant, base_cfg: GpuConfig) -> 
         ceil_div(n_items, PARENT_TB),
         &[offs, users, vals, qvec, sims, n_items],
         0,
-    )
-    .expect("launch pre_item");
-    gpu.run_to_idle().expect("pre converges");
+    )?;
+    gpu.run_to_idle()?;
 
     let got = gpu.mem().read_vec_u32(sims, n_items as usize);
-    let validated = got == host_similarities(r, query_item);
-    let stats = gpu.stats().clone();
-    RunReport {
+    validate_u32(name, "similarity", &got, &host_similarities(r, query_item))?;
+    Ok(RunReport {
         benchmark: name.to_string(),
         variant,
-        stats,
-        validated,
-    }
+        stats: gpu.stats().clone(),
+    })
 }
 
 #[cfg(test)]
@@ -158,18 +160,18 @@ mod tests {
     use crate::data::ratings;
 
     #[test]
-    fn similarities_match_host() {
+    fn similarities_match_host() -> Result<(), SimError> {
         let r = ratings::movielens_like(60, 400, 120, 1);
         for v in [Variant::Flat, Variant::Cdp, Variant::Dtbl] {
-            run("pre_test", &r, v, GpuConfig::test_small()).assert_valid();
+            run("pre_test", &r, v, GpuConfig::test_small())?;
         }
+        Ok(())
     }
 
     #[test]
-    fn dfp_is_coarse_grained() {
+    fn dfp_is_coarse_grained() -> Result<(), SimError> {
         let r = ratings::movielens_like(60, 1500, 900, 2);
-        let rep = run("pre_test", &r, Variant::Dtbl, GpuConfig::test_small());
-        rep.assert_valid();
+        let rep = run("pre_test", &r, Variant::Dtbl, GpuConfig::test_small())?;
         if rep.stats.dyn_launches() > 0 {
             assert!(
                 rep.stats.avg_dyn_launch_threads() > 100.0,
@@ -177,5 +179,6 @@ mod tests {
                 rep.stats.avg_dyn_launch_threads()
             );
         }
+        Ok(())
     }
 }

@@ -7,15 +7,15 @@
 //! per packet) is the launch-densest benchmark in the paper — the one
 //! whose launch overhead even DTBL cannot fully hide (§5.2C).
 
-use crate::common::{ceil_div, child_guard, emit_dfp, Variant};
+use crate::common::{build_kernel, ceil_div, child_guard, emit_dfp, validate_scalar, Variant};
 use crate::data::strings::{host_match, signature_dfa, PacketSet, ALPHABET};
 use crate::report::RunReport;
 use gpu_isa::{AtomOp, CmpOp, CmpTy, Dim3, KernelBuilder, KernelId, Op, Program, Space};
-use gpu_sim::{Gpu, GpuConfig};
+use gpu_sim::{Gpu, GpuConfig, SimError};
 
 const PARENT_TB: u32 = 128;
 
-fn build_program(variant: Variant) -> (Program, KernelId) {
+fn build_program(variant: Variant) -> Result<(Program, KernelId), SimError> {
     let mut prog = Program::new();
 
     // Child: one thread per segment; params:
@@ -28,7 +28,7 @@ fn build_program(variant: Variant) -> (Program, KernelId) {
     let hits = cb.ld_param(4);
     let accept = cb.ld_param(5);
     emit_dfa_walk(&mut cb, i, segs, symbols, dfa, hits, accept);
-    let child = prog.add(cb.build().expect("regx_seg builds"));
+    let child = prog.add(build_kernel(cb)?);
 
     // Parent: one thread per packet; params:
     // [packets, segments, symbols, dfa, hits, n_packets, accept].
@@ -65,8 +65,8 @@ fn build_program(variant: Variant) -> (Program, KernelId) {
             emit_dfa_walk(b, i, seg_entry, symbols, dfa, hits, accept);
         },
     );
-    let parent = prog.add(pb.build().expect("regx_packet builds"));
-    (prog, parent)
+    let parent = prog.add(build_kernel(pb)?);
+    Ok((prog, parent))
 }
 
 /// Emits a DFA walk over segment `i` of the table at `seg_entry`
@@ -117,23 +117,22 @@ pub fn host_hits(p: &PacketSet) -> u32 {
 }
 
 /// Runs the matcher and validates the hit count.
-pub fn run(name: &str, p: &PacketSet, variant: Variant, base_cfg: GpuConfig) -> RunReport {
+pub fn run(
+    name: &str,
+    p: &PacketSet,
+    variant: Variant,
+    base_cfg: GpuConfig,
+) -> Result<RunReport, SimError> {
     let (table, _, accept) = signature_dfa();
-    let (prog, parent) = build_program(variant);
+    let (prog, parent) = build_program(variant)?;
     let cfg = variant.configure(base_cfg);
     let mut gpu = Gpu::new(cfg, prog);
 
-    let syms = gpu
-        .malloc(p.symbols.len().max(1) as u32 * 4)
-        .expect("alloc symbols");
-    let segs = gpu
-        .malloc(p.segments.len().max(1) as u32 * 8)
-        .expect("alloc segments");
-    let pkts = gpu
-        .malloc(p.packets.len().max(1) as u32 * 8)
-        .expect("alloc packets");
-    let dfa = gpu.malloc(table.len() as u32 * 4).expect("alloc dfa");
-    let hits = gpu.malloc(4).expect("alloc hits");
+    let syms = gpu.malloc(p.symbols.len().max(1) as u32 * 4)?;
+    let segs = gpu.malloc(p.segments.len().max(1) as u32 * 8)?;
+    let pkts = gpu.malloc(p.packets.len().max(1) as u32 * 8)?;
+    let dfa = gpu.malloc(table.len() as u32 * 4)?;
+    let hits = gpu.malloc(4)?;
 
     gpu.mem_mut().write_slice_u32(syms, &p.symbols);
     let seg_words: Vec<u32> = p.segments.iter().flat_map(|&(o, l)| [o, l]).collect();
@@ -149,19 +148,16 @@ pub fn run(name: &str, p: &PacketSet, variant: Variant, base_cfg: GpuConfig) -> 
         ceil_div(np, PARENT_TB),
         &[pkts, segs, syms, dfa, hits, np, accept],
         0,
-    )
-    .expect("launch regx_packet");
-    gpu.run_to_idle().expect("regx converges");
+    )?;
+    gpu.run_to_idle()?;
 
     let got = gpu.mem().read_u32(hits);
-    let validated = got == host_hits(p);
-    let stats = gpu.stats().clone();
-    RunReport {
+    validate_scalar(name, "accepting segments", got, host_hits(p))?;
+    Ok(RunReport {
         benchmark: name.to_string(),
         variant,
-        stats,
-        validated,
-    }
+        stats: gpu.stats().clone(),
+    })
 }
 
 #[cfg(test)]
@@ -170,18 +166,18 @@ mod tests {
     use crate::data::strings;
 
     #[test]
-    fn darpa_hits_match_host() {
+    fn darpa_hits_match_host() -> Result<(), SimError> {
         let p = strings::darpa_like(120, 1);
         for v in [Variant::Flat, Variant::Cdp, Variant::Dtbl] {
-            run("regx_darpa", &p, v, GpuConfig::test_small()).assert_valid();
+            run("regx_darpa", &p, v, GpuConfig::test_small())?;
         }
+        Ok(())
     }
 
     #[test]
-    fn random_strings_are_launch_dense() {
+    fn random_strings_are_launch_dense() -> Result<(), SimError> {
         let p = strings::random_strings(40, 2);
-        let r = run("regx_string", &p, Variant::Dtbl, GpuConfig::test_small());
-        r.assert_valid();
+        let r = run("regx_string", &p, Variant::Dtbl, GpuConfig::test_small())?;
         // Packets carry 24–96 segments; those at or above the warp-sized
         // threshold launch — the large majority.
         assert!(
@@ -190,5 +186,6 @@ mod tests {
             r.stats.dyn_launches(),
             p.num_packets()
         );
+        Ok(())
     }
 }

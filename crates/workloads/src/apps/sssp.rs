@@ -5,16 +5,16 @@
 //! per-vertex neighbour relaxation loop is the dynamically-formed
 //! parallelism.
 
-use crate::common::{ceil_div, child_guard, emit_dfp, Variant};
+use crate::common::{build_kernel, ceil_div, child_guard, emit_dfp, validate_u32, Variant};
 use crate::data::CsrGraph;
 use crate::report::RunReport;
 use gpu_isa::{AtomOp, CmpOp, CmpTy, Dim3, KernelBuilder, KernelId, Op, Program, Space};
-use gpu_sim::{Gpu, GpuConfig};
+use gpu_sim::{Gpu, GpuConfig, SimError};
 
 const PARENT_TB: u32 = 128;
 const INF: u32 = u32::MAX;
 
-fn build_program(variant: Variant) -> (Program, KernelId) {
+fn build_program(variant: Variant) -> Result<(Program, KernelId), SimError> {
     let mut prog = Program::new();
 
     // Child: relax `count` edges; params:
@@ -30,7 +30,7 @@ fn build_program(variant: Variant) -> (Program, KernelId) {
     let cnt = cb.ld_param(7);
     let tag = cb.ld_param(8);
     emit_relax(&mut cb, i, edges, weights, dist, dv, flags, fout, cnt, tag);
-    let child = prog.add(cb.build().expect("sssp_relax builds"));
+    let child = prog.add(build_kernel(cb)?);
 
     // Parent: one thread per frontier vertex; params:
     // [row, col, w, dist, fin, fout, cnt, flags, nf, tag].
@@ -88,8 +88,8 @@ fn build_program(variant: Variant) -> (Program, KernelId) {
             );
         },
     );
-    let parent = prog.add(pb.build().expect("sssp_level builds"));
-    (prog, parent)
+    let parent = prog.add(build_kernel(pb)?);
+    Ok((prog, parent))
 }
 
 /// Emits one edge relaxation: `u = edges[i]; nd = dv + w[i];
@@ -160,24 +160,24 @@ pub fn run(
     source: u32,
     variant: Variant,
     base_cfg: GpuConfig,
-) -> RunReport {
+) -> Result<RunReport, SimError> {
     let weights: Vec<u32> = g
         .weights
         .clone()
         .unwrap_or_else(|| vec![1; g.num_edges() as usize]);
-    let (prog, parent) = build_program(variant);
+    let (prog, parent) = build_program(variant)?;
     let cfg = variant.configure(base_cfg);
     let mut gpu = Gpu::new(cfg, prog);
     let n = g.num_vertices();
 
-    let row = gpu.malloc((n + 1) * 4).expect("alloc row");
-    let col = gpu.malloc(g.num_edges().max(1) * 4).expect("alloc col");
-    let wts = gpu.malloc(g.num_edges().max(1) * 4).expect("alloc weights");
-    let dist = gpu.malloc(n * 4).expect("alloc dist");
-    let f_a = gpu.malloc(n * 4).expect("alloc frontier a");
-    let f_b = gpu.malloc(n * 4).expect("alloc frontier b");
-    let flags = gpu.malloc(n * 4).expect("alloc flags");
-    let cnt = gpu.malloc(4).expect("alloc counter");
+    let row = gpu.malloc((n + 1) * 4)?;
+    let col = gpu.malloc(g.num_edges().max(1) * 4)?;
+    let wts = gpu.malloc(g.num_edges().max(1) * 4)?;
+    let dist = gpu.malloc(n * 4)?;
+    let f_a = gpu.malloc(n * 4)?;
+    let f_b = gpu.malloc(n * 4)?;
+    let flags = gpu.malloc(n * 4)?;
+    let cnt = gpu.malloc(4)?;
 
     gpu.mem_mut().write_slice_u32(row, &g.row_offsets);
     gpu.mem_mut().write_slice_u32(col, &g.col_indices);
@@ -200,9 +200,8 @@ pub fn run(
                 row, col, wts, dist, frontier.0, frontier.1, cnt, flags, nf, tag,
             ],
             0,
-        )
-        .expect("launch sssp_level");
-        gpu.run_to_idle().expect("sssp level converges");
+        )?;
+        gpu.run_to_idle()?;
         nf = gpu.mem().read_u32(cnt);
         frontier = (frontier.1, frontier.0);
         round += 1;
@@ -210,14 +209,12 @@ pub fn run(
 
     let got = gpu.mem().read_vec_u32(dist, n as usize);
     let want = host_sssp(g, source);
-    let validated = got == want;
-    let stats = gpu.stats().clone();
-    RunReport {
+    validate_u32(name, "dist", &got, &want)?;
+    Ok(RunReport {
         benchmark: name.to_string(),
         variant,
-        stats,
-        validated,
-    }
+        stats: gpu.stats().clone(),
+    })
 }
 
 #[cfg(test)]
@@ -237,23 +234,24 @@ mod tests {
     }
 
     #[test]
-    fn all_variants_agree_on_weighted_citation() {
+    fn all_variants_agree_on_weighted_citation() -> Result<(), SimError> {
         let g = graph::citation(250, 3, 4).with_random_weights(9, 4);
         for v in [Variant::Flat, Variant::Cdp, Variant::Dtbl] {
-            run("sssp_test", &g, 0, v, GpuConfig::test_small()).assert_valid();
+            run("sssp_test", &g, 0, v, GpuConfig::test_small())?;
         }
+        Ok(())
     }
 
     #[test]
-    fn flight_network_rarely_launches() {
+    fn flight_network_rarely_launches() -> Result<(), SimError> {
         let g = graph::flight(300, 6, 2).with_random_weights(5, 2);
-        let r = run("sssp_flight", &g, 0, Variant::Dtbl, GpuConfig::test_small());
-        r.assert_valid();
+        let r = run("sssp_flight", &g, 0, Variant::Dtbl, GpuConfig::test_small())?;
         // Spokes have degree ≤ 3; only the few hubs can trigger launches.
         assert!(
             (r.stats.dyn_launches() as u32) < g.num_vertices() / 10,
             "low-degree graph must launch rarely ({} launches)",
             r.stats.dyn_launches()
         );
+        Ok(())
     }
 }

@@ -1,8 +1,53 @@
 //! Shared plumbing for the benchmark implementations: execution variants
 //! and the nested-parallelism code-generation helper.
 
-use gpu_isa::{CmpOp, CmpTy, KernelBuilder, KernelId, Op, Reg};
-use gpu_sim::{GpuConfig, LatencyTable};
+use gpu_isa::{CmpOp, CmpTy, Kernel, KernelBuilder, KernelId, Op, Reg};
+use gpu_sim::{GpuConfig, LatencyTable, SimError};
+
+/// Finalizes a kernel, converting an assembly failure into the typed
+/// [`SimError::KernelBuild`] so workload construction bugs surface as
+/// clean errors instead of panics.
+pub fn build_kernel(b: KernelBuilder) -> Result<Kernel, SimError> {
+    b.build().map_err(|e| SimError::KernelBuild {
+        detail: e.to_string(),
+    })
+}
+
+/// Compares a device result against the host reference, failing with
+/// [`SimError::ValidationFailed`] that names the first divergence and the
+/// total mismatch count.
+pub fn validate_u32(app: &str, what: &str, got: &[u32], want: &[u32]) -> Result<(), SimError> {
+    if got.len() != want.len() {
+        return Err(SimError::ValidationFailed {
+            app: app.to_string(),
+            detail: format!("{what}: length {} != expected {}", got.len(), want.len()),
+        });
+    }
+    let mismatches = got.iter().zip(want).filter(|(g, w)| g != w).count();
+    if let Some(i) = got.iter().zip(want).position(|(g, w)| g != w) {
+        return Err(SimError::ValidationFailed {
+            app: app.to_string(),
+            detail: format!(
+                "{what}[{i}]: got {}, want {} ({mismatches} mismatch(es) of {} values)",
+                got[i],
+                want[i],
+                got.len()
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Scalar flavour of [`validate_u32`].
+pub fn validate_scalar(app: &str, what: &str, got: u32, want: u32) -> Result<(), SimError> {
+    if got != want {
+        return Err(SimError::ValidationFailed {
+            app: app.to_string(),
+            detail: format!("{what}: got {got}, want {want}"),
+        });
+    }
+    Ok(())
+}
 
 /// How a benchmark handles its dynamically-formed pockets of parallelism
 /// (DFP) — the five bars of the paper's figures plus the §4.3 ablation.

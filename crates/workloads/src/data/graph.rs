@@ -18,8 +18,7 @@
 //! * [`flight`] — hub-and-spoke (global flight network): almost all
 //!   vertices have tiny degree, a few hubs are huge.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sim_rand::{Rng, SeedableRng, StdRng};
 
 /// A directed graph in Compressed Sparse Row form with optional edge
 /// weights, the layout all graph benchmarks operate on (and the one that
@@ -184,7 +183,7 @@ pub fn cage15_like(n: u32, band: u32, deg: u32, seed: u64) -> CsrGraph {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n as usize];
     for v in 0..n {
-        let d = deg + rng.gen_range(0..=2);
+        let d = deg + rng.gen_range(0..=2u32);
         for _ in 0..d {
             let span = band.min(n - 1).max(1);
             let off = rng.gen_range(0..=2 * span) as i64 - i64::from(span);

@@ -6,8 +6,7 @@
 //! few places and absent elsewhere (severe per-thread imbalance, the
 //! largest warp-activity gain in Figure 6: +45.3%).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sim_rand::{Rng, SeedableRng, StdRng};
 
 /// A square scalar field sampled on a `size × size` grid of u32 values
 /// (fixed point, 0..=1000).

@@ -1,7 +1,6 @@
 //! Random point clouds for the Barnes-Hut tree benchmark.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sim_rand::{Rng, SeedableRng, StdRng};
 
 /// 2D points in a `[0, extent) × [0, extent)` box, stored as fixed-point
 /// integer coordinates (the ISA is 32-bit integer/float; fixed point keeps

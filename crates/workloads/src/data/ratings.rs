@@ -1,8 +1,7 @@
 //! MovieLens-shaped user-item ratings for the product-recommendation
 //! benchmark.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sim_rand::{Rng, SeedableRng, StdRng};
 
 /// Ratings in CSR-by-item layout: `item_offsets[i]..item_offsets[i+1]`
 /// indexes parallel arrays of user ids and integer ratings (1–5).

@@ -1,7 +1,6 @@
 //! Relational tables for the hash-join benchmark.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sim_rand::{Rng, SeedableRng, StdRng};
 
 /// Key distribution of a join column.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -1,7 +1,6 @@
 //! String/packet corpora for the regular-expression benchmark.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sim_rand::{Rng, SeedableRng, StdRng};
 
 /// Alphabet size for the synthetic corpora (small so DFA tables stay
 /// compact on the device).

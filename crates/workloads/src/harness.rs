@@ -5,7 +5,7 @@ use crate::apps;
 use crate::common::Variant;
 use crate::data::{graph, mesh, points, ratings, relations, strings};
 use crate::report::RunReport;
-use gpu_sim::GpuConfig;
+use gpu_sim::{GpuConfig, SimError};
 use std::fmt;
 
 /// Problem scale: `Test` sizes finish in well under a second each (CI),
@@ -84,14 +84,22 @@ impl Benchmark {
     }
 
     /// Runs the benchmark at `scale` under `variant` on the default K20c
-    /// configuration.
-    pub fn run(self, variant: Variant, scale: Scale) -> RunReport {
+    /// configuration. Fails with a typed [`SimError`] — e.g.
+    /// [`SimError::ValidationFailed`] naming the benchmark — instead of
+    /// panicking, so a sweep can report which configuration broke and
+    /// keep going.
+    pub fn run(self, variant: Variant, scale: Scale) -> Result<RunReport, SimError> {
         self.run_with(variant, scale, GpuConfig::k20c())
     }
 
     /// Runs with a caller-supplied base configuration (the AGT-size sweep
     /// of Figure 12 uses this).
-    pub fn run_with(self, variant: Variant, scale: Scale, cfg: GpuConfig) -> RunReport {
+    pub fn run_with(
+        self,
+        variant: Variant,
+        scale: Scale,
+        cfg: GpuConfig,
+    ) -> Result<RunReport, SimError> {
         let name = self.name();
         let t = scale == Scale::Test;
         match self {

@@ -10,12 +10,14 @@
 //! The entry point is [`Benchmark`]: pick one of the paper's 16
 //! benchmark/input configurations, a [`Variant`], and a scale, and get
 //! back a validated [`RunReport`] carrying every metric of Figures 6–11.
+//! Any failure — a hang, exhausted hardware structure, or output that
+//! diverges from the host reference — comes back as a typed
+//! [`gpu_sim::SimError`] naming the benchmark, never a panic.
 //!
 //! ```no_run
 //! use workloads::{Benchmark, Scale, Variant};
 //!
-//! let report = Benchmark::BfsCitation.run(Variant::Dtbl, Scale::Test);
-//! assert!(report.validated);
+//! let report = Benchmark::BfsCitation.run(Variant::Dtbl, Scale::Test).unwrap();
 //! println!("speedup-relevant cycles: {}", report.stats.cycles);
 //! ```
 
@@ -28,8 +30,8 @@ mod harness;
 mod report;
 
 pub use common::{
-    ceil_div, child_guard, emit_dfp, emit_dfp_with_threshold, LaunchMode, Variant, CHILD_TB,
-    DFP_THRESHOLD,
+    build_kernel, ceil_div, child_guard, emit_dfp, emit_dfp_with_threshold, validate_scalar,
+    validate_u32, LaunchMode, Variant, CHILD_TB, DFP_THRESHOLD,
 };
 pub use harness::{Benchmark, Scale};
 pub use report::RunReport;

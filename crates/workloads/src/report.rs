@@ -3,8 +3,11 @@
 use crate::common::Variant;
 use gpu_sim::Stats;
 
-/// Everything one benchmark run produces: the simulator statistics (the
-/// paper's metrics) plus functional validation against a host reference.
+/// Everything a *successful, validated* benchmark run produces. A run
+/// whose output diverges from the host reference does not get a report —
+/// it fails with [`SimError::ValidationFailed`](gpu_sim::SimError) naming
+/// the benchmark and the first divergence, so a harness sweeping many
+/// benchmarks can report which one broke and keep going.
 #[derive(Clone, Debug)]
 pub struct RunReport {
     /// Benchmark configuration name (e.g. `bfs_citation`).
@@ -14,19 +17,4 @@ pub struct RunReport {
     /// Simulator statistics for the whole run (all kernels, all host
     /// iterations).
     pub stats: Stats,
-    /// True when the GPU result matched the host reference exactly.
-    pub validated: bool,
-}
-
-impl RunReport {
-    /// Panics with context when validation failed — used by tests and the
-    /// figure harnesses, where an unvalidated speedup is meaningless.
-    pub fn assert_valid(&self) -> &Self {
-        assert!(
-            self.validated,
-            "{} [{}] produced wrong results",
-            self.benchmark, self.variant
-        );
-        self
-    }
 }

@@ -1,0 +1,126 @@
+//! Deterministic fault-injection sweep: every Table-4 benchmark
+//! configuration is run under each fault class of
+//! [`FaultPlan`](gpu_sim::FaultPlan), asserting that the simulator either
+//! degrades gracefully (spills, device-kernel fallbacks, slower runs with
+//! identical results) or fails with a clean typed [`SimError`] — never a
+//! panic, and never a silently wrong result.
+//!
+//! Any panic inside `Benchmark::run_with` fails these tests, so the whole
+//! `run_to_idle`/validation path is exercised as a no-panic surface.
+
+use gpu_sim::{FaultPlan, GpuConfig, SimError};
+use workloads::{Benchmark, Scale, Variant};
+
+/// Runs `b` under `fault` and asserts the outcome is clean: a validated
+/// report or one of the typed errors a fault plan is allowed to surface.
+fn assert_clean(b: Benchmark, v: Variant, fault: FaultPlan) -> Result<(), SimError> {
+    let cfg = GpuConfig {
+        fault,
+        ..GpuConfig::k20c()
+    };
+    let res = b.run_with(v, Scale::Test, cfg);
+    if let Err(e) = &res {
+        assert!(
+            matches!(
+                e,
+                SimError::OutOfMemory { .. }
+                    | SimError::AgtExhausted { .. }
+                    | SimError::KmuSaturated { .. }
+                    | SimError::HwqFull { .. }
+                    | SimError::CycleLimit { .. }
+            ),
+            "{b} [{v}]: fault injection must surface a resource error, got: {e}"
+        );
+    }
+    res.map(|_| ())
+}
+
+/// Forced AGT hash misses push every coalesce through the spill path;
+/// spilling is graceful degradation, so every benchmark must still
+/// validate.
+#[test]
+fn forced_agt_overflow_degrades_gracefully() {
+    let fault = FaultPlan {
+        force_agt_overflow: true,
+        ..FaultPlan::default()
+    };
+    for b in Benchmark::ALL {
+        assert_clean(b, Variant::Dtbl, fault)
+            .unwrap_or_else(|e| panic!("{b}: spills must not fail a run: {e}"));
+    }
+}
+
+/// With spill storage capped at zero on top of forced misses, every
+/// aggregated launch falls back to a device kernel — still graceful.
+#[test]
+fn capped_spill_storage_falls_back_to_device_kernels() {
+    let fault = FaultPlan {
+        force_agt_overflow: true,
+        agt_overflow_capacity: Some(0),
+        ..FaultPlan::default()
+    };
+    for b in Benchmark::ALL {
+        assert_clean(b, Variant::Dtbl, fault)
+            .unwrap_or_else(|e| panic!("{b}: fallback must not fail a run: {e}"));
+    }
+}
+
+/// A heap cap that activates after the host's cycle-0 allocations starves
+/// the device-side paths (parameter buffers, pending records, spill
+/// descriptors). Runs either complete (no dynamic launches needed the
+/// heap) or fail with a typed resource error.
+#[test]
+fn runtime_heap_exhaustion_is_a_typed_error() {
+    let fault = FaultPlan {
+        after_cycle: 1,
+        heap_limit_bytes: Some(0),
+        ..FaultPlan::default()
+    };
+    for b in Benchmark::ALL {
+        for v in [Variant::Cdp, Variant::Dtbl] {
+            let _ = assert_clean(b, v, fault);
+        }
+    }
+}
+
+/// A saturated KMU device-kernel pool rejects device launches; the run
+/// either needed none (Ok) or fails with `KmuSaturated` — never a panic.
+#[test]
+fn kmu_saturation_is_a_typed_error() {
+    let fault = FaultPlan {
+        kmu_device_capacity: Some(2),
+        ..FaultPlan::default()
+    };
+    for b in Benchmark::ALL {
+        let _ = assert_clean(b, Variant::Cdp, fault);
+    }
+}
+
+/// The benchmarks launch from the host one kernel at a time and drain the
+/// machine in between, so even a single-slot hardware work queue never
+/// rejects — the cap must be invisible.
+#[test]
+fn single_slot_hwq_is_enough_for_the_harness() {
+    let fault = FaultPlan {
+        hwq_capacity: Some(1),
+        ..FaultPlan::default()
+    };
+    for b in Benchmark::ALL {
+        assert_clean(b, Variant::Dtbl, fault)
+            .unwrap_or_else(|e| panic!("{b}: serialized host launches fit any queue: {e}"));
+    }
+}
+
+/// Degraded memory (every completion delayed) slows runs down but must
+/// not change any benchmark's result.
+#[test]
+fn delayed_memory_preserves_results() {
+    let fault = FaultPlan {
+        mem_delay: 64,
+        ..FaultPlan::default()
+    };
+    for b in Benchmark::ALL {
+        assert_clean(b, Variant::Dtbl, fault)
+            .unwrap_or_else(|e| panic!("{b}: a slow memory must only cost cycles: {e}"));
+    }
+}

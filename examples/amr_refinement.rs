@@ -16,8 +16,13 @@ fn main() {
     let (cells, _) = amr::host_refine(&field, 64);
     println!("combustion field 256x256, 3 flame fronts -> {cells} refined cells expected\n");
     for v in [Variant::Flat, Variant::Cdp, Variant::Dtbl] {
-        let r = amr::run("amr_example", &field, 64, v, GpuConfig::k20c());
-        r.assert_valid();
+        let r = match amr::run("amr_example", &field, 64, v, GpuConfig::k20c()) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{:<5}  ** FAILED: {e}", v.label());
+                continue;
+            }
+        };
         println!(
             "{:<5}  cycles {:>9}  warp-activity {:>5.1}%  launches {:>4}  coalesced-to-self {:>4}",
             v.label(),

@@ -10,8 +10,9 @@ use dtbl_repro::workloads::{Benchmark, Scale, Variant};
 #[test]
 fn all_benchmarks_validate_flat() {
     for b in Benchmark::ALL {
-        let r = b.run(Variant::Flat, Scale::Test);
-        assert!(r.validated, "{b} [Flat] wrong result");
+        let r = b
+            .run(Variant::Flat, Scale::Test)
+            .unwrap_or_else(|e| panic!("{b} [Flat]: {e}"));
         assert!(r.stats.cycles > 0);
         assert_eq!(r.stats.dyn_launches(), 0, "{b}: flat must not launch");
     }
@@ -22,8 +23,8 @@ fn all_benchmarks_validate_flat() {
 #[test]
 fn all_benchmarks_validate_dtbl() {
     for b in Benchmark::ALL {
-        let r = b.run(Variant::Dtbl, Scale::Test);
-        assert!(r.validated, "{b} [DTBL] wrong result");
+        b.run(Variant::Dtbl, Scale::Test)
+            .unwrap_or_else(|e| panic!("{b} [DTBL]: {e}"));
     }
 }
 
@@ -31,8 +32,8 @@ fn all_benchmarks_validate_dtbl() {
 #[test]
 fn all_benchmarks_validate_cdp() {
     for b in Benchmark::ALL {
-        let r = b.run(Variant::Cdp, Scale::Test);
-        assert!(r.validated, "{b} [CDP] wrong result");
+        b.run(Variant::Cdp, Scale::Test)
+            .unwrap_or_else(|e| panic!("{b} [CDP]: {e}"));
     }
 }
 
@@ -45,20 +46,16 @@ fn ideal_variants_upper_bound_measured_ones() {
         Benchmark::Amr,
         Benchmark::JoinGaussian,
     ] {
-        let cdpi = b.run(Variant::CdpIdeal, Scale::Test);
-        let cdp = b.run(Variant::Cdp, Scale::Test);
-        cdpi.assert_valid();
-        cdp.assert_valid();
+        let cdpi = b.run(Variant::CdpIdeal, Scale::Test).unwrap();
+        let cdp = b.run(Variant::Cdp, Scale::Test).unwrap();
         assert!(
             cdpi.stats.cycles <= cdp.stats.cycles,
             "{b}: CDPI ({}) must not be slower than CDP ({})",
             cdpi.stats.cycles,
             cdp.stats.cycles
         );
-        let dtbli = b.run(Variant::DtblIdeal, Scale::Test);
-        let dtbl = b.run(Variant::Dtbl, Scale::Test);
-        dtbli.assert_valid();
-        dtbl.assert_valid();
+        let dtbli = b.run(Variant::DtblIdeal, Scale::Test).unwrap();
+        let dtbl = b.run(Variant::Dtbl, Scale::Test).unwrap();
         assert!(
             dtbli.stats.cycles <= dtbl.stats.cycles,
             "{b}: DTBLI ({}) must not be slower than DTBL ({})",
@@ -77,9 +74,9 @@ fn warp_activity_rises_with_dynamic_launching() {
     // better balanced than the paper's fully-serialized recursion, and
     // its 16-thread groups run half-empty warps (see EXPERIMENTS.md).
     for b in [Benchmark::Bht, Benchmark::BfsCitation] {
-        let flat = b.run(Variant::Flat, Scale::Test);
-        let dtbl = b.run(Variant::Dtbl, Scale::Test);
-        let cdp = b.run(Variant::Cdp, Scale::Test);
+        let flat = b.run(Variant::Flat, Scale::Test).unwrap();
+        let dtbl = b.run(Variant::Dtbl, Scale::Test).unwrap();
+        let cdp = b.run(Variant::Cdp, Scale::Test).unwrap();
         assert!(
             dtbl.stats.warp_activity_pct() > flat.stats.warp_activity_pct(),
             "{b}: DTBL activity {:.1}% must exceed flat {:.1}%",
@@ -103,10 +100,8 @@ fn dtbl_beats_cdp_on_launch_bearing_benchmarks() {
         Benchmark::Amr,
         Benchmark::PreMovielens,
     ] {
-        let cdp = b.run(Variant::Cdp, Scale::Test);
-        let dtbl = b.run(Variant::Dtbl, Scale::Test);
-        cdp.assert_valid();
-        dtbl.assert_valid();
+        let cdp = b.run(Variant::Cdp, Scale::Test).unwrap();
+        let dtbl = b.run(Variant::Dtbl, Scale::Test).unwrap();
         if dtbl.stats.dyn_launches() == 0 {
             continue;
         }
@@ -127,10 +122,11 @@ fn dtbl_beats_cdp_on_launch_bearing_benchmarks() {
 /// paper's bfs_usa_road / sssp_flight observation (§5.2C).
 #[test]
 fn low_degree_inputs_are_unaffected() {
-    let flat = Benchmark::BfsUsaRoad.run(Variant::Flat, Scale::Test);
+    let flat = Benchmark::BfsUsaRoad
+        .run(Variant::Flat, Scale::Test)
+        .unwrap();
     for v in [Variant::Cdp, Variant::Dtbl] {
-        let r = Benchmark::BfsUsaRoad.run(v, Scale::Test);
-        r.assert_valid();
+        let r = Benchmark::BfsUsaRoad.run(v, Scale::Test).unwrap();
         let ratio = flat.stats.cycles as f64 / r.stats.cycles as f64;
         assert!(
             (0.8..=1.25).contains(&ratio),
@@ -148,8 +144,9 @@ fn tiny_agt_spills_but_stays_correct() {
         agt_entries: 4,
         ..GpuConfig::k20c()
     };
-    let r = Benchmark::BfsCitation.run_with(Variant::Dtbl, Scale::Test, cfg);
-    r.assert_valid();
+    let r = Benchmark::BfsCitation
+        .run_with(Variant::Dtbl, Scale::Test, cfg)
+        .unwrap();
     if r.stats.agg_coalesced > 8 {
         assert!(
             r.stats.agt_overflows > 0,
@@ -165,15 +162,16 @@ fn tiny_agt_spills_but_stays_correct() {
             ..GpuConfig::k20c()
         },
     );
-    big.assert_valid();
+    big.unwrap();
 }
 
 /// The coalescing-disabled ablation (§4.3's "more KDE entries instead")
 /// behaves like CDP without API latency: correct, but with no coalesces.
 #[test]
 fn no_coalesce_ablation_runs_correctly() {
-    let r = Benchmark::Amr.run(Variant::DtblNoCoalesce, Scale::Test);
-    r.assert_valid();
+    let r = Benchmark::Amr
+        .run(Variant::DtblNoCoalesce, Scale::Test)
+        .unwrap();
     assert_eq!(r.stats.agg_coalesced, 0);
     if r.stats.dyn_launches() > 0 {
         assert_eq!(r.stats.agg_fallbacks as usize, r.stats.dyn_launches());
