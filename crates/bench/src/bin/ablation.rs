@@ -8,7 +8,7 @@
 //!    extension is transparent to the warp scheduler; the DTBL-over-CDP
 //!    ratio should survive a scheduler swap.
 
-use bench::{geomean, scale_from_args, Matrix};
+use bench::{geomean, scale_from_args, SweepRunner};
 use gpu_sim::{GpuConfig, WarpSchedPolicy};
 use workloads::{Benchmark, Scale, Variant};
 
@@ -22,6 +22,7 @@ const SUBSET: [Benchmark; 5] = [
 
 fn main() {
     let scale = scale_from_args();
+    let runner = SweepRunner::from_args();
 
     println!("Ablation 1: thread-block coalescing (launch-bearing subset)");
     println!("------------------------------------------------------------");
@@ -31,7 +32,7 @@ fn main() {
         Variant::Dtbl,
         Variant::DtblNoCoalesce,
     ];
-    let m = Matrix::run(&SUBSET, &variants, scale);
+    let m = runner.run_matrix(&SUBSET, &variants, scale);
     let subset = m.ok_benchmarks(&SUBSET, &variants);
     println!(
         "{:<16}{:>10}{:>10}{:>10}{:>12}",
@@ -57,24 +58,44 @@ fn main() {
 
     println!("Ablation 2: warp scheduler (GTO vs round-robin), bfs_citation");
     println!("---------------------------------------------------------------");
-    for policy in [WarpSchedPolicy::Gto, WarpSchedPolicy::RoundRobin] {
-        let cfg = GpuConfig {
-            warp_sched: policy,
-            ..GpuConfig::k20c()
-        };
-        let run = |v: Variant| {
+    let cells: Vec<(WarpSchedPolicy, Variant)> =
+        [WarpSchedPolicy::Gto, WarpSchedPolicy::RoundRobin]
+            .into_iter()
+            .flat_map(|p| {
+                [Variant::Flat, Variant::Cdp, Variant::Dtbl]
+                    .into_iter()
+                    .map(move |v| (p, v))
+            })
+            .collect();
+    let results = runner.run_cells(
+        cells,
+        |&(policy, v)| {
+            let cfg = GpuConfig {
+                warp_sched: policy,
+                ..GpuConfig::k20c()
+            };
             Benchmark::BfsCitation
                 .run_with(v, scale, cfg)
                 .map(|r| r.stats.cycles)
+        },
+        |&(policy, v)| format!("bfs_citation {policy:?} {v:?}"),
+    );
+    for policy in [WarpSchedPolicy::Gto, WarpSchedPolicy::RoundRobin] {
+        let of = |v: Variant| {
+            results
+                .iter()
+                .find(|((p, vv), _)| *p == policy && *vv == v)
+                .and_then(|(_, r)| r.as_ref().ok().copied())
         };
-        let (flat, cdp, dtbl) = match (run(Variant::Flat), run(Variant::Cdp), run(Variant::Dtbl)) {
-            (Ok(f), Ok(c), Ok(d)) => (f, c, d),
-            (f, c, d) => {
-                for e in [f, c, d].into_iter().filter_map(Result::err) {
-                    eprintln!("  {policy:?}: ** FAILED: {e}");
+        let (Some(flat), Some(cdp), Some(dtbl)) =
+            (of(Variant::Flat), of(Variant::Cdp), of(Variant::Dtbl))
+        else {
+            for ((p, v), r) in results.iter().filter(|((p, _), _)| *p == policy) {
+                if let Err(e) = r {
+                    eprintln!("  {p:?} {v:?}: ** FAILED: {e}");
                 }
-                continue;
             }
+            continue;
         };
         println!(
             "{policy:?}: Flat {flat} cyc, CDP {:.2}x, DTBL {:.2}x, DTBL/CDP {:.2}x",
@@ -87,12 +108,19 @@ fn main() {
 
     println!("\nAblation 3: spatial sharing (§5.2B extension), clr_graph500 DTBL");
     println!("------------------------------------------------------------------");
-    for reserved in [0usize, 1, 2] {
-        let cfg = GpuConfig {
-            dyn_reserved_smx: reserved,
-            ..GpuConfig::k20c()
-        };
-        let r = match Benchmark::ClrGraph500.run_with(Variant::Dtbl, scale, cfg) {
+    let reservations = runner.run_cells(
+        vec![0usize, 1, 2],
+        |&reserved| {
+            let cfg = GpuConfig {
+                dyn_reserved_smx: reserved,
+                ..GpuConfig::k20c()
+            };
+            Benchmark::ClrGraph500.run_with(Variant::Dtbl, scale, cfg)
+        },
+        |&reserved| format!("clr_graph500 reserved={reserved}"),
+    );
+    for (reserved, result) in reservations {
+        let r = match result {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("  reserved SMXs = {reserved}: ** FAILED: {e}");

@@ -5,14 +5,14 @@
 //!
 //! `--test-scale` switches to the fast test inputs.
 
-use bench::{csv_from_args, geomean, print_figure, scale_from_args, write_csv, Matrix};
+use bench::{csv_from_args, geomean, print_figure, scale_from_args, write_csv, SweepRunner};
 use workloads::{Benchmark, Variant};
 
 fn main() {
     let scale = scale_from_args();
     let csv = csv_from_args();
     eprintln!("Running the 16-benchmark x 5-variant matrix ({scale:?} scale)...");
-    let m = Matrix::run(&Benchmark::ALL, &Variant::MAIN, scale);
+    let m = SweepRunner::from_args().run_matrix(&Benchmark::ALL, &Variant::MAIN, scale);
     // Render only the rows whose five variants all completed; failed runs
     // are reported at the end so one diverging benchmark never costs the
     // whole sweep.

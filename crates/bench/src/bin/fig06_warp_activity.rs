@@ -1,13 +1,13 @@
 //! Figure 6: average percentage of active threads in a warp, for the
 //! Flat, CDP and DTBL implementations of every benchmark.
 
-use bench::{print_figure, scale_from_args, Matrix};
+use bench::{print_figure, scale_from_args, SweepRunner};
 use workloads::{Benchmark, Variant};
 
 fn main() {
     let scale = scale_from_args();
     let variants = [Variant::Flat, Variant::Cdp, Variant::Dtbl];
-    let m = Matrix::run(&Benchmark::ALL, &variants, scale);
+    let m = SweepRunner::from_args().run_matrix(&Benchmark::ALL, &variants, scale);
     let benchmarks = m.ok_benchmarks(&Benchmark::ALL, &variants);
     print_figure(
         "Figure 6: Warp Activity Percentage",

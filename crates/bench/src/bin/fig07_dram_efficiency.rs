@@ -1,13 +1,13 @@
 //! Figure 7: DRAM efficiency `(n_rd + n_wr) / n_activity` for Flat, CDP
 //! and DTBL.
 
-use bench::{print_figure, scale_from_args, Matrix};
+use bench::{print_figure, scale_from_args, SweepRunner};
 use workloads::{Benchmark, Variant};
 
 fn main() {
     let scale = scale_from_args();
     let variants = [Variant::Flat, Variant::Cdp, Variant::Dtbl];
-    let m = Matrix::run(&Benchmark::ALL, &variants, scale);
+    let m = SweepRunner::from_args().run_matrix(&Benchmark::ALL, &variants, scale);
     let benchmarks = m.ok_benchmarks(&Benchmark::ALL, &variants);
     print_figure(
         "Figure 7: DRAM Efficiency",

@@ -1,7 +1,7 @@
 //! Figure 8: SMX occupancy (average resident warps / maximum resident
 //! warps) for CDPI, DTBLI, CDP and DTBL.
 
-use bench::{print_figure, scale_from_args, Matrix};
+use bench::{print_figure, scale_from_args, SweepRunner};
 use workloads::{Benchmark, Variant};
 
 fn main() {
@@ -12,7 +12,7 @@ fn main() {
         Variant::Cdp,
         Variant::Dtbl,
     ];
-    let m = Matrix::run(&Benchmark::ALL, &variants, scale);
+    let m = SweepRunner::from_args().run_matrix(&Benchmark::ALL, &variants, scale);
     let benchmarks = m.ok_benchmarks(&Benchmark::ALL, &variants);
     print_figure(
         "Figure 8: SMX Occupancy",

@@ -1,7 +1,7 @@
 //! Figure 9: average waiting time (launch to first thread-block start)
 //! for a device kernel or an aggregated group, in kilocycles.
 
-use bench::{print_figure, scale_from_args, Matrix};
+use bench::{print_figure, scale_from_args, SweepRunner};
 use workloads::{Benchmark, Variant};
 
 fn main() {
@@ -12,7 +12,7 @@ fn main() {
         Variant::Cdp,
         Variant::Dtbl,
     ];
-    let m = Matrix::run(&Benchmark::ALL, &variants, scale);
+    let m = SweepRunner::from_args().run_matrix(&Benchmark::ALL, &variants, scale);
     let benchmarks = m.ok_benchmarks(&Benchmark::ALL, &variants);
     print_figure(
         "Figure 9: Average Waiting Time for a Kernel or an Aggregated Group (kcycles)",

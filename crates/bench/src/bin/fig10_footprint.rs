@@ -2,13 +2,13 @@
 //! (peak bytes reserved for pending dynamic launches), in percent and in
 //! absolute bytes.
 
-use bench::{print_figure, scale_from_args, Matrix};
+use bench::{print_figure, scale_from_args, SweepRunner};
 use workloads::{Benchmark, Variant};
 
 fn main() {
     let scale = scale_from_args();
     let variants = [Variant::Cdp, Variant::Dtbl];
-    let m = Matrix::run(&Benchmark::ALL, &variants, scale);
+    let m = SweepRunner::from_args().run_matrix(&Benchmark::ALL, &variants, scale);
     let benchmarks = m.ok_benchmarks(&Benchmark::ALL, &variants);
     print_figure(
         "Figure 10: Memory Footprint of Pending Launches (peak KB) and DTBL Reduction",

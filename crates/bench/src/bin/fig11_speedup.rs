@@ -1,12 +1,12 @@
 //! Figure 11: overall performance — speedup over the flat implementation
 //! for CDPI, DTBLI, CDP and DTBL.
 
-use bench::{geomean, print_figure, scale_from_args, Matrix};
+use bench::{geomean, print_figure, scale_from_args, SweepRunner};
 use workloads::{Benchmark, Variant};
 
 fn main() {
     let scale = scale_from_args();
-    let m = Matrix::run(&Benchmark::ALL, &Variant::MAIN, scale);
+    let m = SweepRunner::from_args().run_matrix(&Benchmark::ALL, &Variant::MAIN, scale);
     let benchmarks = m.ok_benchmarks(&Benchmark::ALL, &Variant::MAIN);
     let speedup = |b: Benchmark, v: Variant| {
         m.get(b, Variant::Flat).stats.cycles as f64 / m.get(b, v).stats.cycles.max(1) as f64

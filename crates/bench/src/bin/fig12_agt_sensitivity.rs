@@ -1,42 +1,51 @@
 //! Figure 12: performance sensitivity to the AGT size — DTBL runtime at
 //! 512/1024/2048 AGT entries, normalized to 1024.
 
-use bench::{print_figure, scale_from_args};
+use bench::{print_figure, scale_from_args, SweepRunner};
 use gpu_sim::GpuConfig;
 use std::collections::{HashMap, HashSet};
 use workloads::{Benchmark, Scale, Variant};
 
 fn main() {
     let scale = scale_from_args();
+    let runner = SweepRunner::from_args();
     // The paper sweeps 512/1024/2048 against pending-group populations in
     // the tens of thousands; this reproduction's inputs are 100-1000x
     // smaller, so the same mechanism (hash-slot conflicts -> descriptor
     // spills -> global-memory walks) is exercised with a proportionally
     // scaled sweep alongside the paper's sizes.
     let sizes = [32usize, 128, 512, 1024, 2048];
-    let mut cycles: HashMap<(Benchmark, usize), u64> = HashMap::new();
-    let mut failed: HashSet<Benchmark> = HashSet::new();
-    for &b in &Benchmark::ALL {
-        for &s in &sizes {
-            // At Test scale shrink the AGT proportionally so the sweep
-            // still exercises overflow.
-            let entries = if scale == Scale::Test { s / 16 } else { s };
+    let cells: Vec<(Benchmark, usize)> = Benchmark::ALL
+        .iter()
+        .flat_map(|&b| sizes.iter().map(move |&s| (b, s)))
+        .collect();
+    // At Test scale shrink the AGT proportionally so the sweep still
+    // exercises overflow.
+    let entries_at = |s: usize| if scale == Scale::Test { s / 16 } else { s };
+    let results = runner.run_cells(
+        cells,
+        |&(b, s)| {
             let mut cfg = GpuConfig {
-                agt_entries: entries,
+                agt_entries: entries_at(s),
                 ..GpuConfig::k20c()
             };
             // Detailed walk timing: a spilled descriptor costs an
             // un-prefetched global fetch before its group can schedule.
             cfg.pipeline.agt_overflow_load = 150;
-            eprintln!("  running {} AGT={}...", b.name(), entries);
-            match b.run_with(Variant::Dtbl, scale, cfg) {
-                Ok(r) => {
-                    cycles.insert((b, s), r.stats.cycles);
-                }
-                Err(e) => {
-                    eprintln!("  ** {} AGT={entries} FAILED: {e}", b.name());
-                    failed.insert(b);
-                }
+            b.run_with(Variant::Dtbl, scale, cfg)
+        },
+        |&(b, s)| format!("{} AGT={}", b.name(), entries_at(s)),
+    );
+    let mut cycles: HashMap<(Benchmark, usize), u64> = HashMap::new();
+    let mut failed: HashSet<Benchmark> = HashSet::new();
+    for ((b, s), result) in results {
+        match result {
+            Ok(r) => {
+                cycles.insert((b, s), r.stats.cycles);
+            }
+            Err(e) => {
+                eprintln!("  ** {} AGT={} FAILED: {e}", b.name(), entries_at(s));
+                failed.insert(b);
             }
         }
     }

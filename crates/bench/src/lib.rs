@@ -9,8 +9,167 @@
 
 use gpu_sim::SimError;
 use std::collections::HashMap;
-use std::io::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 use workloads::{Benchmark, RunReport, Scale, Variant};
+
+/// Fans independent simulation runs out over a bounded pool of worker
+/// threads (`gpu_sim::sweep` underneath — std scoped threads, no external
+/// dependencies).
+///
+/// Every cell builds its own GPU and seeds its own deterministic
+/// `sim-rand` streams, so per-run results are bit-identical to a serial
+/// loop no matter how many workers run them; only the wall clock and the
+/// interleaving of progress lines change. All sweep-bearing binaries
+/// (`all_figures`, `ablation`, `fig06`–`fig12`) construct one with
+/// [`SweepRunner::from_args`], so `--jobs N` works everywhere.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepRunner {
+    jobs: usize,
+}
+
+impl SweepRunner {
+    /// A runner with a fixed worker count (clamped to at least 1).
+    pub fn new(jobs: usize) -> Self {
+        SweepRunner { jobs: jobs.max(1) }
+    }
+
+    /// A runner configured from the command line: `--jobs N` (or
+    /// `--jobs=N`) pins the worker count; without the flag it uses the
+    /// machine's available parallelism.
+    pub fn from_args() -> Self {
+        SweepRunner::new(jobs_from_args())
+    }
+
+    /// The worker count this runner fans out to.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Runs `benchmarks × variants` at `scale` over the worker pool. A
+    /// run that fails — output diverging from the host reference, a hang,
+    /// an exhausted hardware structure — is recorded in
+    /// [`failures`](Matrix::failures) and the sweep continues, so one
+    /// broken benchmark never costs the rest of an Eval-scale run.
+    /// Per-run completion lines stream to stderr as workers finish.
+    pub fn run_matrix(
+        &self,
+        benchmarks: &[Benchmark],
+        variants: &[Variant],
+        scale: Scale,
+    ) -> Matrix {
+        let cells: Vec<(Benchmark, Variant)> = benchmarks
+            .iter()
+            .flat_map(|&b| variants.iter().map(move |&v| (b, v)))
+            .collect();
+        let total = cells.len();
+        let finished = AtomicUsize::new(0);
+        let t0 = Instant::now();
+        let results = gpu_sim::sweep::run_cells(cells, self.jobs, |&(b, v)| {
+            let t = Instant::now();
+            let r = b.run(v, scale);
+            let k = finished.fetch_add(1, Ordering::Relaxed) + 1;
+            match &r {
+                Ok(rep) => eprintln!(
+                    "  [{k:>3}/{total}] {:14} {:7} {} cycles, {} launches, {:.1?}",
+                    b.name(),
+                    v.label(),
+                    rep.stats.cycles,
+                    rep.stats.dyn_launches(),
+                    t.elapsed(),
+                ),
+                Err(e) => eprintln!(
+                    "  [{k:>3}/{total}] {:14} {:7} ** FAILED: {e}",
+                    b.name(),
+                    v.label()
+                ),
+            }
+            r
+        });
+        self.report_wall_clock(total, t0);
+        let mut m = Matrix::default();
+        for ((b, v), r) in results {
+            match r {
+                Ok(rep) => {
+                    m.reports.insert((b, v), rep);
+                }
+                Err(e) => m.failures.push((b, v, e)),
+            }
+        }
+        m
+    }
+
+    /// Runs an arbitrary list of cells over the worker pool, returning
+    /// `(cell, result)` pairs in input order. `label` names a cell in the
+    /// streamed progress lines. Used by the binaries whose sweeps are not
+    /// a plain benchmark × variant matrix (custom configs, AGT sizes).
+    pub fn run_cells<C, T>(
+        &self,
+        cells: Vec<C>,
+        run: impl Fn(&C) -> Result<T, SimError> + Sync,
+        label: impl Fn(&C) -> String + Sync,
+    ) -> Vec<(C, Result<T, SimError>)>
+    where
+        C: Send + Sync,
+        T: Send,
+    {
+        let total = cells.len();
+        let finished = AtomicUsize::new(0);
+        let t0 = Instant::now();
+        let results = gpu_sim::sweep::run_cells(cells, self.jobs, |cell| {
+            let t = Instant::now();
+            let r = run(cell);
+            let k = finished.fetch_add(1, Ordering::Relaxed) + 1;
+            match &r {
+                Ok(_) => eprintln!(
+                    "  [{k:>3}/{total}] {} done in {:.1?}",
+                    label(cell),
+                    t.elapsed()
+                ),
+                Err(e) => eprintln!("  [{k:>3}/{total}] {} ** FAILED: {e}", label(cell)),
+            }
+            r
+        });
+        self.report_wall_clock(total, t0);
+        results
+    }
+
+    fn report_wall_clock(&self, total: usize, t0: Instant) {
+        eprintln!(
+            "  sweep: {total} run(s) on {} worker(s) in {:.1?}",
+            self.jobs,
+            t0.elapsed()
+        );
+    }
+}
+
+/// Parses `--jobs N` / `--jobs=N` from the command line; defaults to the
+/// machine's available parallelism when absent.
+pub fn jobs_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    let parse = |v: &str| -> usize {
+        v.parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                eprintln!("--jobs expects a positive integer, got {v:?}");
+                std::process::exit(2);
+            })
+    };
+    for (i, a) in args.iter().enumerate() {
+        if let Some(v) = a.strip_prefix("--jobs=") {
+            return parse(v);
+        }
+        if a == "--jobs" {
+            if let Some(v) = args.get(i + 1) {
+                return parse(v);
+            }
+            eprintln!("--jobs expects a value");
+            std::process::exit(2);
+        }
+    }
+    gpu_sim::sweep::default_jobs()
+}
 
 /// Results of running benchmarks × variants.
 #[derive(Debug, Default)]
@@ -20,37 +179,12 @@ pub struct Matrix {
 }
 
 impl Matrix {
-    /// Runs `benchmarks × variants` at `scale`. A run that fails — output
-    /// diverging from the host reference, a hang, an exhausted hardware
-    /// structure — is recorded in [`failures`](Matrix::failures) and the
-    /// sweep continues, so one broken benchmark never costs the rest of
-    /// an Eval-scale run. Progress is streamed to stderr since those
-    /// sweeps take a few minutes.
+    /// Runs `benchmarks × variants` at `scale` serially on the calling
+    /// thread. Equivalent to `SweepRunner::new(1).run_matrix(...)`; the
+    /// figure binaries use [`SweepRunner::from_args`] instead so `--jobs`
+    /// applies.
     pub fn run(benchmarks: &[Benchmark], variants: &[Variant], scale: Scale) -> Self {
-        let mut m = Matrix::default();
-        for &b in benchmarks {
-            for &v in variants {
-                eprint!("  running {:14} {:7}... ", b.name(), v.label());
-                std::io::stderr().flush().ok();
-                let t = std::time::Instant::now();
-                match b.run(v, scale) {
-                    Ok(r) => {
-                        eprintln!(
-                            "{} cycles, {} launches, {:.1?}",
-                            r.stats.cycles,
-                            r.stats.dyn_launches(),
-                            t.elapsed(),
-                        );
-                        m.reports.insert((b, v), r);
-                    }
-                    Err(e) => {
-                        eprintln!("** FAILED: {e}");
-                        m.failures.push((b, v, e));
-                    }
-                }
-            }
-        }
-        m
+        SweepRunner::new(1).run_matrix(benchmarks, variants, scale)
     }
 
     /// A single run's report.
@@ -123,6 +257,12 @@ pub fn print_figure(
             print!("{:>12}", unit_fmt(v));
         }
         println!();
+    }
+    if benchmarks.is_empty() {
+        // No rows (every run of the figure failed): an average would be
+        // 0/0 = NaN, so say so instead of printing a poisoned number.
+        println!("{:<16}(no successful runs)", "average");
+        return;
     }
     print!("{:<16}", "average");
     for (k, _) in series.iter().enumerate() {

@@ -136,6 +136,10 @@ impl fmt::Display for Kernel {
 /// that contains them, so all kernels reachable by nested launches must be
 /// registered in the same program.
 ///
+/// Kernels are stored behind [`Arc`] so the simulator's dispatch path can
+/// hand a reference-counted handle to every resident thread block without
+/// deep-copying the kernel (name string, metadata) per dispatched block.
+///
 /// # Example
 ///
 /// ```
@@ -152,7 +156,7 @@ impl fmt::Display for Kernel {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct Program {
-    kernels: Vec<Kernel>,
+    kernels: Vec<Arc<Kernel>>,
 }
 
 impl Program {
@@ -168,21 +172,23 @@ impl Program {
     /// Panics if more than `u16::MAX` kernels are registered.
     pub fn add(&mut self, kernel: Kernel) -> KernelId {
         let id = u16::try_from(self.kernels.len()).expect("too many kernels in program");
-        self.kernels.push(kernel);
+        self.kernels.push(Arc::new(kernel));
         KernelId(id)
     }
 
-    /// Looks up a kernel by id.
+    /// Looks up a kernel by id. The returned handle auto-derefs to
+    /// [`Kernel`]; clone the `Arc` to keep the kernel alive independently
+    /// of the program (a refcount bump, not a deep copy).
     ///
     /// # Panics
     ///
     /// Panics if `id` was not produced by [`Program::add`] on this program.
-    pub fn kernel(&self, id: KernelId) -> &Kernel {
+    pub fn kernel(&self, id: KernelId) -> &Arc<Kernel> {
         &self.kernels[id.0 as usize]
     }
 
     /// Looks up a kernel by id, returning `None` when absent.
-    pub fn get(&self, id: KernelId) -> Option<&Kernel> {
+    pub fn get(&self, id: KernelId) -> Option<&Arc<Kernel>> {
         self.kernels.get(id.0 as usize)
     }
 
@@ -197,7 +203,7 @@ impl Program {
     }
 
     /// Iterates over `(id, kernel)` pairs.
-    pub fn iter(&self) -> impl Iterator<Item = (KernelId, &Kernel)> {
+    pub fn iter(&self) -> impl Iterator<Item = (KernelId, &Arc<Kernel>)> {
         self.kernels
             .iter()
             .enumerate()

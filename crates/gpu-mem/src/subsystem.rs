@@ -29,7 +29,7 @@ pub enum AccessKind {
 }
 
 /// Aggregate statistics for the whole subsystem.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct MemStats {
     /// Transactions injected, by kind.
     pub loads: u64,

@@ -1,17 +1,21 @@
 //! The Kernel Distributor: the table of active kernels (Figure 1).
 
-use gpu_isa::KernelId;
+use gpu_isa::{Kernel, KernelId};
+use std::sync::Arc;
 
 /// One Kernel Distributor entry: the paper's `PC, Dim, Param, ExeBL`
 /// registers plus scheduling cursors. The DTBL extension registers
 /// (`NAGEI`/`LAGEI`) live in [`dtbl_core::SchedulingPool`], indexed by the
 /// same entry number.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug)]
 pub struct KdeEntry {
-    /// Kernel function (stands in for the entry-PC register; in this model
-    /// a kernel id implies both the code and the thread-block shape, which
-    /// is exactly the eligibility criterion of §4.2).
+    /// Kernel function id (stands in for the entry-PC register; in this
+    /// model a kernel id implies both the code and the thread-block shape,
+    /// which is exactly the eligibility criterion of §4.2).
     pub kernel: KernelId,
+    /// The resolved kernel function, shared with the KMU entry that
+    /// installed it and every thread block dispatched from it.
+    pub kernel_fn: Arc<Kernel>,
     /// Native grid size (thread blocks, x extent).
     pub grid_ntb: u32,
     /// Parameter-buffer address.
@@ -147,8 +151,11 @@ mod tests {
     use super::*;
 
     fn entry(k: u16) -> KdeEntry {
+        let mut b = gpu_isa::KernelBuilder::new("kd_test", gpu_isa::Dim3::x(32), 0);
+        let _ = b.imm(0);
         KdeEntry {
             kernel: KernelId(k),
+            kernel_fn: Arc::new(b.build().unwrap()),
             grid_ntb: 4,
             param_addr: 0,
             next_native_tb: 0,

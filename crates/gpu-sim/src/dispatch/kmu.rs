@@ -1,8 +1,9 @@
 //! The Kernel Management Unit: hardware work queues for host streams plus
 //! the device-launched kernel pool (§2.2, §2.4).
 
-use gpu_isa::KernelId;
+use gpu_isa::{Kernel, KernelId};
 use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
 
 /// Where a pending kernel came from.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -21,10 +22,18 @@ pub enum Origin {
 }
 
 /// A kernel waiting in the KMU.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+///
+/// Carries the resolved kernel handle so the rest of the dispatch path
+/// (distributor entry, SMX thread-block placement) never touches the
+/// program table again: launch resolves the id once, and everything
+/// downstream shares the same `Arc` (a refcount bump per hop, never a
+/// deep copy of the kernel).
+#[derive(Clone, Debug)]
 pub struct PendingKernel {
-    /// Kernel function.
+    /// Kernel function id (for eligibility matching and diagnostics).
     pub kernel: KernelId,
+    /// The resolved kernel function.
+    pub kernel_fn: Arc<Kernel>,
     /// Grid size (thread blocks, x extent).
     pub ntb: u32,
     /// Parameter-buffer address.
@@ -33,12 +42,20 @@ pub struct PendingKernel {
     pub origin: Origin,
 }
 
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug)]
 struct Arrival {
     at: u64,
     seq: u64,
     pk: PendingKernel,
 }
+
+impl PartialEq for Arrival {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl Eq for Arrival {}
 
 impl Ord for Arrival {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
@@ -179,11 +196,13 @@ impl Kmu {
 
         // Complete the oldest in-flight dispatch (starts are 1/cycle, so
         // at most one matures per cycle).
-        if let Some(&(ready, slot, pk)) = self.in_dispatch.front() {
-            if ready <= now {
-                self.in_dispatch.pop_front();
-                return Some((slot, pk));
-            }
+        if self
+            .in_dispatch
+            .front()
+            .is_some_and(|(ready, _, _)| *ready <= now)
+        {
+            let (_, slot, pk) = self.in_dispatch.pop_front()?;
+            return Some((slot, pk));
         }
         None
     }
@@ -219,8 +238,11 @@ mod tests {
     use super::*;
 
     fn pk(k: u16) -> PendingKernel {
+        let mut b = gpu_isa::KernelBuilder::new("kmu_test", gpu_isa::Dim3::x(32), 0);
+        let _ = b.imm(0);
         PendingKernel {
             kernel: KernelId(k),
+            kernel_fn: Arc::new(b.build().unwrap()),
             ntb: 1,
             param_addr: 0,
             origin: Origin::Device { record: 0 },

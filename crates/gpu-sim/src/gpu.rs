@@ -13,6 +13,7 @@ use gpu_mem::{
     coalesce::coalesce, AccessId, AccessKind, BackingStore, LinearAllocator, MemSubsystem,
 };
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Base of the heap served by [`Gpu::malloc`].
 pub(crate) const HEAP_BASE: u32 = 0x1000_0000;
@@ -208,6 +209,11 @@ impl Gpu {
     /// analogue of `kernel<<<ntb, ...>>>(params)`); `params` are copied
     /// into a fresh device parameter buffer.
     ///
+    /// A zero-block grid is a no-op that succeeds immediately, matching
+    /// the device-launch path; it must not reach the Kernel Distributor,
+    /// where an entry with no blocks would never complete and trip the
+    /// hang watchdog.
+    ///
     /// # Errors
     ///
     /// Returns an error for unknown kernels, heap exhaustion, or a full
@@ -219,8 +225,12 @@ impl Gpu {
         params: &[u32],
         stream: u32,
     ) -> Result<(), SimError> {
-        if self.program.get(kernel).is_none() {
+        let Some(kernel_fn) = self.program.get(kernel) else {
             return Err(SimError::UnknownKernel(kernel));
+        };
+        let kernel_fn = Arc::clone(kernel_fn);
+        if ntb == 0 {
+            return Ok(());
         }
         self.check_hwq_capacity(stream)?;
         let param_addr = self.malloc((params.len().max(1) * 4) as u32)?;
@@ -230,6 +240,7 @@ impl Gpu {
             stream,
             PendingKernel {
                 kernel,
+                kernel_fn,
                 ntb,
                 param_addr,
                 origin: Origin::Host { hwq: 0 }, // rewritten by push_host
@@ -254,8 +265,12 @@ impl Gpu {
         param_addr: u32,
         stream: u32,
     ) -> Result<(), SimError> {
-        if self.program.get(kernel).is_none() {
+        let Some(kernel_fn) = self.program.get(kernel) else {
             return Err(SimError::UnknownKernel(kernel));
+        };
+        let kernel_fn = Arc::clone(kernel_fn);
+        if ntb == 0 {
+            return Ok(());
         }
         self.check_hwq_capacity(stream)?;
         self.stats.host_launches += 1;
@@ -263,6 +278,7 @@ impl Gpu {
             stream,
             PendingKernel {
                 kernel,
+                kernel_fn,
                 ntb,
                 param_addr,
                 origin: Origin::Host { hwq: 0 },
@@ -414,6 +430,7 @@ impl Gpu {
             slot,
             KdeEntry {
                 kernel: pk.kernel,
+                kernel_fn: pk.kernel_fn,
                 grid_ntb: pk.ntb,
                 param_addr: pk.param_addr,
                 next_native_tb: 0,
@@ -451,6 +468,32 @@ impl Gpu {
         Ok(())
     }
 
+    /// Re-derives whether KDE `kde` still has distributable work and
+    /// updates the FCFS controller to match: the first-dispatch bit falls
+    /// once every native block has been handed out, and the entry is
+    /// unmarked only when the aggregated-group pool is empty too.
+    ///
+    /// Every site that consumes distributable work funnels through this
+    /// one check *after* updating its counters. Re-deriving both facts
+    /// here (instead of each site testing one of them against a value
+    /// read before its own update) means no ordering of "native cursor
+    /// advanced" vs. "pool drained" can strand a kernel marked with
+    /// nothing to distribute — which would pin it at the head of the FCFS
+    /// order forever — or unmark one that still has work.
+    fn refresh_mark(&mut self, kde: u32) {
+        let native_pending = self
+            .kd
+            .get(kde)
+            .is_some_and(|e| !e.native_fully_scheduled());
+        if native_pending {
+            return;
+        }
+        self.fcfs.clear_first_dispatch(kde);
+        if self.pool.nagei(kde).is_none() {
+            self.fcfs.unmark(kde);
+        }
+    }
+
     /// Attempts to distribute one thread block of kernel `kde`; returns
     /// whether a block was placed.
     fn try_dispatch_one(&mut self, kde: u32, now: u64) -> Result<bool, SimError> {
@@ -464,15 +507,15 @@ impl Gpu {
             false
         } else {
             // Nothing to distribute; a marked kernel with an empty pool is
-            // transient (between clear-first and unmark) — unmark it if its
-            // native blocks are also done scheduling.
-            if entry.native_fully_scheduled() {
-                self.fcfs.unmark(kde);
-            }
+            // transient (between clear-first and unmark) — re-derive its
+            // mark so it leaves the FCFS order.
+            self.refresh_mark(kde);
             return Ok(false);
         };
 
-        let kernel = self.program.kernel(kernel_id).clone();
+        // Refcounted handle shared with the distributor entry — never a
+        // deep copy of the kernel on the block-dispatch path.
+        let kernel = Arc::clone(&entry.kernel_fn);
         // Spatial sharing (optional §5.2B extension): host-launched native
         // blocks keep off the reserved SMXs; dynamic work may go anywhere.
         let dynamic = !native_next || entry.launch_record.is_some();
@@ -527,10 +570,7 @@ impl Gpu {
                 self.mark_launch_started(r, now);
             }
             if fully {
-                self.fcfs.clear_first_dispatch(kde);
-                if self.pool.nagei(kde).is_none() {
-                    self.fcfs.unmark(kde);
-                }
+                self.refresh_mark(kde);
             }
         } else {
             let Some(group) = self.pool.nagei(kde) else {
@@ -587,13 +627,7 @@ impl Gpu {
             if self.pool.agt().fully_scheduled(group) && self.pool.advance_nagei(kde).is_none() {
                 // Pool drained: the kernel leaves the FCFS queue once its
                 // native blocks are also all distributed.
-                let native_done = self
-                    .kd
-                    .get(kde)
-                    .is_some_and(KdeEntry::native_fully_scheduled);
-                if native_done {
-                    self.fcfs.unmark(kde);
-                }
+                self.refresh_mark(kde);
             }
         }
         self.progress_marker += 1;
@@ -645,29 +679,32 @@ impl Gpu {
             return Ok(None);
         }
         warp.sync_reconvergence();
+        // Borrow the warp's thread block exactly once for the whole issue.
+        // The completion paths below mutate the slot's liveness, so a
+        // second lookup later in the cycle could observe (and unwrap) a
+        // slot already vacated by this very issue — borrow up front and
+        // report an empty slot as a typed invariant violation instead.
+        let tb_slot = warp.tb_slot;
+        let Some(tb) = tb_slots[tb_slot].as_mut() else {
+            return Err(invariant(
+                now,
+                format!("warp {w} on SMX {s} names empty TB slot {tb_slot}"),
+            ));
+        };
         if warp.is_done() {
             warp.state = WarpState::Done;
             smx.live_warps -= 1;
-            let slot = warp.tb_slot;
-            let Some(tb) = tb_slots[slot].as_mut() else {
-                return Err(invariant(now, format!("warp {w} on SMX {s} has no TB")));
-            };
             tb.live_warps -= 1;
             let released = tb.live_warps == 0;
             // A disappearing warp can satisfy a barrier.
             if !released && tb.live_warps > 0 && tb.barrier_arrived >= tb.live_warps {
                 Self::release_barrier(warps, tb, now, 20);
             }
-            return Ok(released.then_some(slot));
+            return Ok(released.then_some(tb_slot));
         }
 
-        let tb_slot = warp.tb_slot;
-        let Some(tb) = tb_slots[tb_slot].as_mut() else {
-            return Err(invariant(now, format!("warp {w} on SMX {s} has no TB")));
-        };
-        let kernel = self.program.kernel(tb.kernel);
         let (pc, mask) = warp.current();
-        let inst = *kernel.fetch(pc);
+        let inst = *tb.kernel_fn.fetch(pc);
 
         self.stats.warp_issues += 1;
         self.stats.active_lanes += u64::from(mask.count_ones());

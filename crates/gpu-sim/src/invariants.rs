@@ -23,6 +23,11 @@
 //! 5. **Memory-request conservation** — warps' outstanding-request counts,
 //!    the owner map and the memory subsystem's in-flight transactions all
 //!    agree: no completion is ever dropped or double-delivered.
+//! 6. **FCFS mark consistency** — every FCFS-marked kernel names a
+//!    resident Kernel Distributor entry that still has distributable work
+//!    (pending native blocks under the first-dispatch bit, or a non-empty
+//!    aggregated-group chain). A marked-but-workless kernel would sit at
+//!    the head of the FCFS order forever, starving the kernels behind it.
 
 use crate::error::SimError;
 use crate::gpu::Gpu;
@@ -183,6 +188,26 @@ impl Gpu {
                 if self.kd.get(kde).is_none() && self.pool.nagei(kde).is_some() {
                     return fail(format!("free KDE {kde} still owns a descriptor chain"));
                 }
+            }
+        }
+
+        // Law 6: FCFS mark consistency. Every transition that exhausts a
+        // kernel's distributable work re-derives its mark (refresh_mark),
+        // so a marked entry must always be resident and have work left.
+        for kde in self.fcfs.marked_in_order() {
+            let Some(entry) = self.kd.get(kde) else {
+                return fail(format!("FCFS-marked kernel {kde} has no resident KDE"));
+            };
+            let native_pending =
+                self.fcfs.is_first_dispatch(kde) && !entry.native_fully_scheduled();
+            if !native_pending && self.pool.nagei(kde).is_none() {
+                return fail(format!(
+                    "FCFS-marked kernel {kde} has nothing to distribute \
+                     (native {}/{} scheduled, first-dispatch={}, empty pool)",
+                    entry.next_native_tb,
+                    entry.grid_ntb,
+                    self.fcfs.is_first_dispatch(kde)
+                ));
             }
         }
 

@@ -32,6 +32,7 @@ mod invariants;
 mod runtime;
 mod smx;
 mod stats;
+pub mod sweep;
 mod watchdog;
 
 pub use config::{GpuConfig, LatencyTable, PipelineLatencies, WarpSchedPolicy};

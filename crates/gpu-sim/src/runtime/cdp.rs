@@ -4,6 +4,7 @@ use crate::dispatch::{Origin, PendingKernel};
 use crate::error::SimError;
 use crate::gpu::{Gpu, CDP_PENDING_RECORD_BYTES};
 use crate::stats::{DynLaunchKind, LaunchRecord};
+use std::sync::Arc;
 
 impl Gpu {
     /// Queues a device-launched kernel in the KMU (both genuine CDP
@@ -23,6 +24,10 @@ impl Gpu {
         now: u64,
         visible_at: u64,
     ) -> Result<(), SimError> {
+        let Some(kernel_fn) = self.program.get(req.kernel) else {
+            return Err(SimError::UnknownKernel(req.kernel));
+        };
+        let kernel_fn = Arc::clone(kernel_fn);
         if let Some(cap) = self.cfg.fault.kmu_device_capacity {
             if self.cfg.fault.active_at(now) {
                 let pending = self.kmu.pending_device_kernels();
@@ -46,6 +51,7 @@ impl Gpu {
             visible_at,
             PendingKernel {
                 kernel: req.kernel,
+                kernel_fn,
                 ntb: req.ntb,
                 param_addr: req.param_addr,
                 origin: Origin::Device { record },

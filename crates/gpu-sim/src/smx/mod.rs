@@ -7,6 +7,7 @@ use crate::config::{GpuConfig, WarpSchedPolicy};
 use dtbl_core::GroupRef;
 use gpu_isa::{Dim3, Kernel, KernelId};
 use std::collections::HashSet;
+use std::sync::Arc;
 use warp::{Warp, WarpState};
 
 /// The Thread Block Control Register contents (Figure 4): which Kernel
@@ -27,8 +28,12 @@ pub struct Tbcr {
 pub struct TbSlot {
     /// Control-register contents.
     pub tbcr: Tbcr,
-    /// Kernel function executed by this block.
+    /// Kernel function id executed by this block.
     pub kernel: KernelId,
+    /// The kernel function itself, shared (refcounted) with the program
+    /// and the distributor entry — warp issue fetches instructions from
+    /// here without a per-issue program-table lookup.
+    pub kernel_fn: Arc<Kernel>,
     /// Block shape.
     pub block_dim: Dim3,
     /// Grid/group extent the block indexes into.
@@ -95,6 +100,10 @@ pub struct Smx {
     /// Warp slot that issued most recently (GTO greedy pointer).
     pub greedy: Option<usize>,
     rr_cursor: usize,
+    /// Recycled `warp_slots` index vectors from released thread blocks, so
+    /// steady-state block dispatch reuses their capacity instead of
+    /// allocating a fresh `Vec` per placed block.
+    slot_vec_pool: Vec<Vec<usize>>,
 }
 
 impl Smx {
@@ -112,6 +121,7 @@ impl Smx {
             kernels_loaded: HashSet::new(),
             greedy: None,
             rr_cursor: 0,
+            slot_vec_pool: Vec::new(),
         }
     }
 
@@ -139,7 +149,7 @@ impl Smx {
     pub fn place_tb(
         &mut self,
         kernel_id: KernelId,
-        kernel: &Kernel,
+        kernel: &Arc<Kernel>,
         tbcr: Tbcr,
         nctaid: u32,
         param_base: u32,
@@ -149,7 +159,8 @@ impl Smx {
         let slot = self.tb_slots.iter().position(Option::is_none)?;
         let threads = kernel.threads_per_block();
         let n_warps = threads.div_ceil(gpu_isa::WARP_SIZE as u32);
-        let mut warp_slots = Vec::with_capacity(n_warps as usize);
+        let mut warp_slots = self.slot_vec_pool.pop().unwrap_or_default();
+        warp_slots.reserve(n_warps as usize);
         for wi in 0..n_warps {
             let lanes_left = threads - wi * gpu_isa::WARP_SIZE as u32;
             let valid = if lanes_left >= 32 {
@@ -174,6 +185,7 @@ impl Smx {
         self.tb_slots[slot] = Some(TbSlot {
             tbcr,
             kernel: kernel_id,
+            kernel_fn: Arc::clone(kernel),
             block_dim: kernel.block_dim(),
             nctaid,
             param_base,
@@ -195,14 +207,15 @@ impl Smx {
         if self.tb_slots[slot].as_ref()?.live_warps != 0 {
             return None;
         }
-        let tb = self.tb_slots[slot].take()?;
-        for ws in &tb.warp_slots {
-            self.warps[*ws] = None;
-            self.free_warp_slots.push(*ws);
-            if self.greedy == Some(*ws) {
+        let mut tb = self.tb_slots[slot].take()?;
+        for ws in tb.warp_slots.drain(..) {
+            self.warps[ws] = None;
+            self.free_warp_slots.push(ws);
+            if self.greedy == Some(ws) {
                 self.greedy = None;
             }
         }
+        self.slot_vec_pool.push(tb.warp_slots);
         self.used_threads -= tb.threads_reserved;
         self.used_regs -= tb.regs_reserved;
         self.used_shared -= tb.shared.len() as u32;
@@ -280,13 +293,13 @@ mod tests {
     use super::*;
     use gpu_isa::KernelBuilder;
 
-    fn kernel(threads: u32, shared_words: u32) -> Kernel {
+    fn kernel(threads: u32, shared_words: u32) -> Arc<Kernel> {
         let mut b = KernelBuilder::new("k", Dim3::x(threads), 1);
         if shared_words > 0 {
             b.alloc_shared_words(shared_words);
         }
         let _ = b.imm(0);
-        b.build().unwrap()
+        Arc::new(b.build().unwrap())
     }
 
     fn tbcr() -> Tbcr {
@@ -392,6 +405,47 @@ mod tests {
         assert_ne!(next[0], g);
         let age_next = smx.warps[next[0]].as_ref().unwrap().age;
         assert_eq!(age_next, if g == 0 { 1 } else { 0 });
+    }
+
+    #[test]
+    fn placed_tb_shares_the_kernel_not_a_copy() {
+        let cfg = GpuConfig::test_small();
+        let mut smx = Smx::new(0, &cfg);
+        let k = kernel(64, 0);
+        let mut age = 0;
+        let slot = smx
+            .place_tb(KernelId(0), &k, tbcr(), 1, 0, 0, &mut age)
+            .unwrap();
+        let tb = smx.tb_slots[slot].as_ref().unwrap();
+        assert!(
+            Arc::ptr_eq(&tb.kernel_fn, &k),
+            "block dispatch must share the kernel allocation, not deep-copy it"
+        );
+    }
+
+    #[test]
+    fn warp_slot_vectors_are_pooled_across_blocks() {
+        let cfg = GpuConfig::test_small();
+        let mut smx = Smx::new(0, &cfg);
+        let k = kernel(64, 0);
+        let mut age = 0;
+        let slot = smx
+            .place_tb(KernelId(0), &k, tbcr(), 1, 0, 0, &mut age)
+            .unwrap();
+        let cap_before = smx.tb_slots[slot].as_ref().unwrap().warp_slots.capacity();
+        let used: Vec<usize> = smx.tb_slots[slot].as_ref().unwrap().warp_slots.clone();
+        for ws in &used {
+            smx.warps[*ws].as_mut().unwrap().state = WarpState::Done;
+            smx.live_warps -= 1;
+        }
+        smx.tb_slots[slot].as_mut().unwrap().live_warps = 0;
+        assert!(smx.release_tb(slot).is_some());
+        assert_eq!(smx.slot_vec_pool.len(), 1, "released Vec parked for reuse");
+        let slot2 = smx
+            .place_tb(KernelId(0), &k, tbcr(), 1, 0, 0, &mut age)
+            .unwrap();
+        assert!(smx.slot_vec_pool.is_empty(), "pooled Vec taken back out");
+        assert!(smx.tb_slots[slot2].as_ref().unwrap().warp_slots.capacity() >= cap_before);
     }
 
     #[test]

@@ -41,7 +41,12 @@ impl LaunchRecord {
 }
 
 /// All counters accumulated during one simulation run.
-#[derive(Clone, Debug, Default)]
+///
+/// `PartialEq` compares every counter and launch record, so two runs of
+/// the same (benchmark, variant, seed) cell can be checked for identical
+/// results regardless of whether they executed serially or on a sweep
+/// worker thread.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Stats {
     /// Total cycles simulated (kernel launch to all-idle).
     pub cycles: u64,
@@ -121,34 +126,38 @@ impl Stats {
         self.mem.dram_efficiency()
     }
 
+    /// Mean waiting time over dynamic launches that started (Figure 9);
+    /// `None` when the run had no started dynamic launches (e.g. the Flat
+    /// variant), so callers averaging across runs can skip the run instead
+    /// of absorbing a made-up zero — and no division by zero can occur.
+    pub fn avg_waiting_time_opt(&self) -> Option<f64> {
+        mean(self.launches.iter().filter_map(LaunchRecord::waiting_time))
+    }
+
     /// Mean waiting time over dynamic launches that started (Figure 9).
+    /// Zero when there were none; see
+    /// [`avg_waiting_time_opt`](Self::avg_waiting_time_opt) to distinguish
+    /// "no launches" from "zero wait".
     pub fn avg_waiting_time(&self) -> f64 {
-        let waits: Vec<u64> = self
-            .launches
-            .iter()
-            .filter_map(LaunchRecord::waiting_time)
-            .collect();
-        if waits.is_empty() {
-            0.0
-        } else {
-            waits.iter().sum::<u64>() as f64 / waits.len() as f64
-        }
+        self.avg_waiting_time_opt().unwrap_or(0.0)
     }
 
     /// Mean waiting time restricted to one launch mechanism (separates
-    /// coalesced aggregated groups from fallback device kernels).
+    /// coalesced aggregated groups from fallback device kernels); `None`
+    /// when no launch of that mechanism started.
+    pub fn avg_waiting_time_of_opt(&self, kind: DynLaunchKind) -> Option<f64> {
+        mean(
+            self.launches
+                .iter()
+                .filter(|l| l.kind == kind)
+                .filter_map(LaunchRecord::waiting_time),
+        )
+    }
+
+    /// Mean waiting time restricted to one launch mechanism. Zero when no
+    /// launch of that mechanism started.
     pub fn avg_waiting_time_of(&self, kind: DynLaunchKind) -> f64 {
-        let waits: Vec<u64> = self
-            .launches
-            .iter()
-            .filter(|l| l.kind == kind)
-            .filter_map(LaunchRecord::waiting_time)
-            .collect();
-        if waits.is_empty() {
-            0.0
-        } else {
-            waits.iter().sum::<u64>() as f64 / waits.len() as f64
-        }
+        self.avg_waiting_time_of_opt(kind).unwrap_or(0.0)
     }
 
     /// Number of launches of one mechanism.
@@ -162,27 +171,32 @@ impl Stats {
     }
 
     /// Average threads per dynamic launch (the paper's "low compute
-    /// intensity" characterization, ~40 threads).
-    pub fn avg_dyn_launch_threads(&self) -> f64 {
-        if self.launches.is_empty() {
-            return 0.0;
-        }
-        let total: u64 = self
-            .launches
-            .iter()
-            .map(|l| u64::from(l.ntb) * u64::from(l.threads_per_tb))
-            .sum();
-        total as f64 / self.launches.len() as f64
+    /// intensity" characterization, ~40 threads); `None` when the run had
+    /// no dynamic launches.
+    pub fn avg_dyn_launch_threads_opt(&self) -> Option<f64> {
+        mean(
+            self.launches
+                .iter()
+                .map(|l| u64::from(l.ntb) * u64::from(l.threads_per_tb)),
+        )
     }
 
-    /// Eligible-kernel match rate for DTBL launches (§4.2 reports ~98%).
-    pub fn match_rate(&self) -> f64 {
+    /// Average threads per dynamic launch; zero when the run had none.
+    pub fn avg_dyn_launch_threads(&self) -> f64 {
+        self.avg_dyn_launch_threads_opt().unwrap_or(0.0)
+    }
+
+    /// Eligible-kernel match rate for DTBL launches (§4.2 reports ~98%);
+    /// `None` when the run attempted no aggregated launches at all.
+    pub fn match_rate_opt(&self) -> Option<f64> {
         let total = self.agg_coalesced + self.agg_fallbacks;
-        if total == 0 {
-            0.0
-        } else {
-            self.agg_coalesced as f64 / total as f64
-        }
+        (total != 0).then(|| self.agg_coalesced as f64 / total as f64)
+    }
+
+    /// Eligible-kernel match rate for DTBL launches. Zero when the run
+    /// attempted no aggregated launches.
+    pub fn match_rate(&self) -> f64 {
+        self.match_rate_opt().unwrap_or(0.0)
     }
 
     pub(crate) fn add_pending(&mut self, bytes: u64) {
@@ -193,6 +207,16 @@ impl Stats {
     pub(crate) fn remove_pending(&mut self, bytes: u64) {
         self.pending_bytes = self.pending_bytes.saturating_sub(bytes);
     }
+}
+
+/// Mean of an integer sequence; `None` for an empty one (never NaN).
+fn mean(values: impl Iterator<Item = u64>) -> Option<f64> {
+    let (mut sum, mut n) = (0u64, 0u64);
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    (n != 0).then(|| sum as f64 / n as f64)
 }
 
 #[cfg(test)]
@@ -277,5 +301,34 @@ mod tests {
             ..Stats::default()
         };
         assert!((s.match_rate() - 0.98).abs() < 1e-12);
+        assert!((s.match_rate_opt().unwrap() - 0.98).abs() < 1e-12);
+    }
+
+    /// A run with no dynamic launches (Flat) must yield finite averages —
+    /// zero from the f64 helpers, `None` from the `_opt` forms — never a
+    /// NaN that would poison a figure's cross-benchmark average.
+    #[test]
+    fn empty_run_averages_are_finite() {
+        let s = Stats::default();
+        assert_eq!(s.avg_waiting_time(), 0.0);
+        assert_eq!(s.avg_waiting_time_of(DynLaunchKind::AggGroup), 0.0);
+        assert_eq!(s.avg_dyn_launch_threads(), 0.0);
+        assert_eq!(s.match_rate(), 0.0);
+        assert!(s.avg_waiting_time_opt().is_none());
+        assert!(s
+            .avg_waiting_time_of_opt(DynLaunchKind::DeviceKernel)
+            .is_none());
+        assert!(s.avg_dyn_launch_threads_opt().is_none());
+        assert!(s.match_rate_opt().is_none());
+        for v in [
+            s.avg_waiting_time(),
+            s.avg_dyn_launch_threads(),
+            s.match_rate(),
+            s.warp_activity_pct(),
+            s.smx_occupancy_pct(),
+            s.dram_efficiency(),
+        ] {
+            assert!(v.is_finite(), "metric must never be NaN/inf, got {v}");
+        }
     }
 }

@@ -1,0 +1,142 @@
+//! Bounded-parallel execution of independent simulation cells.
+//!
+//! The full figure sweep runs 16 benchmark configs across up to six
+//! variants, and every cell builds its own [`Gpu`](crate::Gpu) and seeds
+//! its own `sim-rand` streams — cells share no mutable state, so they can
+//! run on worker threads with bit-identical per-run results to a serial
+//! loop. This module provides the one primitive everything else (the
+//! bench crate's `SweepRunner`, the fault-injection suite, the
+//! cross-crate tests) builds on: fan a list of cells over a bounded pool
+//! of scoped threads and collect each cell's `Result` in input order.
+//!
+//! Only `std` is used (scoped threads + an atomic work cursor), matching
+//! the repo's no-external-dependencies policy.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Worker count used when the caller does not pin one: the machine's
+/// available parallelism, falling back to 1 when it cannot be queried.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs `f` over every cell on up to `jobs` worker threads and returns
+/// `(cell, result)` pairs **in input order**, regardless of which worker
+/// finished first.
+///
+/// Workers claim cells from a shared cursor, so they stay busy until the
+/// list is exhausted rather than being handed fixed stripes. `jobs == 1`
+/// (or a single-cell list) degenerates to a plain serial loop on the
+/// calling thread — the scheduling of cells onto threads is the *only*
+/// difference between serial and parallel execution, so per-cell results
+/// are identical either way.
+///
+/// One cell's failure never aborts its siblings: the error lands in that
+/// cell's slot and every other cell still runs to completion.
+pub fn run_cells<C, T, E, F>(cells: Vec<C>, jobs: usize, f: F) -> Vec<(C, Result<T, E>)>
+where
+    C: Send + Sync,
+    T: Send,
+    E: Send,
+    F: Fn(&C) -> Result<T, E> + Sync,
+{
+    let jobs = jobs.max(1).min(cells.len().max(1));
+    if jobs == 1 {
+        return cells
+            .into_iter()
+            .map(|c| {
+                let r = f(&c);
+                (c, r)
+            })
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<T, E>>>> =
+        (0..cells.len()).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(cell) = cells.get(i) else { break };
+                let r = f(cell);
+                *slots[i].lock().expect("sweep result slot poisoned") = Some(r);
+            });
+        }
+    });
+    cells
+        .into_iter()
+        .zip(slots)
+        .map(|(c, slot)| {
+            let r = slot
+                .into_inner()
+                .expect("sweep result slot poisoned")
+                .expect("scoped worker completed every claimed cell");
+            (c, r)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let cells: Vec<u64> = (0..64).collect();
+        let out = run_cells(cells, 8, |&c| Ok::<u64, ()>(c * 3));
+        for (i, (cell, r)) in out.iter().enumerate() {
+            assert_eq!(*cell, i as u64);
+            assert_eq!(*r, Ok(i as u64 * 3));
+        }
+    }
+
+    /// One failing cell must not abort sibling cells: every other cell
+    /// still produces its result, and the error sits in its own slot.
+    #[test]
+    fn failing_cell_does_not_abort_siblings() {
+        let cells: Vec<u32> = (0..33).collect();
+        let out = run_cells(cells, 4, |&c| {
+            if c == 13 {
+                Err(format!("cell {c} failed"))
+            } else {
+                Ok(c + 100)
+            }
+        });
+        assert_eq!(out.len(), 33);
+        for (cell, r) in &out {
+            if *cell == 13 {
+                assert_eq!(r.as_ref().unwrap_err(), "cell 13 failed");
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), cell + 100);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        let work = |&c: &u64| {
+            // A little deterministic arithmetic per cell.
+            let mut x = c.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            for _ in 0..100 {
+                x ^= x >> 27;
+                x = x.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            }
+            Ok::<u64, ()>(x)
+        };
+        let serial = run_cells((0..40).collect(), 1, work);
+        let parallel = run_cells((0..40).collect(), 8, work);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn degenerate_pools_still_work() {
+        assert!(run_cells(Vec::<u8>::new(), 8, |_| Ok::<(), ()>(())).is_empty());
+        let one = run_cells(vec![7u8], 0, |&c| Ok::<u8, ()>(c));
+        assert_eq!(one, vec![(7u8, Ok(7u8))]);
+    }
+}

@@ -677,3 +677,70 @@ fn uncoalesced_access_is_slower() {
         "memory divergence must cost cycles ({strided_cycles} vs {unit_cycles})"
     );
 }
+
+/// Regression for the FCFS marked-kernel/empty-pool window: coalescing a
+/// group onto a *quiet* resident kernel (fully scheduled, blocks still
+/// executing) re-marks it in the FCFS order; once those groups drain the
+/// mark must be dropped again. An ordering slip between the pool update
+/// and the unmark used to leave the kernel marked with nothing to
+/// distribute, pinning the FCFS head forever. The per-cycle invariant
+/// checker's law 6 (every marked kernel has distributable work) is forced
+/// on, so any recurrence fails the run immediately instead of hanging.
+#[test]
+fn fcfs_mark_dropped_after_coalesced_groups_drain() {
+    let (mut prog, child) = child_kernel(64, 400);
+    let parent = parent_kernel(&mut prog, child, true);
+    let cfg = GpuConfig {
+        check_invariants: true,
+        ..GpuConfig::test_small()
+    };
+    let mut gpu = Gpu::new(cfg, prog);
+    let out = gpu.malloc(32 * 64 * 4).unwrap();
+    let warm = gpu.malloc(64 * 64 * 4).unwrap();
+    // The warm grid is sized to be fully scheduled (quiet) while its
+    // long-running blocks keep the KDE resident, so the parent's groups
+    // hit the coalesce-then-remark path rather than first dispatch.
+    gpu.launch(child, 64, &[warm], 1).unwrap();
+    gpu.launch(parent, 1, &[out], 0).unwrap();
+    gpu.run_to_idle()
+        .expect("a drained kernel must unmark, not pin the FCFS head");
+    let s = gpu.stats();
+    assert!(
+        s.agg_coalesced > 0,
+        "scenario must exercise the remark path"
+    );
+    for i in 0..(32 * 64) {
+        assert_eq!(gpu.mem().read_u32(out + i * 4), 400, "element {i}");
+    }
+}
+
+/// A zero-block host launch is a no-op: it must complete immediately
+/// rather than install a Kernel Distributor entry that can never finish
+/// (which would trip invariant law 6 or hang the watchdog), and it must
+/// not disturb later launches on the same stream.
+#[test]
+fn zero_block_host_launch_is_a_noop() {
+    let mut prog = Program::new();
+    let mut b = KernelBuilder::new("noop_then_real", Dim3::x(32), 1);
+    let base = b.ld_param(0);
+    let gtid = b.global_tid();
+    let addr = b.mad(gtid, Op::Imm(4), Op::Reg(base));
+    b.st(Space::Global, addr, 0, Op::Imm(7));
+    let k = prog.add(b.build().unwrap());
+    let cfg = GpuConfig {
+        check_invariants: true,
+        ..GpuConfig::test_small()
+    };
+    let mut gpu = Gpu::new(cfg, prog);
+    let buf = gpu.malloc(32 * 4).unwrap();
+    gpu.launch(k, 0, &[buf], 0).unwrap();
+    gpu.run_to_idle().expect("an empty grid must not hang");
+    assert_eq!(gpu.stats().tb_completed, 0);
+    // The stream is still usable for real work afterwards.
+    gpu.launch(k, 1, &[buf], 0).unwrap();
+    gpu.run_to_idle().unwrap();
+    assert_eq!(gpu.stats().tb_completed, 1);
+    for i in 0..32 {
+        assert_eq!(gpu.mem().read_u32(buf + i * 4), 7, "element {i}");
+    }
+}

@@ -7,19 +7,39 @@
 //!
 //! Any panic inside `Benchmark::run_with` fails these tests, so the whole
 //! `run_to_idle`/validation path is exercised as a no-panic surface.
+//!
+//! Each sweep fans its benchmark cells over [`gpu_sim::sweep::run_cells`]
+//! worker threads — cells are independent (each builds its own `Gpu`), so
+//! the results are identical to a serial loop, just faster. A worker
+//! panic propagates when the scope joins, so the no-panic guarantee is
+//! still enforced.
 
+use gpu_sim::sweep::run_cells;
 use gpu_sim::{FaultPlan, GpuConfig, SimError};
 use workloads::{Benchmark, Scale, Variant};
 
-/// Runs `b` under `fault` and asserts the outcome is clean: a validated
-/// report or one of the typed errors a fault plan is allowed to surface.
-fn assert_clean(b: Benchmark, v: Variant, fault: FaultPlan) -> Result<(), SimError> {
-    let cfg = GpuConfig {
-        fault,
-        ..GpuConfig::k20c()
-    };
-    let res = b.run_with(v, Scale::Test, cfg);
-    if let Err(e) = &res {
+/// Worker threads per sweep: bounded below the machine width because
+/// cargo's test harness already runs the `#[test]` fns concurrently.
+fn jobs() -> usize {
+    gpu_sim::sweep::default_jobs().min(4)
+}
+
+/// Runs every benchmark under `fault` on worker threads and returns the
+/// per-benchmark outcomes in `Benchmark::ALL` order.
+fn sweep_all(v: Variant, fault: FaultPlan) -> Vec<(Benchmark, Result<(), SimError>)> {
+    run_cells(Benchmark::ALL.to_vec(), jobs(), |&b| {
+        let cfg = GpuConfig {
+            fault,
+            ..GpuConfig::k20c()
+        };
+        b.run_with(v, Scale::Test, cfg).map(|_| ())
+    })
+}
+
+/// Asserts the outcome is clean: a validated report or one of the typed
+/// errors a fault plan is allowed to surface.
+fn assert_typed(b: Benchmark, v: Variant, res: &Result<(), SimError>) {
+    if let Err(e) = res {
         assert!(
             matches!(
                 e,
@@ -32,7 +52,6 @@ fn assert_clean(b: Benchmark, v: Variant, fault: FaultPlan) -> Result<(), SimErr
             "{b} [{v}]: fault injection must surface a resource error, got: {e}"
         );
     }
-    res.map(|_| ())
 }
 
 /// Forced AGT hash misses push every coalesce through the spill path;
@@ -44,9 +63,8 @@ fn forced_agt_overflow_degrades_gracefully() {
         force_agt_overflow: true,
         ..FaultPlan::default()
     };
-    for b in Benchmark::ALL {
-        assert_clean(b, Variant::Dtbl, fault)
-            .unwrap_or_else(|e| panic!("{b}: spills must not fail a run: {e}"));
+    for (b, res) in sweep_all(Variant::Dtbl, fault) {
+        res.unwrap_or_else(|e| panic!("{b}: spills must not fail a run: {e}"));
     }
 }
 
@@ -59,9 +77,8 @@ fn capped_spill_storage_falls_back_to_device_kernels() {
         agt_overflow_capacity: Some(0),
         ..FaultPlan::default()
     };
-    for b in Benchmark::ALL {
-        assert_clean(b, Variant::Dtbl, fault)
-            .unwrap_or_else(|e| panic!("{b}: fallback must not fail a run: {e}"));
+    for (b, res) in sweep_all(Variant::Dtbl, fault) {
+        res.unwrap_or_else(|e| panic!("{b}: fallback must not fail a run: {e}"));
     }
 }
 
@@ -76,10 +93,19 @@ fn runtime_heap_exhaustion_is_a_typed_error() {
         heap_limit_bytes: Some(0),
         ..FaultPlan::default()
     };
-    for b in Benchmark::ALL {
-        for v in [Variant::Cdp, Variant::Dtbl] {
-            let _ = assert_clean(b, v, fault);
-        }
+    let cells: Vec<(Benchmark, Variant)> = Benchmark::ALL
+        .iter()
+        .flat_map(|&b| [Variant::Cdp, Variant::Dtbl].map(|v| (b, v)))
+        .collect();
+    let results = run_cells(cells, jobs(), |&(b, v)| {
+        let cfg = GpuConfig {
+            fault,
+            ..GpuConfig::k20c()
+        };
+        b.run_with(v, Scale::Test, cfg).map(|_| ())
+    });
+    for ((b, v), res) in &results {
+        assert_typed(*b, *v, res);
     }
 }
 
@@ -91,8 +117,8 @@ fn kmu_saturation_is_a_typed_error() {
         kmu_device_capacity: Some(2),
         ..FaultPlan::default()
     };
-    for b in Benchmark::ALL {
-        let _ = assert_clean(b, Variant::Cdp, fault);
+    for (b, res) in sweep_all(Variant::Cdp, fault) {
+        assert_typed(b, Variant::Cdp, &res);
     }
 }
 
@@ -105,9 +131,8 @@ fn single_slot_hwq_is_enough_for_the_harness() {
         hwq_capacity: Some(1),
         ..FaultPlan::default()
     };
-    for b in Benchmark::ALL {
-        assert_clean(b, Variant::Dtbl, fault)
-            .unwrap_or_else(|e| panic!("{b}: serialized host launches fit any queue: {e}"));
+    for (b, res) in sweep_all(Variant::Dtbl, fault) {
+        res.unwrap_or_else(|e| panic!("{b}: serialized host launches fit any queue: {e}"));
     }
 }
 
@@ -119,8 +144,7 @@ fn delayed_memory_preserves_results() {
         mem_delay: 64,
         ..FaultPlan::default()
     };
-    for b in Benchmark::ALL {
-        assert_clean(b, Variant::Dtbl, fault)
-            .unwrap_or_else(|e| panic!("{b}: a slow memory must only cost cycles: {e}"));
+    for (b, res) in sweep_all(Variant::Dtbl, fault) {
+        res.unwrap_or_else(|e| panic!("{b}: a slow memory must only cost cycles: {e}"));
     }
 }

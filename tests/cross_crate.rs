@@ -2,17 +2,29 @@
 //! through the cycle-level simulator to workload validation, exercising
 //! the paper's claims end to end at test scale.
 
-use dtbl_repro::gpu_sim::GpuConfig;
-use dtbl_repro::workloads::{Benchmark, Scale, Variant};
+use dtbl_repro::gpu_sim::sweep::run_cells;
+use dtbl_repro::gpu_sim::{GpuConfig, SimError};
+use dtbl_repro::workloads::{Benchmark, RunReport, Scale, Variant};
+
+/// Runs every Table-4 benchmark under `v` on worker threads (the cells
+/// are independent — each builds its own `Gpu` — so results match a
+/// serial loop exactly) and returns the reports in `Benchmark::ALL`
+/// order, panicking on the first failure.
+fn sweep_all(v: Variant) -> Vec<(Benchmark, RunReport)> {
+    let jobs = dtbl_repro::gpu_sim::sweep::default_jobs().min(4);
+    run_cells(Benchmark::ALL.to_vec(), jobs, |&b| b.run(v, Scale::Test))
+        .into_iter()
+        .map(|(b, r): (Benchmark, Result<RunReport, SimError>)| {
+            (b, r.unwrap_or_else(|e| panic!("{b} [{v}]: {e}")))
+        })
+        .collect()
+}
 
 /// Every benchmark configuration validates under Flat — the substrate's
 /// functional model is sound across all eight applications.
 #[test]
 fn all_benchmarks_validate_flat() {
-    for b in Benchmark::ALL {
-        let r = b
-            .run(Variant::Flat, Scale::Test)
-            .unwrap_or_else(|e| panic!("{b} [Flat]: {e}"));
+    for (b, r) in sweep_all(Variant::Flat) {
         assert!(r.stats.cycles > 0);
         assert_eq!(r.stats.dyn_launches(), 0, "{b}: flat must not launch");
     }
@@ -22,19 +34,13 @@ fn all_benchmarks_validate_flat() {
 /// changes results.
 #[test]
 fn all_benchmarks_validate_dtbl() {
-    for b in Benchmark::ALL {
-        b.run(Variant::Dtbl, Scale::Test)
-            .unwrap_or_else(|e| panic!("{b} [DTBL]: {e}"));
-    }
+    sweep_all(Variant::Dtbl);
 }
 
 /// Every benchmark validates under CDP.
 #[test]
 fn all_benchmarks_validate_cdp() {
-    for b in Benchmark::ALL {
-        b.run(Variant::Cdp, Scale::Test)
-            .unwrap_or_else(|e| panic!("{b} [CDP]: {e}"));
-    }
+    sweep_all(Variant::Cdp);
 }
 
 /// The ideal variants validate and are never slower than their measured
