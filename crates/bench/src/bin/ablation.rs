@@ -127,10 +127,13 @@ fn main() {
                 continue;
             }
         };
+        let waiting = r
+            .stats
+            .avg_waiting_time_opt()
+            .map_or("n/a".to_string(), |w| format!("{w:.0}"));
         println!(
-            "reserved SMXs = {reserved}: {} cycles, avg waiting {:.0} cycles, peak pending {} KB",
+            "reserved SMXs = {reserved}: {} cycles, avg waiting {waiting} cycles, peak pending {} KB",
             r.stats.cycles,
-            r.stats.avg_waiting_time(),
             r.stats.peak_pending_bytes / 1024,
         );
     }

@@ -52,7 +52,7 @@ fn main() {
         })
         .expect("csv");
         write_csv("fig09_waiting_kcycles", &benchmarks, &fourcols, |b, s| {
-            of(b, four_v(s)).stats.avg_waiting_time() / 1000.0
+            of(b, four_v(s)).stats.avg_waiting_time_opt().unwrap_or(0.0) / 1000.0
         })
         .expect("csv");
         write_csv(
@@ -118,7 +118,7 @@ fn main() {
         "Figure 9: Average Waiting Time (kcycles)",
         &benchmarks,
         &["CDPI", "DTBLI", "CDP", "DTBL"],
-        |b, s| of(b, four(s)).stats.avg_waiting_time() / 1000.0,
+        |b, s| of(b, four(s)).stats.avg_waiting_time_opt().unwrap_or(0.0) / 1000.0,
         |v| format!("{v:.1}"),
     );
 

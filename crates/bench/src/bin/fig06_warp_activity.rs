@@ -1,13 +1,19 @@
 //! Figure 6: average percentage of active threads in a warp, for the
 //! Flat, CDP and DTBL implementations of every benchmark.
 
-use bench::{print_figure, scale_from_args, SweepRunner};
+use bench::{print_figure, scale_from_args, SweepRunner, TraceOpts};
 use workloads::{Benchmark, Variant};
 
 fn main() {
     let scale = scale_from_args();
     let variants = [Variant::Flat, Variant::Cdp, Variant::Dtbl];
-    let m = SweepRunner::from_args().run_matrix(&Benchmark::ALL, &variants, scale);
+    let trace = TraceOpts::from_args();
+    let mut m = SweepRunner::from_args().run_matrix_with(
+        &Benchmark::ALL,
+        &variants,
+        scale,
+        trace.gpu_config(),
+    );
     let benchmarks = m.ok_benchmarks(&Benchmark::ALL, &variants);
     print_figure(
         "Figure 6: Warp Activity Percentage",
@@ -28,5 +34,6 @@ fn main() {
         .sum::<f64>()
         / benchmarks.len().max(1) as f64;
     println!("\nAverage DTBL warp-activity gain over Flat: {delta:+.1} points (paper: +10.7)");
+    trace.write(&mut m, &Benchmark::ALL, &variants);
     m.report_failures();
 }

@@ -1,13 +1,19 @@
 //! Figure 7: DRAM efficiency `(n_rd + n_wr) / n_activity` for Flat, CDP
 //! and DTBL.
 
-use bench::{print_figure, scale_from_args, SweepRunner};
+use bench::{print_figure, scale_from_args, SweepRunner, TraceOpts};
 use workloads::{Benchmark, Variant};
 
 fn main() {
     let scale = scale_from_args();
     let variants = [Variant::Flat, Variant::Cdp, Variant::Dtbl];
-    let m = SweepRunner::from_args().run_matrix(&Benchmark::ALL, &variants, scale);
+    let trace = TraceOpts::from_args();
+    let mut m = SweepRunner::from_args().run_matrix_with(
+        &Benchmark::ALL,
+        &variants,
+        scale,
+        trace.gpu_config(),
+    );
     let benchmarks = m.ok_benchmarks(&Benchmark::ALL, &variants);
     print_figure(
         "Figure 7: DRAM Efficiency",
@@ -24,5 +30,6 @@ fn main() {
         m.get(b, Variant::Dtbl).stats.dram_efficiency() / f
     }));
     println!("\nDTBL / Flat DRAM-efficiency ratio (geomean): {rel:.2}x (paper: 1.27x)");
+    trace.write(&mut m, &Benchmark::ALL, &variants);
     m.report_failures();
 }

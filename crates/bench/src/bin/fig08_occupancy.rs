@@ -1,7 +1,7 @@
 //! Figure 8: SMX occupancy (average resident warps / maximum resident
 //! warps) for CDPI, DTBLI, CDP and DTBL.
 
-use bench::{print_figure, scale_from_args, SweepRunner};
+use bench::{print_figure, scale_from_args, SweepRunner, TraceOpts};
 use workloads::{Benchmark, Variant};
 
 fn main() {
@@ -12,7 +12,13 @@ fn main() {
         Variant::Cdp,
         Variant::Dtbl,
     ];
-    let m = SweepRunner::from_args().run_matrix(&Benchmark::ALL, &variants, scale);
+    let trace = TraceOpts::from_args();
+    let mut m = SweepRunner::from_args().run_matrix_with(
+        &Benchmark::ALL,
+        &variants,
+        scale,
+        trace.gpu_config(),
+    );
     let benchmarks = m.ok_benchmarks(&Benchmark::ALL, &variants);
     print_figure(
         "Figure 8: SMX Occupancy",
@@ -36,5 +42,6 @@ fn main() {
         avg(Variant::DtblIdeal) - avg(Variant::CdpIdeal),
         avg(Variant::Dtbl) - avg(Variant::Cdp),
     );
+    trace.write(&mut m, &Benchmark::ALL, &variants);
     m.report_failures();
 }

@@ -1,18 +1,24 @@
 //! Figure 9: average waiting time (launch to first thread-block start)
 //! for a device kernel or an aggregated group, in kilocycles.
 
-use bench::{print_figure, scale_from_args, SweepRunner};
+use bench::{print_figure, scale_from_args, SweepRunner, TraceOpts};
 use workloads::{Benchmark, Variant};
 
 fn main() {
     let scale = scale_from_args();
+    let trace = TraceOpts::from_args();
     let variants = [
         Variant::CdpIdeal,
         Variant::DtblIdeal,
         Variant::Cdp,
         Variant::Dtbl,
     ];
-    let m = SweepRunner::from_args().run_matrix(&Benchmark::ALL, &variants, scale);
+    let mut m = SweepRunner::from_args().run_matrix_with(
+        &Benchmark::ALL,
+        &variants,
+        scale,
+        trace.gpu_config(),
+    );
     let benchmarks = m.ok_benchmarks(&Benchmark::ALL, &variants);
     print_figure(
         "Figure 9: Average Waiting Time for a Kernel or an Aggregated Group (kcycles)",
@@ -20,11 +26,15 @@ fn main() {
         &["CDPI", "DTBLI", "CDP", "DTBL"],
         |b, s| {
             let v = variants.iter().find(|v| v.label() == s).expect("series");
-            m.get(b, *v).stats.avg_waiting_time() / 1000.0
+            // `None` (no started dynamic launch) renders as 0.0, same as
+            // the paper's empty bars for launch-free benchmarks.
+            m.get(b, *v).stats.avg_waiting_time_opt().unwrap_or(0.0) / 1000.0
         },
         |v| format!("{v:.1}"),
     );
-    // Relative reductions over launch-bearing benchmarks only.
+    // Relative reductions over launch-bearing benchmarks only; a variant
+    // pair where either side recorded no waiting time drops out of the
+    // geomean instead of polluting it with a fake zero.
     let launching: Vec<Benchmark> = benchmarks
         .iter()
         .copied()
@@ -33,9 +43,10 @@ fn main() {
     let red = |a: Variant, b: Variant| {
         100.0
             * (1.0
-                - bench::geomean(launching.iter().map(|&bm| {
-                    m.get(bm, b).stats.avg_waiting_time().max(1.0)
-                        / m.get(bm, a).stats.avg_waiting_time().max(1.0)
+                - bench::geomean(launching.iter().filter_map(|&bm| {
+                    let num = m.get(bm, b).stats.avg_waiting_time_opt()?;
+                    let den = m.get(bm, a).stats.avg_waiting_time_opt()?;
+                    Some(num.max(1.0) / den.max(1.0))
                 })))
     };
     println!(
@@ -43,5 +54,6 @@ fn main() {
         red(Variant::CdpIdeal, Variant::DtblIdeal),
         red(Variant::Cdp, Variant::Dtbl),
     );
+    trace.write(&mut m, &Benchmark::ALL, &variants);
     m.report_failures();
 }

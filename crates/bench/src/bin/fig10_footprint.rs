@@ -2,13 +2,19 @@
 //! (peak bytes reserved for pending dynamic launches), in percent and in
 //! absolute bytes.
 
-use bench::{print_figure, scale_from_args, SweepRunner};
+use bench::{print_figure, scale_from_args, SweepRunner, TraceOpts};
 use workloads::{Benchmark, Variant};
 
 fn main() {
     let scale = scale_from_args();
     let variants = [Variant::Cdp, Variant::Dtbl];
-    let m = SweepRunner::from_args().run_matrix(&Benchmark::ALL, &variants, scale);
+    let trace = TraceOpts::from_args();
+    let mut m = SweepRunner::from_args().run_matrix_with(
+        &Benchmark::ALL,
+        &variants,
+        scale,
+        trace.gpu_config(),
+    );
     let benchmarks = m.ok_benchmarks(&Benchmark::ALL, &variants);
     print_figure(
         "Figure 10: Memory Footprint of Pending Launches (peak KB) and DTBL Reduction",
@@ -48,5 +54,6 @@ fn main() {
     println!(
         "\nAverage footprint reduction (launch-bearing benchmarks): {avg_red:.1}% (paper: 25.6%)"
     );
+    trace.write(&mut m, &Benchmark::ALL, &variants);
     m.report_failures();
 }

@@ -1,12 +1,18 @@
 //! Figure 11: overall performance — speedup over the flat implementation
 //! for CDPI, DTBLI, CDP and DTBL.
 
-use bench::{geomean, print_figure, scale_from_args, SweepRunner};
+use bench::{geomean, print_figure, scale_from_args, SweepRunner, TraceOpts};
 use workloads::{Benchmark, Variant};
 
 fn main() {
     let scale = scale_from_args();
-    let m = SweepRunner::from_args().run_matrix(&Benchmark::ALL, &Variant::MAIN, scale);
+    let trace = TraceOpts::from_args();
+    let mut m = SweepRunner::from_args().run_matrix_with(
+        &Benchmark::ALL,
+        &Variant::MAIN,
+        scale,
+        trace.gpu_config(),
+    );
     let benchmarks = m.ok_benchmarks(&Benchmark::ALL, &Variant::MAIN);
     let speedup = |b: Benchmark, v: Variant| {
         m.get(b, Variant::Flat).stats.cycles as f64 / m.get(b, v).stats.cycles.max(1) as f64
@@ -44,5 +50,6 @@ fn main() {
             .map(|&b| speedup(b, Variant::Dtbl) / speedup(b, Variant::Cdp)),
     );
     println!("geomean DTBL over CDP: {dtbl_over_cdp:.2}x   (paper avg: 1.40x)");
+    trace.write(&mut m, &Benchmark::ALL, &Variant::MAIN);
     m.report_failures();
 }

@@ -18,15 +18,18 @@ fn probe(b: Benchmark) {
                 continue;
             }
         };
+        let wait = r
+            .stats
+            .avg_waiting_time_opt()
+            .map_or("     n/a".to_string(), |w| format!("{w:8.0}"));
         println!(
-            "{:14} {:6}: cycles={:9} act={:5.1}% occ={:5.1}% dram_eff={:.3} wait={:8.0} launches={:6} match={:.2} footprint={:8} wall={:.1?}",
+            "{:14} {:6}: cycles={:9} act={:5.1}% occ={:5.1}% dram_eff={:.3} wait={wait} launches={:6} match={:.2} footprint={:8} wall={:.1?}",
             b.name(),
             v.label(),
             r.stats.cycles,
             r.stats.warp_activity_pct(),
             r.stats.smx_occupancy_pct(),
             r.stats.dram_efficiency(),
-            r.stats.avg_waiting_time(),
             r.stats.dyn_launches(),
             r.stats.match_rate(),
             r.stats.peak_pending_bytes,

@@ -7,8 +7,10 @@
 
 #![warn(missing_docs)]
 
-use gpu_sim::SimError;
+use gpu_sim::{GpuConfig, SimError};
+use gpu_trace::{Category, TraceConfig, TraceData};
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 use workloads::{Benchmark, RunReport, Scale, Variant};
@@ -58,6 +60,22 @@ impl SweepRunner {
         variants: &[Variant],
         scale: Scale,
     ) -> Matrix {
+        self.run_matrix_with(benchmarks, variants, scale, GpuConfig::k20c())
+    }
+
+    /// [`run_matrix`](SweepRunner::run_matrix) with an explicit GPU
+    /// configuration applied to every cell — how the figure binaries
+    /// enable tracing ([`TraceOpts::gpu_config`]) for a whole sweep.
+    /// Every cell still builds its own simulator and recorder from the
+    /// shared config, so determinism and input-order results are
+    /// unaffected.
+    pub fn run_matrix_with(
+        &self,
+        benchmarks: &[Benchmark],
+        variants: &[Variant],
+        scale: Scale,
+        cfg: GpuConfig,
+    ) -> Matrix {
         let cells: Vec<(Benchmark, Variant)> = benchmarks
             .iter()
             .flat_map(|&b| variants.iter().map(move |&v| (b, v)))
@@ -67,7 +85,7 @@ impl SweepRunner {
         let t0 = Instant::now();
         let results = gpu_sim::sweep::run_cells(cells, self.jobs, |&(b, v)| {
             let t = Instant::now();
-            let r = b.run(v, scale);
+            let r = b.run_with(v, scale, cfg);
             let k = finished.fetch_add(1, Ordering::Relaxed) + 1;
             match &r {
                 Ok(rep) => eprintln!(
@@ -218,6 +236,26 @@ impl Matrix {
             .collect()
     }
 
+    /// Detaches the recorded event traces of `benchmarks × variants`, in
+    /// input order (the order the sweep was handed its cells, independent
+    /// of worker interleaving), labelling each cell
+    /// `<benchmark>/<variant>`. Failed and untraced cells are skipped.
+    pub fn take_traces(
+        &mut self,
+        benchmarks: &[Benchmark],
+        variants: &[Variant],
+    ) -> Vec<(String, TraceData)> {
+        let mut out = Vec::new();
+        for &b in benchmarks {
+            for &v in variants {
+                if let Some(t) = self.reports.get_mut(&(b, v)).and_then(|r| r.trace.take()) {
+                    out.push((format!("{}/{}", b.name(), v.label()), t));
+                }
+            }
+        }
+        out
+    }
+
     /// Prints a summary of failed runs to stderr (no-op when everything
     /// passed).
     pub fn report_failures(&self) {
@@ -283,6 +321,123 @@ pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
         0.0
     } else {
         (log_sum / n as f64).exp()
+    }
+}
+
+/// Looks up `--flag VALUE` / `--flag=VALUE` in `args`; exits with a usage
+/// error when the flag is present without a value.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    let prefix = format!("{flag}=");
+    for (i, a) in args.iter().enumerate() {
+        if let Some(v) = a.strip_prefix(&prefix) {
+            return Some(v.to_string());
+        }
+        if a == flag {
+            match args.get(i + 1) {
+                Some(v) => return Some(v.clone()),
+                None => {
+                    eprintln!("{flag} expects a value");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Tracing options shared by the figure binaries, parsed from the command
+/// line:
+///
+/// - `--trace PATH` enables event tracing for every run of the sweep and
+///   writes the collected traces to PATH when the sweep finishes. A
+///   `.jsonl` extension selects line-delimited JSON for scripting;
+///   anything else gets Chrome `trace_event` JSON, openable in
+///   <https://ui.perfetto.dev>.
+/// - `--trace-filter CATS` sets the category filter: comma-separated
+///   category names (`launch,agt,warp,...`), `all`, or `default`. The
+///   default keeps the launch path and scheduling structures and leaves
+///   the high-volume per-issue warp/cache/DRAM categories off.
+/// - `--metrics-interval N` samples the metrics time series (warp
+///   activity, occupancy, AGT fill, DRAM efficiency) every N cycles;
+///   default 1000, `0` disables sampling.
+///
+/// Without `--trace` the options are inert: the sweep runs with tracing
+/// fully disabled and [`TraceOpts::write`] is a no-op.
+#[derive(Clone, Debug, Default)]
+pub struct TraceOpts {
+    out: Option<PathBuf>,
+    cfg: TraceConfig,
+}
+
+impl TraceOpts {
+    /// Parses the tracing flags from the command line.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let out = flag_value(&args, "--trace").map(PathBuf::from);
+        let mut cfg = TraceConfig::off();
+        if out.is_none() {
+            return TraceOpts { out, cfg };
+        }
+        cfg.mask = Category::default_mask();
+        cfg.metrics_interval = 1000;
+        if let Some(spec) = flag_value(&args, "--trace-filter") {
+            cfg.mask = Category::parse_mask(&spec).unwrap_or_else(|e| {
+                eprintln!("--trace-filter: {e}");
+                std::process::exit(2);
+            });
+        }
+        if let Some(n) = flag_value(&args, "--metrics-interval") {
+            cfg.metrics_interval = n.parse().unwrap_or_else(|_| {
+                eprintln!("--metrics-interval expects a non-negative integer, got {n:?}");
+                std::process::exit(2);
+            });
+        }
+        TraceOpts { out, cfg }
+    }
+
+    /// True when `--trace` was passed.
+    pub fn enabled(&self) -> bool {
+        self.out.is_some()
+    }
+
+    /// The trace configuration these options selected (fully off without
+    /// `--trace`).
+    pub fn trace_config(&self) -> TraceConfig {
+        self.cfg
+    }
+
+    /// The GPU configuration for the sweep: the stock K20c model with
+    /// this run's trace settings applied.
+    pub fn gpu_config(&self) -> GpuConfig {
+        GpuConfig {
+            trace: self.cfg,
+            ..GpuConfig::k20c()
+        }
+    }
+
+    /// Takes the traces of `benchmarks × variants` out of the finished
+    /// matrix (input order) and writes the trace file named by `--trace`.
+    /// No-op when tracing was not requested; exits non-zero when the file
+    /// cannot be written.
+    pub fn write(&self, m: &mut Matrix, benchmarks: &[Benchmark], variants: &[Variant]) {
+        let Some(path) = &self.out else { return };
+        let cells = m.take_traces(benchmarks, variants);
+        let dropped: u64 = cells.iter().map(|(_, d)| d.dropped).sum();
+        let text = if path.extension().is_some_and(|e| e == "jsonl") {
+            gpu_trace::export::jsonl(&cells)
+        } else {
+            gpu_trace::export::chrome_trace(&cells)
+        };
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("failed to write trace {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!(
+            "trace: wrote {} cell(s) to {} ({} event(s) dropped past the retention limit)",
+            cells.len(),
+            path.display(),
+            dropped,
+        );
     }
 }
 

@@ -1,6 +1,7 @@
 //! The Aggregated Group Table (AGT) and Aggregated Group Entries (AGEs).
 
 use gpu_isa::KernelId;
+use gpu_trace::{Category, EventKind, TraceBuffer};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -33,6 +34,15 @@ impl GroupRef {
     /// True when the descriptor spilled to global memory.
     pub fn is_overflow(&self) -> bool {
         matches!(self, GroupRef::Memory(_))
+    }
+
+    /// Encodes the reference as a single integer for trace events: on-chip
+    /// indices map to their value, overflow addresses set bit 32.
+    pub fn trace_code(self) -> u64 {
+        match self {
+            GroupRef::Agt(i) => u64::from(i.0),
+            GroupRef::Memory(a) => (1u64 << 32) | u64::from(a),
+        }
     }
 }
 
@@ -140,6 +150,7 @@ pub struct Agt {
     /// Fault-injection hook: treat every probe as a conflict so each
     /// insert exercises the overflow path.
     force_overflow: bool,
+    trace: TraceBuffer,
 }
 
 impl Agt {
@@ -157,7 +168,15 @@ impl Agt {
             live_on_chip: 0,
             stats: AgtStats::default(),
             force_overflow: false,
+            trace: TraceBuffer::default(),
         }
+    }
+
+    /// The AGT's trace staging buffer; the owning scheduling pool also
+    /// routes its coalesce events through it so intra-cycle ordering is
+    /// preserved. The simulator sets the mask and drains it each cycle.
+    pub fn trace_mut(&mut self) -> &mut TraceBuffer {
+        &mut self.trace
     }
 
     /// Fault injection: when `on`, every subsequent probe behaves as a
@@ -192,19 +211,28 @@ impl Agt {
     ) -> Option<GroupRef> {
         let idx = self.hash_index(hw_tid);
         let slot = &mut self.entries[idx.0 as usize];
-        if slot.is_none() && !self.force_overflow {
+        let r = if slot.is_none() && !self.force_overflow {
             *slot = Some(Age::new(info));
             self.live_on_chip += 1;
             self.stats.on_chip_allocs += 1;
             self.stats.peak_on_chip = self.stats.peak_on_chip.max(self.live_on_chip);
-            Some(GroupRef::Agt(idx))
+            GroupRef::Agt(idx)
         } else {
             let addr = overflow_addr()?;
             self.overflow.insert(addr, Age::new(info));
             self.stats.overflow_allocs += 1;
             self.stats.peak_overflow = self.stats.peak_overflow.max(self.overflow.len());
-            Some(GroupRef::Memory(addr))
+            GroupRef::Memory(addr)
+        };
+        if self.trace.on(Category::Agt) {
+            self.trace.push(EventKind::AgtInsert {
+                group: r.trace_code(),
+                kernel: u32::from(info.kernel.0),
+                kde: info.kde,
+                overflow: r.is_overflow() as u32,
+            });
         }
+        Some(r)
     }
 
     /// True when `r` names a live descriptor (on-chip or overflow).
@@ -310,6 +338,11 @@ impl Agt {
                 GroupRef::Memory(a) => {
                     self.overflow.remove(&a);
                 }
+            }
+            if self.trace.on(Category::Agt) {
+                self.trace.push(EventKind::AgtEvict {
+                    group: r.trace_code(),
+                });
             }
             true
         } else {

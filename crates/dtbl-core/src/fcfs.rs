@@ -11,6 +11,8 @@
 
 use std::collections::VecDeque;
 
+use gpu_trace::{Category, EventKind, TraceBuffer};
+
 /// FCFS controller over the Kernel Distributor entries.
 ///
 /// # Example
@@ -33,6 +35,7 @@ pub struct FcfsController {
     order: VecDeque<u32>,
     marked: Vec<bool>,
     first: Vec<bool>,
+    trace: TraceBuffer,
 }
 
 impl FcfsController {
@@ -42,7 +45,14 @@ impl FcfsController {
             order: VecDeque::new(),
             marked: vec![false; entries],
             first: vec![false; entries],
+            trace: TraceBuffer::default(),
         }
+    }
+
+    /// Staging buffer for mark/unmark events. The simulator sets the
+    /// category mask and drains it once per cycle.
+    pub fn trace_mut(&mut self) -> &mut TraceBuffer {
+        &mut self.trace
     }
 
     /// Marks a freshly dispatched kernel (first dispatch: native thread
@@ -57,6 +67,9 @@ impl FcfsController {
         self.marked[kde as usize] = true;
         self.first[kde as usize] = true;
         self.order.push_back(kde);
+        if self.trace.on(Category::Fcfs) {
+            self.trace.push(EventKind::FcfsMark { kde, first: 1 });
+        }
     }
 
     /// Re-marks a kernel that had finished scheduling but received a new
@@ -69,6 +82,9 @@ impl FcfsController {
         self.marked[kde as usize] = true;
         self.first[kde as usize] = false;
         self.order.push_back(kde);
+        if self.trace.on(Category::Fcfs) {
+            self.trace.push(EventKind::FcfsMark { kde, first: 0 });
+        }
     }
 
     /// Unmarks a kernel whose thread blocks (native and all currently
@@ -79,6 +95,9 @@ impl FcfsController {
         }
         self.marked[kde as usize] = false;
         self.order.retain(|&k| k != kde);
+        if self.trace.on(Category::Fcfs) {
+            self.trace.push(EventKind::FcfsUnmark { kde });
+        }
     }
 
     /// True while the kernel is queued for scheduling.

@@ -10,6 +10,7 @@
 //! the kernel's native thread blocks.
 
 use crate::agt::{AggGroupInfo, Agt, GroupRef};
+use gpu_trace::{Category, EventKind, Recorder};
 
 /// Per-KDE-entry extension registers.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -112,6 +113,19 @@ impl SchedulingPool {
         &self.stats
     }
 
+    /// Enables trace categories for the pool and its AGT. All pool events
+    /// route through the AGT's staging buffer so insert/coalesce ordering
+    /// is preserved within a cycle.
+    pub fn set_trace_mask(&mut self, mask: u32) {
+        self.agt.trace_mut().set_mask(mask);
+    }
+
+    /// Moves staged AGT/pool trace payloads into `rec`, stamped with
+    /// `now`. Call once per cycle when tracing is enabled.
+    pub fn drain_trace(&mut self, now: u64, rec: &mut Recorder) {
+        rec.absorb(now, self.agt.trace_mut());
+    }
+
     /// The Figure 5 procedure for one newly launched aggregated group.
     ///
     /// * `eligible` — KDE entry holding an eligible kernel (same entry PC
@@ -136,6 +150,11 @@ impl SchedulingPool {
     ) -> CoalesceOutcome {
         let Some(kde) = eligible else {
             self.stats.fallbacks += 1;
+            if self.agt.trace_mut().on(Category::Agt) {
+                self.agt.trace_mut().push(EventKind::AggFallback {
+                    kernel: u32::from(info.kernel.0),
+                });
+            }
             return CoalesceOutcome::Fallback;
         };
         info.kde = kde;
@@ -145,6 +164,11 @@ impl SchedulingPool {
             // device-kernel launch.
             self.stats.fallbacks += 1;
             self.stats.overflow_exhausted += 1;
+            if self.agt.trace_mut().on(Category::Agt) {
+                self.agt.trace_mut().push(EventKind::AggFallback {
+                    kernel: u32::from(info.kernel.0),
+                });
+            }
             return CoalesceOutcome::Fallback;
         };
         let ext = &mut self.ext[kde as usize];
@@ -162,6 +186,13 @@ impl SchedulingPool {
         // LAGEI always advances to the newest group.
         ext.lagei = Some(group);
         self.stats.coalesced += 1;
+        if self.agt.trace_mut().on(Category::Agt) {
+            self.agt.trace_mut().push(EventKind::AgtCoalesce {
+                group: group.trace_code(),
+                kde,
+                remark: !marked as u32,
+            });
+        }
 
         CoalesceOutcome::Coalesced {
             group,

@@ -14,6 +14,7 @@
 //! paper's y-axis range (its best benchmark reaches ≈ 0.55 on a different
 //! burst ratio).
 
+use gpu_trace::{Category, EventKind, TraceBuffer};
 use std::collections::{BinaryHeap, VecDeque};
 
 /// DRAM controller timing parameters (in core-clock cycles).
@@ -125,6 +126,7 @@ pub struct DramPartition {
     queue: VecDeque<Pending>,
     in_flight: BinaryHeap<InFlight>,
     stats: DramStats,
+    trace: TraceBuffer,
 }
 
 impl DramPartition {
@@ -139,7 +141,17 @@ impl DramPartition {
             queue: VecDeque::new(),
             in_flight: BinaryHeap::new(),
             stats: DramStats::default(),
+            trace: TraceBuffer::default(),
         }
+    }
+
+    /// The partition's trace staging buffer. The owning subsystem sets the
+    /// category mask and drains it each cycle; the controller itself does
+    /// not know its partition index, so [`EventKind::DramRowActivate`]
+    /// payloads are staged with `partition == u32::MAX` and patched at
+    /// drain time.
+    pub fn trace_mut(&mut self) -> &mut TraceBuffer {
+        &mut self.trace
     }
 
     /// True when the request queue has room.
@@ -227,6 +239,12 @@ impl DramPartition {
             0
         } else {
             self.stats.row_misses += 1;
+            if self.trace.on(Category::Dram) {
+                self.trace.push(EventKind::DramRowActivate {
+                    partition: u32::MAX,
+                    bank: bank as u32,
+                });
+            }
             self.cfg.t_row_miss
         };
         self.open_row[bank] = Some(row);

@@ -9,6 +9,7 @@
 use crate::cache::{Cache, CacheStats, Lookup};
 use crate::config::MemConfig;
 use crate::dram::{DramPartition, DramStats};
+use gpu_trace::{Category, EventKind, Recorder, TraceBuffer};
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 /// Handle for an in-flight load or atomic transaction.
@@ -111,6 +112,7 @@ pub struct MemSubsystem {
     next_dram_id: u64,
     dram_buf: Vec<u64>,
     stats_kind: (u64, u64, u64),
+    trace: TraceBuffer,
 }
 
 impl MemSubsystem {
@@ -132,7 +134,33 @@ impl MemSubsystem {
             next_dram_id: 0,
             dram_buf: Vec::new(),
             stats_kind: (0, 0, 0),
+            trace: TraceBuffer::default(),
             cfg,
+        }
+    }
+
+    /// Enables trace categories for the subsystem and every DRAM
+    /// partition. A zero mask (the default) keeps all emission sites on
+    /// their single always-false branch.
+    pub fn set_trace_mask(&mut self, mask: u32) {
+        self.trace.set_mask(mask);
+        for d in &mut self.dram {
+            d.trace_mut().set_mask(mask);
+        }
+    }
+
+    /// Moves staged trace payloads into `rec`, stamping them with `now`
+    /// and filling in the partition index on DRAM events. Call once per
+    /// cycle when tracing is enabled.
+    pub fn drain_trace(&mut self, now: u64, rec: &mut Recorder) {
+        rec.absorb(now, &mut self.trace);
+        for (p, d) in self.dram.iter_mut().enumerate() {
+            for mut kind in d.trace_mut().drain() {
+                if let EventKind::DramRowActivate { partition, .. } = &mut kind {
+                    *partition = p as u32;
+                }
+                rec.emit(now, kind);
+            }
         }
     }
 
@@ -166,7 +194,15 @@ impl MemSubsystem {
         self.next_access += 1;
         match kind {
             AccessKind::Load => {
-                if self.l1[smx].access_read(addr) == Lookup::Hit {
+                let hit = self.l1[smx].access_read(addr) == Lookup::Hit;
+                if self.trace.on(Category::Cache) {
+                    self.trace.push(EventKind::CacheAccess {
+                        level: 1,
+                        unit: smx as u32,
+                        hit: hit as u32,
+                    });
+                }
+                if hit {
                     self.completions.push(Completion {
                         at: now + self.cfg.l1_hit_latency,
                         id,
@@ -179,7 +215,14 @@ impl MemSubsystem {
             AccessKind::Store => {
                 // Write-through, no-write-allocate: tags updated for hit
                 // accounting only; traffic always goes to the partition.
-                let _ = self.l1[smx].access_write(addr);
+                let hit = self.l1[smx].access_write(addr) == Lookup::Hit;
+                if self.trace.on(Category::Cache) {
+                    self.trace.push(EventKind::CacheAccess {
+                        level: 1,
+                        unit: smx as u32,
+                        hit: hit as u32,
+                    });
+                }
                 self.route_to_partition(addr, None, kind, now);
                 None
             }
@@ -230,7 +273,15 @@ impl MemSubsystem {
                             }
                             continue;
                         }
-                        match self.l2[p].access_read(req.addr) {
+                        let lookup = self.l2[p].access_read(req.addr);
+                        if self.trace.on(Category::Cache) {
+                            self.trace.push(EventKind::CacheAccess {
+                                level: 2,
+                                unit: p as u32,
+                                hit: (lookup == Lookup::Hit) as u32,
+                            });
+                        }
+                        match lookup {
                             Lookup::Hit => {
                                 if let Some(id) = req.id {
                                     self.completions.push(Completion {
@@ -255,9 +306,17 @@ impl MemSubsystem {
                     AccessKind::Store => {
                         // Write-back, write-allocate (no fetch-on-write; the
                         // functional model already has the data).
+                        let lookup = self.l2[p].access_write(req.addr);
+                        if self.trace.on(Category::Cache) {
+                            self.trace.push(EventKind::CacheAccess {
+                                level: 2,
+                                unit: p as u32,
+                                hit: (lookup == Lookup::Hit) as u32,
+                            });
+                        }
                         if let Lookup::Miss {
                             writeback: Some(victim),
-                        } = self.l2[p].access_write(req.addr)
+                        } = lookup
                         {
                             self.dram_write(p, victim);
                         }

@@ -184,6 +184,11 @@ pub struct GpuConfig {
     pub check_invariants: bool,
     /// Deterministic fault-injection plan (default: inject nothing).
     pub fault: FaultPlan,
+    /// Structured event tracing ([`gpu_trace`]): category mask, ring size,
+    /// event cap and metrics-sampling interval. Defaults to fully off — a
+    /// disabled trace costs one predictable branch per staged event and
+    /// changes no simulation outcome.
+    pub trace: gpu_trace::TraceConfig,
 }
 
 /// Warp scheduler policy (§5.1 uses greedy-then-oldest).
@@ -218,6 +223,7 @@ impl Default for GpuConfig {
             watchdog_window: 2_000_000,
             check_invariants: cfg!(debug_assertions),
             fault: FaultPlan::default(),
+            trace: gpu_trace::TraceConfig::off(),
         }
     }
 }

@@ -1,6 +1,7 @@
 //! The Kernel Distributor: the table of active kernels (Figure 1).
 
 use gpu_isa::{Kernel, KernelId};
+use gpu_trace::{Category, EventKind, TraceBuffer};
 use std::sync::Arc;
 
 /// One Kernel Distributor entry: the paper's `PC, Dim, Param, ExeBL`
@@ -55,6 +56,7 @@ impl KdeEntry {
 #[derive(Clone, Debug)]
 pub struct KernelDistributor {
     slots: Vec<Option<KdeEntry>>,
+    trace: TraceBuffer,
 }
 
 impl KernelDistributor {
@@ -62,7 +64,14 @@ impl KernelDistributor {
     pub fn new(entries: usize) -> Self {
         KernelDistributor {
             slots: vec![None; entries],
+            trace: TraceBuffer::default(),
         }
+    }
+
+    /// Staging buffer for entry alloc/free events. The simulator sets the
+    /// category mask and drains it once per cycle.
+    pub fn trace_mut(&mut self) -> &mut TraceBuffer {
+        &mut self.trace
     }
 
     /// Number of slots.
@@ -96,6 +105,13 @@ impl KernelDistributor {
     pub fn install(&mut self, slot: u32, entry: KdeEntry) {
         let s = &mut self.slots[slot as usize];
         assert!(s.is_none(), "KDE slot {slot} already occupied");
+        if self.trace.on(Category::Launch) {
+            self.trace.push(EventKind::KdeAlloc {
+                kde: slot,
+                kernel: u32::from(entry.kernel.0),
+                ntb: entry.grid_ntb,
+            });
+        }
         *s = Some(entry);
     }
 
@@ -105,9 +121,16 @@ impl KernelDistributor {
     ///
     /// Panics if the slot is empty.
     pub fn release(&mut self, slot: u32) -> KdeEntry {
-        self.slots[slot as usize]
+        let entry = self.slots[slot as usize]
             .take()
-            .expect("releasing an empty KDE slot")
+            .expect("releasing an empty KDE slot");
+        if self.trace.on(Category::Launch) {
+            self.trace.push(EventKind::KdeFree {
+                kde: slot,
+                kernel: u32::from(entry.kernel.0),
+            });
+        }
+        entry
     }
 
     /// Shared view of a slot.

@@ -2,6 +2,7 @@
 //! the device-launched kernel pool (§2.2, §2.4).
 
 use gpu_isa::{Kernel, KernelId};
+use gpu_trace::{Category, EventKind, TraceBuffer};
 use std::collections::{BinaryHeap, VecDeque};
 use std::sync::Arc;
 
@@ -87,6 +88,7 @@ pub struct Kmu {
     /// each entry is `(ready_at, reserved_slot, kernel)`.
     in_dispatch: VecDeque<(u64, u32, PendingKernel)>,
     rr_hwq: usize,
+    trace: TraceBuffer,
 }
 
 impl Kmu {
@@ -100,7 +102,14 @@ impl Kmu {
             arrival_seq: 0,
             in_dispatch: VecDeque::new(),
             rr_hwq: 0,
+            trace: TraceBuffer::default(),
         }
+    }
+
+    /// Staging buffer for enqueue/dispatch events. The simulator sets the
+    /// category mask and drains it once per cycle.
+    pub fn trace_mut(&mut self) -> &mut TraceBuffer {
+        &mut self.trace
     }
 
     /// Maps a software stream to its hardware work queue. Streams beyond
@@ -113,6 +122,12 @@ impl Kmu {
     pub fn push_host(&mut self, stream: u32, mut pk: PendingKernel) {
         let hwq = self.hwq_of_stream(stream);
         pk.origin = Origin::Host { hwq };
+        if self.trace.on(Category::Launch) {
+            self.trace.push(EventKind::HwqEnqueue {
+                hwq: hwq as u32,
+                kernel: u32::from(pk.kernel.0),
+            });
+        }
         self.hwqs[hwq].push_back(pk);
     }
 
@@ -202,6 +217,12 @@ impl Kmu {
             .is_some_and(|(ready, _, _)| *ready <= now)
         {
             let (_, slot, pk) = self.in_dispatch.pop_front()?;
+            if self.trace.on(Category::Launch) {
+                self.trace.push(EventKind::KmuDispatch {
+                    kde: slot,
+                    kernel: u32::from(pk.kernel.0),
+                });
+            }
             return Some((slot, pk));
         }
         None

@@ -8,6 +8,7 @@
 //! harnesses can report the failing benchmark and keep going.
 
 use gpu_isa::KernelId;
+use gpu_trace::TraceEvent;
 use std::error::Error;
 use std::fmt;
 
@@ -221,6 +222,10 @@ pub struct HangReport {
     pub agt_live_overflow: usize,
     /// Memory transactions issued but not completed.
     pub outstanding_mem: usize,
+    /// The most recent trace events before the hang (newest last), taken
+    /// from the recorder's bounded ring. Empty when tracing is disabled —
+    /// re-run with tracing on to see what the machine last did.
+    pub recent_events: Vec<TraceEvent>,
 }
 
 impl HangReport {
@@ -274,6 +279,12 @@ impl fmt::Display for HangReport {
                 }
             }
         }
+        if !self.recent_events.is_empty() {
+            writeln!(f, "  last {} trace events:", self.recent_events.len())?;
+            for ev in &self.recent_events {
+                writeln!(f, "    cycle {}: {:?}", ev.cycle, ev.kind)?;
+            }
+        }
         Ok(())
     }
 }
@@ -304,6 +315,7 @@ mod tests {
             agt_live_on_chip: 0,
             agt_live_overflow: 0,
             outstanding_mem: 0,
+            recent_events: Vec::new(),
         }
     }
 

@@ -12,6 +12,7 @@ use gpu_isa::{apply_atomic, Dim3, Effect, Inst, KernelId, Program, Space, Thread
 use gpu_mem::{
     coalesce::coalesce, AccessId, AccessKind, BackingStore, LinearAllocator, MemSubsystem,
 };
+use gpu_trace::{Category, EventKind, Recorder, StallReason};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -107,6 +108,12 @@ pub struct Gpu {
     /// installation, thread-block placement/retirement, memory completion,
     /// device launch); the run loop's watchdog compares it across cycles.
     pub(crate) progress_marker: u64,
+    /// Structured-event recorder; off (mask 0) unless `cfg.trace` enables
+    /// categories, in which case [`step`](Self::step) drains every
+    /// component's staging buffer once per cycle.
+    pub(crate) tracer: Recorder,
+    /// Last-sample counters for interval metrics (deltas between samples).
+    pub(crate) trace_win: crate::trace::TraceWindow,
 }
 
 impl Gpu {
@@ -117,7 +124,7 @@ impl Gpu {
             num_smx: cfg.num_smx as u32,
             ..Stats::default()
         };
-        Gpu {
+        let mut gpu = Gpu {
             program,
             mem: BackingStore::new(),
             alloc: LinearAllocator::new(HEAP_BASE, HEAP_SIZE),
@@ -137,8 +144,12 @@ impl Gpu {
             rr_smx: 0,
             mem_buf: Vec::new(),
             progress_marker: 0,
+            tracer: Recorder::new(cfg.trace),
+            trace_win: crate::trace::TraceWindow::default(),
             cfg,
-        }
+        };
+        gpu.apply_trace_mask();
+        gpu
     }
 
     /// The active configuration.
@@ -236,6 +247,16 @@ impl Gpu {
         let param_addr = self.malloc((params.len().max(1) * 4) as u32)?;
         self.mem.write_slice_u32(param_addr, params);
         self.stats.host_launches += 1;
+        if self.tracer.on(Category::Launch) {
+            self.tracer.emit(
+                self.cycle,
+                EventKind::HostLaunch {
+                    kernel: u32::from(kernel.0),
+                    ntb,
+                    hwq: self.kmu.hwq_of_stream(stream) as u32,
+                },
+            );
+        }
         self.kmu.push_host(
             stream,
             PendingKernel {
@@ -274,6 +295,16 @@ impl Gpu {
         }
         self.check_hwq_capacity(stream)?;
         self.stats.host_launches += 1;
+        if self.tracer.on(Category::Launch) {
+            self.tracer.emit(
+                self.cycle,
+                EventKind::HostLaunch {
+                    kernel: u32::from(kernel.0),
+                    ntb,
+                    hwq: self.kmu.hwq_of_stream(stream) as u32,
+                },
+            );
+        }
         self.kmu.push_host(
             stream,
             PendingKernel {
@@ -412,6 +443,14 @@ impl Gpu {
         if resident > 0 {
             self.stats.busy_cycles += 1;
             self.stats.resident_warp_cycles += u64::from(resident);
+        }
+
+        // 6. Tracing: drain every component's staging buffer (stamping
+        // `now`) and take an interval metrics sample. One predicted-off
+        // branch when tracing is disabled.
+        if self.tracer.enabled() {
+            self.drain_traces(now);
+            self.sample_metrics(now);
         }
 
         self.cycle += 1;
@@ -567,7 +606,7 @@ impl Gpu {
                 ));
             }
             if let Some(r) = record {
-                self.mark_launch_started(r, now);
+                self.mark_launch_started(r, smx_idx, now);
             }
             if fully {
                 self.refresh_mark(kde);
@@ -622,7 +661,7 @@ impl Gpu {
                 ));
             }
             if let Some(r) = self.group_record.remove(&group) {
-                self.mark_launch_started(r, now);
+                self.mark_launch_started(r, smx_idx, now);
             }
             if self.pool.agt().fully_scheduled(group) && self.pool.advance_nagei(kde).is_none() {
                 // Pool drained: the kernel leaves the FCFS queue once its
@@ -634,12 +673,21 @@ impl Gpu {
         Ok(true)
     }
 
-    fn mark_launch_started(&mut self, record: usize, now: u64) {
+    fn mark_launch_started(&mut self, record: usize, smx: usize, now: u64) {
         let rec = &mut self.stats.launches[record];
         if rec.first_tb_at.is_none() {
             rec.first_tb_at = Some(now);
             let bytes = rec.reserved_bytes;
             self.stats.remove_pending(bytes);
+            if self.tracer.on(Category::Launch) {
+                self.tracer.emit(
+                    now,
+                    EventKind::LaunchSched {
+                        record: record as u32,
+                        smx: smx as u32,
+                    },
+                );
+            }
         }
     }
 
@@ -708,6 +756,16 @@ impl Gpu {
 
         self.stats.warp_issues += 1;
         self.stats.active_lanes += u64::from(mask.count_ones());
+        if self.tracer.on(Category::Warp) {
+            self.tracer.emit(
+                now,
+                EventKind::WarpIssue {
+                    smx: s as u32,
+                    warp: w as u32,
+                    lanes: mask.count_ones(),
+                },
+            );
+        }
 
         let pipe = self.cfg.pipeline;
         let lat = self.cfg.latency;
@@ -778,6 +836,25 @@ impl Gpu {
                 warp.state = WarpState::AtBarrier;
                 tb.barrier_arrived += 1;
                 self.stats.barrier_waits += 1;
+                if self.tracer.on(Category::Warp) {
+                    self.tracer.emit(
+                        now,
+                        EventKind::WarpStall {
+                            smx: s as u32,
+                            warp: w as u32,
+                            reason: StallReason::Barrier.code(),
+                        },
+                    );
+                    self.tracer.emit(
+                        now,
+                        EventKind::BarrierWait {
+                            smx: s as u32,
+                            tb_slot: tb_slot as u32,
+                            arrived: tb.barrier_arrived,
+                            expected: tb.live_warps,
+                        },
+                    );
+                }
                 if tb.barrier_arrived >= tb.live_warps {
                     Self::release_barrier(warps, tb, now, pipe.shared_mem);
                 }
@@ -817,6 +894,16 @@ impl Gpu {
                 }
                 let x = reqs.len() as u64;
                 let is_agg = matches!(inst, Inst::LaunchAgg { .. });
+                if !reqs.is_empty() && self.tracer.on(Category::Warp) {
+                    self.tracer.emit(
+                        now,
+                        EventKind::WarpStall {
+                            smx: s as u32,
+                            warp: w as u32,
+                            reason: StallReason::LaunchApi.code(),
+                        },
+                    );
+                }
                 warp.ready_at = now
                     + if is_agg {
                         lat.agg_launch
@@ -932,6 +1019,16 @@ impl Gpu {
                         }
                     }
                     warp.state = WarpState::WaitingMem { outstanding };
+                    if self.tracer.on(Category::Warp) {
+                        self.tracer.emit(
+                            now,
+                            EventKind::WarpStall {
+                                smx: s as u32,
+                                warp: w as u32,
+                                reason: StallReason::Memory.code(),
+                            },
+                        );
+                    }
                 } else {
                     // Posted stores.
                     for t in txns {
@@ -1024,6 +1121,15 @@ impl Gpu {
             && self.pool.nagei(kde).is_none();
         if done {
             let entry = self.kd.release(kde);
+            if self.tracer.on(Category::Launch) {
+                self.tracer.emit(
+                    now,
+                    EventKind::KernelRetire {
+                        kde,
+                        kernel: u32::from(entry.kernel.0),
+                    },
+                );
+            }
             self.pool.reset_kde(kde);
             self.agt_walk.remove(&kde);
             self.fcfs.unmark(kde);

@@ -33,6 +33,7 @@ mod runtime;
 mod smx;
 mod stats;
 pub mod sweep;
+mod trace;
 mod watchdog;
 
 pub use config::{GpuConfig, LatencyTable, PipelineLatencies, WarpSchedPolicy};
@@ -43,3 +44,5 @@ pub use gpu::Gpu;
 pub use smx::warp::{StackEntry, Warp, WarpState, NO_RECONV};
 pub use smx::{Smx, TbSlot, Tbcr};
 pub use stats::{DynLaunchKind, LaunchRecord, Stats};
+
+pub use gpu_trace::{TraceConfig, TraceData};

@@ -4,6 +4,7 @@ use crate::dispatch::{Origin, PendingKernel};
 use crate::error::SimError;
 use crate::gpu::{Gpu, CDP_PENDING_RECORD_BYTES};
 use crate::stats::{DynLaunchKind, LaunchRecord};
+use gpu_trace::{Category, EventKind, LaunchPath};
 use std::sync::Arc;
 
 impl Gpu {
@@ -47,6 +48,22 @@ impl Gpu {
             threads_per_tb,
             reserved_bytes: param_sz + CDP_PENDING_RECORD_BYTES,
         });
+        if self.tracer.on(Category::Launch) {
+            let path = match kind {
+                DynLaunchKind::DeviceKernel => LaunchPath::DeviceKernel,
+                DynLaunchKind::AggGroup => LaunchPath::AggGroup,
+                DynLaunchKind::AggFallback => LaunchPath::AggFallback,
+            };
+            self.tracer.emit(
+                now,
+                EventKind::DynLaunch {
+                    record: record as u32,
+                    path: path.code(),
+                    kernel: u32::from(req.kernel.0),
+                    ntb: req.ntb,
+                },
+            );
+        }
         self.kmu.push_device(
             visible_at,
             PendingKernel {

@@ -5,6 +5,7 @@ use crate::gpu::{heap_alloc, Gpu, AGG_OVERFLOW_RECORD_BYTES};
 use crate::stats::{DynLaunchKind, LaunchRecord};
 use dtbl_core::CoalesceOutcome;
 use gpu_isa::LaunchKind;
+use gpu_trace::{Category, EventKind, LaunchPath};
 
 impl Gpu {
     /// Routes one lane's launch request: DTBL launches try to coalesce
@@ -117,6 +118,17 @@ impl Gpu {
                         reserved_bytes: param_sz + descr,
                     });
                     self.group_record.insert(group, record);
+                    if self.tracer.on(Category::Launch) {
+                        self.tracer.emit(
+                            now,
+                            EventKind::DynLaunch {
+                                record: record as u32,
+                                path: LaunchPath::AggGroup.code(),
+                                kernel: u32::from(req.kernel.0),
+                                ntb: req.ntb,
+                            },
+                        );
+                    }
                     self.progress_marker += 1;
                     return Ok(());
                 }

@@ -6,6 +6,7 @@ pub mod warp;
 use crate::config::{GpuConfig, WarpSchedPolicy};
 use dtbl_core::GroupRef;
 use gpu_isa::{Dim3, Kernel, KernelId};
+use gpu_trace::{Category, EventKind, TraceBuffer};
 use std::collections::HashSet;
 use std::sync::Arc;
 use warp::{Warp, WarpState};
@@ -104,6 +105,7 @@ pub struct Smx {
     /// steady-state block dispatch reuses their capacity instead of
     /// allocating a fresh `Vec` per placed block.
     slot_vec_pool: Vec<Vec<usize>>,
+    trace: TraceBuffer,
 }
 
 impl Smx {
@@ -122,7 +124,14 @@ impl Smx {
             greedy: None,
             rr_cursor: 0,
             slot_vec_pool: Vec::new(),
+            trace: TraceBuffer::default(),
         }
+    }
+
+    /// Staging buffer for thread-block placement/retirement events. The
+    /// simulator sets the category mask and drains it once per cycle.
+    pub fn trace_mut(&mut self) -> &mut TraceBuffer {
+        &mut self.trace
     }
 
     /// Registers needed by one thread block of `kernel`.
@@ -157,6 +166,16 @@ impl Smx {
         warp_age: &mut u64,
     ) -> Option<usize> {
         let slot = self.tb_slots.iter().position(Option::is_none)?;
+        if self.trace.on(Category::Tb) {
+            self.trace.push(EventKind::TbPlace {
+                smx: self.id as u32,
+                slot: slot as u32,
+                kernel: u32::from(kernel_id.0),
+                kde: tbcr.kdei,
+                blkid: tbcr.blkid,
+                agg: tbcr.agei.is_some() as u32,
+            });
+        }
         let threads = kernel.threads_per_block();
         let n_warps = threads.div_ceil(gpu_isa::WARP_SIZE as u32);
         let mut warp_slots = self.slot_vec_pool.pop().unwrap_or_default();
@@ -219,6 +238,13 @@ impl Smx {
         self.used_threads -= tb.threads_reserved;
         self.used_regs -= tb.regs_reserved;
         self.used_shared -= tb.shared.len() as u32;
+        if self.trace.on(Category::Tb) {
+            self.trace.push(EventKind::TbRetire {
+                smx: self.id as u32,
+                slot: slot as u32,
+                kde: tb.tbcr.kdei,
+            });
+        }
         Some(tb.tbcr)
     }
 

@@ -61,6 +61,7 @@ impl Gpu {
             agt_live_on_chip: self.pool.agt().live_on_chip(),
             agt_live_overflow: self.pool.agt().live_overflow(),
             outstanding_mem: self.timing.in_flight(),
+            recent_events: self.tracer.recent(),
         }
     }
 }

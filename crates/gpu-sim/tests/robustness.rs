@@ -240,6 +240,45 @@ fn injected_memory_delay_slows_the_run_but_preserves_results() {
 }
 
 #[test]
+fn hang_report_carries_the_trace_tail_when_tracing_is_on() {
+    let (prog, k) = barrier_deadlock_program();
+    let cfg = GpuConfig {
+        watchdog_window: 30_000,
+        trace: gpu_sim::TraceConfig::all(),
+        ..GpuConfig::test_small()
+    };
+    let mut gpu = Gpu::new(cfg, prog);
+    gpu.launch(k, 1, &[], 0).unwrap();
+    let err = gpu.run_to_idle().unwrap_err();
+    let SimError::BarrierDeadlock { report } = err else {
+        panic!("expected a barrier deadlock, got {err}");
+    };
+    assert!(
+        !report.recent_events.is_empty(),
+        "a traced run must attach the recorder's ring to the hang report"
+    );
+    // Newest-last and nothing from after the watchdog fired.
+    let cycles: Vec<u64> = report.recent_events.iter().map(|e| e.cycle).collect();
+    assert!(cycles.windows(2).all(|w| w[0] <= w[1]), "{cycles:?}");
+    assert!(*cycles.last().unwrap() <= report.cycle);
+    let text = SimError::BarrierDeadlock { report }.to_string();
+    assert!(text.contains("trace events"), "{text}");
+
+    // The same deadlock without tracing attaches nothing.
+    let (prog, k) = barrier_deadlock_program();
+    let cfg = GpuConfig {
+        watchdog_window: 30_000,
+        ..GpuConfig::test_small()
+    };
+    let mut gpu = Gpu::new(cfg, prog);
+    gpu.launch(k, 1, &[], 0).unwrap();
+    let SimError::BarrierDeadlock { report } = gpu.run_to_idle().unwrap_err() else {
+        panic!("expected a barrier deadlock");
+    };
+    assert!(report.recent_events.is_empty());
+}
+
+#[test]
 fn fault_activation_cycle_defers_injection() {
     let prog = Program::new();
     let cfg = GpuConfig {

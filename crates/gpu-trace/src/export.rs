@@ -1,0 +1,527 @@
+//! Trace exporters and the matching parsers.
+//!
+//! Two formats:
+//!
+//! - **Chrome `trace_event` JSON** (`.json`): one process per traced cell,
+//!   one track per SMX plus a "launch path" track. Thread-block residency
+//!   becomes complete (`X`) slices, dynamic launches become async
+//!   `b`/`e` spans from launch to first schedule (so waiting time is
+//!   visible in Perfetto), everything else becomes instants, and the
+//!   metrics time series becomes counter tracks. Every emitted record
+//!   carries the raw event payload in `args` (including `kind` and
+//!   `cycle`), which is what makes the format parseable back into
+//!   [`TraceEvent`]s.
+//! - **JSONL** (`.jsonl`): one self-describing object per line, for
+//!   scripting. Lossless for events, samples, and the dropped count.
+
+use crate::event::{EventKind, LaunchPath, TraceEvent};
+use crate::json::Json;
+use crate::metrics::MetricsSample;
+use crate::recorder::TraceData;
+
+/// Launch-path track id in the Chrome export.
+const TID_LAUNCH: u64 = 1;
+/// SMX `i` maps to thread id `i + TID_SMX_BASE`.
+const TID_SMX_BASE: u64 = 2;
+
+fn smx_of(kind: &EventKind) -> Option<u64> {
+    kind.fields()
+        .iter()
+        .find(|(n, _)| *n == "smx")
+        .map(|&(_, v)| v)
+}
+
+fn args_obj(cycle: u64, kind: &EventKind) -> Json {
+    let mut pairs = vec![
+        ("kind".to_string(), Json::Str(kind.name().to_string())),
+        ("cycle".to_string(), Json::Num(cycle as f64)),
+    ];
+    for (name, value) in kind.fields() {
+        pairs.push((name.to_string(), Json::Num(value as f64)));
+    }
+    Json::Obj(pairs)
+}
+
+fn chrome_record(ph: &str, name: &str, pid: u64, tid: u64, ts: u64) -> Vec<(String, Json)> {
+    vec![
+        ("ph".to_string(), Json::Str(ph.to_string())),
+        ("name".to_string(), Json::Str(name.to_string())),
+        ("pid".to_string(), Json::Num(pid as f64)),
+        ("tid".to_string(), Json::Num(tid as f64)),
+        ("ts".to_string(), Json::Num(ts as f64)),
+    ]
+}
+
+/// Serialises traced cells to Chrome `trace_event` JSON (one process per
+/// cell). Open the result in <https://ui.perfetto.dev>.
+pub fn chrome_trace(cells: &[(String, TraceData)]) -> String {
+    let mut records: Vec<Json> = Vec::new();
+    for (idx, (name, data)) in cells.iter().enumerate() {
+        let pid = idx as u64 + 1;
+        let mut meta = chrome_record("M", "process_name", pid, 0, 0);
+        meta.push((
+            "args".to_string(),
+            Json::Obj(vec![("name".to_string(), Json::Str(name.clone()))]),
+        ));
+        records.push(Json::Obj(meta));
+
+        let mut tids_seen: Vec<u64> = Vec::new();
+        let mut open_tb: Vec<((u64, u64), (u64, EventKind))> = Vec::new();
+        let mut launch_path: Vec<(u32, LaunchPath)> = Vec::new();
+        let last_cycle = data.events.last().map(|e| e.cycle).unwrap_or(0);
+
+        for TraceEvent { cycle, kind } in &data.events {
+            match *kind {
+                EventKind::TbPlace { smx, slot, .. } => {
+                    open_tb.push(((smx as u64, slot as u64), (*cycle, *kind)));
+                }
+                EventKind::TbRetire { smx, slot, .. } => {
+                    let key = (smx as u64, slot as u64);
+                    if let Some(pos) = open_tb.iter().position(|(k, _)| *k == key) {
+                        let (_, (start, place)) = open_tb.swap_remove(pos);
+                        let tid = smx as u64 + TID_SMX_BASE;
+                        if !tids_seen.contains(&tid) {
+                            tids_seen.push(tid);
+                        }
+                        let label = match place {
+                            EventKind::TbPlace { kernel, .. } => format!("tb k{kernel}"),
+                            _ => "tb".to_string(),
+                        };
+                        let mut rec = chrome_record("X", &label, pid, tid, start);
+                        rec.push((
+                            "dur".to_string(),
+                            Json::Num(cycle.saturating_sub(start).max(1) as f64),
+                        ));
+                        let mut args = args_obj(start, &place);
+                        if let Json::Obj(pairs) = &mut args {
+                            pairs.push(("retire_cycle".to_string(), Json::Num(*cycle as f64)));
+                        }
+                        rec.push(("args".to_string(), args));
+                        records.push(Json::Obj(rec));
+                    }
+                }
+                EventKind::DynLaunch { record, path, .. } => {
+                    let p = LaunchPath::from_code(path).unwrap_or(LaunchPath::DeviceKernel);
+                    launch_path.push((record, p));
+                    let mut rec = chrome_record(
+                        "b",
+                        &format!("launch:{}", p.name()),
+                        pid,
+                        TID_LAUNCH,
+                        *cycle,
+                    );
+                    rec.push(("cat".to_string(), Json::Str("launch".to_string())));
+                    rec.push(("id".to_string(), Json::Num(record as f64)));
+                    rec.push(("args".to_string(), args_obj(*cycle, kind)));
+                    records.push(Json::Obj(rec));
+                    if !tids_seen.contains(&TID_LAUNCH) {
+                        tids_seen.push(TID_LAUNCH);
+                    }
+                }
+                EventKind::LaunchSched { record, .. } => {
+                    let p = launch_path
+                        .iter()
+                        .find(|(r, _)| *r == record)
+                        .map(|&(_, p)| p)
+                        .unwrap_or(LaunchPath::DeviceKernel);
+                    let mut rec = chrome_record(
+                        "e",
+                        &format!("launch:{}", p.name()),
+                        pid,
+                        TID_LAUNCH,
+                        *cycle,
+                    );
+                    rec.push(("cat".to_string(), Json::Str("launch".to_string())));
+                    rec.push(("id".to_string(), Json::Num(record as f64)));
+                    rec.push(("args".to_string(), args_obj(*cycle, kind)));
+                    records.push(Json::Obj(rec));
+                }
+                _ => {
+                    let tid = match smx_of(kind) {
+                        Some(smx) => smx + TID_SMX_BASE,
+                        None => TID_LAUNCH,
+                    };
+                    if !tids_seen.contains(&tid) {
+                        tids_seen.push(tid);
+                    }
+                    let mut rec = chrome_record("i", kind.name(), pid, tid, *cycle);
+                    rec.push(("s".to_string(), Json::Str("t".to_string())));
+                    rec.push(("args".to_string(), args_obj(*cycle, kind)));
+                    records.push(Json::Obj(rec));
+                }
+            }
+        }
+
+        // Thread blocks still resident when the trace ended.
+        for ((smx, _slot), (start, place)) in open_tb {
+            let tid = smx + TID_SMX_BASE;
+            if !tids_seen.contains(&tid) {
+                tids_seen.push(tid);
+            }
+            let mut rec = chrome_record("X", "tb (open)", pid, tid, start);
+            rec.push((
+                "dur".to_string(),
+                Json::Num(last_cycle.saturating_sub(start).max(1) as f64),
+            ));
+            rec.push(("args".to_string(), args_obj(start, &place)));
+            records.push(Json::Obj(rec));
+        }
+
+        for tid in tids_seen {
+            let label = if tid == TID_LAUNCH {
+                "launch path".to_string()
+            } else {
+                format!("SMX {}", tid - TID_SMX_BASE)
+            };
+            let mut rec = chrome_record("M", "thread_name", pid, tid, 0);
+            rec.push((
+                "args".to_string(),
+                Json::Obj(vec![("name".to_string(), Json::Str(label))]),
+            ));
+            records.push(Json::Obj(rec));
+        }
+
+        for s in &data.samples {
+            for (name, pairs) in [
+                (
+                    "agt fill",
+                    vec![
+                        ("on_chip".to_string(), Json::Num(s.agt_fill as f64)),
+                        ("overflow".to_string(), Json::Num(s.agt_overflow as f64)),
+                    ],
+                ),
+                (
+                    "activity %",
+                    vec![
+                        ("warp_activity".to_string(), Json::Num(s.warp_activity_pct)),
+                        ("occupancy".to_string(), Json::Num(s.occupancy_pct)),
+                    ],
+                ),
+                (
+                    "dram efficiency %",
+                    vec![("efficiency".to_string(), Json::Num(s.dram_efficiency_pct))],
+                ),
+            ] {
+                let mut rec = chrome_record("C", name, pid, 0, s.cycle);
+                rec.push(("args".to_string(), Json::Obj(pairs)));
+                records.push(Json::Obj(rec));
+            }
+        }
+    }
+
+    Json::Obj(vec![
+        ("traceEvents".to_string(), Json::Arr(records)),
+        ("displayTimeUnit".to_string(), Json::Str("ns".to_string())),
+    ])
+    .to_string()
+}
+
+/// Parses a Chrome trace produced by [`chrome_trace`] back into per-cell
+/// event lists. Counter tracks and metadata are skipped; events are
+/// returned sorted by cycle (the export interleaves derived records, so
+/// the original intra-cycle ordering is not preserved).
+pub fn parse_chrome(text: &str) -> Result<Vec<(String, TraceData)>, String> {
+    let doc = Json::parse(text)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_arr())
+        .ok_or_else(|| "missing traceEvents array".to_string())?;
+
+    let mut names: Vec<(u64, String)> = Vec::new();
+    let mut cells: Vec<(u64, Vec<TraceEvent>)> = Vec::new();
+    for rec in events {
+        let ph = rec.get("ph").and_then(|v| v.as_str()).unwrap_or("");
+        let pid = rec.get("pid").and_then(|v| v.as_u64()).unwrap_or(0);
+        if ph == "M" {
+            if rec.get("name").and_then(|v| v.as_str()) == Some("process_name") {
+                if let Some(name) = rec
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(|v| v.as_str())
+                {
+                    names.push((pid, name.to_string()));
+                }
+            }
+            continue;
+        }
+        let args = match rec.get("args") {
+            Some(a) => a,
+            None => continue,
+        };
+        let kind_name = match args.get("kind").and_then(|v| v.as_str()) {
+            Some(k) => k,
+            None => continue,
+        };
+        let fields = args.u64_fields();
+        let get = |name: &str| fields.get(name).copied();
+        let kind = match EventKind::from_fields(kind_name, &get) {
+            Some(k) => k,
+            None => return Err(format!("unknown event kind `{kind_name}`")),
+        };
+        let cycle = get("cycle").ok_or_else(|| format!("`{kind_name}` missing cycle"))?;
+        let idx = match cells.iter().position(|(p, _)| *p == pid) {
+            Some(i) => i,
+            None => {
+                cells.push((pid, Vec::new()));
+                cells.len() - 1
+            }
+        };
+        let bucket = &mut cells[idx].1;
+        bucket.push(TraceEvent { cycle, kind });
+        // A complete slice encodes both the placement and the retirement.
+        if ph == "X" {
+            if let (EventKind::TbPlace { smx, slot, kde, .. }, Some(retire)) =
+                (kind, get("retire_cycle"))
+            {
+                bucket.push(TraceEvent {
+                    cycle: retire,
+                    kind: EventKind::TbRetire { smx, slot, kde },
+                });
+            }
+        }
+    }
+
+    cells.sort_by_key(|(pid, _)| *pid);
+    Ok(cells
+        .into_iter()
+        .map(|(pid, mut events)| {
+            events.sort_by_key(|e| e.cycle);
+            let name = names
+                .iter()
+                .find(|(p, _)| *p == pid)
+                .map(|(_, n)| n.clone())
+                .unwrap_or_else(|| format!("pid{pid}"));
+            (
+                name,
+                TraceData {
+                    events,
+                    samples: Vec::new(),
+                    dropped: 0,
+                },
+            )
+        })
+        .collect())
+}
+
+/// Serialises traced cells to line-delimited JSON: one object per event,
+/// sample, and per-cell metadata line. Lossless.
+pub fn jsonl(cells: &[(String, TraceData)]) -> String {
+    let mut out = String::new();
+    for (name, data) in cells {
+        for TraceEvent { cycle, kind } in &data.events {
+            let mut pairs = vec![
+                ("cell".to_string(), Json::Str(name.clone())),
+                ("kind".to_string(), Json::Str(kind.name().to_string())),
+                ("cycle".to_string(), Json::Num(*cycle as f64)),
+            ];
+            for (field, value) in kind.fields() {
+                pairs.push((field.to_string(), Json::Num(value as f64)));
+            }
+            Json::Obj(pairs).write(&mut out);
+            out.push('\n');
+        }
+        for s in &data.samples {
+            Json::Obj(vec![
+                ("cell".to_string(), Json::Str(name.clone())),
+                ("kind".to_string(), Json::Str("metrics_sample".to_string())),
+                ("cycle".to_string(), Json::Num(s.cycle as f64)),
+                (
+                    "warp_activity_pct".to_string(),
+                    Json::Num(s.warp_activity_pct),
+                ),
+                ("occupancy_pct".to_string(), Json::Num(s.occupancy_pct)),
+                ("agt_fill".to_string(), Json::Num(s.agt_fill as f64)),
+                ("agt_overflow".to_string(), Json::Num(s.agt_overflow as f64)),
+                (
+                    "dram_efficiency_pct".to_string(),
+                    Json::Num(s.dram_efficiency_pct),
+                ),
+                ("issues".to_string(), Json::Num(s.issues as f64)),
+            ])
+            .write(&mut out);
+            out.push('\n');
+        }
+        Json::Obj(vec![
+            ("cell".to_string(), Json::Str(name.clone())),
+            ("kind".to_string(), Json::Str("trace_meta".to_string())),
+            ("dropped".to_string(), Json::Num(data.dropped as f64)),
+        ])
+        .write(&mut out);
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses JSONL produced by [`jsonl`] back into per-cell trace data, in
+/// first-seen cell order.
+pub fn parse_jsonl(text: &str) -> Result<Vec<(String, TraceData)>, String> {
+    let mut cells: Vec<(String, TraceData)> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let obj = Json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let cell = obj
+            .get("cell")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("line {}: missing cell", lineno + 1))?
+            .to_string();
+        let kind_name = obj
+            .get("kind")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("line {}: missing kind", lineno + 1))?;
+        let idx = match cells.iter().position(|(n, _)| n == &cell) {
+            Some(i) => i,
+            None => {
+                cells.push((cell, TraceData::default()));
+                cells.len() - 1
+            }
+        };
+        let data = &mut cells[idx].1;
+        match kind_name {
+            "metrics_sample" => {
+                let f64_of = |key: &str| obj.get(key).and_then(|v| v.as_f64()).unwrap_or(0.0);
+                let u64_of = |key: &str| obj.get(key).and_then(|v| v.as_u64()).unwrap_or(0);
+                data.samples.push(MetricsSample {
+                    cycle: u64_of("cycle"),
+                    warp_activity_pct: f64_of("warp_activity_pct"),
+                    occupancy_pct: f64_of("occupancy_pct"),
+                    agt_fill: u64_of("agt_fill") as u32,
+                    agt_overflow: u64_of("agt_overflow") as u32,
+                    dram_efficiency_pct: f64_of("dram_efficiency_pct"),
+                    issues: u64_of("issues"),
+                });
+            }
+            "trace_meta" => {
+                data.dropped = obj.get("dropped").and_then(|v| v.as_u64()).unwrap_or(0);
+            }
+            _ => {
+                let fields = obj.u64_fields();
+                let get = |name: &str| fields.get(name).copied();
+                let kind = EventKind::from_fields(kind_name, &get).ok_or_else(|| {
+                    format!("line {}: unknown event kind `{kind_name}`", lineno + 1)
+                })?;
+                let cycle =
+                    get("cycle").ok_or_else(|| format!("line {}: missing cycle", lineno + 1))?;
+                data.events.push(TraceEvent { cycle, kind });
+            }
+        }
+    }
+    Ok(cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::StallReason;
+
+    fn sample_cells() -> Vec<(String, TraceData)> {
+        let events = vec![
+            TraceEvent {
+                cycle: 10,
+                kind: EventKind::HostLaunch {
+                    kernel: 0,
+                    ntb: 8,
+                    hwq: 0,
+                },
+            },
+            TraceEvent {
+                cycle: 300,
+                kind: EventKind::DynLaunch {
+                    record: 0,
+                    path: LaunchPath::AggGroup.code(),
+                    kernel: 1,
+                    ntb: 2,
+                },
+            },
+            TraceEvent {
+                cycle: 320,
+                kind: EventKind::TbPlace {
+                    smx: 1,
+                    slot: 0,
+                    kernel: 1,
+                    kde: 3,
+                    blkid: 0,
+                    agg: 1,
+                },
+            },
+            TraceEvent {
+                cycle: 321,
+                kind: EventKind::LaunchSched { record: 0, smx: 1 },
+            },
+            TraceEvent {
+                cycle: 330,
+                kind: EventKind::WarpStall {
+                    smx: 1,
+                    warp: 4,
+                    reason: StallReason::Memory.code(),
+                },
+            },
+            TraceEvent {
+                cycle: 400,
+                kind: EventKind::TbRetire {
+                    smx: 1,
+                    slot: 0,
+                    kde: 3,
+                },
+            },
+        ];
+        let samples = vec![MetricsSample {
+            cycle: 1000,
+            warp_activity_pct: 73.25,
+            occupancy_pct: 41.5,
+            agt_fill: 12,
+            agt_overflow: 1,
+            dram_efficiency_pct: 88.0,
+            issues: 512,
+        }];
+        vec![(
+            "bfs_citation/DTBL".to_string(),
+            TraceData {
+                events,
+                samples,
+                dropped: 2,
+            },
+        )]
+    }
+
+    #[test]
+    fn jsonl_round_trips_losslessly() {
+        let cells = sample_cells();
+        let text = jsonl(&cells);
+        let back = parse_jsonl(&text).expect("parse");
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].0, cells[0].0);
+        assert_eq!(back[0].1.events, cells[0].1.events);
+        assert_eq!(back[0].1.samples, cells[0].1.samples);
+        assert_eq!(back[0].1.dropped, 2);
+    }
+
+    #[test]
+    fn chrome_trace_parses_and_recovers_events() {
+        let cells = sample_cells();
+        let text = chrome_trace(&cells);
+        // Must be a single valid JSON document with a traceEvents array.
+        let doc = Json::parse(&text).expect("valid JSON");
+        assert!(doc.get("traceEvents").and_then(|v| v.as_arr()).is_some());
+        let back = parse_chrome(&text).expect("parse chrome");
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].0, "bfs_citation/DTBL");
+        let mut want = cells[0].1.events.clone();
+        want.sort_by_key(|e| e.cycle);
+        assert_eq!(back[0].1.events, want);
+    }
+
+    #[test]
+    fn chrome_trace_contains_tracks_and_async_pair() {
+        let text = chrome_trace(&sample_cells());
+        assert!(text.contains("\"thread_name\""));
+        assert!(text.contains("SMX 1"));
+        assert!(text.contains("launch path"));
+        assert!(text.contains("\"ph\":\"b\""));
+        assert!(text.contains("\"ph\":\"e\""));
+        assert!(text.contains("\"ph\":\"X\""));
+        assert!(text.contains("\"ph\":\"C\""));
+    }
+}

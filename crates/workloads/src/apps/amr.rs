@@ -265,6 +265,7 @@ pub fn run(
         benchmark: name.to_string(),
         variant,
         stats,
+        trace: gpu.take_trace(),
     })
 }
 

@@ -253,6 +253,7 @@ pub fn run(
         benchmark: name.to_string(),
         variant,
         stats: gpu.stats().clone(),
+        trace: gpu.take_trace(),
     })
 }
 

@@ -17,4 +17,8 @@ pub struct RunReport {
     /// Simulator statistics for the whole run (all kernels, all host
     /// iterations).
     pub stats: Stats,
+    /// The recorded event trace, when the run's
+    /// [`GpuConfig::trace`](gpu_sim::GpuConfig) enabled tracing; `None`
+    /// for untraced runs. Export with [`gpu_trace::export`].
+    pub trace: Option<gpu_trace::TraceData>,
 }
