@@ -1,0 +1,126 @@
+//! Perf probe: the repo's wall-clock trajectory, one data point per PR.
+//!
+//! Runs the full 16-benchmark × 5-variant matrix at Test scale on a
+//! single worker — the configuration EXPERIMENTS.md tracks — once under
+//! the event-driven engine and once under `force_per_cycle`, then writes
+//! `BENCH_pr4.json` with wall-clock seconds, simulated cycles/sec and
+//! cells/sec for both engines plus the resulting speedup. Future PRs
+//! diff their probe output against the committed baseline.
+//!
+//! Usage: `perf_probe [--out PATH]` (default `BENCH_pr4.json`).
+
+use bench::SweepRunner;
+use gpu_sim::GpuConfig;
+use std::time::Instant;
+use workloads::{Benchmark, Scale, Variant};
+
+struct EngineNumbers {
+    wall_seconds: f64,
+    sim_cycles: u64,
+    cells_ok: usize,
+    cells_total: usize,
+}
+
+impl EngineNumbers {
+    fn cycles_per_sec(&self) -> f64 {
+        self.sim_cycles as f64 / self.wall_seconds.max(1e-9)
+    }
+
+    fn cells_per_sec(&self) -> f64 {
+        self.cells_ok as f64 / self.wall_seconds.max(1e-9)
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\n",
+                "    \"wall_seconds\": {:.3},\n",
+                "    \"sim_cycles\": {},\n",
+                "    \"cycles_per_sec\": {:.0},\n",
+                "    \"cells_ok\": {},\n",
+                "    \"cells_total\": {},\n",
+                "    \"cells_per_sec\": {:.3}\n",
+                "  }}"
+            ),
+            self.wall_seconds,
+            self.sim_cycles,
+            self.cycles_per_sec(),
+            self.cells_ok,
+            self.cells_total,
+            self.cells_per_sec(),
+        )
+    }
+}
+
+fn probe(cfg: GpuConfig) -> EngineNumbers {
+    let benchmarks = Benchmark::ALL;
+    let variants = Variant::MAIN;
+    let t0 = Instant::now();
+    let m = SweepRunner::new(1).run_matrix_with(&benchmarks, &variants, Scale::Test, cfg);
+    let wall_seconds = t0.elapsed().as_secs_f64();
+    m.report_failures();
+    let mut sim_cycles = 0u64;
+    let mut cells_ok = 0usize;
+    for &b in &benchmarks {
+        for &v in &variants {
+            if m.contains(b, v) {
+                sim_cycles += m.get(b, v).stats.cycles;
+                cells_ok += 1;
+            }
+        }
+    }
+    EngineNumbers {
+        wall_seconds,
+        sim_cycles,
+        cells_ok,
+        cells_total: benchmarks.len() * variants.len(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .or_else(|| {
+            args.iter()
+                .find_map(|a| a.strip_prefix("--out=").map(str::to_string))
+        })
+        .unwrap_or_else(|| "BENCH_pr4.json".to_string());
+
+    eprintln!("perf_probe: event-driven engine, Test-scale matrix, 1 worker");
+    let evented = probe(GpuConfig::k20c());
+    eprintln!("perf_probe: per-cycle engine (force_per_cycle), same matrix");
+    let mut cfg = GpuConfig::k20c();
+    cfg.force_per_cycle = true;
+    let percycle = probe(cfg);
+
+    let speedup = percycle.wall_seconds / evented.wall_seconds.max(1e-9);
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"probe\": \"test-scale matrix, {} cells, --jobs 1\",\n",
+            "  \"event_driven\": {},\n",
+            "  \"per_cycle\": {},\n",
+            "  \"speedup\": {:.2}\n",
+            "}}\n"
+        ),
+        evented.cells_total,
+        evented.json(),
+        percycle.json(),
+        speedup,
+    );
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("perf_probe: failed to write {out}: {e}");
+        std::process::exit(1);
+    }
+    print!("{json}");
+    eprintln!(
+        "perf_probe: event-driven {:.1}s ({:.2} Mcycles/s) vs per-cycle {:.1}s ({:.2} Mcycles/s): {speedup:.2}x, wrote {out}",
+        evented.wall_seconds,
+        evented.cycles_per_sec() / 1e6,
+        percycle.wall_seconds,
+        percycle.cycles_per_sec() / 1e6,
+    );
+}

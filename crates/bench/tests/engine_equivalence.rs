@@ -1,0 +1,47 @@
+//! The event-driven engine's headline contract at workload scale: across
+//! the full benchmark matrix, skip-to-next-event stepping must produce
+//! `Stats` structurally identical to per-cycle stepping — cycle counts,
+//! launch records, memory counters, occupancy integrals, the lot. Any
+//! component whose `next_event_at` horizon overshoots its true next state
+//! change shows up here as a divergence.
+
+use bench::SweepRunner;
+use gpu_sim::GpuConfig;
+use workloads::{Benchmark, Scale, Variant};
+
+const VARIANTS: [Variant; 3] = [Variant::Flat, Variant::Cdp, Variant::Dtbl];
+
+/// All 16 benchmarks × 3 variants, once per engine. Uses a worker pool
+/// for wall clock; `sweep_determinism` separately proves the pool cannot
+/// affect results.
+#[test]
+fn event_driven_stats_match_per_cycle() {
+    let evented = SweepRunner::new(4).run_matrix(&Benchmark::ALL, &VARIANTS, Scale::Test);
+    let mut cfg = GpuConfig::k20c();
+    cfg.force_per_cycle = true;
+    let percycle =
+        SweepRunner::new(4).run_matrix_with(&Benchmark::ALL, &VARIANTS, Scale::Test, cfg);
+
+    assert_eq!(
+        evented.failures().len(),
+        percycle.failures().len(),
+        "failure sets diverged between engines"
+    );
+    for &b in Benchmark::ALL.iter() {
+        for &v in &VARIANTS {
+            assert_eq!(
+                evented.contains(b, v),
+                percycle.contains(b, v),
+                "{b} [{v}]: succeeded under one engine but not the other"
+            );
+            if !evented.contains(b, v) {
+                continue;
+            }
+            assert_eq!(
+                evented.get(b, v).stats,
+                percycle.get(b, v).stats,
+                "{b} [{v}]: Stats diverged between event-driven and per-cycle stepping"
+            );
+        }
+    }
+}

@@ -1,15 +1,18 @@
 //! Functional global-memory backing store and a bump allocator.
 
-use std::collections::HashMap;
-
 const PAGE_BITS: u32 = 16;
 const PAGE_SIZE: usize = 1 << PAGE_BITS;
+const NUM_PAGES: usize = 1 << (32 - PAGE_BITS);
 
 /// Sparse, paged, byte-addressed functional memory covering the full 32-bit
 /// (4 GiB) device address space.
 ///
 /// Pages are allocated lazily on first write; reads of untouched memory
-/// return zero, which keeps workload setup cheap and deterministic.
+/// return zero, which keeps workload setup cheap and deterministic. The
+/// page table is a direct-mapped array (64 Ki pointers, one per possible
+/// 64 KiB page), so every access is a single indexed load with no hashing
+/// — this sits under every simulated lane's load/store and is one of the
+/// hottest paths in the whole simulator.
 ///
 /// # Example
 ///
@@ -21,9 +24,27 @@ const PAGE_SIZE: usize = 1 << PAGE_BITS;
 /// assert_eq!(mem.read_u32(0x1000), 0xdead_beef);
 /// assert_eq!(mem.read_u32(0x2000), 0, "untouched memory reads as zero");
 /// ```
-#[derive(Debug, Default, Clone)]
+#[derive(Clone)]
 pub struct BackingStore {
-    pages: HashMap<u32, Box<[u8]>>,
+    pages: Vec<Option<Box<[u8]>>>,
+    allocated: usize,
+}
+
+impl std::fmt::Debug for BackingStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BackingStore")
+            .field("pages_allocated", &self.allocated)
+            .finish()
+    }
+}
+
+impl Default for BackingStore {
+    fn default() -> Self {
+        BackingStore {
+            pages: vec![None; NUM_PAGES],
+            allocated: 0,
+        }
+    }
 }
 
 impl BackingStore {
@@ -33,14 +54,17 @@ impl BackingStore {
     }
 
     fn page_mut(&mut self, page: u32) -> &mut [u8] {
-        self.pages
-            .entry(page)
-            .or_insert_with(|| vec![0u8; PAGE_SIZE].into_boxed_slice())
+        let slot = &mut self.pages[page as usize];
+        if slot.is_none() {
+            *slot = Some(vec![0u8; PAGE_SIZE].into_boxed_slice());
+            self.allocated += 1;
+        }
+        slot.as_mut().unwrap()
     }
 
     /// Reads one byte.
     pub fn read_u8(&self, addr: u32) -> u8 {
-        match self.pages.get(&(addr >> PAGE_BITS)) {
+        match &self.pages[(addr >> PAGE_BITS) as usize] {
             Some(p) => p[(addr as usize) & (PAGE_SIZE - 1)],
             None => 0,
         }
@@ -53,17 +77,31 @@ impl BackingStore {
 
     /// Reads a little-endian 32-bit word (any alignment; wraps at 2^32).
     pub fn read_u32(&self, addr: u32) -> u32 {
-        let mut bytes = [0u8; 4];
-        for (i, b) in bytes.iter_mut().enumerate() {
-            *b = self.read_u8(addr.wrapping_add(i as u32));
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        if off + 4 <= PAGE_SIZE {
+            match &self.pages[(addr >> PAGE_BITS) as usize] {
+                Some(p) => u32::from_le_bytes(p[off..off + 4].try_into().unwrap()),
+                None => 0,
+            }
+        } else {
+            // Page-straddling word: fall back to per-byte reads.
+            let mut bytes = [0u8; 4];
+            for (i, b) in bytes.iter_mut().enumerate() {
+                *b = self.read_u8(addr.wrapping_add(i as u32));
+            }
+            u32::from_le_bytes(bytes)
         }
-        u32::from_le_bytes(bytes)
     }
 
     /// Writes a little-endian 32-bit word (any alignment; wraps at 2^32).
     pub fn write_u32(&mut self, addr: u32, v: u32) {
-        for (i, b) in v.to_le_bytes().iter().enumerate() {
-            self.write_u8(addr.wrapping_add(i as u32), *b);
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        if off + 4 <= PAGE_SIZE {
+            self.page_mut(addr >> PAGE_BITS)[off..off + 4].copy_from_slice(&v.to_le_bytes());
+        } else {
+            for (i, b) in v.to_le_bytes().iter().enumerate() {
+                self.write_u8(addr.wrapping_add(i as u32), *b);
+            }
         }
     }
 
@@ -95,7 +133,7 @@ impl BackingStore {
 
     /// Number of 64 KiB pages materialized so far (for footprint tests).
     pub fn pages_allocated(&self) -> usize {
-        self.pages.len()
+        self.allocated
     }
 }
 

@@ -35,15 +35,23 @@ use crate::SEGMENT_BYTES;
 /// ```
 pub fn coalesce(addrs: &[Option<u32>]) -> Vec<u32> {
     let mut segs: Vec<u32> = Vec::with_capacity(4);
+    coalesce_into(addrs, &mut segs);
+    segs
+}
+
+/// [`coalesce`] into a caller-provided buffer (cleared first), so the
+/// per-memory-instruction hot path can reuse one scratch vector instead
+/// of allocating a fresh `Vec` for every warp access.
+pub fn coalesce_into(addrs: &[Option<u32>], segs: &mut Vec<u32>) {
+    segs.clear();
     for a in addrs.iter().flatten() {
-        push_seg(&mut segs, a & !(SEGMENT_BYTES - 1));
+        push_seg(segs, a & !(SEGMENT_BYTES - 1));
         let last_byte = a.wrapping_add(3);
         let seg2 = last_byte & !(SEGMENT_BYTES - 1);
-        push_seg(&mut segs, seg2);
+        push_seg(segs, seg2);
     }
     segs.sort_unstable();
     segs.dedup();
-    segs
 }
 
 fn push_seg(segs: &mut Vec<u32>, seg: u32) {

@@ -189,10 +189,37 @@ impl DramPartition {
         (bank, row)
     }
 
-    /// Advances the controller to cycle `now` (call once per cycle, with
-    /// monotonically increasing `now`). Appends the ids of reads whose data
-    /// returned this cycle to `completed`.
+    /// Brings `active_cycles` accounting up to (but not including) cycle
+    /// `now`, reconstructing what per-cycle ticks over the skipped span
+    /// `(last tick, now)` would have recorded.
+    ///
+    /// Must be called **before** any [`push`](Self::push) at cycle `now`
+    /// when ticks were skipped: the horizon contract guarantees nothing
+    /// issued or completed during the span, so `queue`/`in_flight` were
+    /// frozen at their pre-push contents and only the `c < bus_free_at`
+    /// busy term could flip mid-span. [`tick`](Self::tick) calls this
+    /// itself; it is idempotent per cycle.
+    pub fn catch_up(&mut self, now: u64) {
+        let gap = now.saturating_sub(self.last_now.saturating_add(1));
+        if gap == 0 {
+            return;
+        }
+        if !self.queue.is_empty() || !self.in_flight.is_empty() {
+            self.stats.active_cycles += gap;
+        } else {
+            let busy_end = now.min(self.bus_free_at);
+            self.stats.active_cycles += busy_end.saturating_sub(self.last_now + 1);
+        }
+        self.last_now = now - 1;
+    }
+
+    /// Advances the controller to cycle `now` (with monotonically
+    /// increasing `now`; cycles may be skipped if
+    /// [`next_event_at`](Self::next_event_at) proves them uneventful).
+    /// Appends the ids of reads whose data returned this cycle to
+    /// `completed`.
     pub fn tick(&mut self, now: u64, completed: &mut Vec<u64>) {
+        self.catch_up(now);
         self.last_now = now;
         let busy = !self.queue.is_empty() || !self.in_flight.is_empty() || now < self.bus_free_at;
         if busy {
@@ -262,6 +289,33 @@ impl DramPartition {
                 id: p.id,
             });
         }
+    }
+
+    /// Earliest future cycle at which this controller's observable state
+    /// can change: a queued command issuing (no earlier than the bus
+    /// freeing), an in-flight read's data returning, or the drained bus
+    /// flipping [`quiescent`](Self::quiescent). `None` when the controller
+    /// is quiescent as of `now`.
+    ///
+    /// This is a *safe lower bound*: the true next change is never earlier
+    /// than the returned cycle, so a caller may skip `tick` calls for every
+    /// cycle strictly before it.
+    pub fn next_event_at(&self, now: u64) -> Option<u64> {
+        let mut next: Option<u64> = None;
+        let mut fold = |t: u64| next = Some(next.map_or(t, |n: u64| n.min(t)));
+        if let Some(top) = self.in_flight.peek() {
+            fold(top.done.max(now + 1));
+        }
+        if !self.queue.is_empty() {
+            // All banks are ready by `bus_free_at` (burst ends are
+            // monotone), so a command issues exactly when the bus frees.
+            fold(self.bus_free_at.max(now + 1));
+        } else if self.bus_free_at > now {
+            // Only the posted-write bus drain remains; quiescence (and the
+            // last busy `active_cycles` edge) flips at `bus_free_at`.
+            fold(self.bus_free_at);
+        }
+        next
     }
 
     /// True when no work is queued or in flight and the data bus has
@@ -396,6 +450,56 @@ mod tests {
         d.push(1, 0, false);
         let (_, _end) = run_until_quiescent(&mut d, 100);
         assert!(d.stats().active_cycles > 0);
+    }
+
+    #[test]
+    fn skipped_span_matches_per_cycle_active_cycles() {
+        // Drive one controller per-cycle and a clone event-driven (jumping
+        // straight to next_event_at); both must agree on every counter.
+        let mut per_cycle = DramPartition::new(DramConfig::default());
+        per_cycle.push(1, 0, false);
+        per_cycle.push(2, 4096, false); // different bank/row
+        let mut evented = per_cycle.clone();
+
+        let (done_a, _) = run_until_quiescent(&mut per_cycle, 0);
+
+        let mut done_b = Vec::new();
+        let mut now = 0;
+        let mut iters = 0;
+        while !evented.quiescent() {
+            evented.tick(now, &mut done_b);
+            now = match evented.next_event_at(now) {
+                Some(t) => t,
+                None => now + 1,
+            };
+            iters += 1;
+            assert!(iters < 1_000, "horizon failed to make progress");
+        }
+        assert_eq!(done_a, done_b);
+        assert_eq!(per_cycle.stats(), evented.stats());
+    }
+
+    #[test]
+    fn next_event_at_is_none_when_quiescent() {
+        let mut d = DramPartition::new(DramConfig::default());
+        assert_eq!(d.next_event_at(0), None);
+        d.push(9, 0, false);
+        assert!(d.next_event_at(0).is_some());
+        run_until_quiescent(&mut d, 0);
+        assert_eq!(d.next_event_at(d.last_now), None);
+    }
+
+    #[test]
+    fn next_event_covers_posted_write_bus_drain() {
+        let mut d = DramPartition::new(DramConfig::default());
+        let mut completed = Vec::new();
+        d.push(1, 0, true);
+        d.tick(0, &mut completed); // issues the write; bus busy until burst end
+        assert!(!d.quiescent());
+        let ev = d.next_event_at(0).expect("bus drain is an event");
+        assert_eq!(ev, d.bus_free_at);
+        d.tick(ev, &mut completed);
+        assert!(d.quiescent());
     }
 
     #[test]

@@ -253,6 +253,10 @@ impl MemSubsystem {
     pub fn tick(&mut self, now: u64, completed: &mut Vec<AccessId>) {
         let line_mask = !(self.cfg.l2_slice.line_bytes - 1);
         for p in 0..self.cfg.num_partitions {
+            // Settle skipped-span `active_cycles` accounting before this
+            // cycle's L2 stage pushes new DRAM requests: the span must be
+            // accounted with the frozen pre-push queue state.
+            self.dram[p].catch_up(now);
             // L2 services a bounded number of lookups per cycle.
             for _ in 0..self.cfg.l2_ports {
                 // An L2 miss may enqueue both a victim write-back and the
@@ -363,6 +367,36 @@ impl MemSubsystem {
             self.next_dram_id += 1;
             self.dram[p].push(did, local_addr, true);
         }
+    }
+
+    /// Earliest future cycle at which any observable subsystem state can
+    /// change: a scheduled completion maturing, a partition input queue's
+    /// front request becoming serviceable, or a DRAM controller event
+    /// (issue, fill return, bus drain). `None` when the subsystem is
+    /// quiescent as of `now`.
+    ///
+    /// This is a *safe lower bound* — the true next change is never
+    /// earlier — so a caller may skip [`tick`](Self::tick) calls for every
+    /// cycle strictly before the returned one. A front request blocked on
+    /// DRAM back-pressure folds in as `now + 1` (no skip), which is
+    /// conservative but correct.
+    pub fn next_event_at(&self, now: u64) -> Option<u64> {
+        let mut next: Option<u64> = None;
+        let mut fold = |t: u64| next = Some(next.map_or(t, |n: u64| n.min(t)));
+        if let Some(top) = self.completions.peek() {
+            fold(top.at.max(now + 1));
+        }
+        for q in &self.part_in {
+            if let Some(front) = q.front() {
+                fold(front.ready_at.max(now + 1));
+            }
+        }
+        for d in &self.dram {
+            if let Some(t) = d.next_event_at(now) {
+                fold(t);
+            }
+        }
+        next
     }
 
     /// Number of load/atomic transactions issued but not yet reported
@@ -551,5 +585,35 @@ mod tests {
     fn quiescent_initially() {
         let mem = MemSubsystem::new(MemConfig::default());
         assert!(mem.quiescent());
+        assert_eq!(mem.next_event_at(0), None);
+    }
+
+    #[test]
+    fn event_driven_drain_matches_per_cycle() {
+        let cfg = MemConfig::default();
+        let mut a = MemSubsystem::new(cfg);
+        let mut b = MemSubsystem::new(cfg);
+        for m in [&mut a, &mut b] {
+            m.access(0, 0x1000, AccessKind::Load, 0).unwrap();
+            m.access(1, 0x9000, AccessKind::Atomic, 0).unwrap();
+            m.access(2, 0x40, AccessKind::Store, 0);
+        }
+        let (done_a, _) = drain(&mut a, 0);
+
+        let mut done_b = Vec::new();
+        let mut now = 0;
+        let mut ticks = 0;
+        while !b.quiescent() {
+            b.tick(now, &mut done_b);
+            now = b.next_event_at(now).unwrap_or(now + 1);
+            ticks += 1;
+            assert!(ticks < 10_000, "horizon failed to make progress");
+        }
+        assert_eq!(done_a, done_b, "completion order must be identical");
+        assert_eq!(a.stats(), b.stats(), "all counters must be bit-identical");
+        assert!(
+            ticks < 200,
+            "event-driven drain should take O(events) ticks, took {ticks}"
+        );
     }
 }

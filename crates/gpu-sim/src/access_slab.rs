@@ -1,0 +1,151 @@
+//! Allocation-free owner map for in-flight memory accesses.
+//!
+//! [`AccessId`]s are handed out by a monotone counter in `gpu_mem`, so at
+//! any instant the live ids fall in a narrow window. That makes a
+//! direct-mapped slab (index = `id & mask`, full id stored for a
+//! generation check) a perfect replacement for the `HashMap` the issue
+//! path used to hit twice per memory instruction: steady-state insert and
+//! remove touch one slot each and never allocate. The slab only grows —
+//! doubling until every live id maps to a distinct slot — when the
+//! in-flight window outgrows the capacity, which happens O(log n) times
+//! per run.
+
+use gpu_mem::AccessId;
+
+/// Owner of one in-flight access: `(smx index, warp slot)`.
+pub(crate) type Owner = (usize, usize);
+
+/// Direct-mapped, generation-checked map from [`AccessId`] to its owning
+/// warp. See the module docs for why this beats a `HashMap` here.
+#[derive(Debug)]
+pub(crate) struct AccessSlab {
+    /// `slots[id & mask]` holds `(id, owner)`; the stored id is the
+    /// generation check distinguishing this access from earlier ones that
+    /// hashed to the same slot (and have since completed).
+    slots: Vec<Option<(AccessId, Owner)>>,
+    mask: u64,
+    len: usize,
+}
+
+impl AccessSlab {
+    const INITIAL_CAPACITY: usize = 256;
+
+    pub(crate) fn new() -> Self {
+        AccessSlab {
+            slots: vec![None; Self::INITIAL_CAPACITY],
+            mask: (Self::INITIAL_CAPACITY - 1) as u64,
+            len: 0,
+        }
+    }
+
+    /// Number of live (in-flight, owned) accesses — the quantity the
+    /// memory-conservation invariant compares against warp wait counts.
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Records `owner` for access `id`. `id` must be fresh (ids are
+    /// monotone and removed on completion, so re-insertion cannot happen).
+    pub(crate) fn insert(&mut self, id: AccessId, owner: Owner) {
+        loop {
+            let idx = (id.0 & self.mask) as usize;
+            match self.slots[idx] {
+                None => {
+                    self.slots[idx] = Some((id, owner));
+                    self.len += 1;
+                    return;
+                }
+                // A *live* access already maps here: the in-flight window
+                // outgrew the capacity. Grow until the window fits.
+                Some(_) => self.grow(),
+            }
+        }
+    }
+
+    /// Removes and returns the owner of `id`, or `None` when `id` was
+    /// never inserted (e.g. a posted store the timing model completed
+    /// without an owner).
+    pub(crate) fn remove(&mut self, id: AccessId) -> Option<Owner> {
+        let idx = (id.0 & self.mask) as usize;
+        match self.slots[idx] {
+            Some((stored, owner)) if stored == id => {
+                self.slots[idx] = None;
+                self.len -= 1;
+                Some(owner)
+            }
+            _ => None,
+        }
+    }
+
+    /// Doubles capacity (repeatedly, if needed) until every live entry
+    /// rehashes to a distinct slot. Live ids span a window no wider than
+    /// the number of in-flight accesses, so this terminates as soon as the
+    /// capacity exceeds that span.
+    fn grow(&mut self) {
+        let mut new_cap = self.slots.len() * 2;
+        'retry: loop {
+            let new_mask = (new_cap - 1) as u64;
+            let mut new_slots = vec![None; new_cap];
+            for entry in self.slots.iter().flatten() {
+                let idx = (entry.0 .0 & new_mask) as usize;
+                if new_slots[idx].is_some() {
+                    new_cap *= 2;
+                    continue 'retry;
+                }
+                new_slots[idx] = Some(*entry);
+            }
+            self.slots = new_slots;
+            self.mask = new_mask;
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut slab = AccessSlab::new();
+        let ids: Vec<AccessId> = (0..10).map(AccessId).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            slab.insert(id, (i, i + 1));
+        }
+        assert_eq!(slab.len(), 10);
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(slab.remove(id), Some((i, i + 1)));
+        }
+        assert_eq!(slab.len(), 0);
+        assert_eq!(slab.remove(ids[0]), None, "double remove misses");
+    }
+
+    #[test]
+    fn generation_check_rejects_stale_id() {
+        let mut slab = AccessSlab::new();
+        // Two ids that collide in a 256-slot table only if both are live;
+        // here the first is removed before the second arrives, so the slot
+        // is reused and the old id must miss.
+        let old = AccessId(7);
+        let new = AccessId(7 + 256);
+        slab.insert(old, (0, 0));
+        assert_eq!(slab.remove(old), Some((0, 0)));
+        slab.insert(new, (1, 2));
+        assert_eq!(slab.remove(old), None, "stale id must not alias");
+        assert_eq!(slab.remove(new), Some((1, 2)));
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let mut slab = AccessSlab::new();
+        let n = 4 * AccessSlab::INITIAL_CAPACITY as u64;
+        for i in 0..n {
+            slab.insert(AccessId(i), (i as usize, 0));
+        }
+        assert_eq!(slab.len(), n as usize);
+        for i in 0..n {
+            assert_eq!(slab.remove(AccessId(i)), Some((i as usize, 0)));
+        }
+        assert_eq!(slab.len(), 0);
+    }
+}

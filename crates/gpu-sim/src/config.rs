@@ -182,6 +182,14 @@ pub struct GpuConfig {
     /// conservation, failing fast with the first broken law. Defaults to
     /// on in debug/test builds and off in release.
     pub check_invariants: bool,
+    /// Disable the event-driven engine and step every cycle. The
+    /// event-driven engine skips spans of cycles that are provably
+    /// uneventful (see `Gpu::next_event_horizon`) and produces bit-identical
+    /// [`Stats`](crate::Stats); this escape hatch keeps the per-cycle path
+    /// alive for differential testing and debugging. Tracing with a
+    /// non-zero metrics-sampling interval forces per-cycle stepping
+    /// automatically so sample timestamps are unchanged.
+    pub force_per_cycle: bool,
     /// Deterministic fault-injection plan (default: inject nothing).
     pub fault: FaultPlan,
     /// Structured event tracing ([`gpu_trace`]): category mask, ring size,
@@ -222,6 +230,7 @@ impl Default for GpuConfig {
             max_cycles: 2_000_000_000,
             watchdog_window: 2_000_000,
             check_invariants: cfg!(debug_assertions),
+            force_per_cycle: false,
             fault: FaultPlan::default(),
             trace: gpu_trace::TraceConfig::off(),
         }

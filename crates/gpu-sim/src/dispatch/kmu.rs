@@ -228,6 +228,35 @@ impl Kmu {
         None
     }
 
+    /// Earliest future cycle at which a [`tick`](Self::tick) can observe or
+    /// mutate state: a device arrival maturing, the oldest in-flight
+    /// dispatch landing, or — whenever startable work is queued — the very
+    /// next cycle (a per-cycle tick pops, probes the distributor, and
+    /// rotates `rr_hwq` even when no slot is free, so skipping over such
+    /// cycles would diverge from per-cycle stepping). `None` when no KMU
+    /// activity can happen before external state changes (a blocked queue
+    /// unblocks only at a kernel retirement, which is never skipped).
+    pub fn next_event_at(&self, now: u64) -> Option<u64> {
+        let mut next: Option<u64> = None;
+        let mut fold = |t: u64| next = Some(next.map_or(t, |n: u64| n.min(t)));
+        if let Some(top) = self.arrivals.peek() {
+            fold(top.at.max(now + 1));
+        }
+        if let Some((ready, _, _)) = self.in_dispatch.front() {
+            fold((*ready).max(now + 1));
+        }
+        let startable = !self.device_q.is_empty()
+            || self
+                .hwqs
+                .iter()
+                .zip(&self.blocked)
+                .any(|(q, b)| !b && !q.is_empty());
+        if startable {
+            fold(now + 1);
+        }
+        next
+    }
+
     /// True when nothing is queued, arriving, or mid-dispatch.
     pub fn is_empty(&self) -> bool {
         self.in_dispatch.is_empty()
@@ -346,6 +375,20 @@ mod tests {
         // Order preserved and the queue not left blocked.
         let d = kmu.tick(1, 0, |_| Some(0)).unwrap();
         assert_eq!(d.1.kernel, KernelId(1));
+    }
+
+    #[test]
+    fn next_event_horizon_tracks_arrivals_and_dispatch() {
+        let mut kmu = Kmu::new(1);
+        assert_eq!(kmu.next_event_at(0), None, "empty KMU has no events");
+        kmu.push_device(100, pk(1));
+        assert_eq!(kmu.next_event_at(0), Some(100), "arrival maturing");
+        assert!(kmu.tick(100, 283, |_| Some(0)).is_none());
+        assert_eq!(kmu.next_event_at(100), Some(383), "in-flight dispatch");
+        // Startable queued work pins the horizon to the next cycle even
+        // while a dispatch is in flight.
+        kmu.push_host(0, pk(2));
+        assert_eq!(kmu.next_event_at(100), Some(101));
     }
 
     #[test]

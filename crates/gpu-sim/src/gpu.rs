@@ -1,5 +1,6 @@
 //! The top-level GPU: host API and the cycle-level execution engine.
 
+use crate::access_slab::AccessSlab;
 use crate::config::GpuConfig;
 use crate::dispatch::{KdeEntry, KernelDistributor, Kmu, Origin, PendingKernel};
 use crate::error::SimError;
@@ -10,7 +11,7 @@ use crate::stats::Stats;
 use dtbl_core::{FcfsController, GroupRef, SchedulingPool};
 use gpu_isa::{apply_atomic, Dim3, Effect, Inst, KernelId, Program, Space, ThreadEnv, WARP_SIZE};
 use gpu_mem::{
-    coalesce::coalesce, AccessId, AccessKind, BackingStore, LinearAllocator, MemSubsystem,
+    coalesce::coalesce_into, AccessId, AccessKind, BackingStore, LinearAllocator, MemSubsystem,
 };
 use gpu_trace::{Category, EventKind, Recorder, StallReason};
 use std::collections::HashMap;
@@ -94,8 +95,15 @@ pub struct Gpu {
     pub(crate) cycle: u64,
     pub(crate) warp_age: u64,
     pub(crate) stats: Stats,
-    pub(crate) access_owner: HashMap<AccessId, (usize, usize)>,
+    /// Owner map for in-flight memory accesses: a direct-mapped,
+    /// generation-checked slab (ids are monotone), so the two hottest
+    /// lookups in the machine never hash and never allocate.
+    pub(crate) access_owner: AccessSlab,
     pub(crate) group_record: HashMap<GroupRef, usize>,
+    /// Heap bytes reserved per parameter buffer, keyed by buffer address;
+    /// recorded at allocation (host launch or `cudaGetParameterBuffer`)
+    /// and released into the heap accounting when the kernel that owns
+    /// the buffer retires.
     pub(crate) param_bytes: HashMap<u32, u32>,
     /// Per-KDE descriptor-walk state: a spilled (overflow) aggregated
     /// group's descriptor must be fetched from global memory before the
@@ -104,6 +112,20 @@ pub struct Gpu {
     pub(crate) agt_walk: HashMap<u32, (GroupRef, u64)>,
     pub(crate) rr_smx: usize,
     pub(crate) mem_buf: Vec<AccessId>,
+    /// Pooled scratch for the FCFS order walked by `distribute_tbs`
+    /// (reused every cycle so the distribution path never allocates).
+    pub(crate) kde_buf: Vec<u32>,
+    /// Pooled scratch for the per-lane launch requests gathered by one
+    /// `LaunchDevice`/`LaunchAgg` issue.
+    pub(crate) launch_buf: Vec<(u32, gpu_isa::LaunchRequest)>,
+    /// Pooled scratch for the coalesced memory-transaction segments of
+    /// one warp memory instruction.
+    pub(crate) txn_buf: Vec<u32>,
+    /// Steps actually executed (cycles stepped, not skipped). Equals
+    /// `cycle` under per-cycle stepping; far smaller under event-driven
+    /// stepping on latency-bound workloads. Not part of [`Stats`] — the
+    /// two engines must produce bit-identical stats.
+    pub(crate) steps_executed: u64,
     /// Monotone counter bumped by every forward-progress signal (kernel
     /// installation, thread-block placement/retirement, memory completion,
     /// device launch); the run loop's watchdog compares it across cycles.
@@ -137,12 +159,16 @@ impl Gpu {
             cycle: 0,
             warp_age: 0,
             stats,
-            access_owner: HashMap::new(),
+            access_owner: AccessSlab::new(),
             group_record: HashMap::new(),
             param_bytes: HashMap::new(),
             agt_walk: HashMap::new(),
             rr_smx: 0,
             mem_buf: Vec::new(),
+            kde_buf: Vec::new(),
+            launch_buf: Vec::new(),
+            txn_buf: Vec::new(),
+            steps_executed: 0,
             progress_marker: 0,
             tracer: Recorder::new(cfg.trace),
             trace_win: crate::trace::TraceWindow::default(),
@@ -182,6 +208,20 @@ impl Gpu {
     /// Current simulation cycle.
     pub fn cycle(&self) -> u64 {
         self.cycle
+    }
+
+    /// Cycles actually stepped (as opposed to skipped by the event-driven
+    /// engine). Per-cycle stepping makes this equal to
+    /// [`cycle`](Self::cycle); event-driven stepping makes it the number
+    /// of cycles on which something could happen.
+    pub fn steps_executed(&self) -> u64 {
+        self.steps_executed
+    }
+
+    /// Bytes currently charged against the device heap (allocations minus
+    /// retired-kernel parameter buffers). Exposed for accounting tests.
+    pub fn heap_live_bytes(&self) -> u64 {
+        self.alloc.live_bytes()
     }
 
     /// Allocates device memory (the analogue of `cudaMalloc`).
@@ -244,7 +284,9 @@ impl Gpu {
             return Ok(());
         }
         self.check_hwq_capacity(stream)?;
-        let param_addr = self.malloc((params.len().max(1) * 4) as u32)?;
+        let param_sz = (params.len().max(1) * 4) as u32;
+        let param_addr = self.malloc(param_sz)?;
+        self.param_bytes.insert(param_addr, param_sz);
         self.mem.write_slice_u32(param_addr, params);
         self.stats.host_launches += 1;
         if self.tracer.on(Category::Launch) {
@@ -342,32 +384,108 @@ impl Gpu {
     ///   exceeded;
     /// * any error bubbling out of [`step`](Self::step).
     pub fn run_to_idle(&mut self) -> Result<&Stats, SimError> {
+        // Interval metrics sample *every* cycle boundary; skipping would
+        // drop samples, so tracing with an interval forces per-cycle mode.
+        let sampling = self.tracer.enabled() && self.tracer.metrics_interval() > 0;
+        let event_driven = !self.cfg.force_per_cycle && !sampling;
         let mut last_marker = self.progress_marker;
         let mut last_progress = self.cycle;
         while !self.is_idle() {
-            self.step()?;
+            let quiet = self.step_core()?;
             if self.progress_marker != last_marker {
                 last_marker = self.progress_marker;
                 last_progress = self.cycle;
-            } else if self.cfg.watchdog_window > 0
-                && self.cycle - last_progress >= self.cfg.watchdog_window
-            {
-                let report = Box::new(self.hang_report(last_progress));
-                return Err(if report.barrier_deadlock() {
-                    SimError::BarrierDeadlock { report }
-                } else {
-                    SimError::Hang { report }
-                });
             }
-            if self.cycle >= self.cfg.max_cycles {
-                return Err(SimError::CycleLimit {
-                    cycles: self.cfg.max_cycles,
-                });
+            if let Some(err) = self.deadline_error(last_progress) {
+                return Err(err);
+            }
+            if event_driven && quiet && !self.is_idle() {
+                // The step at `cycle - 1` found nothing to do and changed
+                // no schedulable state, so every cycle before the next
+                // component event is a no-op: jump straight there,
+                // reconstructing what the skipped no-op steps would have
+                // accumulated (occupancy integrals; the DRAM model
+                // catches up its own active-cycle counter lazily).
+                let now = self.cycle - 1;
+                let mut target = self.next_event_horizon(now).unwrap_or(u64::MAX);
+                if self.cfg.watchdog_window > 0 {
+                    target = target.min(last_progress + self.cfg.watchdog_window);
+                }
+                target = target.min(self.cfg.max_cycles);
+                if target > self.cycle {
+                    let delta = target - self.cycle;
+                    let resident: u32 = self.smxs.iter().map(|s| s.live_warps).sum();
+                    if resident > 0 {
+                        self.stats.busy_cycles += delta;
+                        self.stats.resident_warp_cycles += delta * u64::from(resident);
+                    }
+                    self.cycle = target;
+                    if let Some(err) = self.deadline_error(last_progress) {
+                        return Err(err);
+                    }
+                }
             }
         }
         self.stats.cycles = self.cycle;
         self.stats.mem = self.timing.stats();
         Ok(&self.stats)
+    }
+
+    /// Watchdog / cycle-budget check at the current cycle, shared by the
+    /// per-step path and the post-skip landing so both engines fail at
+    /// the identical cycle with the identical report.
+    fn deadline_error(&self, last_progress: u64) -> Option<SimError> {
+        if self.cfg.watchdog_window > 0 && self.cycle - last_progress >= self.cfg.watchdog_window {
+            let report = Box::new(self.hang_report(last_progress));
+            return Some(if report.barrier_deadlock() {
+                SimError::BarrierDeadlock { report }
+            } else {
+                SimError::Hang { report }
+            });
+        }
+        if self.cycle >= self.cfg.max_cycles {
+            return Some(SimError::CycleLimit {
+                cycles: self.cfg.max_cycles,
+            });
+        }
+        None
+    }
+
+    /// Earliest future cycle on which any component can change state,
+    /// given that the step just executed at `now` was quiet. `None` means
+    /// no component will ever act again (the run loop then jumps to the
+    /// watchdog deadline). Each component promises a *lower bound* on its
+    /// next state change — waking too early costs one extra no-op step,
+    /// but a bound past the true event would diverge from per-cycle
+    /// stepping (see DESIGN.md, "The horizon contract").
+    fn next_event_horizon(&mut self, now: u64) -> Option<u64> {
+        let mut next: Option<u64> = None;
+        let mut fold = |t: u64| next = Some(next.map_or(t, |n: u64| n.min(t)));
+        if let Some(t) = self.kmu.next_event_at(now) {
+            fold(t);
+        }
+        if let Some(t) = self.timing.next_event_at(now) {
+            fold(t);
+        }
+        for smx in &mut self.smxs {
+            if let Some(t) = smx.next_ready_at(now) {
+                fold(t);
+            }
+        }
+        // Pending spilled-descriptor fetches wake the distribution path.
+        // A walk whose fetch has already matured (`ready <= now`) is
+        // consumed on the *next* dispatch attempt — with zero fetch
+        // latency it can be inserted and mature within the same quiet
+        // step — so it always folds at least `now + 1`.
+        for &(_, ready) in self.agt_walk.values() {
+            fold(ready.max(now + 1));
+        }
+        // A fault plan flips behaviour (delays, caps) at its activation
+        // edge; step there so no span straddles the flip.
+        if !self.cfg.fault.is_nop() && now < self.cfg.fault.after_cycle {
+            fold(self.cfg.fault.after_cycle);
+        }
+        next
     }
 
     /// Advances the machine by one core cycle.
@@ -377,10 +495,22 @@ impl Gpu {
     /// Propagates typed failures from the launch paths, guest memory
     /// faults, and (when enabled) the per-cycle invariant checker.
     pub fn step(&mut self) -> Result<(), SimError> {
+        self.step_core().map(|_quiet| ())
+    }
+
+    /// One core cycle; returns whether it was *quiet* — no kernel
+    /// installed, no thread block placed, no warp picked, no memory
+    /// completion delivered. After a quiet step, every schedulable input
+    /// is unchanged, so the run loop may jump to the next component event
+    /// (a non-quiet step may have created distribution work the horizons
+    /// do not model, so it must be followed by a real step).
+    fn step_core(&mut self) -> Result<bool, SimError> {
         let now = self.cycle;
+        self.steps_executed += 1;
 
         // 1. KMU: mature device launches, advance the dispatch pipeline.
         let kd = &self.kd;
+        let mut quiet = true;
         if let Some((slot, pk)) = self
             .kmu
             .tick(now, self.cfg.latency.kernel_dispatch, |reserved| {
@@ -388,16 +518,23 @@ impl Gpu {
             })
         {
             self.install_kernel(slot, pk, now);
+            quiet = false;
         }
 
         // 2. SMX scheduler: distribute thread blocks.
-        self.distribute_tbs(now)?;
+        if self.distribute_tbs(now)? > 0 {
+            quiet = false;
+        }
 
         // 3. SMXs: issue warps.
         for s in 0..self.smxs.len() {
             let picks =
                 self.smxs[s].select_warps(now, self.cfg.issue_per_cycle, self.cfg.warp_sched);
-            for w in picks {
+            if picks > 0 {
+                quiet = false;
+            }
+            for k in 0..picks {
+                let w = self.smxs[s].picked()[k];
                 if let Some(done_slot) = self.issue_warp(s, w, now)? {
                     self.on_tb_complete(s, done_slot, now)?;
                 }
@@ -416,19 +553,24 @@ impl Gpu {
         let mut delayed = 0u64;
         let mut completions = 0u64;
         for id in buf.drain(..) {
-            if let Some((s, w)) = self.access_owner.remove(&id) {
+            if let Some((s, w)) = self.access_owner.remove(id) {
                 completions += 1;
+                let mut woke_at = None;
                 if let Some(warp) = self.smxs[s].warps[w].as_mut() {
                     if let WarpState::WaitingMem { outstanding } = &mut warp.state {
                         *outstanding -= 1;
                         if *outstanding == 0 {
                             warp.state = WarpState::Ready;
                             warp.ready_at = now + 1 + wake_delay;
+                            woke_at = Some(warp.ready_at);
                             if wake_delay > 0 {
                                 delayed += 1;
                             }
                         }
                     }
+                }
+                if let Some(at) = woke_at {
+                    self.smxs[s].note_ready_at(at);
                 }
             }
         }
@@ -436,6 +578,7 @@ impl Gpu {
         self.stats.forced_mem_delays += delayed;
         if completions > 0 {
             self.progress_marker += 1;
+            quiet = false;
         }
 
         // 5. Occupancy sampling.
@@ -457,7 +600,7 @@ impl Gpu {
         if self.cfg.check_invariants {
             self.check_invariants()?;
         }
-        Ok(())
+        Ok(quiet)
     }
 
     fn install_kernel(&mut self, slot: u32, pk: PendingKernel, now: u64) {
@@ -487,13 +630,18 @@ impl Gpu {
 
     // ---- thread-block distribution (§2.3 + §4.2 DTBL flow) ----------------
 
-    fn distribute_tbs(&mut self, now: u64) -> Result<(), SimError> {
+    /// Distributes up to `tb_dispatch_per_cycle` thread blocks in FCFS
+    /// order; returns how many were placed this cycle.
+    fn distribute_tbs(&mut self, now: u64) -> Result<u32, SimError> {
         let mut budget = self.cfg.tb_dispatch_per_cycle;
         if budget == 0 {
-            return Ok(());
+            return Ok(0);
         }
-        let kdes: Vec<u32> = self.fcfs.marked_in_order().collect();
-        'kernels: for kde in kdes {
+        let mut placed = 0;
+        let mut kdes = std::mem::take(&mut self.kde_buf);
+        kdes.clear();
+        kdes.extend(self.fcfs.marked_in_order());
+        'kernels: for &kde in &kdes {
             loop {
                 if budget == 0 {
                     break 'kernels;
@@ -501,10 +649,12 @@ impl Gpu {
                 if !self.try_dispatch_one(kde, now)? {
                     continue 'kernels;
                 }
+                placed += 1;
                 budget -= 1;
             }
         }
-        Ok(())
+        self.kde_buf = kdes;
+        Ok(placed)
     }
 
     /// Re-derives whether KDE `kde` still has distributable work and
@@ -551,6 +701,33 @@ impl Gpu {
             self.refresh_mark(kde);
             return Ok(false);
         };
+
+        // A spilled descriptor lives in global memory: the scheduler must
+        // fetch it before it can distribute the group's thread blocks
+        // (§4.3), stalling this kernel's dispatch — unlike a zero-cost
+        // on-chip AGE. Checked before SMX selection so a walk-stalled
+        // cycle leaves the round-robin cursor and first-load bookkeeping
+        // untouched: such cycles are pure no-ops, which is what lets the
+        // event-driven engine skip them wholesale.
+        if !native_next {
+            let Some(group) = self.pool.nagei(kde) else {
+                return Err(invariant(now, format!("KDE {kde} lost its NAGEI group")));
+            };
+            if group.is_overflow() {
+                match self.agt_walk.get(&kde) {
+                    Some(&(g, ready)) if g == group => {
+                        if now < ready {
+                            return Ok(false);
+                        }
+                    }
+                    _ => {
+                        self.agt_walk
+                            .insert(kde, (group, now + self.cfg.pipeline.agt_overflow_load));
+                        return Ok(false);
+                    }
+                }
+            }
+        }
 
         // Refcounted handle shared with the distributor entry — never a
         // deep copy of the kernel on the block-dispatch path.
@@ -615,24 +792,6 @@ impl Gpu {
             let Some(group) = self.pool.nagei(kde) else {
                 return Err(invariant(now, format!("KDE {kde} lost its NAGEI group")));
             };
-            // A spilled descriptor lives in global memory: the scheduler
-            // must fetch it before it can distribute the group's thread
-            // blocks (§4.3), stalling this kernel's dispatch — unlike a
-            // zero-cost on-chip AGE.
-            if group.is_overflow() {
-                match self.agt_walk.get(&kde) {
-                    Some(&(g, ready)) if g == group => {
-                        if now < ready {
-                            return Ok(false);
-                        }
-                    }
-                    _ => {
-                        self.agt_walk
-                            .insert(kde, (group, now + self.cfg.pipeline.agt_overflow_load));
-                        return Ok(false);
-                    }
-                }
-            }
             let info = self.pool.agt().info(group);
             let blkid = self.pool.agt_mut().tb_scheduled(group);
             let Some(entry) = self.kd.get_mut(kde) else {
@@ -882,19 +1041,21 @@ impl Gpu {
                 warp.advance_pc();
                 let warp_in_tb = warp.warp_in_tb;
                 let hw_base = warp.hw_slot as u32 * WARP_SIZE as u32;
-                let mut reqs = Vec::new();
+                // Pooled on `self` (disjoint field from the SMX borrow):
+                // the per-issue request list never allocates steady-state.
+                self.launch_buf.clear();
                 for lane in 0..WARP_SIZE as u32 {
                     if mask & (1 << lane) == 0 {
                         continue;
                     }
                     let env = env_of(lane, warp_in_tb);
                     if let Effect::Launch(req) = warp.threads[lane as usize].step(&inst, &env) {
-                        reqs.push((hw_base + lane, req));
+                        self.launch_buf.push((hw_base + lane, req));
                     }
                 }
-                let x = reqs.len() as u64;
+                let x = self.launch_buf.len() as u64;
                 let is_agg = matches!(inst, Inst::LaunchAgg { .. });
-                if !reqs.is_empty() && self.tracer.on(Category::Warp) {
+                if x > 0 && self.tracer.on(Category::Warp) {
                     self.tracer.emit(
                         now,
                         EventKind::WarpStall {
@@ -911,14 +1072,15 @@ impl Gpu {
                         lat.launch_device(x)
                     };
                 let visible_at = warp.ready_at;
-                for (hw_tid, req) in reqs {
+                for i in 0..self.launch_buf.len() {
+                    let (hw_tid, req) = self.launch_buf[i];
                     self.handle_launch(hw_tid, req, now, visible_at)?;
                 }
             }
             ref mem_inst if mem_inst.is_memory() => {
                 warp.advance_pc();
                 let warp_in_tb = warp.warp_in_tb;
-                let mut global_addrs: Vec<Option<u32>> = vec![None; WARP_SIZE];
+                let mut global_addrs = [None::<u32>; WARP_SIZE];
                 let mut any_shared = false;
                 let mut is_load_or_atomic = false;
                 let mut is_atomic = false;
@@ -996,7 +1158,11 @@ impl Gpu {
                         }
                     }
                 }
-                let txns = coalesce(&global_addrs);
+                // Pooled on `self` (disjoint field from the SMX borrow):
+                // one scratch segment list reused across every memory
+                // instruction instead of a fresh `Vec` per access.
+                let mut txns = std::mem::take(&mut self.txn_buf);
+                coalesce_into(&global_addrs, &mut txns);
                 if txns.is_empty() {
                     // Shared-memory only.
                     warp.ready_at = now
@@ -1012,7 +1178,7 @@ impl Gpu {
                         AccessKind::Load
                     };
                     let mut outstanding = 0u32;
-                    for t in txns {
+                    for &t in &txns {
                         if let Some(id) = self.timing.access(s, t, kind, now) {
                             self.access_owner.insert(id, (s, w));
                             outstanding += 1;
@@ -1031,11 +1197,12 @@ impl Gpu {
                     }
                 } else {
                     // Posted stores.
-                    for t in txns {
+                    for &t in &txns {
                         let _ = self.timing.access(s, t, AccessKind::Store, now);
                     }
                     warp.ready_at = now + pipe.store_issue;
                 }
+                self.txn_buf = txns;
             }
             Inst::MemFence => {
                 warp.advance_pc();
@@ -1136,9 +1303,13 @@ impl Gpu {
             if let Some(hwq) = entry.hwq {
                 self.kmu.unblock_hwq(hwq);
             }
-            // Parameter buffers of completed kernels no longer pin heap
+            // The retired kernel's parameter buffer no longer pins heap
             // accounting (bump allocator: bytes only, no address reuse).
-            self.alloc.free_accounting(4);
+            // Free exactly the bytes recorded at allocation; a kernel
+            // launched via a caller-managed buffer recorded nothing.
+            if let Some(bytes) = self.param_bytes.remove(&entry.param_addr) {
+                self.alloc.free_accounting(bytes);
+            }
         }
         Ok(())
     }

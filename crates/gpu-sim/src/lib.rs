@@ -23,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+mod access_slab;
 mod config;
 mod dispatch;
 mod error;

@@ -35,7 +35,10 @@ impl Gpu {
             return Err(SimError::UnknownKernel(req.kernel));
         };
         let threads_per_tb = child.threads_per_block();
-        let param_sz = u64::from(self.param_bytes.remove(&req.param_addr).unwrap_or(0));
+        // Look up (don't remove) the buffer's recorded size: a request
+        // that becomes a pending device kernel keeps its entry so kernel
+        // retirement can release the exact bytes from heap accounting.
+        let param_sz = u64::from(self.param_bytes.get(&req.param_addr).copied().unwrap_or(0));
 
         let force_fallback = self.cfg.dtbl_disable_coalescing;
         let as_agg = req.kind == LaunchKind::Agg && !force_fallback;
@@ -88,6 +91,10 @@ impl Gpu {
             }
             match outcome {
                 CoalesceOutcome::Coalesced { group, remark } => {
+                    // The buffer now belongs to the aggregated group, not
+                    // to any kernel entry; drop the size record (the
+                    // group's blocks read it until the group drains).
+                    self.param_bytes.remove(&req.param_addr);
                     let Some(kde) = eligible else {
                         return Err(crate::gpu::invariant(
                             now,

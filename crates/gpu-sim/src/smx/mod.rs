@@ -105,6 +105,24 @@ pub struct Smx {
     /// steady-state block dispatch reuses their capacity instead of
     /// allocating a fresh `Vec` per placed block.
     slot_vec_pool: Vec<Vec<usize>>,
+    /// Resident warp slots in ascending `age` order. Ages are handed out
+    /// from a monotone counter, so `place_tb` appends in order and the
+    /// list stays sorted without ever sorting; GTO walks it instead of
+    /// collect+sort every cycle.
+    age_order: Vec<usize>,
+    /// Scratch buffer [`select_warps`](Self::select_warps) writes its
+    /// picks into, reused across cycles (read back via
+    /// [`picked`](Self::picked)).
+    pick_buf: Vec<usize>,
+    /// Cached lower bound on the earliest `ready_at` over resident
+    /// [`WarpState::Ready`] warps. Every site that assigns a future
+    /// `ready_at` folds into it (see
+    /// [`note_ready_at`](Self::note_ready_at)); it may go stale-low when
+    /// such a warp issues or blocks, which
+    /// [`next_ready_at`](Self::next_ready_at) repairs by rescanning —
+    /// stale-low is harmless (a too-early horizon), stale-high would be a
+    /// correctness bug.
+    ready_min: u64,
     trace: TraceBuffer,
 }
 
@@ -124,6 +142,9 @@ impl Smx {
             greedy: None,
             rr_cursor: 0,
             slot_vec_pool: Vec::new(),
+            age_order: Vec::new(),
+            pick_buf: Vec::new(),
+            ready_min: u64::MAX,
             trace: TraceBuffer::default(),
         }
     }
@@ -196,8 +217,10 @@ impl Smx {
             w.ready_at = ready_at;
             self.warps[ws] = Some(w);
             warp_slots.push(ws);
+            self.age_order.push(ws);
             self.live_warps += 1;
         }
+        self.ready_min = self.ready_min.min(ready_at);
         self.used_threads += threads;
         self.used_regs += Self::regs_for(kernel);
         self.used_shared += kernel.shared_mem_bytes();
@@ -234,6 +257,8 @@ impl Smx {
                 self.greedy = None;
             }
         }
+        let warps = &self.warps;
+        self.age_order.retain(|ws| warps[*ws].is_some());
         self.slot_vec_pool.push(tb.warp_slots);
         self.used_threads -= tb.threads_reserved;
         self.used_regs -= tb.regs_reserved;
@@ -250,62 +275,114 @@ impl Smx {
 
     /// Selects up to `budget` distinct ready warps to issue this cycle,
     /// honoring the configured policy (GTO keeps the last-issued warp
-    /// first while it stays ready; round-robin rotates).
-    pub fn select_warps(&mut self, now: u64, budget: usize, policy: WarpSchedPolicy) -> Vec<usize> {
-        let mut picked = Vec::with_capacity(budget);
-        let ready = |w: &Warp| matches!(w.state, WarpState::Ready) && w.ready_at <= now;
+    /// first while it stays ready; round-robin rotates). The picks are
+    /// written into a per-SMX scratch buffer — read them back via
+    /// [`picked`](Self::picked) — and the count is returned; no allocation
+    /// happens in steady state.
+    pub fn select_warps(&mut self, now: u64, budget: usize, policy: WarpSchedPolicy) -> usize {
+        self.pick_buf.clear();
+        // `ready_min` never exceeds the true minimum `ready_at` of any
+        // `Ready` warp (it is only ever folded down or repaired to the
+        // exact minimum), so a cached bound past `now` proves no warp
+        // can issue this cycle: skip the slot scan. On the event-driven
+        // path every quiet step repairs the cache, making this the
+        // common case for each SMX that is memory-bound or empty.
+        if self.ready_min > now {
+            return 0;
+        }
+        let ready = |w: &Warp| w.issuable(now);
 
         if policy == WarpSchedPolicy::Gto {
             if let Some(g) = self.greedy {
                 if let Some(Some(w)) = self.warps.get(g) {
                     if ready(w) {
-                        picked.push(g);
+                        self.pick_buf.push(g);
                     }
                 }
             }
         }
         match policy {
             WarpSchedPolicy::Gto => {
-                // Oldest-first among remaining ready warps.
-                let mut candidates: Vec<(u64, usize)> = self
-                    .warps
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(i, w)| w.as_ref().map(|w| (i, w)))
-                    .filter(|(i, w)| ready(w) && Some(*i) != self.greedy)
-                    .map(|(i, w)| (w.age, i))
-                    .collect();
-                candidates.sort_unstable();
-                for (_, i) in candidates {
-                    if picked.len() >= budget {
+                // Oldest-first among remaining ready warps: `age_order` is
+                // kept sorted by construction, so one in-order walk
+                // replaces the old collect+sort.
+                for &i in &self.age_order {
+                    if self.pick_buf.len() >= budget {
                         break;
                     }
-                    picked.push(i);
+                    if Some(i) == self.greedy {
+                        continue;
+                    }
+                    if let Some(Some(w)) = self.warps.get(i) {
+                        if ready(w) {
+                            self.pick_buf.push(i);
+                        }
+                    }
                 }
             }
             WarpSchedPolicy::RoundRobin => {
                 let n = self.warps.len();
                 for k in 0..n {
-                    if picked.len() >= budget {
+                    if self.pick_buf.len() >= budget {
                         break;
                     }
                     let i = (self.rr_cursor + k) % n.max(1);
                     if let Some(Some(w)) = self.warps.get(i) {
                         if ready(w) {
-                            picked.push(i);
+                            self.pick_buf.push(i);
                         }
                     }
                 }
-                if let Some(last) = picked.last() {
+                if let Some(last) = self.pick_buf.last() {
                     self.rr_cursor = (last + 1) % n.max(1);
                 }
             }
         }
-        picked.truncate(budget);
-        if let Some(first) = picked.first() {
+        self.pick_buf.truncate(budget);
+        if let Some(first) = self.pick_buf.first() {
             self.greedy = Some(*first);
         }
-        picked
+        self.pick_buf.len()
+    }
+
+    /// The warp slots chosen by the most recent
+    /// [`select_warps`](Self::select_warps) call.
+    pub fn picked(&self) -> &[usize] {
+        &self.pick_buf
+    }
+
+    /// Folds a newly assigned warp `ready_at` into the cached ready
+    /// horizon. Must be called by every site that makes a warp issuable
+    /// *outside* a warp issue on this SMX — block placement and memory
+    /// wake-ups. Sites reached only *through* an issue (instruction
+    /// latencies, barrier release by the arriving warp) need no fold: the
+    /// issuing warp had `ready_at <= now`, which pins the cache at or
+    /// below `now`, so the next [`next_ready_at`](Self::next_ready_at)
+    /// query rescans and sees their effect.
+    pub fn note_ready_at(&mut self, at: u64) {
+        self.ready_min = self.ready_min.min(at);
+    }
+
+    /// Earliest future cycle at which a resident warp may become
+    /// issuable, as a safe lower bound; `None` when no resident warp is in
+    /// the `Ready` state (blocked warps are woken by memory completions or
+    /// barrier releases, whose horizons/steps are tracked elsewhere).
+    ///
+    /// The cached bound may be stale-low (a warp issued or blocked since
+    /// it was folded); when it is not in the future it is repaired with
+    /// one scan of the warp slab — at most one scan per quiet step,
+    /// instead of one per simulated cycle.
+    pub fn next_ready_at(&mut self, now: u64) -> Option<u64> {
+        if self.ready_min <= now {
+            let mut min = u64::MAX;
+            for w in self.warps.iter().flatten() {
+                if matches!(w.state, WarpState::Ready) && w.ready_at < min {
+                    min = w.ready_at;
+                }
+            }
+            self.ready_min = min;
+        }
+        (self.ready_min != u64::MAX).then_some(self.ready_min.max(now + 1))
     }
 
     /// True when no warps are resident.
@@ -418,19 +495,76 @@ mod tests {
         let mut age = 0;
         smx.place_tb(KernelId(0), &k, tbcr(), 1, 0, 0, &mut age)
             .unwrap();
-        let first = smx.select_warps(0, 1, WarpSchedPolicy::Gto);
-        assert_eq!(first.len(), 1);
-        let g = first[0];
+        assert_eq!(smx.select_warps(0, 1, WarpSchedPolicy::Gto), 1);
+        let g = smx.picked()[0];
         // Greedy warp keeps priority while ready.
-        let again = smx.select_warps(0, 2, WarpSchedPolicy::Gto);
-        assert_eq!(again[0], g);
+        assert_eq!(smx.select_warps(0, 2, WarpSchedPolicy::Gto), 2);
+        assert_eq!(smx.picked()[0], g);
         // Stall the greedy warp: oldest other warp wins.
         smx.warps[g].as_mut().unwrap().ready_at = 100;
-        let next = smx.select_warps(0, 1, WarpSchedPolicy::Gto);
-        assert_eq!(next.len(), 1);
-        assert_ne!(next[0], g);
-        let age_next = smx.warps[next[0]].as_ref().unwrap().age;
+        assert_eq!(smx.select_warps(0, 1, WarpSchedPolicy::Gto), 1);
+        let next = smx.picked()[0];
+        assert_ne!(next, g);
+        let age_next = smx.warps[next].as_ref().unwrap().age;
         assert_eq!(age_next, if g == 0 { 1 } else { 0 });
+    }
+
+    #[test]
+    fn gto_age_order_survives_release_and_replace() {
+        let cfg = GpuConfig::test_small();
+        let mut smx = Smx::new(0, &cfg);
+        let k = kernel(64, 0); // 2 warps per block
+        let mut age = 0;
+        let s0 = smx
+            .place_tb(KernelId(0), &k, tbcr(), 1, 0, 0, &mut age)
+            .unwrap();
+        smx.place_tb(KernelId(0), &k, tbcr(), 1, 0, 0, &mut age)
+            .unwrap();
+        // Retire the first (older) block; its slots leave the age order.
+        let used: Vec<usize> = smx.tb_slots[s0].as_ref().unwrap().warp_slots.clone();
+        for ws in &used {
+            smx.warps[*ws].as_mut().unwrap().state = WarpState::Done;
+            smx.live_warps -= 1;
+        }
+        smx.tb_slots[s0].as_mut().unwrap().live_warps = 0;
+        assert!(smx.release_tb(s0).is_some());
+        // A new block reuses the freed slots with *newer* ages; GTO must
+        // still pick the surviving second block's warps (ages 2,3) first.
+        smx.place_tb(KernelId(0), &k, tbcr(), 1, 0, 0, &mut age)
+            .unwrap();
+        smx.greedy = None;
+        assert_eq!(smx.select_warps(0, 4, WarpSchedPolicy::Gto), 4);
+        let ages: Vec<u64> = smx
+            .picked()
+            .iter()
+            .map(|ws| smx.warps[*ws].as_ref().unwrap().age)
+            .collect();
+        assert_eq!(ages, vec![2, 3, 4, 5], "oldest-first across slot reuse");
+    }
+
+    #[test]
+    fn next_ready_at_tracks_wakeups_and_rescans() {
+        let cfg = GpuConfig::test_small();
+        let mut smx = Smx::new(0, &cfg);
+        assert_eq!(smx.next_ready_at(0), None, "empty SMX has no horizon");
+        let k = kernel(64, 0);
+        let mut age = 0;
+        smx.place_tb(KernelId(0), &k, tbcr(), 1, 0, 50, &mut age)
+            .unwrap();
+        assert_eq!(smx.next_ready_at(0), Some(50), "placement folds ready_at");
+        // Block both warps on memory: the stale-low cache is repaired by a
+        // rescan and the SMX stops advertising a self-event.
+        for w in smx.warps.iter_mut().flatten() {
+            w.state = WarpState::WaitingMem { outstanding: 1 };
+        }
+        assert_eq!(smx.next_ready_at(60), None);
+        // A wake-up folds the new ready_at back in.
+        for w in smx.warps.iter_mut().flatten() {
+            w.state = WarpState::Ready;
+            w.ready_at = 200;
+        }
+        smx.note_ready_at(200);
+        assert_eq!(smx.next_ready_at(60), Some(200));
     }
 
     #[test]

@@ -93,6 +93,13 @@ impl Warp {
         self.stack.is_empty()
     }
 
+    /// True when the warp can issue at cycle `now`: it is in the `Ready`
+    /// state and its issue latency has elapsed. This is the predicate the
+    /// warp scheduler and the SMX ready-horizon cache must agree on.
+    pub fn issuable(&self, now: u64) -> bool {
+        matches!(self.state, WarpState::Ready) && self.ready_at <= now
+    }
+
     /// Pops reconverged paths: while the top-of-stack has reached its
     /// reconvergence PC, control returns to the entry below (which holds
     /// the union mask at that PC). Must be called before fetching.
