@@ -66,7 +66,7 @@ fn main() {
             of(b, Variant::Flat).stats.cycles as f64 / of(b, four_v(s)).stats.cycles.max(1) as f64
         })
         .expect("csv");
-        eprintln!("CSV series written under target/figures/");
+        eprintln!("CSV series written under out/figures/");
     }
 
     print_figure(

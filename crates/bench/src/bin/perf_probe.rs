@@ -1,13 +1,16 @@
 //! Perf probe: the repo's wall-clock trajectory, one data point per PR.
 //!
 //! Runs the full 16-benchmark × 5-variant matrix at Test scale on a
-//! single worker — the configuration EXPERIMENTS.md tracks — once under
-//! the event-driven engine and once under `force_per_cycle`, then writes
-//! `BENCH_pr4.json` with wall-clock seconds, simulated cycles/sec and
-//! cells/sec for both engines plus the resulting speedup. Future PRs
-//! diff their probe output against the committed baseline.
+//! single sweep worker — the configuration EXPERIMENTS.md tracks — under
+//! three engines: `force_per_cycle`, event-driven serial (`smx_jobs=1`),
+//! and event-driven with the two-phase sharded engine at `smx_jobs=0`
+//! (auto: one stage worker per available core). It then times one
+//! Paper-scale cell (bfs_usa_road / DTBL) serial vs sharded, and writes
+//! everything to `BENCH_pr5.json` together with the host's core count —
+//! sharded-engine speedups are only meaningful relative to that number.
+//! Future PRs diff their probe output against the committed baseline.
 //!
-//! Usage: `perf_probe [--out PATH]` (default `BENCH_pr4.json`).
+//! Usage: `perf_probe [--out PATH]` (default `BENCH_pr5.json`).
 
 use bench::SweepRunner;
 use gpu_sim::GpuConfig;
@@ -77,6 +80,18 @@ fn probe(cfg: GpuConfig) -> EngineNumbers {
     }
 }
 
+/// Times one Paper-scale cell, returning (wall seconds, sim cycles).
+fn paper_cell(cfg: GpuConfig) -> (f64, u64) {
+    let t0 = Instant::now();
+    match Benchmark::BfsUsaRoad.run_with(Variant::Dtbl, Scale::Eval, cfg) {
+        Ok(rep) => (t0.elapsed().as_secs_f64(), rep.stats.cycles),
+        Err(e) => {
+            eprintln!("perf_probe: paper-scale cell FAILED: {e}");
+            (t0.elapsed().as_secs_f64(), 0)
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let out = args
@@ -87,29 +102,72 @@ fn main() {
             args.iter()
                 .find_map(|a| a.strip_prefix("--out=").map(str::to_string))
         })
-        .unwrap_or_else(|| "BENCH_pr4.json".to_string());
+        .unwrap_or_else(|| "BENCH_pr5.json".to_string());
 
-    eprintln!("perf_probe: event-driven engine, Test-scale matrix, 1 worker");
+    let host_cores = gpu_sim::sweep::default_jobs();
+
+    eprintln!("perf_probe: per-cycle engine (force_per_cycle), Test-scale matrix, 1 worker");
+    let mut pc_cfg = GpuConfig::k20c();
+    pc_cfg.force_per_cycle = true;
+    let percycle = probe(pc_cfg);
+
+    eprintln!("perf_probe: event-driven engine, serial SMX stepping (smx_jobs=1)");
     let evented = probe(GpuConfig::k20c());
-    eprintln!("perf_probe: per-cycle engine (force_per_cycle), same matrix");
-    let mut cfg = GpuConfig::k20c();
-    cfg.force_per_cycle = true;
-    let percycle = probe(cfg);
 
-    let speedup = percycle.wall_seconds / evented.wall_seconds.max(1e-9);
+    eprintln!("perf_probe: event-driven engine, two-phase sharded stepping (smx_jobs=0 = auto)");
+    let mut sh_cfg = GpuConfig::k20c();
+    sh_cfg.smx_jobs = 0;
+    let sharded = probe(sh_cfg);
+
+    // A forced 4-worker run always exercises the threaded stage path,
+    // even on hosts where auto resolves to 1 — on a single-core machine
+    // this measures the two-phase engine's overhead rather than a speedup.
+    eprintln!("perf_probe: event-driven engine, forced smx_jobs=4");
+    let mut sh4_cfg = GpuConfig::k20c();
+    sh4_cfg.smx_jobs = 4;
+    let sharded4 = probe(sh4_cfg);
+
+    eprintln!("perf_probe: paper-scale cell (bfs_usa_road / dtbl), serial vs sharded");
+    let (paper_serial_s, paper_cycles) = paper_cell(GpuConfig::k20c());
+    let (paper_sharded_s, _) = paper_cell(sh_cfg);
+
+    let event_speedup = percycle.wall_seconds / evented.wall_seconds.max(1e-9);
+    let shard_speedup = evented.wall_seconds / sharded.wall_seconds.max(1e-9);
+    let paper_shard_speedup = paper_serial_s / paper_sharded_s.max(1e-9);
     let json = format!(
         concat!(
             "{{\n",
             "  \"probe\": \"test-scale matrix, {} cells, --jobs 1\",\n",
-            "  \"event_driven\": {},\n",
+            "  \"host_cores\": {},\n",
             "  \"per_cycle\": {},\n",
-            "  \"speedup\": {:.2}\n",
+            "  \"event_driven\": {},\n",
+            "  \"event_driven_sharded\": {},\n",
+            "  \"event_driven_sharded_x4\": {},\n",
+            "  \"event_vs_per_cycle_speedup\": {:.2},\n",
+            "  \"sharded_vs_serial_speedup\": {:.2},\n",
+            "  \"sharded_x4_vs_serial_speedup\": {:.2},\n",
+            "  \"paper_cell\": {{\n",
+            "    \"cell\": \"bfs_usa_road/dtbl @ eval scale\",\n",
+            "    \"sim_cycles\": {},\n",
+            "    \"serial_wall_seconds\": {:.3},\n",
+            "    \"sharded_wall_seconds\": {:.3},\n",
+            "    \"sharded_vs_serial_speedup\": {:.2}\n",
+            "  }}\n",
             "}}\n"
         ),
         evented.cells_total,
-        evented.json(),
+        host_cores,
         percycle.json(),
-        speedup,
+        evented.json(),
+        sharded.json(),
+        sharded4.json(),
+        event_speedup,
+        shard_speedup,
+        evented.wall_seconds / sharded4.wall_seconds.max(1e-9),
+        paper_cycles,
+        paper_serial_s,
+        paper_sharded_s,
+        paper_shard_speedup,
     );
     if let Err(e) = std::fs::write(&out, &json) {
         eprintln!("perf_probe: failed to write {out}: {e}");
@@ -117,10 +175,12 @@ fn main() {
     }
     print!("{json}");
     eprintln!(
-        "perf_probe: event-driven {:.1}s ({:.2} Mcycles/s) vs per-cycle {:.1}s ({:.2} Mcycles/s): {speedup:.2}x, wrote {out}",
+        "perf_probe ({host_cores} core(s)): per-cycle {:.1}s, event-driven {:.1}s ({:.2} Mcycles/s), \
+         sharded-auto {:.1}s: {event_speedup:.2}x event vs per-cycle, \
+         {shard_speedup:.2}x sharded vs serial; wrote {out}",
+        percycle.wall_seconds,
         evented.wall_seconds,
         evented.cycles_per_sec() / 1e6,
-        percycle.wall_seconds,
-        percycle.cycles_per_sec() / 1e6,
+        sharded.wall_seconds,
     );
 }

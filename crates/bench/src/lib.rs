@@ -452,12 +452,22 @@ pub fn scale_from_args() -> Scale {
 }
 
 /// True when `--csv` was passed (figure binaries then also write
-/// `target/figures/<name>.csv` for plotting).
+/// `out/figures/<name>.csv` for plotting).
 pub fn csv_from_args() -> bool {
     std::env::args().any(|a| a == "--csv")
 }
 
-/// Writes one figure as `target/figures/<name>.csv` (benchmark rows,
+/// The scratch directory for generated experiment outputs (figure text,
+/// CSV series, traces): `out/` at the working directory, created on
+/// demand and gitignored — regenerated artifacts never land in the repo
+/// root.
+pub fn out_dir() -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::PathBuf::from("out");
+    std::fs::create_dir_all(&dir)?;
+    Ok(dir)
+}
+
+/// Writes one figure as `out/figures/<name>.csv` (benchmark rows,
 /// series columns).
 pub fn write_csv(
     name: &str,
@@ -465,8 +475,8 @@ pub fn write_csv(
     series: &[&str],
     mut value: impl FnMut(Benchmark, &str) -> f64,
 ) -> std::io::Result<std::path::PathBuf> {
-    let dir = std::path::Path::new("target/figures");
-    std::fs::create_dir_all(dir)?;
+    let dir = out_dir()?.join("figures");
+    std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.csv"));
     let mut out = String::from("benchmark");
     for s in series {

@@ -1,15 +1,45 @@
-//! The event-driven engine's headline contract at workload scale: across
-//! the full benchmark matrix, skip-to-next-event stepping must produce
-//! `Stats` structurally identical to per-cycle stepping — cycle counts,
+//! The engines' headline contract at workload scale: across the full
+//! benchmark matrix, every execution engine — per-cycle, event-driven,
+//! and the two-phase sharded engine at any `smx_jobs` — must produce
+//! `Stats` structurally identical to the serial baseline — cycle counts,
 //! launch records, memory counters, occupancy integrals, the lot. Any
 //! component whose `next_event_at` horizon overshoots its true next state
-//! change shows up here as a divergence.
+//! change, or any staged effect committed out of serial order, shows up
+//! here as a divergence.
 
-use bench::SweepRunner;
+use bench::{Matrix, SweepRunner};
 use gpu_sim::GpuConfig;
+use gpu_trace::{Category, TraceConfig};
 use workloads::{Benchmark, Scale, Variant};
 
 const VARIANTS: [Variant; 3] = [Variant::Flat, Variant::Cdp, Variant::Dtbl];
+
+/// Asserts two matrices agree cell-for-cell: same failure set, and
+/// bit-identical `Stats` on every successful cell.
+fn assert_matrices_identical(a: &Matrix, b: &Matrix, what: &str) {
+    assert_eq!(
+        a.failures().len(),
+        b.failures().len(),
+        "{what}: failure sets diverged"
+    );
+    for &bm in Benchmark::ALL.iter() {
+        for &v in &VARIANTS {
+            assert_eq!(
+                a.contains(bm, v),
+                b.contains(bm, v),
+                "{what}: {bm} [{v}] succeeded under one engine but not the other"
+            );
+            if !a.contains(bm, v) {
+                continue;
+            }
+            assert_eq!(
+                a.get(bm, v).stats,
+                b.get(bm, v).stats,
+                "{what}: {bm} [{v}] Stats diverged"
+            );
+        }
+    }
+}
 
 /// All 16 benchmarks × 3 variants, once per engine. Uses a worker pool
 /// for wall clock; `sweep_determinism` separately proves the pool cannot
@@ -21,27 +51,55 @@ fn event_driven_stats_match_per_cycle() {
     cfg.force_per_cycle = true;
     let percycle =
         SweepRunner::new(4).run_matrix_with(&Benchmark::ALL, &VARIANTS, Scale::Test, cfg);
+    assert_matrices_identical(&evented, &percycle, "event-driven vs per-cycle");
+}
 
-    assert_eq!(
-        evented.failures().len(),
-        percycle.failures().len(),
-        "failure sets diverged between engines"
-    );
-    for &b in Benchmark::ALL.iter() {
-        for &v in &VARIANTS {
-            assert_eq!(
-                evented.contains(b, v),
-                percycle.contains(b, v),
-                "{b} [{v}]: succeeded under one engine but not the other"
-            );
-            if !evented.contains(b, v) {
-                continue;
-            }
-            assert_eq!(
-                evented.get(b, v).stats,
-                percycle.get(b, v).stats,
-                "{b} [{v}]: Stats diverged between event-driven and per-cycle stepping"
-            );
-        }
+/// The two-phase sharded engine across the full 16-benchmark × 3-variant
+/// matrix: `smx_jobs` of 2, 4 and auto (0) must all reproduce the serial
+/// engine's `Stats` bit-for-bit. The sharded runs go through a sweep pool
+/// as well, so this also covers the pool × intra-sim composition rules.
+#[test]
+fn sharded_engine_stats_match_serial_across_matrix() {
+    let serial = SweepRunner::new(4).run_matrix(&Benchmark::ALL, &VARIANTS, Scale::Test);
+    for jobs in [2usize, 4, 0] {
+        let mut cfg = GpuConfig::k20c();
+        cfg.smx_jobs = jobs;
+        let sharded =
+            SweepRunner::new(4).run_matrix_with(&Benchmark::ALL, &VARIANTS, Scale::Test, cfg);
+        assert_matrices_identical(
+            &serial,
+            &sharded,
+            &format!("serial vs sharded (smx_jobs={jobs})"),
+        );
+    }
+}
+
+/// Event traces, not just aggregate stats: on three launch-heavy
+/// benchmarks the JSONL export of a sharded run must be *byte-identical*
+/// to the serial run — same events, same order, same cycle stamps. The
+/// per-SMX shard trace buffers are merged in SMX-index order at commit,
+/// which is exactly the serial engine's emission order.
+#[test]
+fn sharded_engine_traces_match_serial_byte_for_byte() {
+    const TRACED: [Benchmark; 3] = [Benchmark::BfsUsaRoad, Benchmark::Amr, Benchmark::Bht];
+    let jsonl = |jobs: usize| -> String {
+        let mut cfg = GpuConfig::k20c();
+        cfg.smx_jobs = jobs;
+        cfg.trace = TraceConfig {
+            mask: Category::default_mask(),
+            metrics_interval: 1000,
+            ..TraceConfig::off()
+        };
+        let mut m = SweepRunner::new(1).run_matrix_with(&TRACED, &VARIANTS, Scale::Test, cfg);
+        assert!(m.failures().is_empty(), "traced runs must all succeed");
+        gpu_trace::export::jsonl(&m.take_traces(&TRACED, &VARIANTS))
+    };
+    let serial = jsonl(1);
+    assert!(!serial.is_empty());
+    for jobs in [2usize, 13] {
+        assert!(
+            jsonl(jobs) == serial,
+            "smx_jobs={jobs}: JSONL trace diverged from the serial engine"
+        );
     }
 }

@@ -44,20 +44,41 @@ pub fn coalesce(addrs: &[Option<u32>]) -> Vec<u32> {
 /// of allocating a fresh `Vec` for every warp access.
 pub fn coalesce_into(addrs: &[Option<u32>], segs: &mut Vec<u32>) {
     segs.clear();
-    for a in addrs.iter().flatten() {
-        push_seg(segs, a & !(SEGMENT_BYTES - 1));
-        let last_byte = a.wrapping_add(3);
-        let seg2 = last_byte & !(SEGMENT_BYTES - 1);
-        push_seg(segs, seg2);
-    }
-    segs.sort_unstable();
-    segs.dedup();
+    let _ = coalesce_append(addrs, segs);
 }
 
-fn push_seg(segs: &mut Vec<u32>, seg: u32) {
+/// [`coalesce`] appended onto a caller-provided buffer *without* clearing
+/// it: the segments for this access land (sorted, deduplicated) at the
+/// tail, and the returned `(start, len)` names their range within `segs`.
+/// The two-phase engine batches every warp access an SMX stages in one
+/// cycle into a single per-shard transaction list this way.
+pub fn coalesce_append(addrs: &[Option<u32>], segs: &mut Vec<u32>) -> (u32, u32) {
+    let start = segs.len();
+    for a in addrs.iter().flatten() {
+        push_seg(segs, start, a & !(SEGMENT_BYTES - 1));
+        let last_byte = a.wrapping_add(3);
+        let seg2 = last_byte & !(SEGMENT_BYTES - 1);
+        push_seg(segs, start, seg2);
+    }
+    segs[start..].sort_unstable();
+    // Dedup the tail in place (`Vec::dedup` would touch the whole buffer).
+    let mut w = start + 1;
+    for r in start + 1..segs.len() {
+        if segs[r] != segs[w - 1] {
+            segs[w] = segs[r];
+            w += 1;
+        }
+    }
+    if start < segs.len() {
+        segs.truncate(w);
+    }
+    (start as u32, (segs.len() - start) as u32)
+}
+
+fn push_seg(segs: &mut Vec<u32>, start: usize, seg: u32) {
     // Small-vector fast path: most warps touch very few segments, so a
     // linear containment check beats hashing.
-    if !segs.contains(&seg) {
+    if !segs[start..].contains(&seg) {
         segs.push(seg);
     }
 }

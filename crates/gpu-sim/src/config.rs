@@ -190,6 +190,17 @@ pub struct GpuConfig {
     /// non-zero metrics-sampling interval forces per-cycle stepping
     /// automatically so sample timestamps are unchanged.
     pub force_per_cycle: bool,
+    /// Worker threads for the two-phase (stage/commit) intra-simulation
+    /// engine: SMX shards stage their slice of a cycle in parallel, then
+    /// commit in SMX-index order, producing Stats and traces bit-identical
+    /// to the serial engine (see DESIGN.md, "The two-phase determinism
+    /// contract"). `1` selects today's serial engine; `0` means auto (the
+    /// machine's available parallelism, divided by the width of any
+    /// enclosing sweep pool so nested parallelism degrades gracefully,
+    /// capped at `num_smx`); an explicit `N > 1` is honored as-is (capped
+    /// at `num_smx`). Defaults to the `SMX_JOBS` environment variable when
+    /// set and parsable, else 1.
+    pub smx_jobs: usize,
     /// Deterministic fault-injection plan (default: inject nothing).
     pub fault: FaultPlan,
     /// Structured event tracing ([`gpu_trace`]): category mask, ring size,
@@ -207,6 +218,20 @@ pub enum WarpSchedPolicy {
     Gto,
     /// Loose round-robin.
     RoundRobin,
+}
+
+/// Cached `SMX_JOBS` environment override consulted once by
+/// [`GpuConfig::default`] (`0` = auto; unset or unparsable = 1, the
+/// serial engine). Lets CI exercise the two-phase engine across an
+/// entire test suite without touching each call site.
+fn env_smx_jobs() -> usize {
+    static CACHE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("SMX_JOBS")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(1)
+    })
 }
 
 impl Default for GpuConfig {
@@ -231,6 +256,7 @@ impl Default for GpuConfig {
             watchdog_window: 2_000_000,
             check_invariants: cfg!(debug_assertions),
             force_per_cycle: false,
+            smx_jobs: env_smx_jobs(),
             fault: FaultPlan::default(),
             trace: gpu_trace::TraceConfig::off(),
         }

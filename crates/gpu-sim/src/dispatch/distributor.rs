@@ -115,22 +115,18 @@ impl KernelDistributor {
         *s = Some(entry);
     }
 
-    /// Releases `slot`, returning its entry.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the slot is empty.
-    pub fn release(&mut self, slot: u32) -> KdeEntry {
-        let entry = self.slots[slot as usize]
-            .take()
-            .expect("releasing an empty KDE slot");
+    /// Releases `slot`, returning its entry, or `None` if the slot was
+    /// already empty (a bookkeeping violation the caller reports as a
+    /// typed invariant error rather than a panic).
+    pub fn release(&mut self, slot: u32) -> Option<KdeEntry> {
+        let entry = self.slots[slot as usize].take()?;
         if self.trace.on(Category::Launch) {
             self.trace.push(EventKind::KdeFree {
                 kde: slot,
                 kernel: u32::from(entry.kernel.0),
             });
         }
-        entry
+        Some(entry)
     }
 
     /// Shared view of a slot.
@@ -199,8 +195,9 @@ mod tests {
         kd.install(s, entry(1));
         assert!(!kd.is_empty());
         assert_eq!(kd.get(s).unwrap().kernel, KernelId(1));
-        kd.release(s);
+        assert!(kd.release(s).is_some());
         assert!(kd.is_empty());
+        assert!(kd.release(s).is_none(), "double release reports None");
     }
 
     #[test]

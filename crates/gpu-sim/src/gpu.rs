@@ -5,6 +5,7 @@ use crate::config::GpuConfig;
 use crate::dispatch::{KdeEntry, KernelDistributor, Kmu, Origin, PendingKernel};
 use crate::error::SimError;
 use crate::fault::FaultPlan;
+use crate::shard::{self, EffectItem, SmxEffects, StageControl};
 use crate::smx::warp::WarpState;
 use crate::smx::{Smx, Tbcr};
 use crate::stats::Stats;
@@ -121,6 +122,17 @@ pub struct Gpu {
     /// Pooled scratch for the coalesced memory-transaction segments of
     /// one warp memory instruction.
     pub(crate) txn_buf: Vec<u32>,
+    /// Per-SMX staging buffers for the two-phase engine; empty until the
+    /// first staged step (the serial engine never fills them).
+    pub(crate) shards: Vec<SmxEffects>,
+    /// Pooled scratch for the tracked access ids of one committed
+    /// `MemIssue` item.
+    pub(crate) txn_ids_buf: Vec<AccessId>,
+    /// Cycle at which the shard staging buffers were last filled
+    /// (`u64::MAX` = never): a quiet staged step's horizon reduction can
+    /// then reuse the shard-local `next_ready_at` bounds instead of
+    /// rescanning every warp slab serially.
+    pub(crate) staged_at: u64,
     /// Steps actually executed (cycles stepped, not skipped). Equals
     /// `cycle` under per-cycle stepping; far smaller under event-driven
     /// stepping on latency-bound workloads. Not part of [`Stats`] — the
@@ -168,6 +180,9 @@ impl Gpu {
             kde_buf: Vec::new(),
             launch_buf: Vec::new(),
             txn_buf: Vec::new(),
+            shards: Vec::new(),
+            txn_ids_buf: Vec::new(),
+            staged_at: u64::MAX,
             steps_executed: 0,
             progress_marker: 0,
             tracer: Recorder::new(cfg.trace),
@@ -384,6 +399,46 @@ impl Gpu {
     ///   exceeded;
     /// * any error bubbling out of [`step`](Self::step).
     pub fn run_to_idle(&mut self) -> Result<&Stats, SimError> {
+        let jobs = self.effective_smx_jobs();
+        if jobs <= 1 {
+            self.run_loop(None)?;
+        } else {
+            let ctrl = StageControl::new(jobs);
+            std::thread::scope(|scope| {
+                for w in 1..jobs {
+                    let c = &ctrl;
+                    scope.spawn(move || c.worker(w));
+                }
+                let r = self.run_loop(Some(&ctrl));
+                ctrl.shutdown();
+                r
+            })?;
+        }
+        self.stats.cycles = self.cycle;
+        self.stats.mem = self.timing.stats();
+        Ok(&self.stats)
+    }
+
+    /// Resolved worker count for this run's stage phase: `cfg.smx_jobs`
+    /// with `0` (auto) mapped to the machine's available parallelism
+    /// divided by the enclosing sweep pool's width — a `sweep --jobs N`
+    /// worker gets a 1/N share instead of oversubscribing the host — and
+    /// everything capped at the SMX count.
+    pub fn effective_smx_jobs(&self) -> usize {
+        let n = self.smxs.len().max(1);
+        match self.cfg.smx_jobs {
+            1 => 1,
+            0 => {
+                let outer = crate::sweep::current_pool_width().max(1);
+                (crate::sweep::default_jobs() / outer).clamp(1, n)
+            }
+            j => j.min(n),
+        }
+    }
+
+    /// The run loop shared by both engines; `ctrl` selects the two-phase
+    /// staged path (`Some`) or the serial path (`None`).
+    fn run_loop(&mut self, ctrl: Option<&StageControl>) -> Result<(), SimError> {
         // Interval metrics sample *every* cycle boundary; skipping would
         // drop samples, so tracing with an interval forces per-cycle mode.
         let sampling = self.tracer.enabled() && self.tracer.metrics_interval() > 0;
@@ -391,7 +446,7 @@ impl Gpu {
         let mut last_marker = self.progress_marker;
         let mut last_progress = self.cycle;
         while !self.is_idle() {
-            let quiet = self.step_core()?;
+            let quiet = self.step_core(ctrl)?;
             if self.progress_marker != last_marker {
                 last_marker = self.progress_marker;
                 last_progress = self.cycle;
@@ -426,9 +481,7 @@ impl Gpu {
                 }
             }
         }
-        self.stats.cycles = self.cycle;
-        self.stats.mem = self.timing.stats();
-        Ok(&self.stats)
+        Ok(())
     }
 
     /// Watchdog / cycle-budget check at the current cycle, shared by the
@@ -467,9 +520,21 @@ impl Gpu {
         if let Some(t) = self.timing.next_event_at(now) {
             fold(t);
         }
-        for smx in &mut self.smxs {
-            if let Some(t) = smx.next_ready_at(now) {
-                fold(t);
+        // On the two-phase path the shard buffers cached each SMX's bound
+        // at the end of this very step's stage phase; a quiet step (the
+        // only kind that reaches here) changed nothing since, so reuse
+        // them instead of rescanning every warp slab.
+        if self.staged_at == now && self.shards.len() == self.smxs.len() {
+            for fx in &self.shards {
+                if let Some(t) = fx.ready_horizon {
+                    fold(t);
+                }
+            }
+        } else {
+            for smx in &mut self.smxs {
+                if let Some(t) = smx.next_ready_at(now) {
+                    fold(t);
+                }
             }
         }
         // Pending spilled-descriptor fetches wake the distribution path.
@@ -495,7 +560,7 @@ impl Gpu {
     /// Propagates typed failures from the launch paths, guest memory
     /// faults, and (when enabled) the per-cycle invariant checker.
     pub fn step(&mut self) -> Result<(), SimError> {
-        self.step_core().map(|_quiet| ())
+        self.step_core(None).map(|_quiet| ())
     }
 
     /// One core cycle; returns whether it was *quiet* — no kernel
@@ -504,7 +569,7 @@ impl Gpu {
     /// is unchanged, so the run loop may jump to the next component event
     /// (a non-quiet step may have created distribution work the horizons
     /// do not model, so it must be followed by a real step).
-    fn step_core(&mut self) -> Result<bool, SimError> {
+    fn step_core(&mut self, ctrl: Option<&StageControl>) -> Result<bool, SimError> {
         let now = self.cycle;
         self.steps_executed += 1;
 
@@ -526,17 +591,59 @@ impl Gpu {
             quiet = false;
         }
 
-        // 3. SMXs: issue warps.
-        for s in 0..self.smxs.len() {
-            let picks =
-                self.smxs[s].select_warps(now, self.cfg.issue_per_cycle, self.cfg.warp_sched);
-            if picks > 0 {
-                quiet = false;
+        // 3. SMXs: issue warps — the serial single-phase engine, or the
+        // two-phase stage/commit engine when a worker pool is attached
+        // (see shard.rs for the determinism argument).
+        match ctrl {
+            None => {
+                for s in 0..self.smxs.len() {
+                    let picks = self.smxs[s].select_warps(
+                        now,
+                        self.cfg.issue_per_cycle,
+                        self.cfg.warp_sched,
+                    );
+                    if picks > 0 {
+                        quiet = false;
+                    }
+                    for k in 0..picks {
+                        let w = self.smxs[s].picked()[k];
+                        if let Some(done_slot) = self.issue_warp(s, w, now)? {
+                            self.on_tb_complete(s, done_slot, now)?;
+                        }
+                    }
+                }
             }
-            for k in 0..picks {
-                let w = self.smxs[s].picked()[k];
-                if let Some(done_slot) = self.issue_warp(s, w, now)? {
-                    self.on_tb_complete(s, done_slot, now)?;
+            Some(ctrl) => {
+                let mask = self.tracer.mask();
+                let mut shards = std::mem::take(&mut self.shards);
+                if shards.len() != self.smxs.len() {
+                    shards.resize_with(self.smxs.len(), SmxEffects::default);
+                }
+                // Cross-thread handoff only pays off when several SMXs
+                // can actually issue; quiet or single-SMX cycles stage
+                // inline (same code, same results).
+                let issuable = self.smxs.iter().filter(|x| x.may_issue(now)).count();
+                if issuable >= 2 {
+                    ctrl.stage(&mut self.smxs, &mut shards, &self.cfg, mask, now);
+                } else {
+                    for (x, fx) in self.smxs.iter_mut().zip(shards.iter_mut()) {
+                        shard::stage_smx(x, fx, &self.cfg, mask, now);
+                    }
+                }
+                self.staged_at = now;
+                let mut commit_err = None;
+                for (s, fx) in shards.iter_mut().enumerate() {
+                    if fx.picks > 0 {
+                        quiet = false;
+                    }
+                    if let Err(e) = self.commit_shard(s, fx, now) {
+                        commit_err = Some(e);
+                        break;
+                    }
+                }
+                self.shards = shards;
+                if let Some(e) = commit_err {
+                    return Err(e);
                 }
             }
         }
@@ -910,7 +1017,12 @@ impl Gpu {
             return Ok(released.then_some(tb_slot));
         }
 
-        let (pc, mask) = warp.current();
+        let Some((pc, mask)) = warp.current() else {
+            return Err(invariant(
+                now,
+                format!("warp {w} on SMX {s} has no current execution path"),
+            ));
+        };
         let inst = *tb.kernel_fn.fetch(pc);
 
         self.stats.warp_issues += 1;
@@ -1229,6 +1341,127 @@ impl Gpu {
         Ok(None)
     }
 
+    // ---- two-phase commit --------------------------------------------------
+
+    /// Applies one SMX's staged effects in stream order — the serial half
+    /// of the two-phase engine. Items were staged exactly where the
+    /// serial engine applies the matching side effects, and shards commit
+    /// in SMX-index order, so the shared machine (functional memory,
+    /// heap, timing model, KD/AGT/KMU, stats, traces) sees the identical
+    /// mutation sequence. A shard's staged error is raised only after its
+    /// already-staged items commit, matching the serial engine's
+    /// first-error state.
+    fn commit_shard(&mut self, s: usize, fx: &mut SmxEffects, now: u64) -> Result<(), SimError> {
+        let mut ids = std::mem::take(&mut self.txn_ids_buf);
+        for i in 0..fx.items.len() {
+            match fx.items[i] {
+                EffectItem::Issue { lanes } => {
+                    self.stats.warp_issues += 1;
+                    self.stats.active_lanes += u64::from(lanes);
+                }
+                EffectItem::Barrier => self.stats.barrier_waits += 1,
+                EffectItem::Trace(kind) => self.tracer.emit(now, kind),
+                EffectItem::GlobalLoad { w, lane, dst, addr } => {
+                    let v = self.mem.read_u32(addr);
+                    self.lane_mut(s, w, lane, now)?.write_reg(dst, v);
+                }
+                EffectItem::GlobalStore { addr, value } => self.mem.write_u32(addr, value),
+                EffectItem::GlobalAtomic {
+                    w,
+                    lane,
+                    dst,
+                    op,
+                    addr,
+                    operand,
+                    comparand,
+                } => {
+                    let old = self.mem.read_u32(addr);
+                    let new = apply_atomic(op, old, operand, comparand);
+                    self.mem.write_u32(addr, new);
+                    if let Some(d) = dst {
+                        self.lane_mut(s, w, lane, now)?.write_reg(d, old);
+                    }
+                }
+                EffectItem::AllocParam {
+                    w,
+                    lane,
+                    dst,
+                    bytes,
+                } => {
+                    let Some(addr) = heap_alloc(
+                        &mut self.alloc,
+                        &self.cfg.fault,
+                        now,
+                        &mut self.stats,
+                        bytes,
+                    ) else {
+                        return Err(SimError::OutOfMemory { bytes });
+                    };
+                    self.param_bytes.insert(addr, bytes);
+                    self.stats.add_pending(u64::from(bytes));
+                    self.lane_mut(s, w, lane, now)?.write_reg(dst, addr);
+                }
+                EffectItem::MemIssue {
+                    w,
+                    kind,
+                    start,
+                    len,
+                } => {
+                    ids.clear();
+                    let addrs = &fx.txns[start as usize..(start + len) as usize];
+                    self.timing.access_batch(s, addrs, kind, now, &mut ids);
+                    if kind != AccessKind::Store {
+                        for &id in &ids {
+                            self.access_owner.insert(id, (s, w as usize));
+                        }
+                        // Stage assumed every transaction is tracked; fix
+                        // the count up if the timing model declined some
+                        // (matches the serial engine's exact count).
+                        if ids.len() as u32 != len {
+                            if let Some(warp) = self.smxs[s].warps[w as usize].as_mut() {
+                                warp.state = WarpState::WaitingMem {
+                                    outstanding: ids.len() as u32,
+                                };
+                            }
+                        }
+                    }
+                }
+                EffectItem::Launch {
+                    hw_tid,
+                    req,
+                    visible_at,
+                } => self.handle_launch(hw_tid, req, now, visible_at)?,
+                EffectItem::TbComplete { tbcr } => self.finish_tb(tbcr, now)?,
+            }
+        }
+        fx.items.clear();
+        self.txn_ids_buf = ids;
+        match fx.err.take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Mutable lane context for a staged register writeback; a vanished
+    /// warp here means stage and commit disagreed about liveness.
+    fn lane_mut(
+        &mut self,
+        s: usize,
+        w: u32,
+        lane: u8,
+        now: u64,
+    ) -> Result<&mut gpu_isa::ThreadCtx, SimError> {
+        self.smxs[s].warps[w as usize]
+            .as_mut()
+            .map(|warp| &mut warp.threads[lane as usize])
+            .ok_or_else(|| {
+                invariant(
+                    now,
+                    format!("staged writeback names vacant warp {w} on SMX {s}"),
+                )
+            })
+    }
+
     pub(crate) fn release_barrier(
         warps: &mut [Option<crate::smx::warp::Warp>],
         tb: &mut crate::smx::TbSlot,
@@ -1255,6 +1488,15 @@ impl Gpu {
                 format!("releasing TB slot {slot} on SMX {s}: empty or warps still live"),
             ));
         };
+        self.finish_tb(tbcr, now)
+    }
+
+    /// Post-release bookkeeping for a completed thread block: KD/AGT
+    /// counters, kernel retirement, FCFS/pool/KMU/heap cleanup. Shared by
+    /// the serial engine (via [`on_tb_complete`](Self::on_tb_complete))
+    /// and the two-phase commit phase, whose stage half already released
+    /// the slot SMX-locally.
+    fn finish_tb(&mut self, tbcr: Tbcr, now: u64) -> Result<(), SimError> {
         self.stats.tb_completed += 1;
         self.progress_marker += 1;
         let kde = tbcr.kdei;
@@ -1287,7 +1529,9 @@ impl Gpu {
             && entry.agg_exe == 0
             && self.pool.nagei(kde).is_none();
         if done {
-            let entry = self.kd.release(kde);
+            let Some(entry) = self.kd.release(kde) else {
+                return Err(invariant(now, format!("KDE {kde} vanished at release")));
+            };
             if self.tracer.on(Category::Launch) {
                 self.tracer.emit(
                     now,
@@ -1315,7 +1559,7 @@ impl Gpu {
     }
 }
 
-fn alu_latency(inst: &Inst, pipe: &crate::config::PipelineLatencies) -> u64 {
+pub(crate) fn alu_latency(inst: &Inst, pipe: &crate::config::PipelineLatencies) -> u64 {
     match inst {
         Inst::IMul { .. } | Inst::IMad { .. } => pipe.imul,
         Inst::IDivU { .. } | Inst::IRemU { .. } => pipe.idiv,

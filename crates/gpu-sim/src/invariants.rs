@@ -28,6 +28,11 @@
 //!    (pending native blocks under the first-dispatch bit, or a non-empty
 //!    aggregated-group chain). A marked-but-workless kernel would sit at
 //!    the head of the FCFS order forever, starving the kernels behind it.
+//! 7. **Shard drainage** — after a committed step of the two-phase
+//!    engine, every per-SMX staging shard is empty: all staged effects
+//!    were applied in SMX order and no deferred shard error was dropped.
+//!    A non-drained shard would mean staged work silently vanished from
+//!    the architectural state.
 
 use crate::error::SimError;
 use crate::gpu::Gpu;
@@ -225,6 +230,19 @@ impl Gpu {
                 "memory conservation: {} owned requests exceed {in_flight} in flight",
                 self.access_owner.len()
             ));
+        }
+
+        // Law 7: shard drainage — the two-phase engine must have applied
+        // every staged effect and surfaced every deferred shard error.
+        for (s, fx) in self.shards.iter().enumerate() {
+            if !fx.is_drained() {
+                return fail(format!(
+                    "SMX {s} staging shard not drained after commit \
+                     ({} effects pending, deferred error: {})",
+                    fx.items.len(),
+                    fx.err.is_some()
+                ));
+            }
         }
 
         Ok(())

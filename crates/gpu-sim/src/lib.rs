@@ -31,6 +31,7 @@ mod fault;
 mod gpu;
 mod invariants;
 mod runtime;
+mod shard;
 mod smx;
 mod stats;
 pub mod sweep;

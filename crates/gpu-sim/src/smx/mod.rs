@@ -385,6 +385,14 @@ impl Smx {
         (self.ready_min != u64::MAX).then_some(self.ready_min.max(now + 1))
     }
 
+    /// Cheap preflight for the two-phase stage dispatcher: can any warp
+    /// possibly issue at `now`? The cached bound never exceeds the true
+    /// minimum `ready_at` of a `Ready` warp, so `false` is definitive
+    /// (the SMX will stage zero picks); `true` may be stale-low.
+    pub(crate) fn may_issue(&self, now: u64) -> bool {
+        self.ready_min <= now
+    }
+
     /// True when no warps are resident.
     pub fn is_idle(&self) -> bool {
         self.live_warps == 0

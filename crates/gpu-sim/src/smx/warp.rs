@@ -113,15 +113,14 @@ impl Warp {
         }
     }
 
-    /// Current PC and active mask.
-    ///
-    /// # Panics
-    ///
-    /// Panics when the warp is done (callers must check
-    /// [`is_done`](Self::is_done) after [`sync_reconvergence`](Self::sync_reconvergence)).
-    pub fn current(&self) -> (u32, u32) {
-        let top = self.stack.last().expect("current() on a finished warp");
-        (top.pc, top.mask)
+    /// Current PC and active mask; `None` when the warp is done. Callers
+    /// on the issue path check [`is_done`](Self::is_done) after
+    /// [`sync_reconvergence`](Self::sync_reconvergence), so a `None`
+    /// there is a scheduler bug — reported as a typed invariant
+    /// violation rather than a panic on the hot path.
+    pub fn current(&self) -> Option<(u32, u32)> {
+        let top = self.stack.last()?;
+        Some((top.pc, top.mask))
     }
 
     /// Advances the top-of-stack PC to the next instruction.
@@ -137,7 +136,10 @@ impl Warp {
     /// remaining active lanes fall through to `pc + 1`. `reconv` is the
     /// branch's immediate post-dominator (from the instruction encoding).
     pub fn branch(&mut self, taken_mask: u32, target: u32, reconv: u32) {
-        let top = self.stack.last_mut().expect("branch on a finished warp");
+        debug_assert!(!self.stack.is_empty(), "branch on a finished warp");
+        let Some(top) = self.stack.last_mut() else {
+            return;
+        };
         let active = top.mask;
         debug_assert_eq!(taken_mask & !active, 0, "taken lanes must be active");
         let fallthrough = active & !taken_mask;
@@ -193,7 +195,7 @@ mod tests {
     #[test]
     fn fresh_warp_starts_at_pc0_full_mask() {
         let w = warp();
-        assert_eq!(w.current(), (0, u32::MAX));
+        assert_eq!(w.current().unwrap(), (0, u32::MAX));
         assert!(!w.is_done());
     }
 
@@ -202,11 +204,11 @@ mod tests {
         let mut w = warp();
         w.branch(u32::MAX, 10, 20);
         assert_eq!(w.stack.len(), 1);
-        assert_eq!(w.current(), (10, u32::MAX));
+        assert_eq!(w.current().unwrap(), (10, u32::MAX));
         // Not-taken uniform branch falls through.
         let mut w = warp();
         w.branch(0, 10, 20);
-        assert_eq!(w.current(), (1, u32::MAX));
+        assert_eq!(w.current().unwrap(), (1, u32::MAX));
     }
 
     #[test]
@@ -216,7 +218,7 @@ mod tests {
         w.branch(taken, 10, 20);
         assert_eq!(w.stack.len(), 3);
         // Fall-through path executes first.
-        assert_eq!(w.current(), (1, !taken));
+        assert_eq!(w.current().unwrap(), (1, !taken));
         // Beneath it: taken path, then the reconvergence entry.
         assert_eq!(
             w.stack[1],
@@ -245,10 +247,10 @@ mod tests {
         w.stack.last_mut().unwrap().pc = 20;
         w.sync_reconvergence();
         // Now the taken path runs.
-        assert_eq!(w.current(), (10, taken));
+        assert_eq!(w.current().unwrap(), (10, taken));
         w.stack.last_mut().unwrap().pc = 20;
         w.sync_reconvergence();
-        assert_eq!(w.current(), (20, u32::MAX));
+        assert_eq!(w.current().unwrap(), (20, u32::MAX));
         assert_eq!(w.stack.len(), 1);
     }
 
@@ -256,25 +258,25 @@ mod tests {
     fn nested_divergence_unwinds_inside_out() {
         let mut w = warp();
         w.branch(0x0f, 10, 40); // outer: lanes 0-3 to 10, rest falls to 1
-        assert_eq!(w.current(), (1, !0x0fu32));
+        assert_eq!(w.current().unwrap(), (1, !0x0fu32));
         // Inner divergence on the fall-through path.
         w.branch(0x30, 20, 30); // lanes 4,5 taken
-        assert_eq!(w.current(), (2, !0x0fu32 & !0x30));
+        assert_eq!(w.current().unwrap(), (2, !0x0fu32 & !0x30));
         // Run inner fall-through to its reconv.
         w.stack.last_mut().unwrap().pc = 30;
         w.sync_reconvergence();
-        assert_eq!(w.current(), (20, 0x30));
+        assert_eq!(w.current().unwrap(), (20, 0x30));
         w.stack.last_mut().unwrap().pc = 30;
         w.sync_reconvergence();
         // Inner reconverged: back to outer fall-through mask at 30.
-        assert_eq!(w.current(), (30, !0x0fu32));
+        assert_eq!(w.current().unwrap(), (30, !0x0fu32));
         w.stack.last_mut().unwrap().pc = 40;
         w.sync_reconvergence();
         // Outer taken path still pending.
-        assert_eq!(w.current(), (10, 0x0f));
+        assert_eq!(w.current().unwrap(), (10, 0x0f));
         w.stack.last_mut().unwrap().pc = 40;
         w.sync_reconvergence();
-        assert_eq!(w.current(), (40, u32::MAX));
+        assert_eq!(w.current().unwrap(), (40, u32::MAX));
     }
 
     #[test]
@@ -282,11 +284,11 @@ mod tests {
         let mut w = warp();
         w.branch(0x0f, 10, 20);
         // Fall-through lanes exit (e.g. `if (tid < 4) {...} else return;`).
-        let (_, mask) = w.current();
+        let (_, mask) = w.current().unwrap();
         w.exit_lanes(mask);
         assert!(!w.is_done());
         // The taken path remains.
-        assert_eq!(w.current(), (10, 0x0f));
+        assert_eq!(w.current().unwrap(), (10, 0x0f));
         // Reconvergence entry must have lost the exited lanes too.
         assert_eq!(w.stack[0].mask, 0x0f);
         w.exit_lanes(0x0f);
@@ -298,7 +300,7 @@ mod tests {
     fn partial_warp_valid_mask() {
         let w = Warp::new(0, 1, 3, 4, 0x0000_000f, 7);
         assert_eq!(w.lane_count(), 4);
-        assert_eq!(w.current(), (0, 0x0f));
+        assert_eq!(w.current().unwrap(), (0, 0x0f));
         assert_eq!(w.age, 7);
         assert_eq!(w.hw_slot, 3);
     }
@@ -317,14 +319,14 @@ mod tests {
             w.sync_reconvergence();
             exited |= exit_mask;
             if exited != 0x7 {
-                let (pc, mask) = w.current();
+                let (pc, mask) = w.current().unwrap();
                 assert_eq!(mask, 0x7 & !exited, "continuing lanes after {lane}");
                 // Jump back to loop head.
                 w.stack.last_mut().unwrap().pc = pc; // stay put (model body)
             }
         }
         // All lanes eventually reach 100 with the full mask.
-        let (pc, mask) = w.current();
+        let (pc, mask) = w.current().unwrap();
         assert_eq!((pc, mask), (100, 0x7));
     }
 }

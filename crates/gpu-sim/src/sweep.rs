@@ -12,6 +12,7 @@
 //! Only `std` is used (scoped threads + an atomic work cursor), matching
 //! the repo's no-external-dependencies policy.
 
+use std::cell::Cell;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -22,6 +23,22 @@ pub fn default_jobs() -> usize {
     std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)
+}
+
+thread_local! {
+    /// Width of the sweep worker pool the current thread belongs to (1
+    /// outside any pool). Set when a [`run_cells`] worker starts; worker
+    /// threads die with their scope, so no reset is needed.
+    static POOL_WIDTH: Cell<usize> = const { Cell::new(1) };
+}
+
+/// Sweep-pool width of the calling thread: how many sibling sweep workers
+/// share the machine (1 when called outside a sweep pool). The
+/// auto (`smx_jobs = 0`) intra-simulation engine divides its thread
+/// budget by this, so `sweep --jobs N` composed with `SMX_JOBS=0`
+/// degrades gracefully instead of oversubscribing the host.
+pub fn current_pool_width() -> usize {
+    POOL_WIDTH.with(Cell::get)
 }
 
 /// Runs `f` over every cell on up to `jobs` worker threads and returns
@@ -60,11 +77,14 @@ where
         (0..cells.len()).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..jobs {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(cell) = cells.get(i) else { break };
-                let r = f(cell);
-                *slots[i].lock().expect("sweep result slot poisoned") = Some(r);
+            scope.spawn(|| {
+                POOL_WIDTH.with(|w| w.set(jobs));
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(cell) = cells.get(i) else { break };
+                    let r = f(cell);
+                    *slots[i].lock().expect("sweep result slot poisoned") = Some(r);
+                }
             });
         }
     });

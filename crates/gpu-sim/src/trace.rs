@@ -45,9 +45,8 @@ impl Gpu {
         self.tracer.absorb(now, self.kd.trace_mut());
         self.pool.drain_trace(now, &mut self.tracer);
         self.tracer.absorb(now, self.fcfs.trace_mut());
-        for s in &mut self.smxs {
-            self.tracer.absorb(now, s.trace_mut());
-        }
+        self.tracer
+            .absorb_shards(now, self.smxs.iter_mut().map(crate::smx::Smx::trace_mut));
         self.timing.drain_trace(now, &mut self.tracer);
     }
 

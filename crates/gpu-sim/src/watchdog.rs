@@ -26,7 +26,9 @@ impl Gpu {
                 if matches!(warp.state, WarpState::Done) || warp.is_done() {
                     continue;
                 }
-                let (pc, active_mask) = warp.current();
+                let Some((pc, active_mask)) = warp.current() else {
+                    continue;
+                };
                 let state = match warp.state {
                     WarpState::AtBarrier => {
                         let (arrived, live) = smx.tb_slots[warp.tb_slot]

@@ -1,0 +1,245 @@
+//! The two-phase (stage/commit) sharded engine's determinism contract at
+//! the simulator level: for any `smx_jobs`, a run must produce `Stats`
+//! and final architectural memory bit-identical to the serial engine
+//! (`smx_jobs = 1`). The stage phase only touches SMX-local state and the
+//! commit phase drains staged effects in SMX-index order, so the commit
+//! stream *is* the serial interleaving — these tests are the executable
+//! form of that argument, covering every staged effect class: global
+//! loads/stores, atomics, shared memory with barriers, parameter-buffer
+//! heap allocation, device-side launches, TB retirement, and deferred
+//! shard errors.
+
+use gpu_isa::{AtomOp, CmpOp, CmpTy, Dim3, KernelBuilder, KernelId, Op, Program, SReg, Space};
+use gpu_sim::{FaultPlan, Gpu, GpuConfig, SimError};
+
+const BLOCK: u32 = 64;
+const NTB: u32 = 26; // 2 TBs per SMX on the 13-SMX K20c geometry
+const CTR_WORDS: u32 = 8;
+
+/// A child kernel: `out[gtid] += p0`, with a small compute tail so child
+/// blocks overlap parent execution.
+fn child_kernel(prog: &mut Program) -> KernelId {
+    let mut c = KernelBuilder::new("shard_child", Dim3::x(BLOCK), 2);
+    let gtid = c.global_tid();
+    let p0 = c.ld_param(0);
+    let outb = c.ld_param(1);
+    let a = c.mad(gtid, Op::Imm(4), Op::Reg(outb));
+    let old = c.ld(Space::Global, a, 0);
+    let nv = c.iadd(old, Op::Reg(p0));
+    c.st(Space::Global, a, 0, Op::Reg(nv));
+    prog.add(c.build().unwrap())
+}
+
+/// The stress parent: scattered global loads, a shared-memory tree
+/// reduction under barriers, global atomics, and (from lane 0 of each
+/// block) an aggregated device launch of `child` — every effect class the
+/// two-phase engine stages crosses an SMX boundary here.
+fn parent_kernel(prog: &mut Program, child: KernelId) -> KernelId {
+    let mut b = KernelBuilder::new("shard_parent", Dim3::x(BLOCK), 4);
+    let smem = b.alloc_shared_words(BLOCK);
+    let tid = b.s2r(SReg::TidX);
+    let gtid = b.global_tid();
+    let inb = b.ld_param(0);
+    let outb = b.ld_param(1);
+    let ctrb = b.ld_param(2);
+    let childb = b.ld_param(3);
+
+    // Scattered load: stride-17 permutation of the input defeats
+    // coalescing, so each warp stages many memory transactions.
+    let idx0 = b.imul(gtid, Op::Imm(17));
+    let idx = b.iremu(idx0, Op::Imm(NTB * BLOCK));
+    let ga = b.mad(idx, Op::Imm(4), Op::Reg(inb));
+    let v = b.ld(Space::Global, ga, 0);
+
+    // Shared-memory tree reduction under barriers.
+    let sa = b.mad(tid, Op::Imm(4), Op::Imm(smem));
+    b.st(Space::Shared, sa, 0, Op::Reg(v));
+    b.bar();
+    let mut stride = BLOCK / 2;
+    while stride >= 1 {
+        let p = b.setp(CmpOp::Lt, CmpTy::U32, tid, Op::Imm(stride));
+        b.if_(p, |b| {
+            let other = b.iadd(sa, Op::Imm(stride * 4));
+            let a = b.ld(Space::Shared, sa, 0);
+            let c = b.ld(Space::Shared, other, 0);
+            let sum = b.iadd(a, Op::Reg(c));
+            b.st(Space::Shared, sa, 0, Op::Reg(sum));
+        });
+        b.bar();
+        stride /= 2;
+    }
+
+    // Global atomics: every thread hits a counter picked by gtid.
+    let ctr = b.iremu(gtid, Op::Imm(CTR_WORDS));
+    let ca = b.mad(ctr, Op::Imm(4), Op::Reg(ctrb));
+    b.atom_noret(AtomOp::Add, Space::Global, ca, 0, Op::Reg(v));
+    let got = b.atom(
+        AtomOp::MaxU,
+        Space::Global,
+        ca,
+        4 * CTR_WORDS as i32,
+        Op::Reg(v),
+    );
+
+    // Lane 0 of each block launches one aggregated child block writing
+    // to the block's own slice (param-buffer alloc + launch staged).
+    let is0 = b.setp(CmpOp::Eq, CmpTy::U32, tid, Op::Imm(0));
+    b.if_(is0, |b| {
+        let buf = b.get_param_buf(2);
+        let bid = b.s2r(SReg::CtaIdX);
+        let slice = b.imul(bid, Op::Imm(BLOCK * 4));
+        let base = b.iadd(slice, Op::Reg(childb));
+        b.st_param_word(buf, 0, Op::Imm(3));
+        b.st_param_word(buf, 1, Op::Reg(base));
+        b.launch_agg(child, Op::Imm(1), buf);
+    });
+
+    // Per-thread footprint mixing the load, the reduction and the atomic
+    // return value.
+    let s0 = b.imm(smem);
+    let total = b.ld(Space::Shared, s0, 0);
+    let m1 = b.xor_(v, Op::Reg(got));
+    let m2 = b.iadd(m1, Op::Reg(total));
+    let oa = b.mad(gtid, Op::Imm(4), Op::Reg(outb));
+    b.st(Space::Global, oa, 0, Op::Reg(m2));
+    prog.add(b.build().unwrap())
+}
+
+fn stress_program() -> (Program, KernelId) {
+    let mut prog = Program::new();
+    let child = child_kernel(&mut prog);
+    let parent = parent_kernel(&mut prog, child);
+    (prog, parent)
+}
+
+/// Runs the stress workload with `cfg`, returning the final stats and a
+/// digest of all observable memory regions.
+fn run_stress(cfg: GpuConfig) -> (gpu_sim::Stats, Vec<u32>) {
+    let (prog, parent) = stress_program();
+    let n = NTB * BLOCK;
+    let mut gpu = Gpu::new(cfg, prog);
+    let inp = gpu.malloc(n * 4).unwrap();
+    let out = gpu.malloc(n * 4).unwrap();
+    let ctr = gpu.malloc(CTR_WORDS * 2 * 4).unwrap();
+    let childo = gpu.malloc(NTB * BLOCK * 4).unwrap();
+    let data: Vec<u32> = (0..n).map(|i| i.wrapping_mul(2654435761) >> 8).collect();
+    gpu.mem_mut().write_slice_u32(inp, &data);
+    gpu.launch(parent, NTB, &[inp, out, ctr, childo], 0)
+        .unwrap();
+    let stats = gpu.run_to_idle().expect("stress run converges").clone();
+    let mut mem = Vec::new();
+    for i in 0..n {
+        mem.push(gpu.mem().read_u32(out + i * 4));
+    }
+    for i in 0..CTR_WORDS * 2 {
+        mem.push(gpu.mem().read_u32(ctr + i * 4));
+    }
+    for i in 0..NTB * BLOCK {
+        mem.push(gpu.mem().read_u32(childo + i * 4));
+    }
+    (stats, mem)
+}
+
+fn cfg_with_jobs(jobs: usize) -> GpuConfig {
+    let mut cfg = GpuConfig::k20c();
+    cfg.smx_jobs = jobs;
+    cfg
+}
+
+/// The headline contract: stats and memory are bit-identical at every
+/// thread count, under the event-driven engine.
+#[test]
+fn sharded_engine_matches_serial_bit_for_bit() {
+    let (serial_stats, serial_mem) = run_stress(cfg_with_jobs(1));
+    assert!(serial_stats.dyn_launches() >= NTB as usize);
+    for jobs in [2usize, 4, 13, 0] {
+        let (stats, mem) = run_stress(cfg_with_jobs(jobs));
+        assert_eq!(
+            stats, serial_stats,
+            "smx_jobs={jobs}: Stats diverged from the serial engine"
+        );
+        assert_eq!(
+            mem, serial_mem,
+            "smx_jobs={jobs}: final memory diverged from the serial engine"
+        );
+    }
+}
+
+/// Same contract under forced per-cycle stepping (no event skipping), so
+/// the two-phase path is exercised on every single cycle.
+#[test]
+fn sharded_engine_matches_serial_per_cycle() {
+    let mut serial = cfg_with_jobs(1);
+    serial.force_per_cycle = true;
+    let (serial_stats, serial_mem) = run_stress(serial);
+    let mut sharded = cfg_with_jobs(4);
+    sharded.force_per_cycle = true;
+    let (stats, mem) = run_stress(sharded);
+    assert_eq!(stats, serial_stats);
+    assert_eq!(mem, serial_mem);
+}
+
+/// Injected-fault equivalence: a memory wake delay reshapes the timing of
+/// every staged effect; the engines must still agree exactly.
+#[test]
+fn sharded_engine_matches_serial_under_fault_injection() {
+    let mut serial = cfg_with_jobs(1);
+    serial.fault = FaultPlan {
+        mem_delay: 500,
+        ..FaultPlan::default()
+    };
+    let mut sharded = serial;
+    sharded.smx_jobs = 4;
+    let (serial_stats, serial_mem) = run_stress(serial);
+    let (stats, mem) = run_stress(sharded);
+    assert_eq!(stats, serial_stats);
+    assert_eq!(mem, serial_mem);
+}
+
+/// Deferred shard errors: a shared-memory fault raised while staging must
+/// surface as the *same* typed error at the same cycle as the serial
+/// engine (the shard commits its already-staged effects, then reports).
+#[test]
+fn sharded_engine_reports_identical_errors() {
+    let mut prog = Program::new();
+    let mut b = KernelBuilder::new("oob", Dim3::x(32), 0);
+    let smem = b.alloc_shared_words(8);
+    let tid = b.s2r(SReg::TidX);
+    // Lane index scaled past the 8-word allocation: lanes 8.. fault.
+    let sa = b.mad(tid, Op::Imm(4), Op::Imm(smem));
+    b.st(Space::Shared, sa, 0, Op::Reg(tid));
+    let k = prog.add(b.build().unwrap());
+
+    let run = |jobs: usize| -> SimError {
+        let mut cfg = GpuConfig::k20c();
+        cfg.smx_jobs = jobs;
+        let mut gpu = Gpu::new(cfg, prog.clone());
+        gpu.launch(k, NTB, &[], 0).unwrap();
+        gpu.run_to_idle()
+            .expect_err("out-of-bounds store must fault")
+    };
+    let serial = run(1);
+    assert!(
+        matches!(serial, SimError::SharedMemFault { .. }),
+        "expected a shared-memory fault, got {serial:?}"
+    );
+    for jobs in [2usize, 13] {
+        assert_eq!(run(jobs), serial, "smx_jobs={jobs}: error diverged");
+    }
+}
+
+/// `smx_jobs` resolution: 1 is serial, explicit values clamp to the SMX
+/// count, and auto (0) always lands in `1..=num_smx`.
+#[test]
+fn effective_smx_jobs_resolution() {
+    let gpu = |jobs: usize| {
+        let mut cfg = GpuConfig::k20c();
+        cfg.smx_jobs = jobs;
+        Gpu::new(cfg, Program::new())
+    };
+    assert_eq!(gpu(1).effective_smx_jobs(), 1);
+    assert_eq!(gpu(4).effective_smx_jobs(), 4);
+    assert_eq!(gpu(64).effective_smx_jobs(), 13, "clamped to num_smx");
+    let auto = gpu(0).effective_smx_jobs();
+    assert!((1..=13).contains(&auto), "auto resolved to {auto}");
+}
