@@ -5,14 +5,21 @@
 //!
 //! `--test-scale` switches to the fast test inputs.
 
-use bench::{csv_from_args, geomean, print_figure, scale_from_args, write_csv, SweepRunner};
+use bench::{
+    budget_from_args, csv_from_args, geomean, print_figure, scale_from_args, write_csv, SweepRunner,
+};
+use gpu_sim::GpuConfig;
 use workloads::{Benchmark, Variant};
 
 fn main() {
     let scale = scale_from_args();
     let csv = csv_from_args();
     eprintln!("Running the 16-benchmark x 5-variant matrix ({scale:?} scale)...");
-    let m = SweepRunner::from_args().run_matrix(&Benchmark::ALL, &Variant::MAIN, scale);
+    let cfg = GpuConfig {
+        budget: budget_from_args(),
+        ..GpuConfig::k20c()
+    };
+    let m = SweepRunner::from_args().run_matrix_with(&Benchmark::ALL, &Variant::MAIN, scale, cfg);
     // Render only the rows whose five variants all completed; failed runs
     // are reported at the end so one diverging benchmark never costs the
     // whole sweep.

@@ -4,13 +4,17 @@
 //! single sweep worker — the configuration EXPERIMENTS.md tracks — under
 //! three engines: `force_per_cycle`, event-driven serial (`smx_jobs=1`),
 //! and event-driven with the two-phase sharded engine at `smx_jobs=0`
-//! (auto: one stage worker per available core). It then times one
-//! Paper-scale cell (bfs_usa_road / DTBL) serial vs sharded, and writes
-//! everything to `BENCH_pr5.json` together with the host's core count —
-//! sharded-engine speedups are only meaningful relative to that number.
-//! Future PRs diff their probe output against the committed baseline.
+//! (auto: one stage worker per available core). It also re-runs the
+//! event-driven matrix with an **armed-but-loose run budget** (a cycle
+//! cap that never trips) to price the supervision checks — the design
+//! intent is that an unset budget is free and an armed one costs noise.
+//! It then times one Paper-scale cell (bfs_usa_road / DTBL) serial vs
+//! sharded, and writes everything to `BENCH_pr6.json` together with the
+//! host's core count — sharded-engine speedups are only meaningful
+//! relative to that number. Future PRs diff their probe output against
+//! the committed baseline.
 //!
-//! Usage: `perf_probe [--out PATH]` (default `BENCH_pr5.json`).
+//! Usage: `perf_probe [--out PATH]` (default `BENCH_pr6.json`).
 
 use bench::SweepRunner;
 use gpu_sim::GpuConfig;
@@ -102,7 +106,7 @@ fn main() {
             args.iter()
                 .find_map(|a| a.strip_prefix("--out=").map(str::to_string))
         })
-        .unwrap_or_else(|| "BENCH_pr5.json".to_string());
+        .unwrap_or_else(|| "BENCH_pr6.json".to_string());
 
     let host_cores = gpu_sim::sweep::default_jobs();
 
@@ -114,10 +118,17 @@ fn main() {
     eprintln!("perf_probe: event-driven engine, serial SMX stepping (smx_jobs=1)");
     let evented = probe(GpuConfig::k20c());
 
+    eprintln!("perf_probe: event-driven engine with an armed-but-loose run budget");
+    let mut budget_cfg = GpuConfig::k20c();
+    // Armed (so `is_inert()` is false and every boundary check runs) but
+    // set far past any Test-scale run, so nothing ever trips.
+    budget_cfg.budget.cycle_cap = Some(u64::MAX);
+    let budgeted = probe(budget_cfg);
+
     eprintln!("perf_probe: event-driven engine, two-phase sharded stepping (smx_jobs=0 = auto)");
     let mut sh_cfg = GpuConfig::k20c();
     sh_cfg.smx_jobs = 0;
-    let sharded = probe(sh_cfg);
+    let sharded = probe(sh_cfg.clone());
 
     // A forced 4-worker run always exercises the threaded stage path,
     // even on hosts where auto resolves to 1 — on a single-core machine
@@ -141,6 +152,8 @@ fn main() {
             "  \"host_cores\": {},\n",
             "  \"per_cycle\": {},\n",
             "  \"event_driven\": {},\n",
+            "  \"event_driven_budget_armed\": {},\n",
+            "  \"budget_armed_vs_unset_overhead\": {:.3},\n",
             "  \"event_driven_sharded\": {},\n",
             "  \"event_driven_sharded_x4\": {},\n",
             "  \"event_vs_per_cycle_speedup\": {:.2},\n",
@@ -159,6 +172,8 @@ fn main() {
         host_cores,
         percycle.json(),
         evented.json(),
+        budgeted.json(),
+        budgeted.wall_seconds / evented.wall_seconds.max(1e-9),
         sharded.json(),
         sharded4.json(),
         event_speedup,

@@ -7,7 +7,7 @@
 
 #![warn(missing_docs)]
 
-use gpu_sim::{GpuConfig, SimError};
+use gpu_sim::{GpuConfig, RunBudget, SimError};
 use gpu_trace::{Category, TraceConfig, TraceData};
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -28,19 +28,46 @@ use workloads::{Benchmark, RunReport, Scale, Variant};
 #[derive(Clone, Copy, Debug)]
 pub struct SweepRunner {
     jobs: usize,
+    retries: u32,
 }
 
 impl SweepRunner {
-    /// A runner with a fixed worker count (clamped to at least 1).
+    /// A runner with a fixed worker count (clamped to at least 1) and no
+    /// crash quarantine.
     pub fn new(jobs: usize) -> Self {
-        SweepRunner { jobs: jobs.max(1) }
+        SweepRunner {
+            jobs: jobs.max(1),
+            retries: 0,
+        }
     }
 
     /// A runner configured from the command line: `--jobs N` (or
     /// `--jobs=N`) pins the worker count; without the flag it uses the
-    /// machine's available parallelism.
+    /// machine's available parallelism. `--retries N` opts the sweep into
+    /// supervised execution (see [`SweepRunner::with_retries`]).
     pub fn from_args() -> Self {
-        SweepRunner::new(jobs_from_args())
+        let args: Vec<String> = std::env::args().collect();
+        let retries = flag_value(&args, "--retries")
+            .map(|n| {
+                n.parse().unwrap_or_else(|_| {
+                    eprintln!("--retries expects a non-negative integer, got {n:?}");
+                    std::process::exit(2);
+                })
+            })
+            .unwrap_or(0);
+        SweepRunner::new(jobs_from_args()).with_retries(retries)
+    }
+
+    /// Opts the sweep into supervised execution: a panicking cell is
+    /// isolated (`gpu_sim::sweep::run_cells_supervised`), retried up to
+    /// `retries` times in quarantine, and — if it keeps crashing —
+    /// recorded as a [`SimError::CellCrashed`] failure instead of taking
+    /// the whole sweep down. With `retries == 0` (the default) the sweep
+    /// runs unsupervised and a panic propagates after the siblings
+    /// finish.
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
     }
 
     /// The worker count this runner fans out to.
@@ -83,9 +110,9 @@ impl SweepRunner {
         let total = cells.len();
         let finished = AtomicUsize::new(0);
         let t0 = Instant::now();
-        let results = gpu_sim::sweep::run_cells(cells, self.jobs, |&(b, v)| {
+        let run = |&(b, v): &(Benchmark, Variant)| -> Result<RunReport, SimError> {
             let t = Instant::now();
-            let r = b.run_with(v, scale, cfg);
+            let r = b.run_with(v, scale, cfg.clone());
             let k = finished.fetch_add(1, Ordering::Relaxed) + 1;
             match &r {
                 Ok(rep) => eprintln!(
@@ -103,7 +130,30 @@ impl SweepRunner {
                 ),
             }
             r
-        });
+        };
+        let results: Vec<((Benchmark, Variant), Result<RunReport, SimError>)> = if self.retries == 0
+        {
+            gpu_sim::sweep::run_cells(cells, self.jobs, run)
+        } else {
+            gpu_sim::sweep::run_cells_supervised(cells, self.jobs, self.retries, run)
+                .into_iter()
+                .map(|((b, v), outcome)| {
+                    use gpu_sim::sweep::CellOutcome;
+                    let r = match outcome {
+                        CellOutcome::Ok(rep) => Ok(rep),
+                        CellOutcome::Err(e) => Err(e),
+                        CellOutcome::Crashed(rep) => {
+                            eprintln!("  {:14} {:7} ** {rep}", b.name(), v.label());
+                            Err(SimError::CellCrashed {
+                                attempts: rep.attempts,
+                                payload: rep.payload,
+                            })
+                        }
+                    };
+                    ((b, v), r)
+                })
+                .collect()
+        };
         self.report_wall_clock(total, t0);
         let mut m = Matrix::default();
         for ((b, v), r) in results {
@@ -345,6 +395,23 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
     None
 }
 
+/// Parses `--deadline-ms N` into a per-run [`RunBudget`]: every cell of
+/// the sweep gets `N` milliseconds of wall clock before it stops with
+/// `SimError::DeadlineExceeded` carrying partial stats (the run is
+/// recorded as a failure; its siblings continue). Without the flag the
+/// budget is inert.
+pub fn budget_from_args() -> RunBudget {
+    let args: Vec<String> = std::env::args().collect();
+    let mut budget = RunBudget::none();
+    if let Some(ms) = flag_value(&args, "--deadline-ms") {
+        budget.deadline_ms = Some(ms.parse().unwrap_or_else(|_| {
+            eprintln!("--deadline-ms expects a non-negative integer, got {ms:?}");
+            std::process::exit(2);
+        }));
+    }
+    budget
+}
+
 /// Tracing options shared by the figure binaries, parsed from the command
 /// line:
 ///
@@ -362,21 +429,26 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
 ///   default 1000, `0` disables sampling.
 ///
 /// Without `--trace` the options are inert: the sweep runs with tracing
-/// fully disabled and [`TraceOpts::write`] is a no-op.
+/// fully disabled and [`TraceOpts::write`] is a no-op. The struct also
+/// carries the run budget from `--deadline-ms` ([`budget_from_args`]), so
+/// [`TraceOpts::gpu_config`] gives every figure binary the wall-clock
+/// knob for free.
 #[derive(Clone, Debug, Default)]
 pub struct TraceOpts {
     out: Option<PathBuf>,
     cfg: TraceConfig,
+    budget: RunBudget,
 }
 
 impl TraceOpts {
     /// Parses the tracing flags from the command line.
     pub fn from_args() -> Self {
         let args: Vec<String> = std::env::args().collect();
+        let budget = budget_from_args();
         let out = flag_value(&args, "--trace").map(PathBuf::from);
         let mut cfg = TraceConfig::off();
         if out.is_none() {
-            return TraceOpts { out, cfg };
+            return TraceOpts { out, cfg, budget };
         }
         cfg.mask = Category::default_mask();
         cfg.metrics_interval = 1000;
@@ -392,7 +464,7 @@ impl TraceOpts {
                 std::process::exit(2);
             });
         }
-        TraceOpts { out, cfg }
+        TraceOpts { out, cfg, budget }
     }
 
     /// True when `--trace` was passed.
@@ -411,6 +483,7 @@ impl TraceOpts {
     pub fn gpu_config(&self) -> GpuConfig {
         GpuConfig {
             trace: self.cfg,
+            budget: self.budget.clone(),
             ..GpuConfig::k20c()
         }
     }

@@ -8,7 +8,8 @@
 //! here as a divergence.
 
 use bench::{Matrix, SweepRunner};
-use gpu_sim::GpuConfig;
+use gpu_isa::{Dim3, KernelBuilder, Op, Program, Space};
+use gpu_sim::{BudgetKind, CancelToken, Gpu, GpuConfig, SimError, Stats};
 use gpu_trace::{Category, TraceConfig};
 use workloads::{Benchmark, Scale, Variant};
 
@@ -101,5 +102,177 @@ fn sharded_engine_traces_match_serial_byte_for_byte() {
             jsonl(jobs) == serial,
             "smx_jobs={jobs}: JSONL trace diverged from the serial engine"
         );
+    }
+}
+
+/// A run budget is part of the determinism contract, not an escape hatch
+/// from it: a cycle cap must land every engine — per-cycle, event-driven,
+/// and the two-phase sharded engine — on the *identical* cycle with
+/// bit-identical partial `Stats`. The cap is folded into the event
+/// engine's skip target, so even a skip that would have sailed past the
+/// cap stops exactly on it.
+#[test]
+fn cycle_cap_trips_at_identical_cycle_across_engines() {
+    let (b, v) = (Benchmark::BfsCitation, Variant::Dtbl);
+    let full = b
+        .run_with(v, Scale::Test, GpuConfig::k20c())
+        .expect("unbudgeted probe run completes");
+    let cap = full.stats.cycles / 2;
+    assert!(cap > 0, "the probe run must be long enough to halve");
+
+    let run = |mut cfg: GpuConfig| -> (u64, Box<Stats>) {
+        cfg.budget.cycle_cap = Some(cap);
+        match b.run_with(v, Scale::Test, cfg) {
+            Err(SimError::DeadlineExceeded {
+                budget: BudgetKind::Cycles,
+                cycle,
+                stats,
+            }) => (cycle, stats),
+            other => panic!("expected a cycle-cap stop, got {other:?}"),
+        }
+    };
+
+    let mut pc_cfg = GpuConfig::k20c();
+    pc_cfg.force_per_cycle = true;
+    let (pc_cycle, pc_stats) = run(pc_cfg);
+    let (ev_cycle, ev_stats) = run(GpuConfig::k20c());
+    let mut sh_cfg = GpuConfig::k20c();
+    sh_cfg.smx_jobs = 4;
+    let (sh_cycle, sh_stats) = run(sh_cfg);
+
+    assert_eq!(
+        pc_cycle, cap,
+        "per-cycle engine must stop exactly at the cap"
+    );
+    assert_eq!(ev_cycle, cap, "event engine must land exactly on the cap");
+    assert_eq!(sh_cycle, cap, "sharded engine must land exactly on the cap");
+    assert_eq!(
+        pc_stats, ev_stats,
+        "partial stats diverged: per-cycle vs event-driven"
+    );
+    assert_eq!(
+        ev_stats, sh_stats,
+        "partial stats diverged: serial vs sharded (smx_jobs=4)"
+    );
+}
+
+/// One root warp whose lanes each grab a device-side parameter buffer and
+/// CDP-launch a child — the heap grows *mid-run*, at an instruction, not
+/// at setup.
+fn heapy_gpu(cfg: GpuConfig) -> Gpu {
+    let mut prog = Program::new();
+    // Child: tag its 32-word slice.
+    let mut cb = KernelBuilder::new("child", Dim3::x(32), 1);
+    let base = cb.ld_param(0);
+    let gtid = cb.global_tid();
+    let addr = cb.mad(gtid, Op::Imm(4), Op::Reg(base));
+    cb.st(Space::Global, addr, 0, Op::Reg(gtid));
+    let child = prog.add(cb.build().unwrap());
+    // Root: each lane launches one child on its own slice.
+    let mut rb = KernelBuilder::new("root", Dim3::x(8), 1);
+    let out = rb.ld_param(0);
+    let gtid = rb.global_tid();
+    let buf = rb.get_param_buf(1);
+    let slice = rb.imul(gtid, Op::Imm(32 * 4));
+    let sbase = rb.iadd(slice, Op::Reg(out));
+    rb.st_param_word(buf, 0, Op::Reg(sbase));
+    rb.launch_device(child, Op::Imm(1), buf);
+    let root = prog.add(rb.build().unwrap());
+
+    let mut gpu = Gpu::new(cfg, prog);
+    let out = gpu.malloc(8 * 32 * 4).unwrap();
+    gpu.launch(root, 1, &[out], 0).unwrap();
+    gpu
+}
+
+/// The live-heap cap trips the first time an *executed instruction* grows
+/// the heap past it. Heap growth only happens on cycles where work runs,
+/// and every engine steps exactly those cycles, so the trip cycle — and
+/// the partial stats — must be identical across all three engines.
+#[test]
+fn heap_cap_trips_at_identical_cycle_across_engines() {
+    // Measure the post-setup baseline once; the device-side parameter
+    // buffers allocated mid-run are what must push past the cap.
+    let baseline = heapy_gpu(GpuConfig::test_small()).heap_live_bytes();
+    let cap = baseline + 300;
+
+    let run = |mut cfg: GpuConfig| -> (u64, Box<Stats>) {
+        cfg.budget.live_heap_cap = Some(cap);
+        let mut gpu = heapy_gpu(cfg);
+        match gpu.run_to_idle() {
+            Err(SimError::DeadlineExceeded {
+                budget: BudgetKind::LiveHeap,
+                cycle,
+                stats,
+            }) => (cycle, stats),
+            other => panic!("expected a live-heap stop, got {other:?}"),
+        }
+    };
+
+    let mut pc_cfg = GpuConfig::test_small();
+    pc_cfg.force_per_cycle = true;
+    let (pc_cycle, pc_stats) = run(pc_cfg);
+    let (ev_cycle, ev_stats) = run(GpuConfig::test_small());
+    let mut sh_cfg = GpuConfig::test_small();
+    sh_cfg.smx_jobs = 4;
+    let (sh_cycle, sh_stats) = run(sh_cfg);
+
+    assert!(pc_cycle > 0, "the cap must trip mid-run, not at setup");
+    assert_eq!(
+        pc_cycle, ev_cycle,
+        "heap-cap trip cycle: per-cycle vs event"
+    );
+    assert_eq!(ev_cycle, sh_cycle, "heap-cap trip cycle: serial vs sharded");
+    assert_eq!(
+        pc_stats, ev_stats,
+        "heap-cap partial stats: per-cycle vs event"
+    );
+    assert_eq!(
+        ev_stats, sh_stats,
+        "heap-cap partial stats: serial vs sharded"
+    );
+}
+
+/// Wall-clock deadlines depend on the host, so the contract is shape
+/// only: a 0 ms deadline must surface as the typed `WallClock` budget
+/// stop carrying a partial-stats snapshot stamped with the stop cycle —
+/// never a panic, never an unrelated error. (The wall check is sampled
+/// every 1024 steps, so the per-cycle engine guarantees it runs.)
+#[test]
+fn wall_clock_deadline_surfaces_as_a_typed_error() {
+    let mut cfg = GpuConfig::k20c();
+    cfg.force_per_cycle = true;
+    cfg.budget.deadline_ms = Some(0);
+    match Benchmark::BfsCitation.run_with(Variant::Dtbl, Scale::Test, cfg) {
+        Err(SimError::DeadlineExceeded {
+            budget: BudgetKind::WallClock,
+            cycle,
+            stats,
+        }) => {
+            assert!(cycle > 0, "the deadline is checked after stepping");
+            assert_eq!(
+                stats.cycles, cycle,
+                "the partial snapshot must be stamped with the stop cycle"
+            );
+        }
+        other => panic!("expected a wall-clock stop, got {other:?}"),
+    }
+}
+
+/// A token cancelled before the run starts stops it at the first
+/// boundary check with partial stats — the cooperative-cancellation
+/// contract a sweep driver relies on to abandon cells.
+#[test]
+fn pre_cancelled_token_stops_the_run_with_partial_stats() {
+    let token = CancelToken::new();
+    token.cancel();
+    let mut cfg = GpuConfig::k20c();
+    cfg.budget.cancel = Some(token);
+    match Benchmark::BfsCitation.run_with(Variant::Dtbl, Scale::Test, cfg) {
+        Err(SimError::Cancelled { cycle, stats }) => {
+            assert!(cycle >= 1, "cancellation lands after at least one step");
+            assert_eq!(stats.cycles, cycle);
+        }
+        other => panic!("expected a cancellation stop, got {other:?}"),
     }
 }

@@ -35,6 +35,7 @@ fn path_of(kind: DynLaunchKind) -> gpu_trace::LaunchPath {
         DynLaunchKind::DeviceKernel => gpu_trace::LaunchPath::DeviceKernel,
         DynLaunchKind::AggGroup => gpu_trace::LaunchPath::AggGroup,
         DynLaunchKind::AggFallback => gpu_trace::LaunchPath::AggFallback,
+        DynLaunchKind::HostSerialized => gpu_trace::LaunchPath::HostSerial,
     }
 }
 
@@ -157,7 +158,8 @@ fn disabled_tracing_is_not_slower_than_enabled() {
         let mut runs: Vec<f64> = (0..5)
             .map(|_| {
                 let t = std::time::Instant::now();
-                b.run_with(Variant::Dtbl, Scale::Test, cfg).expect("run");
+                b.run_with(Variant::Dtbl, Scale::Test, cfg.clone())
+                    .expect("run");
                 t.elapsed().as_secs_f64()
             })
             .collect();

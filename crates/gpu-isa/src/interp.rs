@@ -47,6 +47,19 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
+/// Word-addressable global memory as the interpreter sees it. Implemented
+/// by [`FlatMemory`] for standalone use and by adapters over richer
+/// memory models (the cycle simulator backs it with its device memory to
+/// host-serialize launches its hardware paths could not absorb).
+pub trait WordMem {
+    /// Reads a 32-bit word at a byte address (unaligned addresses are
+    /// truncated to the containing word).
+    fn read_u32(&self, addr: u32) -> u32;
+
+    /// Writes a 32-bit word.
+    fn write_u32(&mut self, addr: u32, v: u32);
+}
+
 /// A simple sparse word-addressable memory for the interpreter.
 #[derive(Clone, Debug, Default)]
 pub struct FlatMemory {
@@ -68,6 +81,16 @@ impl FlatMemory {
     /// Writes a 32-bit word.
     pub fn write_u32(&mut self, addr: u32, v: u32) {
         self.words.insert(addr & !3, v);
+    }
+}
+
+impl WordMem for FlatMemory {
+    fn read_u32(&self, addr: u32) -> u32 {
+        FlatMemory::read_u32(self, addr)
+    }
+
+    fn write_u32(&mut self, addr: u32, v: u32) {
+        FlatMemory::write_u32(self, addr, v)
     }
 }
 
@@ -150,11 +173,11 @@ impl BlockState<'_> {
 ///
 /// Returns an [`InterpError`] for launches, runaway loops, barrier
 /// divergence, or shared-memory overruns.
-pub fn run_kernel(
+pub fn run_kernel<M: WordMem>(
     kernel: &Kernel,
     grid_ntb: u32,
     param_base: u32,
-    mem: &mut FlatMemory,
+    mem: &mut M,
 ) -> Result<(), InterpError> {
     if let Some(pc) = kernel.insts().iter().position(Inst::is_launch) {
         return Err(InterpError::LaunchUnsupported { pc: pc as u32 });
@@ -165,12 +188,12 @@ pub fn run_kernel(
     Ok(())
 }
 
-fn run_block(
+fn run_block<M: WordMem>(
     kernel: &Kernel,
     blkid: u32,
     grid_ntb: u32,
     param_base: u32,
-    mem: &mut FlatMemory,
+    mem: &mut M,
 ) -> Result<(), InterpError> {
     let threads = kernel.threads_per_block();
     let n_warps = threads.div_ceil(WARP_SIZE as u32);
@@ -291,10 +314,10 @@ impl WarpInterp {
     /// Advances the *lowest-PC* path (a dominator-friendly order for the
     /// builder's forward-reconverging control flow) one instruction;
     /// returns false when the warp parked at a barrier or finished.
-    fn run_until_barrier_or_exit(
+    fn run_until_barrier_or_exit<M: WordMem>(
         &mut self,
         st: &mut BlockState<'_>,
-        mem: &mut FlatMemory,
+        mem: &mut M,
     ) -> Result<(), InterpError> {
         loop {
             self.merge();
@@ -358,12 +381,12 @@ impl WarpInterp {
     }
 }
 
-fn apply_effect(
+fn apply_effect<M: WordMem>(
     eff: Effect,
     lane: usize,
     ctxs: &mut [ThreadCtx],
     st: &mut BlockState<'_>,
-    mem: &mut FlatMemory,
+    mem: &mut M,
 ) -> Result<(), InterpError> {
     match eff {
         Effect::None => Ok(()),

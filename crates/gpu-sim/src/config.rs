@@ -2,6 +2,155 @@
 //! latencies) of the paper, plus the experiment and robustness knobs.
 
 use crate::fault::FaultPlan;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Shared cooperative-cancellation token. Clone it, hand one copy to the
+/// run (via [`RunBudget::cancel`]) and keep the other; calling
+/// [`cancel`](CancelToken::cancel) from any thread makes the run stop at
+/// its next budget checkpoint with [`SimError::Cancelled`](crate::SimError)
+/// and a partial-stats snapshot.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, untriggered token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; safe from any thread.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Token identity, not state: two clones of the same token compare equal.
+impl PartialEq for CancelToken {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+impl Eq for CancelToken {}
+
+/// Resource budget for one run, checked at the engine's event-horizon
+/// boundaries. All limits default to off; an inert budget costs one
+/// branch per check. The *cycle* and *heap* caps are deterministic (they
+/// trip at the identical cycle on every engine); the wall-clock deadline
+/// and cancellation are host-dependent by nature and only their typed
+/// error shape is stable.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunBudget {
+    /// Host wall-clock deadline in milliseconds from `run_to_idle` entry.
+    pub deadline_ms: Option<u64>,
+    /// Simulated-cycle cap for this run (independent of `max_cycles`,
+    /// which models the *machine*; the cap models the *caller's patience*
+    /// and returns partial stats instead of a plain error).
+    pub cycle_cap: Option<u64>,
+    /// Cap on live device-heap bytes; exceeding it stops the run.
+    pub live_heap_cap: Option<u64>,
+    /// Cooperative cancellation token (see [`CancelToken`]).
+    pub cancel: Option<CancelToken>,
+}
+
+impl RunBudget {
+    /// A budget with every limit off.
+    pub fn none() -> Self {
+        RunBudget::default()
+    }
+
+    /// True when no limit is set — the fast path skips all bookkeeping.
+    pub fn is_inert(&self) -> bool {
+        self.deadline_ms.is_none()
+            && self.cycle_cap.is_none()
+            && self.live_heap_cap.is_none()
+            && self.cancel.is_none()
+    }
+}
+
+/// How launch sites behave when a hardware structure is exhausted: the
+/// graceful-degradation ladder of DTBL's best-effort contract.
+///
+/// Under the default policy a launch that cannot take its preferred path
+/// stalls-and-retries with bounded deterministic backoff (in *cycles*,
+/// never host time), then falls down the ladder
+/// DTBL → plain device kernel → host-serialized execution instead of
+/// failing the run. [`strict`](DegradePolicy::strict) restores the
+/// pre-ladder behaviour where exhaustion is a typed error — what the
+/// fault-injection tests pin.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DegradePolicy {
+    /// Master switch: `false` means every exhausted structure surfaces
+    /// its typed `SimError` immediately (strict mode).
+    pub ladder: bool,
+    /// Retry attempts at a saturated site before falling to the next
+    /// rung. 0 falls through immediately.
+    pub max_retries: u32,
+    /// Backoff before retry `k` (1-based) is `backoff_base << (k-1)`
+    /// cycles, capped at [`backoff_cap`](DegradePolicy::backoff_cap).
+    pub backoff_base: u64,
+    /// Upper bound on a single backoff wait, in cycles.
+    pub backoff_cap: u64,
+}
+
+impl Default for DegradePolicy {
+    /// The ladder, on — unless the `DEGRADE_POLICY` environment variable
+    /// says `strict`.
+    fn default() -> Self {
+        env_degrade_policy()
+    }
+}
+
+impl DegradePolicy {
+    /// The default ladder parameters, ignoring the environment.
+    pub fn ladder() -> Self {
+        DegradePolicy {
+            ladder: true,
+            max_retries: 3,
+            backoff_base: 64,
+            backoff_cap: 4096,
+        }
+    }
+
+    /// Pre-ladder behaviour: resource exhaustion is a typed error.
+    pub fn strict() -> Self {
+        DegradePolicy {
+            ladder: false,
+            max_retries: 0,
+            backoff_base: 0,
+            backoff_cap: 0,
+        }
+    }
+
+    /// Deterministic backoff (in cycles) before retry `attempt`
+    /// (1-based): exponential from `backoff_base`, capped.
+    pub fn backoff_cycles(&self, attempt: u32) -> u64 {
+        let shift = attempt.saturating_sub(1).min(63);
+        self.backoff_base
+            .saturating_mul(1u64 << shift)
+            .min(self.backoff_cap)
+            .max(1)
+    }
+}
+
+/// Cached `DEGRADE_POLICY` environment override consulted once by
+/// [`DegradePolicy::default`]: `strict` selects the typed-error mode,
+/// anything else (including unset) the ladder.
+fn env_degrade_policy() -> DegradePolicy {
+    static CACHE: std::sync::OnceLock<DegradePolicy> = std::sync::OnceLock::new();
+    *CACHE.get_or_init(
+        || match std::env::var("DEGRADE_POLICY").as_deref().map(str::trim) {
+            Ok("strict") => DegradePolicy::strict(),
+            _ => DegradePolicy::ladder(),
+        },
+    )
+}
 
 /// Device-runtime API latency model measured on a Tesla K20c (Table 3).
 ///
@@ -127,7 +276,7 @@ impl Default for PipelineLatencies {
 
 /// Full simulator configuration. Defaults model the Tesla K20c baseline of
 /// Table 2.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct GpuConfig {
     /// Number of SMXs.
     pub num_smx: usize,
@@ -203,6 +352,12 @@ pub struct GpuConfig {
     pub smx_jobs: usize,
     /// Deterministic fault-injection plan (default: inject nothing).
     pub fault: FaultPlan,
+    /// Run budget: wall-clock deadline, cycle cap, live-heap cap and
+    /// cooperative cancellation. Defaults to fully off (inert).
+    pub budget: RunBudget,
+    /// Launch-site degradation policy (see [`DegradePolicy`]). Defaults
+    /// to the ladder unless `DEGRADE_POLICY=strict`.
+    pub degrade: DegradePolicy,
     /// Structured event tracing ([`gpu_trace`]): category mask, ring size,
     /// event cap and metrics-sampling interval. Defaults to fully off — a
     /// disabled trace costs one predictable branch per staged event and
@@ -258,6 +413,8 @@ impl Default for GpuConfig {
             force_per_cycle: false,
             smx_jobs: env_smx_jobs(),
             fault: FaultPlan::default(),
+            budget: RunBudget::default(),
+            degrade: DegradePolicy::default(),
             trace: gpu_trace::TraceConfig::off(),
         }
     }
@@ -340,5 +497,33 @@ mod tests {
         let c = GpuConfig::test_small();
         assert_eq!(c.num_smx, c.mem.num_smx);
         assert!(c.agt_entries.is_power_of_two());
+    }
+
+    #[test]
+    fn inert_budget_and_token_identity() {
+        assert!(RunBudget::none().is_inert());
+        assert!(!RunBudget {
+            cycle_cap: Some(10),
+            ..RunBudget::none()
+        }
+        .is_inert());
+        let t = CancelToken::new();
+        let clone = t.clone();
+        assert_eq!(t, clone, "clones share identity");
+        assert_ne!(t, CancelToken::new());
+        assert!(!t.is_cancelled());
+        clone.cancel();
+        assert!(t.is_cancelled(), "cancel is visible through every clone");
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_capped() {
+        let p = DegradePolicy::ladder();
+        assert_eq!(p.backoff_cycles(1), 64);
+        assert_eq!(p.backoff_cycles(2), 128);
+        assert_eq!(p.backoff_cycles(3), 256);
+        assert_eq!(p.backoff_cycles(20), p.backoff_cap);
+        assert!(DegradePolicy::strict().backoff_cycles(1) >= 1);
+        assert!(!DegradePolicy::strict().ladder);
     }
 }

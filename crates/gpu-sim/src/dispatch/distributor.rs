@@ -99,12 +99,16 @@ impl KernelDistributor {
 
     /// Installs a kernel into `slot`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the slot is occupied.
-    pub fn install(&mut self, slot: u32, entry: KdeEntry) {
+    /// An occupied slot rejects the install, handing the entry back so
+    /// the caller can report a typed bookkeeping violation instead of
+    /// panicking the simulator.
+    pub fn install(&mut self, slot: u32, entry: KdeEntry) -> Result<(), KdeEntry> {
         let s = &mut self.slots[slot as usize];
-        assert!(s.is_none(), "KDE slot {slot} already occupied");
+        if s.is_some() {
+            return Err(entry);
+        }
         if self.trace.on(Category::Launch) {
             self.trace.push(EventKind::KdeAlloc {
                 kde: slot,
@@ -113,6 +117,7 @@ impl KernelDistributor {
             });
         }
         *s = Some(entry);
+        Ok(())
     }
 
     /// Releases `slot`, returning its entry, or `None` if the slot was
@@ -192,7 +197,7 @@ mod tests {
         let mut kd = KernelDistributor::new(4);
         assert!(kd.is_empty());
         let s = kd.free_slot().unwrap();
-        kd.install(s, entry(1));
+        kd.install(s, entry(1)).unwrap();
         assert!(!kd.is_empty());
         assert_eq!(kd.get(s).unwrap().kernel, KernelId(1));
         assert!(kd.release(s).is_some());
@@ -205,7 +210,7 @@ mod tests {
         let mut kd = KernelDistributor::new(3);
         for i in 0..3 {
             let s = kd.free_slot().unwrap();
-            kd.install(s, entry(i));
+            kd.install(s, entry(i)).unwrap();
         }
         assert_eq!(kd.free_slot(), None);
         assert_eq!(kd.occupied().count(), 3);
@@ -214,8 +219,8 @@ mod tests {
     #[test]
     fn eligibility_matches_kernel_id() {
         let mut kd = KernelDistributor::new(4);
-        kd.install(0, entry(7));
-        kd.install(1, entry(9));
+        kd.install(0, entry(7)).unwrap();
+        kd.install(1, entry(9)).unwrap();
         assert_eq!(kd.find_eligible(KernelId(9)), Some(1));
         assert_eq!(kd.find_eligible(KernelId(3)), None);
     }
@@ -231,10 +236,15 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "already occupied")]
-    fn double_install_panics() {
+    fn double_install_rejected_not_panicking() {
         let mut kd = KernelDistributor::new(2);
-        kd.install(0, entry(0));
-        kd.install(0, entry(1));
+        kd.install(0, entry(0)).unwrap();
+        let rejected = kd.install(0, entry(1)).unwrap_err();
+        assert_eq!(rejected.kernel, KernelId(1), "the entry comes back");
+        assert_eq!(
+            kd.get(0).unwrap().kernel,
+            KernelId(0),
+            "the occupant is untouched"
+        );
     }
 }

@@ -7,18 +7,69 @@
 //! [`Gpu::run_to_idle`](crate::Gpu::run_to_idle) instead of a panic, so
 //! harnesses can report the failing benchmark and keep going.
 
+use crate::stats::Stats;
 use gpu_isa::KernelId;
 use gpu_trace::TraceEvent;
 use std::error::Error;
 use std::fmt;
 
+/// Which limit of a [`RunBudget`](crate::RunBudget) fired.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BudgetKind {
+    /// The host wall-clock deadline expired (`deadline_ms`).
+    WallClock,
+    /// The simulated-cycle cap was reached (`cycle_cap`).
+    Cycles,
+    /// Live device-heap bytes exceeded the cap (`live_heap_cap`).
+    LiveHeap,
+}
+
+impl BudgetKind {
+    /// Stable numeric code used in `deadline_hit` trace events.
+    pub fn code(self) -> u32 {
+        match self {
+            BudgetKind::WallClock => 0,
+            BudgetKind::Cycles => 1,
+            BudgetKind::LiveHeap => 2,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BudgetKind::WallClock => "wall_clock",
+            BudgetKind::Cycles => "cycles",
+            BudgetKind::LiveHeap => "live_heap",
+        }
+    }
+}
+
 /// Simulation failure modes.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum SimError {
     /// The run exceeded `GpuConfig::max_cycles`.
     CycleLimit {
         /// The limit that was hit.
         cycles: u64,
+    },
+    /// A [`RunBudget`](crate::RunBudget) limit fired before the run went
+    /// idle. Carries the partial statistics accumulated up to the stop,
+    /// so a supervisor can still account for the work done.
+    DeadlineExceeded {
+        /// Which budget limit fired.
+        budget: BudgetKind,
+        /// Cycle the run stopped at.
+        cycle: u64,
+        /// Statistics accumulated up to the stop.
+        stats: Box<Stats>,
+    },
+    /// The run's [`CancelToken`](crate::CancelToken) was triggered.
+    /// Carries the partial statistics accumulated up to the stop.
+    Cancelled {
+        /// Cycle the run stopped at.
+        cycle: u64,
+        /// Statistics accumulated up to the stop.
+        stats: Box<Stats>,
     },
     /// The device heap is exhausted.
     OutOfMemory {
@@ -90,6 +141,19 @@ pub enum SimError {
         /// Human-readable statement of the broken law.
         law: String,
     },
+    /// A supervised sweep cell panicked on every attempt; the supervisor
+    /// (see [`sweep`](crate::sweep)) converted the crash into data so the
+    /// rest of the sweep could finish. The full
+    /// [`CrashReport`](crate::sweep::CrashReport) (cycle, recent trace
+    /// events) is available from
+    /// [`run_cells_supervised`](crate::sweep::run_cells_supervised);
+    /// this variant carries the portable summary.
+    CellCrashed {
+        /// Attempts made in total (first run + quarantined retries).
+        attempts: u32,
+        /// The panic payload rendered as text.
+        payload: String,
+    },
     /// A benchmark ran to completion but its output diverged from the
     /// host reference.
     ValidationFailed {
@@ -105,6 +169,16 @@ impl fmt::Display for SimError {
         match self {
             SimError::CycleLimit { cycles } => {
                 write!(f, "simulation exceeded the {cycles}-cycle limit")
+            }
+            SimError::DeadlineExceeded { budget, cycle, .. } => {
+                write!(
+                    f,
+                    "run budget ({}) exceeded at cycle {cycle}",
+                    budget.name()
+                )
+            }
+            SimError::Cancelled { cycle, .. } => {
+                write!(f, "run cancelled at cycle {cycle}")
             }
             SimError::OutOfMemory { bytes } => {
                 write!(f, "device heap exhausted allocating {bytes} bytes")
@@ -149,6 +223,12 @@ impl fmt::Display for SimError {
             SimError::KernelBuild { detail } => write!(f, "kernel failed to build: {detail}"),
             SimError::InvariantViolation { cycle, law } => {
                 write!(f, "invariant violated at cycle {cycle}: {law}")
+            }
+            SimError::CellCrashed { attempts, payload } => {
+                write!(
+                    f,
+                    "sweep cell crashed after {attempts} attempt(s): {payload}"
+                )
             }
             SimError::ValidationFailed { app, detail } => {
                 write!(f, "{app}: output diverged from host reference: {detail}")

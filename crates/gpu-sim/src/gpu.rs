@@ -1,10 +1,11 @@
 //! The top-level GPU: host API and the cycle-level execution engine.
 
 use crate::access_slab::AccessSlab;
-use crate::config::GpuConfig;
+use crate::config::{CancelToken, GpuConfig};
 use crate::dispatch::{KdeEntry, KernelDistributor, Kmu, Origin, PendingKernel};
-use crate::error::SimError;
+use crate::error::{BudgetKind, SimError};
 use crate::fault::FaultPlan;
+use crate::runtime::degrade::LaunchRetry;
 use crate::shard::{self, EffectItem, SmxEffects, StageControl};
 use crate::smx::warp::WarpState;
 use crate::smx::{Smx, Tbcr};
@@ -15,8 +16,10 @@ use gpu_mem::{
     coalesce::coalesce_into, AccessId, AccessKind, BackingStore, LinearAllocator, MemSubsystem,
 };
 use gpu_trace::{Category, EventKind, Recorder, StallReason};
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Base of the heap served by [`Gpu::malloc`].
 pub(crate) const HEAP_BASE: u32 = 0x1000_0000;
@@ -148,6 +151,18 @@ pub struct Gpu {
     pub(crate) tracer: Recorder,
     /// Last-sample counters for interval metrics (deltas between samples).
     pub(crate) trace_win: crate::trace::TraceWindow,
+    /// Host instant [`run_to_idle`](Self::run_to_idle) entered, for the
+    /// wall-clock budget. Host time never influences simulation state —
+    /// only *whether* the run is cut short.
+    pub(crate) run_started: Option<Instant>,
+    /// The degradation ladder's retry queue: KMU-saturated launches
+    /// waiting out their deterministic backoff, ordered (ready_at, seq).
+    pub(crate) retry_q: BinaryHeap<Reverse<LaunchRetry>>,
+    /// Monotone sequence for retry-queue FIFO tie-breaking.
+    pub(crate) retry_seq: u64,
+    /// Host launches parked while their hardware work queue sits at an
+    /// injected cap; drained FIFO as capacity frees.
+    pub(crate) host_deferred: VecDeque<(u32, PendingKernel)>,
 }
 
 impl Gpu {
@@ -187,6 +202,10 @@ impl Gpu {
             progress_marker: 0,
             tracer: Recorder::new(cfg.trace),
             trace_win: crate::trace::TraceWindow::default(),
+            run_started: None,
+            retry_q: BinaryHeap::new(),
+            retry_seq: 0,
+            host_deferred: VecDeque::new(),
             cfg,
         };
         gpu.apply_trace_mask();
@@ -283,7 +302,9 @@ impl Gpu {
     /// # Errors
     ///
     /// Returns an error for unknown kernels, heap exhaustion, or a full
-    /// hardware work queue (injected-fault runs).
+    /// hardware work queue (injected-fault runs under the strict
+    /// degradation policy; the default ladder defers the launch into a
+    /// software queue instead).
     pub fn launch(
         &mut self,
         kernel: KernelId,
@@ -298,7 +319,9 @@ impl Gpu {
         if ntb == 0 {
             return Ok(());
         }
-        self.check_hwq_capacity(stream)?;
+        if !self.cfg.degrade.ladder {
+            self.check_hwq_capacity(stream)?;
+        }
         let param_sz = (params.len().max(1) * 4) as u32;
         let param_addr = self.malloc(param_sz)?;
         self.param_bytes.insert(param_addr, param_sz);
@@ -314,16 +337,18 @@ impl Gpu {
                 },
             );
         }
-        self.kmu.push_host(
-            stream,
-            PendingKernel {
-                kernel,
-                kernel_fn,
-                ntb,
-                param_addr,
-                origin: Origin::Host { hwq: 0 }, // rewritten by push_host
-            },
-        );
+        let pk = PendingKernel {
+            kernel,
+            kernel_fn,
+            ntb,
+            param_addr,
+            origin: Origin::Host { hwq: 0 }, // rewritten by push_host
+        };
+        if self.cfg.degrade.ladder && self.hwq_overloaded(stream).is_some() {
+            self.park_host_launch(stream, pk);
+        } else {
+            self.kmu.push_host(stream, pk);
+        }
         Ok(())
     }
 
@@ -350,7 +375,9 @@ impl Gpu {
         if ntb == 0 {
             return Ok(());
         }
-        self.check_hwq_capacity(stream)?;
+        if !self.cfg.degrade.ladder {
+            self.check_hwq_capacity(stream)?;
+        }
         self.stats.host_launches += 1;
         if self.tracer.on(Category::Launch) {
             self.tracer.emit(
@@ -362,25 +389,31 @@ impl Gpu {
                 },
             );
         }
-        self.kmu.push_host(
-            stream,
-            PendingKernel {
-                kernel,
-                kernel_fn,
-                ntb,
-                param_addr,
-                origin: Origin::Host { hwq: 0 },
-            },
-        );
+        let pk = PendingKernel {
+            kernel,
+            kernel_fn,
+            ntb,
+            param_addr,
+            origin: Origin::Host { hwq: 0 },
+        };
+        if self.cfg.degrade.ladder && self.hwq_overloaded(stream).is_some() {
+            self.park_host_launch(stream, pk);
+        } else {
+            self.kmu.push_host(stream, pk);
+        }
         Ok(())
     }
 
-    /// True when no work remains anywhere in the machine.
+    /// True when no work remains anywhere in the machine — including the
+    /// degradation ladder's retry and deferral queues, whose entries are
+    /// launches the machine still owes.
     pub fn is_idle(&self) -> bool {
         self.kmu.is_empty()
             && self.kd.is_empty()
             && self.smxs.iter().all(Smx::is_idle)
             && self.timing.quiescent()
+            && self.retry_q.is_empty()
+            && self.host_deferred.is_empty()
     }
 
     /// Runs until the machine is idle, returning the accumulated stats.
@@ -397,8 +430,12 @@ impl Gpu {
     ///   watchdog window elapses with no forward progress;
     /// * [`SimError::CycleLimit`] when the configured cycle budget is
     ///   exceeded;
+    /// * [`SimError::DeadlineExceeded`] / [`SimError::Cancelled`] when a
+    ///   [`RunBudget`](crate::RunBudget) limit fires, carrying partial
+    ///   stats;
     /// * any error bubbling out of [`step`](Self::step).
     pub fn run_to_idle(&mut self) -> Result<&Stats, SimError> {
+        self.run_started = Some(Instant::now());
         let jobs = self.effective_smx_jobs();
         if jobs <= 1 {
             self.run_loop(None)?;
@@ -452,6 +489,7 @@ impl Gpu {
                 last_progress = self.cycle;
             }
             if let Some(err) = self.deadline_error(last_progress) {
+                self.note_budget_stop(&err);
                 return Err(err);
             }
             if event_driven && quiet && !self.is_idle() {
@@ -467,6 +505,11 @@ impl Gpu {
                     target = target.min(last_progress + self.cfg.watchdog_window);
                 }
                 target = target.min(self.cfg.max_cycles);
+                // The budget's cycle cap is a landing site too, so every
+                // engine trips it at the identical cycle.
+                if let Some(cap) = self.cfg.budget.cycle_cap {
+                    target = target.min(cap);
+                }
                 if target > self.cycle {
                     let delta = target - self.cycle;
                     let resident: u32 = self.smxs.iter().map(|s| s.live_warps).sum();
@@ -476,6 +519,7 @@ impl Gpu {
                     }
                     self.cycle = target;
                     if let Some(err) = self.deadline_error(last_progress) {
+                        self.note_budget_stop(&err);
                         return Err(err);
                     }
                 }
@@ -501,7 +545,85 @@ impl Gpu {
                 cycles: self.cfg.max_cycles,
             });
         }
+        if !self.cfg.budget.is_inert() {
+            let budget = &self.cfg.budget;
+            if budget.cycle_cap.is_some_and(|cap| self.cycle >= cap) {
+                return Some(SimError::DeadlineExceeded {
+                    budget: BudgetKind::Cycles,
+                    cycle: self.cycle,
+                    stats: self.partial_stats(),
+                });
+            }
+            if budget
+                .live_heap_cap
+                .is_some_and(|cap| self.alloc.live_bytes() > cap)
+            {
+                return Some(SimError::DeadlineExceeded {
+                    budget: BudgetKind::LiveHeap,
+                    cycle: self.cycle,
+                    stats: self.partial_stats(),
+                });
+            }
+            if budget
+                .cancel
+                .as_ref()
+                .is_some_and(CancelToken::is_cancelled)
+            {
+                return Some(SimError::Cancelled {
+                    cycle: self.cycle,
+                    stats: self.partial_stats(),
+                });
+            }
+            // The wall clock is host state, not simulated state: sample it
+            // sparsely (every 1024 executed steps) so the budget check
+            // costs no syscall on the hot path. Only the error's *shape*
+            // is deterministic, never the cycle it fires at.
+            if self.steps_executed.is_multiple_of(1024) {
+                if let (Some(ms), Some(started)) = (budget.deadline_ms, self.run_started) {
+                    if started.elapsed().as_millis() >= u128::from(ms) {
+                        return Some(SimError::DeadlineExceeded {
+                            budget: BudgetKind::WallClock,
+                            cycle: self.cycle,
+                            stats: self.partial_stats(),
+                        });
+                    }
+                }
+            }
+        }
         None
+    }
+
+    /// Snapshot of the statistics accumulated so far, with the derived
+    /// fields `run_to_idle` would have filled in brought up to date —
+    /// what a budget stop hands back so the work done is not lost.
+    fn partial_stats(&self) -> Box<Stats> {
+        let mut stats = Box::new(self.stats.clone());
+        stats.cycles = self.cycle;
+        stats.mem = self.timing.stats();
+        stats
+    }
+
+    /// Emits the `DeadlineHit` trace event for a budget or cancellation
+    /// stop (code 3 = cancelled); other errors pass through silently.
+    fn note_budget_stop(&mut self, err: &SimError) {
+        if !self.tracer.on(Category::Launch) {
+            return;
+        }
+        let (budget, limit) = match err {
+            SimError::DeadlineExceeded { budget, .. } => {
+                let limit = match budget {
+                    BudgetKind::WallClock => self.cfg.budget.deadline_ms.unwrap_or(0),
+                    BudgetKind::Cycles => self.cfg.budget.cycle_cap.unwrap_or(0),
+                    BudgetKind::LiveHeap => self.cfg.budget.live_heap_cap.unwrap_or(0),
+                };
+                (budget.code(), limit)
+            }
+            SimError::Cancelled { .. } => (3, 0),
+            _ => return,
+        };
+        let cycle = self.cycle;
+        self.tracer
+            .emit(cycle, EventKind::DeadlineHit { budget, limit });
     }
 
     /// Earliest future cycle on which any component can change state,
@@ -550,6 +672,16 @@ impl Gpu {
         if !self.cfg.fault.is_nop() && now < self.cfg.fault.after_cycle {
             fold(self.cfg.fault.after_cycle);
         }
+        // Ladder queues: a deferred retry matures at its backoff deadline;
+        // a parked host launch re-probes its work queue every cycle (the
+        // queue's drain is itself a progress event, so `now + 1` is the
+        // only sound bound).
+        if let Some(Reverse(head)) = self.retry_q.peek() {
+            fold(head.ready_at.max(now + 1));
+        }
+        if !self.host_deferred.is_empty() {
+            fold(now + 1);
+        }
         next
     }
 
@@ -573,16 +705,25 @@ impl Gpu {
         let now = self.cycle;
         self.steps_executed += 1;
 
+        // 0. Degradation ladder: matured launch retries and parked host
+        // launches re-attempt before the KMU ticks, in the serial phase
+        // of both engines (see runtime::degrade).
+        let mut quiet = true;
+        if (!self.retry_q.is_empty() || !self.host_deferred.is_empty())
+            && self.process_deferred(now)?
+        {
+            quiet = false;
+        }
+
         // 1. KMU: mature device launches, advance the dispatch pipeline.
         let kd = &self.kd;
-        let mut quiet = true;
         if let Some((slot, pk)) = self
             .kmu
             .tick(now, self.cfg.latency.kernel_dispatch, |reserved| {
                 kd.free_slot_excluding(reserved)
             })
         {
-            self.install_kernel(slot, pk, now);
+            self.install_kernel(slot, pk, now)?;
             quiet = false;
         }
 
@@ -710,12 +851,12 @@ impl Gpu {
         Ok(quiet)
     }
 
-    fn install_kernel(&mut self, slot: u32, pk: PendingKernel, now: u64) {
+    fn install_kernel(&mut self, slot: u32, pk: PendingKernel, now: u64) -> Result<(), SimError> {
         let (launch_record, hwq) = match pk.origin {
             Origin::Host { hwq } => (None, Some(hwq)),
             Origin::Device { record } => (Some(record), None),
         };
-        self.kd.install(
+        let installed = self.kd.install(
             slot,
             KdeEntry {
                 kernel: pk.kernel,
@@ -731,8 +872,14 @@ impl Gpu {
                 hwq,
             },
         );
+        if installed.is_err() {
+            // The KMU reserved this slot when the dispatch began; finding
+            // it occupied means the reservation bookkeeping broke.
+            return Err(invariant(now, format!("KDE slot {slot} already occupied")));
+        }
         self.fcfs.mark_new(slot);
         self.progress_marker += 1;
+        Ok(())
     }
 
     // ---- thread-block distribution (§2.3 + §4.2 DTBL flow) ----------------
@@ -1556,6 +1703,19 @@ impl Gpu {
             }
         }
         Ok(())
+    }
+}
+
+/// When a panic unwinds through a live `Gpu` — a supervised sweep cell
+/// crashing mid-run — stash the machine's position and its recorder's
+/// recent-event ring on the thread, so the sweep's `CrashReport` can say
+/// *where* the simulation was, not just what the panic said. A normal
+/// drop does nothing.
+impl Drop for Gpu {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            crate::sweep::stash_crash_context(self.cycle, self.tracer.recent());
+        }
     }
 }
 

@@ -38,9 +38,12 @@ pub mod sweep;
 mod trace;
 mod watchdog;
 
-pub use config::{GpuConfig, LatencyTable, PipelineLatencies, WarpSchedPolicy};
+pub use config::{
+    CancelToken, DegradePolicy, GpuConfig, LatencyTable, PipelineLatencies, RunBudget,
+    WarpSchedPolicy,
+};
 pub use dispatch::{KdeEntry, KernelDistributor, Kmu, Origin, PendingKernel};
-pub use error::{HangReport, SimError, StuckWarp, StuckWarpState};
+pub use error::{BudgetKind, HangReport, SimError, StuckWarp, StuckWarpState};
 pub use fault::FaultPlan;
 pub use gpu::Gpu;
 pub use smx::warp::{StackEntry, Warp, WarpState, NO_RECONV};

@@ -15,7 +15,9 @@ impl Gpu {
     ///
     /// Returns [`SimError::KmuSaturated`] when an injected cap on the
     /// KMU's pending device-kernel pool is already met — modelling the
-    /// hardware pool backing up — without mutating any state.
+    /// hardware pool backing up — without mutating any state. Under the
+    /// default degradation ladder the saturated launch is deferred for a
+    /// backed-off retry instead (see `runtime::degrade`).
     pub(crate) fn enqueue_device_kernel(
         &mut self,
         req: gpu_isa::LaunchRequest,
@@ -24,6 +26,23 @@ impl Gpu {
         kind: DynLaunchKind,
         now: u64,
         visible_at: u64,
+    ) -> Result<(), SimError> {
+        self.enqueue_device_kernel_attempt(req, threads_per_tb, param_sz, kind, now, visible_at, 0)
+    }
+
+    /// [`enqueue_device_kernel`](Self::enqueue_device_kernel) with the
+    /// retry attempt threaded through, so a deferred launch keeps
+    /// climbing the attempt count instead of restarting it.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn enqueue_device_kernel_attempt(
+        &mut self,
+        req: gpu_isa::LaunchRequest,
+        threads_per_tb: u32,
+        param_sz: u64,
+        kind: DynLaunchKind,
+        now: u64,
+        visible_at: u64,
+        attempt: u32,
     ) -> Result<(), SimError> {
         let Some(kernel_fn) = self.program.get(req.kernel) else {
             return Err(SimError::UnknownKernel(req.kernel));
@@ -34,6 +53,9 @@ impl Gpu {
                 let pending = self.kmu.pending_device_kernels();
                 if pending >= cap {
                     self.stats.kmu_saturation_rejections += 1;
+                    if self.cfg.degrade.ladder {
+                        return self.defer_launch(req, kind, now, attempt + 1);
+                    }
                     return Err(SimError::KmuSaturated { pending });
                 }
             }
@@ -53,6 +75,9 @@ impl Gpu {
                 DynLaunchKind::DeviceKernel => LaunchPath::DeviceKernel,
                 DynLaunchKind::AggGroup => LaunchPath::AggGroup,
                 DynLaunchKind::AggFallback => LaunchPath::AggFallback,
+                // Host-serialized launches never reach the KMU; the match
+                // is total for the compiler's sake.
+                DynLaunchKind::HostSerialized => LaunchPath::HostSerial,
             };
             self.tracer.emit(
                 now,

@@ -64,14 +64,17 @@ impl Gpu {
                     .agt_overflow_capacity
                     .is_some_and(|cap| self.pool.agt().live_overflow() >= cap);
             let mut heap_failed = false;
+            let mut spill_denied = false;
             let outcome = {
                 let alloc = &mut self.alloc;
                 let stats = &mut self.stats;
                 let fault = &self.cfg.fault;
                 let heap_failed = &mut heap_failed;
+                let spill_denied = &mut spill_denied;
                 self.pool.coalesce(eligible, marked, hw_tid, info, || {
                     if spill_capped {
                         stats.agt_overflow_exhausted += 1;
+                        *spill_denied = true;
                         return None;
                     }
                     let addr =
@@ -84,10 +87,23 @@ impl Gpu {
             };
             self.pool.agt_mut().set_force_overflow(false);
             if heap_failed {
-                return Err(SimError::AgtExhausted {
-                    cycle: now,
-                    live_overflow: self.pool.agt().live_overflow(),
-                });
+                // The spill descriptor found no heap space. Under the
+                // degradation ladder the launch demotes one rung — a
+                // plain device kernel needs no descriptor — via the
+                // `Fallback` outcome the failed spill already produced;
+                // in strict mode the exhaustion is a typed error.
+                if !self.cfg.degrade.ladder {
+                    return Err(SimError::AgtExhausted {
+                        cycle: now,
+                        live_overflow: self.pool.agt().live_overflow(),
+                    });
+                }
+                self.note_agg_degraded(req.kernel, now);
+            } else if spill_denied && self.cfg.degrade.ladder {
+                // The injected spill cap denied the descriptor: the same
+                // rung-1 → rung-2 demotion, counted when the ladder owns
+                // the fallback decision.
+                self.note_agg_degraded(req.kernel, now);
             }
             match outcome {
                 CoalesceOutcome::Coalesced { group, remark } => {

@@ -13,4 +13,5 @@
 //! mechanism's fault hooks and bookkeeping in one place.
 
 pub(crate) mod cdp;
+pub(crate) mod degrade;
 pub(crate) mod dtbl;

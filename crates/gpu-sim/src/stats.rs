@@ -12,6 +12,9 @@ pub enum DynLaunchKind {
     AggGroup,
     /// DTBL launch that fell back to a device kernel (no eligible kernel).
     AggFallback,
+    /// Launch executed functionally on the host after every in-GPU path
+    /// was exhausted — the last rung of the degradation ladder.
+    HostSerialized,
 }
 
 /// One dynamic launch's lifecycle timestamps.
@@ -92,6 +95,17 @@ pub struct Stats {
     pub agt_overflow_exhausted: u64,
     /// Heap allocations denied by the injected heap-byte cap.
     pub heap_cap_denials: u64,
+    /// Aggregated launches the degradation ladder demoted to plain device
+    /// kernels after the AGT's spill storage was exhausted (rung 1 → 2).
+    pub degraded_to_device_kernel: u64,
+    /// Device-kernel launches the ladder executed host-serialized after
+    /// the KMU stayed saturated through every retry (rung 2 → 3).
+    pub degraded_to_host_serial: u64,
+    /// Backoff-and-retry waits taken at saturated launch sites.
+    pub launch_backoffs: u64,
+    /// Host launches the ladder parked in the software deferral queue
+    /// because their hardware work queue was at capacity.
+    pub host_launches_deferred: u64,
     /// Maximum resident warps per SMX (copied from config for occupancy).
     pub max_warps_per_smx: u32,
     /// Number of SMXs (for occupancy normalization).

@@ -44,7 +44,7 @@ fn sleeping_warp_reaches_idle_in_o_events_steps() {
     };
     let mut evented_cfg = GpuConfig::test_small();
     evented_cfg.fault = fault;
-    let mut percycle_cfg = evented_cfg;
+    let mut percycle_cfg = evented_cfg.clone();
     percycle_cfg.force_per_cycle = true;
 
     let mut evented = setup(evented_cfg);

@@ -5,7 +5,7 @@
 //! watchdog can catch early.
 
 use gpu_isa::{CmpOp, CmpTy, Dim3, KernelBuilder, KernelId, Op, Program, Space};
-use gpu_sim::{FaultPlan, Gpu, GpuConfig, SimError, StuckWarpState};
+use gpu_sim::{DegradePolicy, FaultPlan, Gpu, GpuConfig, SimError, StuckWarpState};
 
 /// A 2-warp block where warp 0 parks at a barrier and warp 1 spins
 /// forever: the canonical divergent-barrier deadlock.
@@ -144,6 +144,10 @@ fn shared_memory_out_of_bounds_is_a_typed_fault() {
     assert_eq!(size, 4);
 }
 
+/// Pinned to [`DegradePolicy::strict`]: this is the pre-ladder contract
+/// where a full hardware work queue is a typed error at the launch site.
+/// The default ladder defers the launch instead
+/// (`hwq_cap_defers_instead_of_rejecting_under_ladder`).
 #[test]
 fn injected_hwq_cap_rejects_host_launches() {
     let mut prog = Program::new();
@@ -155,6 +159,7 @@ fn injected_hwq_cap_rejects_host_launches() {
             hwq_capacity: Some(1),
             ..FaultPlan::default()
         },
+        degrade: DegradePolicy::strict(),
         ..GpuConfig::test_small()
     };
     let mut gpu = Gpu::new(cfg, prog);
@@ -171,6 +176,33 @@ fn injected_hwq_cap_rejects_host_launches() {
     // Other streams have their own queue.
     gpu.launch(k, 1, &[], 1).unwrap();
     gpu.run_to_idle().unwrap();
+}
+
+/// Under the default ladder the same capped queue no longer rejects: the
+/// launch parks in the software deferral queue and runs once the queue
+/// drains — the run completes, with the deferral counted.
+#[test]
+fn hwq_cap_defers_instead_of_rejecting_under_ladder() {
+    let mut prog = Program::new();
+    let mut b = KernelBuilder::new("noop", Dim3::x(32), 0);
+    b.exit();
+    let k = prog.add(b.build().unwrap());
+    let cfg = GpuConfig {
+        fault: FaultPlan {
+            hwq_capacity: Some(1),
+            ..FaultPlan::default()
+        },
+        degrade: DegradePolicy::ladder(),
+        ..GpuConfig::test_small()
+    };
+    let mut gpu = Gpu::new(cfg, prog);
+    gpu.launch(k, 1, &[], 0).unwrap();
+    gpu.launch(k, 1, &[], 0).unwrap();
+    gpu.launch(k, 1, &[], 0).unwrap();
+    let stats = gpu.run_to_idle().unwrap();
+    assert_eq!(stats.host_launches, 3, "every launch ran");
+    assert_eq!(stats.hwq_full_rejections, 0, "nothing was rejected");
+    assert_eq!(stats.host_launches_deferred, 2, "two waited their turn");
 }
 
 #[test]

@@ -188,7 +188,7 @@ fn sharded_engine_matches_serial_under_fault_injection() {
         mem_delay: 500,
         ..FaultPlan::default()
     };
-    let mut sharded = serial;
+    let mut sharded = serial.clone();
     sharded.smx_jobs = 4;
     let (serial_stats, serial_mem) = run_stress(serial);
     let (stats, mem) = run_stress(sharded);

@@ -151,6 +151,9 @@ pub enum LaunchPath {
     AggGroup,
     /// DTBL launch that fell back to a device kernel.
     AggFallback,
+    /// Launch executed functionally on the host after the in-GPU paths
+    /// were exhausted — the last rung of the degradation ladder.
+    HostSerial,
 }
 
 impl LaunchPath {
@@ -160,6 +163,7 @@ impl LaunchPath {
             LaunchPath::DeviceKernel => 0,
             LaunchPath::AggGroup => 1,
             LaunchPath::AggFallback => 2,
+            LaunchPath::HostSerial => 3,
         }
     }
 
@@ -169,6 +173,7 @@ impl LaunchPath {
             0 => Some(LaunchPath::DeviceKernel),
             1 => Some(LaunchPath::AggGroup),
             2 => Some(LaunchPath::AggFallback),
+            3 => Some(LaunchPath::HostSerial),
             _ => None,
         }
     }
@@ -179,6 +184,7 @@ impl LaunchPath {
             LaunchPath::DeviceKernel => "device_kernel",
             LaunchPath::AggGroup => "agg_group",
             LaunchPath::AggFallback => "agg_fallback",
+            LaunchPath::HostSerial => "host_serial",
         }
     }
 }
@@ -248,6 +254,11 @@ event_kinds! {
     BarrierWait { smx: u32, tb_slot: u32, arrived: u32, expected: u32 } => ("barrier_wait", Warp),
     CacheAccess { level: u32, unit: u32, hit: u32 } => ("cache_access", Cache),
     DramRowActivate { partition: u32, bank: u32 } => ("dram_row_activate", Dram),
+    LaunchDegraded { kernel: u32, from_path: u32, to_path: u32, attempts: u32 } => ("launch_degraded", Launch),
+    LaunchBackoff { kernel: u32, attempt: u32, retry_at: u64 } => ("launch_backoff", Launch),
+    DeadlineHit { budget: u32, limit: u64 } => ("deadline_hit", Launch),
+    CellCrashed { cell: u32, attempt: u32 } => ("cell_crashed", Launch),
+    CellRetried { cell: u32, attempt: u32 } => ("cell_retried", Launch),
 }
 
 /// One recorded event: an [`EventKind`] stamped with the cycle it happened.
@@ -323,6 +334,29 @@ mod tests {
                 partition: 5,
                 bank: 7,
             },
+            EventKind::LaunchDegraded {
+                kernel: 2,
+                from_path: LaunchPath::AggGroup.code(),
+                to_path: LaunchPath::HostSerial.code(),
+                attempts: 3,
+            },
+            EventKind::LaunchBackoff {
+                kernel: 2,
+                attempt: 1,
+                retry_at: 1 << 33,
+            },
+            EventKind::DeadlineHit {
+                budget: 0,
+                limit: 1 << 40,
+            },
+            EventKind::CellCrashed {
+                cell: 9,
+                attempt: 0,
+            },
+            EventKind::CellRetried {
+                cell: 9,
+                attempt: 1,
+            },
         ];
         for k in kinds {
             let fields = k.fields();
@@ -344,6 +378,7 @@ mod tests {
             LaunchPath::DeviceKernel,
             LaunchPath::AggGroup,
             LaunchPath::AggFallback,
+            LaunchPath::HostSerial,
         ] {
             assert_eq!(LaunchPath::from_code(p.code()), Some(p));
         }

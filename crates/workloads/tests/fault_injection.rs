@@ -15,7 +15,7 @@
 //! still enforced.
 
 use gpu_sim::sweep::run_cells;
-use gpu_sim::{FaultPlan, GpuConfig, SimError};
+use gpu_sim::{DegradePolicy, FaultPlan, GpuConfig, SimError};
 use workloads::{Benchmark, Scale, Variant};
 
 /// Worker threads per sweep: bounded below the machine width because
@@ -111,15 +111,99 @@ fn runtime_heap_exhaustion_is_a_typed_error() {
 
 /// A saturated KMU device-kernel pool rejects device launches; the run
 /// either needed none (Ok) or fails with `KmuSaturated` — never a panic.
+/// Pinned to [`DegradePolicy::strict`]: this is the pre-ladder contract;
+/// the default ladder recovers instead
+/// (`kmu_saturation_recovers_under_the_ladder`).
 #[test]
 fn kmu_saturation_is_a_typed_error() {
     let fault = FaultPlan {
         kmu_device_capacity: Some(2),
         ..FaultPlan::default()
     };
-    for (b, res) in sweep_all(Variant::Cdp, fault) {
+    let results = run_cells(Benchmark::ALL.to_vec(), jobs(), |&b| {
+        let cfg = GpuConfig {
+            fault,
+            degrade: DegradePolicy::strict(),
+            ..GpuConfig::k20c()
+        };
+        b.run_with(Variant::Cdp, Scale::Test, cfg).map(|_| ())
+    });
+    for (b, res) in results {
         assert_typed(b, Variant::Cdp, &res);
     }
+}
+
+/// The same saturated KMU under the default degradation ladder: no run
+/// aborts any more. Saturated launches wait out deterministic backoffs
+/// and retry; every benchmark completes *and validates*, and the ones
+/// that actually hit the cap show backoffs in their stats.
+#[test]
+fn kmu_saturation_recovers_under_the_ladder() {
+    let fault = FaultPlan {
+        kmu_device_capacity: Some(2),
+        ..FaultPlan::default()
+    };
+    let results = run_cells(Benchmark::ALL.to_vec(), jobs(), |&b| {
+        let cfg = GpuConfig {
+            fault,
+            degrade: DegradePolicy::ladder(),
+            ..GpuConfig::k20c()
+        };
+        b.run_with(Variant::Cdp, Scale::Test, cfg).map(|r| r.stats)
+    });
+    let mut saturated_runs = 0;
+    for (b, res) in results {
+        let stats = res.unwrap_or_else(|e| panic!("{b}: the ladder must absorb saturation: {e}"));
+        if stats.kmu_saturation_rejections > 0 {
+            saturated_runs += 1;
+            assert!(
+                stats.launch_backoffs > 0,
+                "{b}: saturated attempts must show up as backoffs"
+            );
+        }
+    }
+    assert!(
+        saturated_runs > 0,
+        "a 2-slot KMU pool must saturate at least one benchmark"
+    );
+}
+
+/// The full ladder end-to-end on one benchmark (`amr`, whose refinement
+/// bursts keep child kernels resident): forced AGT misses plus zero spill
+/// storage deny every aggregated group its descriptor (rung 1 → 2), the
+/// single-slot KMU pool saturates the resulting device-kernel fallbacks
+/// into backed-off retries, and launches whose retries exhaust execute
+/// host-serialized (rung 2 → 3). The run still completes and *validates*,
+/// with every stage of the descent visible in the stats.
+#[test]
+fn full_ladder_descends_to_host_serialized_and_validates() {
+    let fault = FaultPlan {
+        force_agt_overflow: true,
+        agt_overflow_capacity: Some(0),
+        kmu_device_capacity: Some(1),
+        ..FaultPlan::default()
+    };
+    let cfg = GpuConfig {
+        fault,
+        degrade: DegradePolicy::ladder(),
+        ..GpuConfig::k20c()
+    };
+    let report = Benchmark::Amr
+        .run_with(Variant::Dtbl, Scale::Test, cfg)
+        .expect("the ladder must carry the run to a validated completion");
+    let stats = &report.stats;
+    assert!(
+        stats.degraded_to_device_kernel > 0,
+        "rung 1→2: denied aggregated groups must be counted"
+    );
+    assert!(
+        stats.launch_backoffs > 0,
+        "rung 2: saturated fallbacks must retry with backoff"
+    );
+    assert!(
+        stats.degraded_to_host_serial > 0,
+        "rung 2→3: exhausted retries must host-serialize"
+    );
 }
 
 /// The benchmarks launch from the host one kernel at a time and drain the
