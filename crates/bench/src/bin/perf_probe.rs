@@ -1,34 +1,40 @@
 //! Perf probe: the repo's wall-clock trajectory, one data point per PR.
 //!
-//! Runs the full 16-benchmark × 5-variant matrix at Test scale on a
-//! single sweep worker — the configuration EXPERIMENTS.md tracks — under
-//! three engines: `force_per_cycle`, event-driven serial (`smx_jobs=1`),
-//! and event-driven with the two-phase sharded engine at `smx_jobs=0`
-//! (auto: one stage worker per available core). It also re-runs the
-//! event-driven matrix with an **armed-but-loose run budget** (a cycle
-//! cap that never trips) to price the supervision checks — the design
-//! intent is that an unset budget is free and an armed one costs noise.
-//! It then times one Paper-scale cell (bfs_usa_road / DTBL) serial vs
-//! sharded, and writes everything to `BENCH_pr6.json` together with the
-//! host's core count — sharded-engine speedups are only meaningful
-//! relative to that number. Future PRs diff their probe output against
-//! the committed baseline.
+//! PR 7's probe prices the serving paths: the full 16-benchmark ×
+//! 5-variant matrix at Test scale on a single sweep worker — the
+//! configuration EXPERIMENTS.md tracks — run three ways:
 //!
-//! Usage: `perf_probe [--out PATH]` (default `BENCH_pr6.json`).
+//! 1. **cold** — the pre-server sweep (`run_matrix_cold`): every cell
+//!    rebuilds its workload data, re-decodes its program, and constructs
+//!    a fresh simulator.
+//! 2. **warm_pool** — the batch server (`run_matrix_on` on a fresh
+//!    server): one `CellSetup` per benchmark, then reset + bind on pooled
+//!    simulator instances.
+//! 3. **cache_hit** — the same batch resubmitted to the same server:
+//!    every cell is served from the content-addressed result cache
+//!    without simulating.
+//!
+//! All three produce bit-identical `Stats` (pinned by the
+//! `engine_equivalence` differential tests); only the wall clock may
+//! differ. The server's own counters (hits, misses, warm binds, cold
+//! builds) are recorded alongside, via its metrics registry snapshot.
+//! Future PRs diff their probe output against the committed baseline.
+//!
+//! Usage: `perf_probe [--out PATH]` (default `BENCH_pr7.json`).
 
 use bench::SweepRunner;
-use gpu_sim::GpuConfig;
+use gpu_sim::{BatchServer, GpuConfig};
 use std::time::Instant;
-use workloads::{Benchmark, Scale, Variant};
+use workloads::{Benchmark, RunReport, Scale, Variant};
 
-struct EngineNumbers {
+struct PathNumbers {
     wall_seconds: f64,
     sim_cycles: u64,
     cells_ok: usize,
     cells_total: usize,
 }
 
-impl EngineNumbers {
+impl PathNumbers {
     fn cycles_per_sec(&self) -> f64 {
         self.sim_cycles as f64 / self.wall_seconds.max(1e-9)
     }
@@ -59,11 +65,11 @@ impl EngineNumbers {
     }
 }
 
-fn probe(cfg: GpuConfig) -> EngineNumbers {
+fn summarize(run: impl FnOnce() -> bench::Matrix) -> PathNumbers {
     let benchmarks = Benchmark::ALL;
     let variants = Variant::MAIN;
     let t0 = Instant::now();
-    let m = SweepRunner::new(1).run_matrix_with(&benchmarks, &variants, Scale::Test, cfg);
+    let m = run();
     let wall_seconds = t0.elapsed().as_secs_f64();
     m.report_failures();
     let mut sim_cycles = 0u64;
@@ -76,23 +82,11 @@ fn probe(cfg: GpuConfig) -> EngineNumbers {
             }
         }
     }
-    EngineNumbers {
+    PathNumbers {
         wall_seconds,
         sim_cycles,
         cells_ok,
         cells_total: benchmarks.len() * variants.len(),
-    }
-}
-
-/// Times one Paper-scale cell, returning (wall seconds, sim cycles).
-fn paper_cell(cfg: GpuConfig) -> (f64, u64) {
-    let t0 = Instant::now();
-    match Benchmark::BfsUsaRoad.run_with(Variant::Dtbl, Scale::Eval, cfg) {
-        Ok(rep) => (t0.elapsed().as_secs_f64(), rep.stats.cycles),
-        Err(e) => {
-            eprintln!("perf_probe: paper-scale cell FAILED: {e}");
-            (t0.elapsed().as_secs_f64(), 0)
-        }
     }
 }
 
@@ -106,83 +100,67 @@ fn main() {
             args.iter()
                 .find_map(|a| a.strip_prefix("--out=").map(str::to_string))
         })
-        .unwrap_or_else(|| "BENCH_pr6.json".to_string());
+        .unwrap_or_else(|| "BENCH_pr7.json".to_string());
 
     let host_cores = gpu_sim::sweep::default_jobs();
+    let runner = SweepRunner::new(1);
+    let cfg = GpuConfig::k20c;
 
-    eprintln!("perf_probe: per-cycle engine (force_per_cycle), Test-scale matrix, 1 worker");
-    let mut pc_cfg = GpuConfig::k20c();
-    pc_cfg.force_per_cycle = true;
-    let percycle = probe(pc_cfg);
+    eprintln!("perf_probe: cold path (construction per cell), Test-scale matrix, 1 worker");
+    let cold =
+        summarize(|| runner.run_matrix_cold(&Benchmark::ALL, &Variant::MAIN, Scale::Test, cfg()));
 
-    eprintln!("perf_probe: event-driven engine, serial SMX stepping (smx_jobs=1)");
-    let evented = probe(GpuConfig::k20c());
+    eprintln!("perf_probe: warm-pool path (CellSetup + reset/bind on a batch server)");
+    let server: BatchServer<RunReport> = runner.server();
+    let warm = summarize(|| {
+        runner.run_matrix_on(&server, &Benchmark::ALL, &Variant::MAIN, Scale::Test, cfg())
+    });
 
-    eprintln!("perf_probe: event-driven engine with an armed-but-loose run budget");
-    let mut budget_cfg = GpuConfig::k20c();
-    // Armed (so `is_inert()` is false and every boundary check runs) but
-    // set far past any Test-scale run, so nothing ever trips.
-    budget_cfg.budget.cycle_cap = Some(u64::MAX);
-    let budgeted = probe(budget_cfg);
+    eprintln!("perf_probe: cache-hit path (same batch resubmitted to the same server)");
+    let cached = summarize(|| {
+        runner.run_matrix_on(&server, &Benchmark::ALL, &Variant::MAIN, Scale::Test, cfg())
+    });
 
-    eprintln!("perf_probe: event-driven engine, two-phase sharded stepping (smx_jobs=0 = auto)");
-    let mut sh_cfg = GpuConfig::k20c();
-    sh_cfg.smx_jobs = 0;
-    let sharded = probe(sh_cfg.clone());
+    let metrics = server.metrics();
+    let hits = metrics.counter("server.cache_hits");
+    let misses = metrics.counter("server.cache_misses");
+    let hit_rate = hits as f64 / ((hits + misses) as f64).max(1.0);
 
-    // A forced 4-worker run always exercises the threaded stage path,
-    // even on hosts where auto resolves to 1 — on a single-core machine
-    // this measures the two-phase engine's overhead rather than a speedup.
-    eprintln!("perf_probe: event-driven engine, forced smx_jobs=4");
-    let mut sh4_cfg = GpuConfig::k20c();
-    sh4_cfg.smx_jobs = 4;
-    let sharded4 = probe(sh4_cfg);
-
-    eprintln!("perf_probe: paper-scale cell (bfs_usa_road / dtbl), serial vs sharded");
-    let (paper_serial_s, paper_cycles) = paper_cell(GpuConfig::k20c());
-    let (paper_sharded_s, _) = paper_cell(sh_cfg);
-
-    let event_speedup = percycle.wall_seconds / evented.wall_seconds.max(1e-9);
-    let shard_speedup = evented.wall_seconds / sharded.wall_seconds.max(1e-9);
-    let paper_shard_speedup = paper_serial_s / paper_sharded_s.max(1e-9);
+    let warm_speedup = cold.wall_seconds / warm.wall_seconds.max(1e-9);
+    let cache_speedup = cold.wall_seconds / cached.wall_seconds.max(1e-9);
     let json = format!(
         concat!(
             "{{\n",
             "  \"probe\": \"test-scale matrix, {} cells, --jobs 1\",\n",
             "  \"host_cores\": {},\n",
-            "  \"per_cycle\": {},\n",
-            "  \"event_driven\": {},\n",
-            "  \"event_driven_budget_armed\": {},\n",
-            "  \"budget_armed_vs_unset_overhead\": {:.3},\n",
-            "  \"event_driven_sharded\": {},\n",
-            "  \"event_driven_sharded_x4\": {},\n",
-            "  \"event_vs_per_cycle_speedup\": {:.2},\n",
-            "  \"sharded_vs_serial_speedup\": {:.2},\n",
-            "  \"sharded_x4_vs_serial_speedup\": {:.2},\n",
-            "  \"paper_cell\": {{\n",
-            "    \"cell\": \"bfs_usa_road/dtbl @ eval scale\",\n",
-            "    \"sim_cycles\": {},\n",
-            "    \"serial_wall_seconds\": {:.3},\n",
-            "    \"sharded_wall_seconds\": {:.3},\n",
-            "    \"sharded_vs_serial_speedup\": {:.2}\n",
+            "  \"cold\": {},\n",
+            "  \"warm_pool\": {},\n",
+            "  \"cache_hit\": {},\n",
+            "  \"warm_vs_cold_speedup\": {:.2},\n",
+            "  \"cache_hit_vs_cold_speedup\": {:.2},\n",
+            "  \"server\": {{\n",
+            "    \"cache_hits\": {},\n",
+            "    \"cache_misses\": {},\n",
+            "    \"hit_rate\": {:.3},\n",
+            "    \"warm_binds\": {},\n",
+            "    \"cold_builds\": {},\n",
+            "    \"cached_results\": {}\n",
             "  }}\n",
             "}}\n"
         ),
-        evented.cells_total,
+        cold.cells_total,
         host_cores,
-        percycle.json(),
-        evented.json(),
-        budgeted.json(),
-        budgeted.wall_seconds / evented.wall_seconds.max(1e-9),
-        sharded.json(),
-        sharded4.json(),
-        event_speedup,
-        shard_speedup,
-        evented.wall_seconds / sharded4.wall_seconds.max(1e-9),
-        paper_cycles,
-        paper_serial_s,
-        paper_sharded_s,
-        paper_shard_speedup,
+        cold.json(),
+        warm.json(),
+        cached.json(),
+        warm_speedup,
+        cache_speedup,
+        hits,
+        misses,
+        hit_rate,
+        metrics.counter("server.warm_binds"),
+        metrics.counter("server.cold_builds"),
+        metrics.gauge("server.cached_results").unwrap_or(0.0) as u64,
     );
     if let Err(e) = std::fs::write(&out, &json) {
         eprintln!("perf_probe: failed to write {out}: {e}");
@@ -190,12 +168,13 @@ fn main() {
     }
     print!("{json}");
     eprintln!(
-        "perf_probe ({host_cores} core(s)): per-cycle {:.1}s, event-driven {:.1}s ({:.2} Mcycles/s), \
-         sharded-auto {:.1}s: {event_speedup:.2}x event vs per-cycle, \
-         {shard_speedup:.2}x sharded vs serial; wrote {out}",
-        percycle.wall_seconds,
-        evented.wall_seconds,
-        evented.cycles_per_sec() / 1e6,
-        sharded.wall_seconds,
+        "perf_probe ({host_cores} core(s)): cold {:.1}s ({:.2} cells/s), warm pool {:.1}s \
+         ({:.2} cells/s), cache hits {:.3}s: {warm_speedup:.2}x warm vs cold, \
+         {cache_speedup:.0}x cached vs cold; wrote {out}",
+        cold.wall_seconds,
+        cold.cells_per_sec(),
+        warm.wall_seconds,
+        warm.cells_per_sec(),
+        cached.wall_seconds,
     );
 }

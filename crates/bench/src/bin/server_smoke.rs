@@ -1,0 +1,87 @@
+//! CI smoke test for the batch-server path: submits a duplicated sweep
+//! (every cell queued twice) and asserts, from the server's metrics
+//! registry, that at least half the cells were served from the
+//! content-addressed result cache — i.e. the second copy of every cell
+//! was a hit, and the matrices agree cell-for-cell.
+//!
+//! Exits non-zero (with a message) on any failure, so it can gate CI.
+//!
+//! Usage: `server_smoke [--jobs N]`.
+
+use bench::SweepRunner;
+use gpu_sim::GpuConfig;
+use workloads::{Benchmark, Scale, Variant};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("server_smoke: FAILED: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    const BENCHMARKS: [Benchmark; 4] = [
+        Benchmark::Amr,
+        Benchmark::BfsUsaRoad,
+        Benchmark::JoinGaussian,
+        Benchmark::RegxString,
+    ];
+    const VARIANTS: [Variant; 2] = [Variant::Flat, Variant::Dtbl];
+
+    let runner = SweepRunner::from_args();
+    let server = runner.server();
+
+    // Queue the same batch twice: the first submission misses and runs
+    // on the warm pool, the duplicate must be served from the cache.
+    let first = runner.run_matrix_on(
+        &server,
+        &BENCHMARKS,
+        &VARIANTS,
+        Scale::Test,
+        GpuConfig::k20c(),
+    );
+    if !first.failures().is_empty() {
+        fail("first submission had failing cells");
+    }
+    let second = runner.run_matrix_on(
+        &server,
+        &BENCHMARKS,
+        &VARIANTS,
+        Scale::Test,
+        GpuConfig::k20c(),
+    );
+    if !second.failures().is_empty() {
+        fail("duplicate submission had failing cells");
+    }
+    for &b in &BENCHMARKS {
+        for &v in &VARIANTS {
+            if first.get(b, v).stats != second.get(b, v).stats {
+                fail(&format!(
+                    "{b} [{v}]: cached stats diverged from the fresh run"
+                ));
+            }
+        }
+    }
+
+    // The assertion reads the metrics registry snapshot — the same
+    // counters an operator would scrape — not the server's internals.
+    let metrics = server.metrics();
+    let hits = metrics.counter("server.cache_hits");
+    let misses = metrics.counter("server.cache_misses");
+    let total = hits + misses;
+    let expected = (BENCHMARKS.len() * VARIANTS.len() * 2) as u64;
+    if total != expected {
+        fail(&format!("expected {expected} served cells, got {total}"));
+    }
+    let hit_rate = hits as f64 / total as f64;
+    if hit_rate < 0.5 {
+        fail(&format!(
+            "hit rate {hit_rate:.3} < 0.5 ({hits} hits / {misses} misses) — the duplicated \
+             batch must be served from the cache"
+        ));
+    }
+    println!(
+        "server_smoke: OK — {total} cells, {hits} cache hits (rate {hit_rate:.3}), \
+         {} warm binds, {} cold builds",
+        metrics.counter("server.warm_binds"),
+        metrics.counter("server.cold_builds"),
+    );
+}

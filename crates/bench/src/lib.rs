@@ -7,13 +7,15 @@
 
 #![warn(missing_docs)]
 
-use gpu_sim::{GpuConfig, RunBudget, SimError};
+use gpu_sim::sweep::CellOutcome;
+use gpu_sim::{BatchServer, GpuConfig, RunBudget, SimError};
 use gpu_trace::{Category, TraceConfig, TraceData};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
-use workloads::{Benchmark, RunReport, Scale, Variant};
+use workloads::{Benchmark, CellSetup, RunReport, Scale, Variant};
 
 /// Fans independent simulation runs out over a bounded pool of worker
 /// threads (`gpu_sim::sweep` underneath — std scoped threads, no external
@@ -93,10 +95,124 @@ impl SweepRunner {
     /// [`run_matrix`](SweepRunner::run_matrix) with an explicit GPU
     /// configuration applied to every cell — how the figure binaries
     /// enable tracing ([`TraceOpts::gpu_config`]) for a whole sweep.
-    /// Every cell still builds its own simulator and recorder from the
-    /// shared config, so determinism and input-order results are
-    /// unaffected.
+    ///
+    /// Runs on a private warm-pool [`BatchServer`] sized to this runner:
+    /// the benchmark's setup (data build + kernel decode) is paid once and
+    /// shared by its variant cells, and after the first `jobs` cells every
+    /// run binds a pooled simulator via reset + bind instead of a cold
+    /// construction. Per-run results stay bit-identical to the cold path
+    /// (pinned by the `engine_equivalence` differential tests).
     pub fn run_matrix_with(
+        &self,
+        benchmarks: &[Benchmark],
+        variants: &[Variant],
+        scale: Scale,
+        cfg: GpuConfig,
+    ) -> Matrix {
+        self.run_matrix_on(&self.server(), benchmarks, variants, scale, cfg)
+    }
+
+    /// A warm-pool batch server sized to this runner (`jobs` pooled
+    /// simulators, this runner's crash-retry policy). Reuse one server
+    /// across several [`run_matrix_on`](SweepRunner::run_matrix_on) calls
+    /// to keep its pool warm and serve repeated cells from the result
+    /// cache.
+    pub fn server(&self) -> BatchServer<RunReport> {
+        BatchServer::new(self.jobs, self.retries)
+    }
+
+    /// [`run_matrix_with`](SweepRunner::run_matrix_with) on a shared
+    /// `server`. Cells whose [`gpu_sim::CellKey`] (config content hash,
+    /// benchmark, scale, variant) is already cached are served without
+    /// simulating; everything else runs on the server's warm pool.
+    pub fn run_matrix_on(
+        &self,
+        server: &BatchServer<RunReport>,
+        benchmarks: &[Benchmark],
+        variants: &[Variant],
+        scale: Scale,
+        cfg: GpuConfig,
+    ) -> Matrix {
+        let t0 = Instant::now();
+        let mut m = Matrix::default();
+
+        // Phase 1: one immutable CellSetup per benchmark (workload data +
+        // every variant's program), built over the worker pool. A
+        // benchmark whose setup fails records a failure for each of its
+        // cells and drops out of the run phase.
+        let built = gpu_sim::sweep::run_cells(benchmarks.to_vec(), self.jobs, |&b| {
+            CellSetup::new(b, scale, cfg.clone())
+        });
+        let mut setups: Vec<Arc<CellSetup>> = Vec::new();
+        for (b, r) in built {
+            match r {
+                Ok(setup) => setups.push(Arc::new(setup)),
+                Err(e) => {
+                    for &v in variants {
+                        m.failures.push((b, v, e.clone()));
+                    }
+                }
+            }
+        }
+
+        // Phase 2: drain benchmark × variant through the server.
+        let cells = matrix_cells(&setups, variants);
+        let total = cells.len();
+        let finished = AtomicUsize::new(0);
+        let outcomes = server.run_batch(
+            cells,
+            |(s, v)| Some(s.cell_key(*v)),
+            |(s, v), slot| {
+                let t = Instant::now();
+                let r = s.run_warm(*v, slot);
+                let k = finished.fetch_add(1, Ordering::Relaxed) + 1;
+                match &r {
+                    Ok(rep) => eprintln!(
+                        "  [{k:>3}/{total}] {:14} {:7} {} cycles, {} launches, {:.1?}",
+                        s.benchmark().name(),
+                        v.label(),
+                        rep.stats.cycles,
+                        rep.stats.dyn_launches(),
+                        t.elapsed(),
+                    ),
+                    Err(e) => eprintln!(
+                        "  [{k:>3}/{total}] {:14} {:7} ** FAILED: {e}",
+                        s.benchmark().name(),
+                        v.label()
+                    ),
+                }
+                r
+            },
+        );
+        for ((s, v), outcome) in outcomes {
+            let b = s.benchmark();
+            match outcome {
+                CellOutcome::Ok(rep) => {
+                    m.reports.insert((b, v), rep);
+                }
+                CellOutcome::Err(e) => m.failures.push((b, v, e)),
+                CellOutcome::Crashed(rep) => {
+                    eprintln!("  {:14} {:7} ** {rep}", b.name(), v.label());
+                    m.failures.push((
+                        b,
+                        v,
+                        SimError::CellCrashed {
+                            attempts: rep.attempts,
+                            payload: rep.payload,
+                        },
+                    ));
+                }
+            }
+        }
+        self.report_wall_clock(total, t0);
+        m
+    }
+
+    /// The pre-server sweep: every cell builds its workload data, decodes
+    /// its program, and constructs a fresh simulator. Kept as the cold
+    /// construction-per-run baseline that `perf_probe` compares the warm
+    /// pool against.
+    pub fn run_matrix_cold(
         &self,
         benchmarks: &[Benchmark],
         variants: &[Variant],
@@ -138,7 +254,6 @@ impl SweepRunner {
             gpu_sim::sweep::run_cells_supervised(cells, self.jobs, self.retries, run)
                 .into_iter()
                 .map(|((b, v), outcome)| {
-                    use gpu_sim::sweep::CellOutcome;
                     let r = match outcome {
                         CellOutcome::Ok(rep) => Ok(rep),
                         CellOutcome::Err(e) => Err(e),
@@ -209,6 +324,17 @@ impl SweepRunner {
             t0.elapsed()
         );
     }
+}
+
+/// Expands per-benchmark setups into the server's cell list: every
+/// variant cell of one benchmark holds an `Arc` clone of the *same*
+/// [`CellSetup`], so the workload data and decoded kernels are built once
+/// per benchmark, not once per cell.
+fn matrix_cells(setups: &[Arc<CellSetup>], variants: &[Variant]) -> Vec<(Arc<CellSetup>, Variant)> {
+    setups
+        .iter()
+        .flat_map(|s| variants.iter().map(move |&v| (Arc::clone(s), v)))
+        .collect()
 }
 
 /// Parses `--jobs N` / `--jobs=N` from the command line; defaults to the
@@ -597,6 +723,67 @@ mod tests {
         let body = std::fs::read_to_string(p).expect("readable");
         assert!(body.starts_with("benchmark,A,B\n"));
         assert!(body.contains("amr,1.5,2"));
+    }
+
+    #[test]
+    fn variant_cells_share_one_setup_per_benchmark() {
+        let setups = vec![
+            Arc::new(
+                CellSetup::new(Benchmark::BfsUsaRoad, Scale::Test, GpuConfig::test_small())
+                    .expect("setup builds"),
+            ),
+            Arc::new(
+                CellSetup::new(Benchmark::JoinUniform, Scale::Test, GpuConfig::test_small())
+                    .expect("setup builds"),
+            ),
+        ];
+        let variants = [Variant::Flat, Variant::Cdp, Variant::Dtbl];
+        let cells = matrix_cells(&setups, &variants);
+        assert_eq!(cells.len(), 6);
+        // The Flat/CDP/DTBL cells of one benchmark are the same setup —
+        // one workload build, one decode — not three reconstructions.
+        for w in cells.chunks(3) {
+            assert!(Arc::ptr_eq(&w[0].0, &w[1].0));
+            assert!(Arc::ptr_eq(&w[1].0, &w[2].0));
+            assert!(w[0].0.data().ptr_eq(w[2].0.data()));
+        }
+        // And across benchmarks they are not.
+        assert!(!Arc::ptr_eq(&cells[0].0, &cells[3].0));
+    }
+
+    #[test]
+    fn server_matrix_caches_repeats_bit_identically() {
+        let runner = SweepRunner::new(2).with_retries(1);
+        let server = runner.server();
+        let variants = [Variant::Flat, Variant::Dtbl];
+        let m1 = runner.run_matrix_on(
+            &server,
+            &[Benchmark::BfsUsaRoad],
+            &variants,
+            Scale::Test,
+            GpuConfig::test_small(),
+        );
+        assert!(m1.failures().is_empty());
+        assert_eq!(server.cache_misses(), 2);
+        assert_eq!(server.cache_hits(), 0);
+
+        let m2 = runner.run_matrix_on(
+            &server,
+            &[Benchmark::BfsUsaRoad],
+            &variants,
+            Scale::Test,
+            GpuConfig::test_small(),
+        );
+        assert!(m2.failures().is_empty());
+        assert_eq!(server.cache_misses(), 2, "repeat batch never simulates");
+        assert_eq!(server.cache_hits(), 2);
+        for v in variants {
+            assert_eq!(
+                m1.get(Benchmark::BfsUsaRoad, v).stats,
+                m2.get(Benchmark::BfsUsaRoad, v).stats,
+                "cached result is bit-identical"
+            );
+        }
     }
 
     #[test]

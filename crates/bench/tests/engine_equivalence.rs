@@ -105,6 +105,86 @@ fn sharded_engine_traces_match_serial_byte_for_byte() {
     }
 }
 
+/// The warm-pool serving contract across the full matrix: every benchmark
+/// run cold (fresh construction per cell), warm-pooled (reset + bind on a
+/// shared server), and as a cache hit (same server, repeat batch) must
+/// produce bit-identical `Stats`. Any mutable field `Gpu::reset_bind`
+/// forgets to reinitialize, or any artifact-relevant config field
+/// `GpuConfig::content_hash` forgets to hash, shows up here.
+#[test]
+fn cold_warm_and_cached_paths_are_bit_identical() {
+    let runner = SweepRunner::new(4);
+    let cold = runner.run_matrix_cold(&Benchmark::ALL, &VARIANTS, Scale::Test, GpuConfig::k20c());
+
+    let server = runner.server();
+    let warm = runner.run_matrix_on(
+        &server,
+        &Benchmark::ALL,
+        &VARIANTS,
+        Scale::Test,
+        GpuConfig::k20c(),
+    );
+    assert_matrices_identical(&cold, &warm, "cold vs warm-pooled");
+    let executed = server.cache_misses();
+    assert!(
+        server.warm_binds() > 0,
+        "a 48-cell batch on a 4-slot pool must rebind warm instances"
+    );
+
+    let cached = runner.run_matrix_on(
+        &server,
+        &Benchmark::ALL,
+        &VARIANTS,
+        Scale::Test,
+        GpuConfig::k20c(),
+    );
+    assert_eq!(
+        server.cache_misses(),
+        executed,
+        "the repeat batch must be served entirely from the result cache"
+    );
+    assert_eq!(server.cache_hits(), executed);
+    assert_matrices_identical(&cold, &cached, "cold vs cache-hit");
+}
+
+/// Traces through the serving paths, not just aggregate stats: the JSONL
+/// export of a warm-pooled run and of a cache-hit run must be
+/// byte-identical to the cold run — same events, same order, same cycle
+/// stamps (cached reports carry the leader's recorded trace verbatim).
+#[test]
+fn warm_and_cached_traces_match_cold_byte_for_byte() {
+    const TRACED: [Benchmark; 3] = [Benchmark::BfsUsaRoad, Benchmark::Amr, Benchmark::Bht];
+    let mut cfg = GpuConfig::k20c();
+    cfg.trace = TraceConfig {
+        mask: Category::default_mask(),
+        metrics_interval: 1000,
+        ..TraceConfig::off()
+    };
+    let runner = SweepRunner::new(1);
+    let jsonl = |m: &mut Matrix| -> String {
+        assert!(m.failures().is_empty(), "traced runs must all succeed");
+        gpu_trace::export::jsonl(&m.take_traces(&TRACED, &VARIANTS))
+    };
+
+    let mut cold = runner.run_matrix_cold(&TRACED, &VARIANTS, Scale::Test, cfg.clone());
+    let cold_jsonl = jsonl(&mut cold);
+    assert!(!cold_jsonl.is_empty());
+
+    let server = runner.server();
+    let mut warm = runner.run_matrix_on(&server, &TRACED, &VARIANTS, Scale::Test, cfg.clone());
+    assert!(
+        jsonl(&mut warm) == cold_jsonl,
+        "warm-pooled JSONL trace diverged from cold construction"
+    );
+
+    let mut cached = runner.run_matrix_on(&server, &TRACED, &VARIANTS, Scale::Test, cfg);
+    assert_eq!(server.cache_hits(), 9, "second traced batch is all hits");
+    assert!(
+        jsonl(&mut cached) == cold_jsonl,
+        "cache-hit JSONL trace diverged from cold construction"
+    );
+}
+
 /// A run budget is part of the determinism contract, not an escape hatch
 /// from it: a cycle cap must land every engine — per-cycle, event-driven,
 /// and the two-phase sharded engine — on the *identical* cycle with

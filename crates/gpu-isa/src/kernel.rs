@@ -209,6 +209,20 @@ impl Program {
             .enumerate()
             .map(|(i, k)| (KernelId(i as u16), k))
     }
+
+    /// True when `self` and `other` hold the *same* decoded kernels — every
+    /// pair of entries is `Arc::ptr_eq`, not merely equal. A `Program`
+    /// clone is a refcount bump per kernel, so rebinding a pooled simulator
+    /// to a cached setup must pass this check; a rebuilt (re-decoded)
+    /// program fails it even if the instruction streams match.
+    pub fn shares_kernels(&self, other: &Program) -> bool {
+        self.kernels.len() == other.kernels.len()
+            && self
+                .kernels
+                .iter()
+                .zip(&other.kernels)
+                .all(|(a, b)| Arc::ptr_eq(a, b))
+    }
 }
 
 #[cfg(test)]
@@ -233,6 +247,22 @@ mod tests {
         assert_eq!(p.len(), 2);
         assert!(!p.is_empty());
         assert!(p.get(KernelId(99)).is_none());
+    }
+
+    #[test]
+    fn cloned_programs_share_kernels_rebuilt_ones_do_not() {
+        let mut p = Program::new();
+        p.add(tiny("a"));
+        let clone = p.clone();
+        assert!(p.shares_kernels(&clone), "clone is a refcount bump");
+        let mut rebuilt = Program::new();
+        rebuilt.add(tiny("a"));
+        assert!(
+            !p.shares_kernels(&rebuilt),
+            "re-decoded kernels are distinct"
+        );
+        rebuilt.add(tiny("b"));
+        assert!(!p.shares_kernels(&rebuilt), "length mismatch");
     }
 
     #[test]

@@ -135,6 +135,19 @@ impl BackingStore {
     pub fn pages_allocated(&self) -> usize {
         self.allocated
     }
+
+    /// Restores fresh-store read semantics (every address reads as zero)
+    /// while keeping already-materialized pages allocated. This is the
+    /// warm-pool reset: a reused simulator instance pays a `memset` over
+    /// the pages the previous run touched instead of re-allocating the
+    /// 64 Ki-slot page table and faulting pages back in one by one.
+    /// `pages_allocated` intentionally does not go back down — the pages
+    /// are still resident, which is the point.
+    pub fn clear(&mut self) {
+        for p in self.pages.iter_mut().flatten() {
+            p.fill(0);
+        }
+    }
 }
 
 /// A bump allocator over the device address space, used for `cudaMalloc`
@@ -243,6 +256,25 @@ mod tests {
         m.write_u32(boundary, 0xaabb_ccdd);
         assert_eq!(m.read_u32(boundary), 0xaabb_ccdd);
         assert_eq!(m.pages_allocated(), 2);
+    }
+
+    #[test]
+    fn clear_zeroes_but_keeps_pages_resident() {
+        let mut m = BackingStore::new();
+        m.write_u32(0x100, 0xdead_beef);
+        m.write_u32(1 << 20, 7);
+        let resident = m.pages_allocated();
+        assert_eq!(resident, 2);
+        m.clear();
+        assert_eq!(m.read_u32(0x100), 0, "cleared memory reads as zero");
+        assert_eq!(m.read_u32(1 << 20), 0);
+        assert_eq!(
+            m.pages_allocated(),
+            resident,
+            "pages stay materialized for the next run"
+        );
+        m.write_u32(0x100, 3);
+        assert_eq!(m.pages_allocated(), resident, "rewrite reuses the page");
     }
 
     #[test]

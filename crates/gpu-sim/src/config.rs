@@ -455,6 +455,140 @@ impl GpuConfig {
     pub fn max_warps_per_smx(&self) -> u32 {
         self.max_threads_per_smx / gpu_isa::WARP_SIZE as u32
     }
+
+    /// Stable content hash over every field that can change the *artifact*
+    /// a successful run produces — `Stats`, final memory, and traces. This
+    /// is the `config_hash` component of the result cache's
+    /// [`CellKey`](crate::server::CellKey), so the field list is a
+    /// contract (documented in DESIGN.md):
+    ///
+    /// * **Included**: the machine (geometry, launch and pipeline
+    ///   latencies, memory hierarchy, warp scheduler, coalescing/reserved-
+    ///   SMX knobs), the fault plan, the degradation policy, and the trace
+    ///   configuration (mask/ring/limit/interval shape the exported trace,
+    ///   and a non-zero metrics interval changes sample timestamps).
+    /// * **Excluded**: `budget`, `max_cycles` and `watchdog_window` — they
+    ///   only decide whether a run is cut short with an `Err`, and errors
+    ///   are never cached; `smx_jobs`, `force_per_cycle` and
+    ///   `check_invariants` — engine-strategy knobs proven bit-identical
+    ///   by the equivalence suites.
+    ///
+    /// Two configs with equal hashes are interchangeable for caching; a
+    /// collision across *different* artifact-relevant fields is a 64-bit
+    /// FNV-1a accident we accept for an in-process cache.
+    pub fn content_hash(&self) -> u64 {
+        let mem = &self.mem;
+        let f = &self.fault;
+        let d = &self.degrade;
+        let t = &self.trace;
+        Fnv::new()
+            .u(self.num_smx as u64)
+            .u(self.max_tb_per_smx as u64)
+            .u(u64::from(self.max_threads_per_smx))
+            .u(u64::from(self.regs_per_smx))
+            .u(u64::from(self.shared_mem_per_smx))
+            .u(self.kde_entries as u64)
+            .u(self.issue_per_cycle as u64)
+            .u(self.tb_dispatch_per_cycle as u64)
+            .u(self.agt_entries as u64)
+            .u(self.latency.stream_create)
+            .u(self.latency.get_param_buf_b)
+            .u(self.latency.get_param_buf_a)
+            .u(self.latency.launch_device_b)
+            .u(self.latency.launch_device_a)
+            .u(self.latency.kernel_dispatch)
+            .u(self.latency.agg_launch)
+            .u(self.pipeline.alu)
+            .u(self.pipeline.imul)
+            .u(self.pipeline.idiv)
+            .u(self.pipeline.fdiv)
+            .u(self.pipeline.shared_mem)
+            .u(self.pipeline.store_issue)
+            .u(self.pipeline.memfence)
+            .u(self.pipeline.context_setup)
+            .u(self.pipeline.agt_overflow_load)
+            .u(mem.num_smx as u64)
+            .u(mem.num_partitions as u64)
+            .cache(&mem.l1)
+            .cache(&mem.l2_slice)
+            .u(mem.l1_hit_latency)
+            .u(mem.icnt_fwd)
+            .u(mem.icnt_back)
+            .u(mem.l2_latency)
+            .u(u64::from(mem.dram.banks))
+            .u(u64::from(mem.dram.row_bytes))
+            .u(mem.dram.t_burst)
+            .u(mem.dram.t_row_miss)
+            .u(mem.dram.t_cas)
+            .u(mem.dram.sched_window as u64)
+            .u(mem.dram.queue_capacity as u64)
+            .u(u64::from(mem.partition_interleave))
+            .u(mem.l2_ports as u64)
+            .u(match self.warp_sched {
+                WarpSchedPolicy::Gto => 0,
+                WarpSchedPolicy::RoundRobin => 1,
+            })
+            .u(u64::from(self.dtbl_disable_coalescing))
+            .u(self.dyn_reserved_smx as u64)
+            .u(f.after_cycle)
+            .u(u64::from(f.force_agt_overflow))
+            .opt(f.agt_overflow_capacity.map(|v| v as u64))
+            .opt(f.heap_limit_bytes)
+            .opt(f.hwq_capacity.map(|v| v as u64))
+            .opt(f.kmu_device_capacity.map(|v| v as u64))
+            .u(f.mem_delay)
+            .u(u64::from(d.ladder))
+            .u(u64::from(d.max_retries))
+            .u(d.backoff_base)
+            .u(d.backoff_cap)
+            .u(u64::from(t.mask))
+            .u(u64::from(t.ring))
+            .u(u64::from(t.limit))
+            .u(u64::from(t.metrics_interval))
+            .finish()
+    }
+}
+
+/// Chainable 64-bit FNV-1a used by [`GpuConfig::content_hash`]. Every
+/// value is folded as 8 little-endian bytes so field boundaries cannot
+/// alias (two adjacent small fields never merge into one stream).
+#[derive(Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Fnv(Self::OFFSET)
+    }
+
+    fn u(mut self, v: u64) -> Self {
+        for b in v.to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+        self
+    }
+
+    /// `None` and `Some(v)` hash differently for every `v`, including 0.
+    fn opt(self, v: Option<u64>) -> Self {
+        match v {
+            None => self.u(0),
+            Some(v) => self.u(1).u(v),
+        }
+    }
+
+    fn cache(self, c: &gpu_mem::CacheConfig) -> Self {
+        self.u(u64::from(c.size_bytes))
+            .u(u64::from(c.line_bytes))
+            .u(u64::from(c.ways))
+            .u(u64::from(c.write_back))
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
 }
 
 #[cfg(test)]
@@ -514,6 +648,53 @@ mod tests {
         assert!(!t.is_cancelled());
         clone.cancel();
         assert!(t.is_cancelled(), "cancel is visible through every clone");
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_field_sensitive() {
+        let base = GpuConfig::k20c();
+        assert_eq!(base.content_hash(), base.clone().content_hash());
+        assert_ne!(base.content_hash(), GpuConfig::test_small().content_hash());
+        assert_ne!(
+            base.content_hash(),
+            GpuConfig::k20c_ideal().content_hash(),
+            "ideal latencies produce different stats, so a different key"
+        );
+
+        let mut coalesce_off = base.clone();
+        coalesce_off.dtbl_disable_coalescing = true;
+        assert_ne!(base.content_hash(), coalesce_off.content_hash());
+
+        let mut faulty = base.clone();
+        faulty.fault.hwq_capacity = Some(0);
+        assert_ne!(
+            base.content_hash(),
+            faulty.content_hash(),
+            "Some(0) must not alias None"
+        );
+
+        let mut traced = base.clone();
+        traced.trace.mask = 0xffff_ffff;
+        assert_ne!(base.content_hash(), traced.content_hash());
+    }
+
+    #[test]
+    fn content_hash_ignores_budget_and_engine_knobs() {
+        let base = GpuConfig::k20c();
+        let mut budgeted = base.clone();
+        budgeted.budget.cycle_cap = Some(10);
+        budgeted.budget.deadline_ms = Some(1);
+        budgeted.budget.cancel = Some(CancelToken::new());
+        budgeted.max_cycles = 7;
+        budgeted.watchdog_window = 3;
+        budgeted.check_invariants = !base.check_invariants;
+        budgeted.force_per_cycle = !base.force_per_cycle;
+        budgeted.smx_jobs = base.smx_jobs + 3;
+        assert_eq!(
+            base.content_hash(),
+            budgeted.content_hash(),
+            "budget/engine knobs never change the artifact of an Ok run"
+        );
     }
 
     #[test]

@@ -212,6 +212,57 @@ impl Gpu {
         gpu
     }
 
+    /// Rebinds a pooled GPU to a new `(config, program)` pair, restoring
+    /// the exact state `Gpu::new(cfg, program)` would build while keeping
+    /// the expensive host-side allocations warm: the backing store's
+    /// 64 Ki-slot page table and every already-materialized page survive
+    /// (zeroed in place), and the pooled scratch vectors keep their
+    /// capacity. Everything else — timing model, dispatch structures,
+    /// SMXs, stats, tracer — is rebuilt from `cfg`, so a run on a rebound
+    /// GPU is bit-identical to a run on a fresh one (pinned by the
+    /// equivalence tests) and a panic-abandoned instance is safe to
+    /// rebind: no field escapes reinitialization.
+    pub fn reset_bind(&mut self, cfg: GpuConfig, program: Program) {
+        self.program = program;
+        self.mem.clear();
+        self.alloc = LinearAllocator::new(HEAP_BASE, HEAP_SIZE);
+        self.timing = MemSubsystem::new(cfg.mem);
+        self.kmu = Kmu::new(cfg.kde_entries);
+        self.kd = KernelDistributor::new(cfg.kde_entries);
+        self.pool = SchedulingPool::new(cfg.agt_entries, cfg.kde_entries);
+        self.fcfs = FcfsController::new(cfg.kde_entries);
+        self.smxs = (0..cfg.num_smx).map(|i| Smx::new(i, &cfg)).collect();
+        self.cycle = 0;
+        self.warp_age = 0;
+        self.stats = Stats {
+            max_warps_per_smx: cfg.max_warps_per_smx(),
+            num_smx: cfg.num_smx as u32,
+            ..Stats::default()
+        };
+        self.access_owner = AccessSlab::new();
+        self.group_record.clear();
+        self.param_bytes.clear();
+        self.agt_walk.clear();
+        self.rr_smx = 0;
+        self.mem_buf.clear();
+        self.kde_buf.clear();
+        self.launch_buf.clear();
+        self.txn_buf.clear();
+        self.shards.clear();
+        self.txn_ids_buf.clear();
+        self.staged_at = u64::MAX;
+        self.steps_executed = 0;
+        self.progress_marker = 0;
+        self.tracer = Recorder::new(cfg.trace);
+        self.trace_win = crate::trace::TraceWindow::default();
+        self.run_started = None;
+        self.retry_q.clear();
+        self.retry_seq = 0;
+        self.host_deferred.clear();
+        self.cfg = cfg;
+        self.apply_trace_mask();
+    }
+
     /// The active configuration.
     pub fn config(&self) -> &GpuConfig {
         &self.cfg

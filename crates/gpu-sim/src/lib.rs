@@ -31,6 +31,7 @@ mod fault;
 mod gpu;
 mod invariants;
 mod runtime;
+pub mod server;
 mod shard;
 mod smx;
 mod stats;
@@ -46,6 +47,7 @@ pub use dispatch::{KdeEntry, KernelDistributor, Kmu, Origin, PendingKernel};
 pub use error::{BudgetKind, HangReport, SimError, StuckWarp, StuckWarpState};
 pub use fault::FaultPlan;
 pub use gpu::Gpu;
+pub use server::{BatchServer, CellKey, WarmSlot};
 pub use smx::warp::{StackEntry, Warp, WarpState, NO_RECONV};
 pub use smx::{Smx, TbSlot, Tbcr};
 pub use stats::{DynLaunchKind, LaunchRecord, Stats};

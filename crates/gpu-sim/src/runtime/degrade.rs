@@ -308,3 +308,91 @@ impl Gpu {
         }
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use crate::dispatch::{Origin, PendingKernel};
+    use crate::{Gpu, GpuConfig};
+    use gpu_isa::{Dim3, KernelBuilder, Program};
+    use std::sync::Arc;
+
+    /// A Gpu whose hardware work queues sit at an injected capacity cap,
+    /// plus three parked host launches tagged 1, 2, 3 via `param_addr`.
+    fn gpu_with_parked_launches(hwq_capacity: Option<usize>) -> Gpu {
+        let mut prog = Program::new();
+        let mut b = KernelBuilder::new("noop", Dim3::x(32), 1);
+        let _ = b.imm(0);
+        let k = prog.add(b.build().expect("valid kernel"));
+        let mut cfg = GpuConfig::test_small();
+        cfg.fault.hwq_capacity = hwq_capacity;
+        let mut gpu = Gpu::new(cfg, prog);
+        for tag in 1..=3u32 {
+            let kernel_fn = Arc::clone(gpu.program.kernel(k));
+            gpu.park_host_launch(
+                0,
+                PendingKernel {
+                    kernel: k,
+                    kernel_fn,
+                    ntb: 1,
+                    param_addr: tag,
+                    origin: Origin::Host { hwq: 0 },
+                },
+            );
+        }
+        gpu
+    }
+
+    fn parked_tags(gpu: &Gpu) -> Vec<u32> {
+        gpu.host_deferred
+            .iter()
+            .map(|(_, pk)| pk.param_addr)
+            .collect()
+    }
+
+    #[test]
+    fn blocked_drain_pass_is_bounded_and_keeps_fifo_order() {
+        // Capacity 0 blocks every entry: the pass must terminate after
+        // exactly one attempt per entry (a full rotation), report no
+        // progress, and leave the deque in its original FIFO order so
+        // the next cycle re-attempts the oldest launch first.
+        let mut gpu = gpu_with_parked_launches(Some(0));
+        assert_eq!(parked_tags(&gpu), vec![1, 2, 3]);
+        let changed = gpu.process_deferred(0).expect("no error");
+        assert!(!changed, "nothing admitted, nothing changed");
+        assert_eq!(
+            parked_tags(&gpu),
+            vec![1, 2, 3],
+            "a fully-blocked rotation preserves FIFO re-attempt order"
+        );
+        assert_eq!(gpu.stats.host_launches_deferred, 3);
+        // Repeat passes stay bounded and stable — no starvation rotation.
+        for _ in 0..5 {
+            assert!(!gpu.process_deferred(0).expect("no error"));
+        }
+        assert_eq!(parked_tags(&gpu), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn partial_capacity_admits_the_head_first() {
+        // Capacity 1 with an empty queue: exactly the oldest entry (tag 1)
+        // is admitted this cycle; the blocked tail keeps its order.
+        let mut gpu = gpu_with_parked_launches(Some(1));
+        let changed = gpu.process_deferred(0).expect("no error");
+        assert!(changed);
+        assert_eq!(gpu.kmu.hwq_depth(0), 1, "head entered its work queue");
+        assert_eq!(parked_tags(&gpu), vec![2, 3], "FIFO: oldest admitted first");
+    }
+
+    #[test]
+    fn lifted_cap_drains_everything_in_order() {
+        let mut gpu = gpu_with_parked_launches(Some(0));
+        assert!(!gpu.process_deferred(0).expect("no error"));
+        // The injected fault clears (cap removed): one pass drains all
+        // three in FIFO order.
+        gpu.cfg.fault.hwq_capacity = None;
+        let changed = gpu.process_deferred(1).expect("no error");
+        assert!(changed);
+        assert_eq!(parked_tags(&gpu), Vec::<u32>::new());
+        assert_eq!(gpu.kmu.hwq_depth(0), 3);
+    }
+}

@@ -135,6 +135,23 @@ impl Stats {
         }
     }
 
+    /// Warp activity as an `Option`: `None` when no warp instruction
+    /// issued (a zero-work run), so aggregation across runs can skip the
+    /// run instead of averaging in a made-up zero — and no `0/0` NaN can
+    /// reach a figure. The plain [`warp_activity_pct`]
+    /// (Self::warp_activity_pct) collapses `None` to `0.0`.
+    pub fn warp_activity_pct_opt(&self) -> Option<f64> {
+        (self.warp_issues != 0).then(|| self.warp_activity_pct())
+    }
+
+    /// SMX occupancy as an `Option`: `None` when the machine never had a
+    /// busy cycle (or the config denominators are zero), mirroring
+    /// [`warp_activity_pct_opt`](Self::warp_activity_pct_opt).
+    pub fn smx_occupancy_pct_opt(&self) -> Option<f64> {
+        (self.busy_cycles != 0 && self.num_smx != 0 && self.max_warps_per_smx != 0)
+            .then(|| self.smx_occupancy_pct())
+    }
+
     /// DRAM efficiency (Figure 7).
     pub fn dram_efficiency(&self) -> f64 {
         self.mem.dram_efficiency()
@@ -246,6 +263,41 @@ mod tests {
         };
         assert!((s.warp_activity_pct() - 50.0).abs() < 1e-12);
         assert_eq!(Stats::default().warp_activity_pct(), 0.0);
+    }
+
+    #[test]
+    fn zero_work_percentages_are_finite_never_nan() {
+        // A run that issued nothing (e.g. a cancelled cell or an empty
+        // launch) must report clean zeros / None, never 0/0 = NaN.
+        let s = Stats::default();
+        assert_eq!(s.warp_activity_pct(), 0.0);
+        assert_eq!(s.smx_occupancy_pct(), 0.0);
+        assert!(s.warp_activity_pct().is_finite());
+        assert!(s.smx_occupancy_pct().is_finite());
+        assert_eq!(s.warp_activity_pct_opt(), None);
+        assert_eq!(s.smx_occupancy_pct_opt(), None);
+        // Busy cycles with zero config denominators still divide safely.
+        let degenerate = Stats {
+            busy_cycles: 10,
+            resident_warp_cycles: 10,
+            num_smx: 0,
+            max_warps_per_smx: 0,
+            ..Stats::default()
+        };
+        assert_eq!(degenerate.smx_occupancy_pct(), 0.0);
+        assert_eq!(degenerate.smx_occupancy_pct_opt(), None);
+        // And the Option forms agree with the plain forms when work ran.
+        let s = Stats {
+            warp_issues: 4,
+            active_lanes: 64,
+            busy_cycles: 8,
+            resident_warp_cycles: 64,
+            num_smx: 2,
+            max_warps_per_smx: 64,
+            ..Stats::default()
+        };
+        assert_eq!(s.warp_activity_pct_opt(), Some(s.warp_activity_pct()));
+        assert_eq!(s.smx_occupancy_pct_opt(), Some(s.smx_occupancy_pct()));
     }
 
     #[test]

@@ -20,7 +20,7 @@ const SUBDIV: u32 = 16;
 /// Field-range threshold above which a cell refines.
 const THRESH: u32 = 150;
 
-fn build_program(variant: Variant) -> Result<(Program, KernelId), SimError> {
+pub(crate) fn build_program(variant: Variant) -> Result<(Program, KernelId), SimError> {
     let mut prog = Program::new();
 
     // Child: emit `count` = 16 sub-cells of the refining cell; params:
@@ -209,7 +209,19 @@ pub fn run(
     let (prog, parent) = build_program(variant)?;
     let cfg = variant.configure(base_cfg);
     let mut gpu = Gpu::new(cfg, prog);
+    drive(&mut gpu, name, field, cell0, parent, variant)
+}
 
+/// Executes the refinement cascade on an already-bound `gpu` (fresh or
+/// warm-rebound): the mutable half of the setup/run split.
+pub(crate) fn drive(
+    gpu: &mut Gpu,
+    name: &str,
+    field: &ScalarField,
+    cell0: u32,
+    parent: KernelId,
+    variant: Variant,
+) -> Result<RunReport, SimError> {
     let fbuf = gpu.malloc(field.values.len() as u32 * 4)?;
     gpu.mem_mut().write_slice_u32(fbuf, &field.values);
 

@@ -27,7 +27,7 @@ const P_CNT: u16 = 5;
 const P_NF: u16 = 6;
 const P_NEXT: u16 = 7;
 
-fn build_program(variant: Variant) -> Result<(Program, KernelId, KernelId), SimError> {
+pub(crate) fn build_program(variant: Variant) -> Result<(Program, KernelId, KernelId), SimError> {
     let mut prog = Program::new();
 
     // Child: expand `count` neighbours starting at edge address `edges`;
@@ -138,6 +138,19 @@ pub fn run(
     let (prog, parent, _) = build_program(variant)?;
     let cfg = variant.configure(base_cfg);
     let mut gpu = Gpu::new(cfg, prog);
+    drive(&mut gpu, name, g, source, parent, variant)
+}
+
+/// Executes the frontier loop on an already-bound `gpu` (fresh or
+/// warm-rebound): the mutable half of the setup/run split.
+pub(crate) fn drive(
+    gpu: &mut Gpu,
+    name: &str,
+    g: &CsrGraph,
+    source: u32,
+    parent: KernelId,
+    variant: Variant,
+) -> Result<RunReport, SimError> {
     let n = g.num_vertices();
 
     let row = gpu.malloc((n + 1) * 4)?;

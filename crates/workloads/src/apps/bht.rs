@@ -66,7 +66,9 @@ fn emit_mid(b: &mut KernelBuilder, x0: Reg, slog: Reg) -> Reg {
     b.iadd(x0, Op::Reg(half))
 }
 
-fn build_program(variant: Variant) -> Result<(Program, KernelId, KernelId, KernelId), SimError> {
+pub(crate) fn build_program(
+    variant: Variant,
+) -> Result<(Program, KernelId, KernelId, KernelId), SimError> {
     let mut prog = Program::new();
 
     // Count child: params [count, bodies_addr, xs, ys, xmid, ymid, qc_addr].
@@ -364,6 +366,20 @@ pub fn run(
     let (prog, count_k, emit_k, scatter_k) = build_program(variant)?;
     let cfg = variant.configure(base_cfg);
     let mut gpu = Gpu::new(cfg, prog);
+    drive(&mut gpu, name, p, count_k, emit_k, scatter_k, variant)
+}
+
+/// Executes the level-by-level tree build on an already-bound `gpu`
+/// (fresh or warm-rebound): the mutable half of the setup/run split.
+pub(crate) fn drive(
+    gpu: &mut Gpu,
+    name: &str,
+    p: &PointSet,
+    count_k: KernelId,
+    emit_k: KernelId,
+    scatter_k: KernelId,
+    variant: Variant,
+) -> Result<RunReport, SimError> {
     let n = p.len() as u32;
 
     // Generous node bound: each level splits off at most 4x nodes but is

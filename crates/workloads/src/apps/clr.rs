@@ -19,7 +19,7 @@ use sim_rand::{Rng, SeedableRng, StdRng};
 const PARENT_TB: u32 = 128;
 const UNCOLORED: u32 = u32::MAX;
 
-fn build_program(variant: Variant) -> Result<(Program, KernelId, KernelId), SimError> {
+pub(crate) fn build_program(variant: Variant) -> Result<(Program, KernelId, KernelId), SimError> {
     let mut prog = Program::new();
 
     // Child: scan `count` neighbours of v; if any uncolored neighbour has
@@ -191,13 +191,25 @@ pub fn run(
     variant: Variant,
     base_cfg: GpuConfig,
 ) -> Result<RunReport, SimError> {
-    let n = g.num_vertices();
-    let mut rng = StdRng::seed_from_u64(0xC01);
-    let prios: Vec<u32> = (0..n).map(|_| rng.gen()).collect();
-
     let (prog, check, assign) = build_program(variant)?;
     let cfg = variant.configure(base_cfg);
     let mut gpu = Gpu::new(cfg, prog);
+    drive(&mut gpu, name, g, check, assign, variant)
+}
+
+/// Executes the coloring rounds on an already-bound `gpu` (fresh or
+/// warm-rebound): the mutable half of the setup/run split.
+pub(crate) fn drive(
+    gpu: &mut Gpu,
+    name: &str,
+    g: &CsrGraph,
+    check: KernelId,
+    assign: KernelId,
+    variant: Variant,
+) -> Result<RunReport, SimError> {
+    let n = g.num_vertices();
+    let mut rng = StdRng::seed_from_u64(0xC01);
+    let prios: Vec<u32> = (0..n).map(|_| rng.gen()).collect();
 
     let row = gpu.malloc((n + 1) * 4)?;
     let col = gpu.malloc(g.num_edges().max(1) * 4)?;

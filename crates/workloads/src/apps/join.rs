@@ -21,7 +21,7 @@ fn num_buckets(domain: u32) -> u32 {
     (domain / 4).max(1)
 }
 
-fn build_program(variant: Variant) -> Result<(Program, KernelId), SimError> {
+pub(crate) fn build_program(variant: Variant) -> Result<(Program, KernelId), SimError> {
     let mut prog = Program::new();
 
     // Child: scan `count` chain entries; params:
@@ -127,10 +127,22 @@ pub fn run(
     variant: Variant,
     base_cfg: GpuConfig,
 ) -> Result<RunReport, SimError> {
-    let (offsets, bkeys) = build_buckets(input);
     let (prog, probe) = build_program(variant)?;
     let cfg = variant.configure(base_cfg);
     let mut gpu = Gpu::new(cfg, prog);
+    drive(&mut gpu, name, input, probe, variant)
+}
+
+/// Executes the probe phase on an already-bound `gpu` (fresh or
+/// warm-rebound): the mutable half of the setup/run split.
+pub(crate) fn drive(
+    gpu: &mut Gpu,
+    name: &str,
+    input: &JoinInput,
+    probe: KernelId,
+    variant: Variant,
+) -> Result<RunReport, SimError> {
+    let (offsets, bkeys) = build_buckets(input);
 
     let want = input.host_match_count();
     let n_probe = input.probe_keys.len() as u32;

@@ -17,7 +17,7 @@ use gpu_sim::{Gpu, GpuConfig, SimError};
 
 const PARENT_TB: u32 = 128;
 
-fn build_program(variant: Variant) -> Result<(Program, KernelId), SimError> {
+pub(crate) fn build_program(variant: Variant) -> Result<(Program, KernelId), SimError> {
     let mut prog = Program::new();
 
     // Child: accumulate `count` rating products; params:
@@ -115,15 +115,26 @@ pub fn run(
     variant: Variant,
     base_cfg: GpuConfig,
 ) -> Result<RunReport, SimError> {
+    let (prog, parent) = build_program(variant)?;
+    let cfg = variant.configure(base_cfg);
+    let mut gpu = Gpu::new(cfg, prog);
+    drive(&mut gpu, name, r, parent, variant)
+}
+
+/// Executes the similarity computation on an already-bound `gpu` (fresh
+/// or warm-rebound): the mutable half of the setup/run split.
+pub(crate) fn drive(
+    gpu: &mut Gpu,
+    name: &str,
+    r: &RatingSet,
+    parent: KernelId,
+    variant: Variant,
+) -> Result<RunReport, SimError> {
     let query_item = 0u32;
     let mut qvec_host = vec![0u32; r.num_users as usize];
     for (u, v) in r.item_ratings(query_item) {
         qvec_host[u as usize] = v;
     }
-
-    let (prog, parent) = build_program(variant)?;
-    let cfg = variant.configure(base_cfg);
-    let mut gpu = Gpu::new(cfg, prog);
     let n_items = r.num_items();
 
     let offs = gpu.malloc((n_items + 1) * 4)?;

@@ -15,7 +15,7 @@ use gpu_sim::{Gpu, GpuConfig, SimError};
 
 const PARENT_TB: u32 = 128;
 
-fn build_program(variant: Variant) -> Result<(Program, KernelId), SimError> {
+pub(crate) fn build_program(variant: Variant) -> Result<(Program, KernelId), SimError> {
     let mut prog = Program::new();
 
     // Child: one thread per segment; params:
@@ -123,10 +123,22 @@ pub fn run(
     variant: Variant,
     base_cfg: GpuConfig,
 ) -> Result<RunReport, SimError> {
-    let (table, _, accept) = signature_dfa();
     let (prog, parent) = build_program(variant)?;
     let cfg = variant.configure(base_cfg);
     let mut gpu = Gpu::new(cfg, prog);
+    drive(&mut gpu, name, p, parent, variant)
+}
+
+/// Executes the matcher on an already-bound `gpu` (fresh or
+/// warm-rebound): the mutable half of the setup/run split.
+pub(crate) fn drive(
+    gpu: &mut Gpu,
+    name: &str,
+    p: &PacketSet,
+    parent: KernelId,
+    variant: Variant,
+) -> Result<RunReport, SimError> {
+    let (table, _, accept) = signature_dfa();
 
     let syms = gpu.malloc(p.symbols.len().max(1) as u32 * 4)?;
     let segs = gpu.malloc(p.segments.len().max(1) as u32 * 8)?;

@@ -14,7 +14,7 @@ use gpu_sim::{Gpu, GpuConfig, SimError};
 const PARENT_TB: u32 = 128;
 const INF: u32 = u32::MAX;
 
-fn build_program(variant: Variant) -> Result<(Program, KernelId), SimError> {
+pub(crate) fn build_program(variant: Variant) -> Result<(Program, KernelId), SimError> {
     let mut prog = Program::new();
 
     // Child: relax `count` edges; params:
@@ -161,13 +161,26 @@ pub fn run(
     variant: Variant,
     base_cfg: GpuConfig,
 ) -> Result<RunReport, SimError> {
+    let (prog, parent) = build_program(variant)?;
+    let cfg = variant.configure(base_cfg);
+    let mut gpu = Gpu::new(cfg, prog);
+    drive(&mut gpu, name, g, source, parent, variant)
+}
+
+/// Executes the relaxation rounds on an already-bound `gpu` (fresh or
+/// warm-rebound): the mutable half of the setup/run split.
+pub(crate) fn drive(
+    gpu: &mut Gpu,
+    name: &str,
+    g: &CsrGraph,
+    source: u32,
+    parent: KernelId,
+    variant: Variant,
+) -> Result<RunReport, SimError> {
     let weights: Vec<u32> = g
         .weights
         .clone()
         .unwrap_or_else(|| vec![1; g.num_edges() as usize]);
-    let (prog, parent) = build_program(variant)?;
-    let cfg = variant.configure(base_cfg);
-    let mut gpu = Gpu::new(cfg, prog);
     let n = g.num_vertices();
 
     let row = gpu.malloc((n + 1) * 4)?;

@@ -80,6 +80,30 @@ impl Variant {
         Variant::Dtbl,
     ];
 
+    /// Every variant, including the §4.3 no-coalescing ablation. Order is
+    /// the [`index`](Variant::index) order a [`CellSetup`](crate::CellSetup)
+    /// stores prepared programs in.
+    pub const ALL: [Variant; 6] = [
+        Variant::Flat,
+        Variant::Cdp,
+        Variant::CdpIdeal,
+        Variant::Dtbl,
+        Variant::DtblIdeal,
+        Variant::DtblNoCoalesce,
+    ];
+
+    /// Dense index of this variant within [`Variant::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            Variant::Flat => 0,
+            Variant::Cdp => 1,
+            Variant::CdpIdeal => 2,
+            Variant::Dtbl => 3,
+            Variant::DtblIdeal => 4,
+            Variant::DtblNoCoalesce => 5,
+        }
+    }
+
     /// Column label used in the figure tables.
     pub fn label(self) -> &'static str {
         match self {

@@ -1,9 +1,7 @@
 //! The benchmark matrix of Table 4: eight applications × their input
 //! data sets, at test and evaluation scales.
 
-use crate::apps;
 use crate::common::Variant;
-use crate::data::{graph, mesh, points, ratings, relations, strings};
 use crate::report::RunReport;
 use gpu_sim::{GpuConfig, SimError};
 use std::fmt;
@@ -93,102 +91,16 @@ impl Benchmark {
     }
 
     /// Runs with a caller-supplied base configuration (the AGT-size sweep
-    /// of Figure 12 uses this).
+    /// of Figure 12 uses this). One-shot cells build their data, program
+    /// and simulator fresh; sweeps that revisit benchmarks should build a
+    /// [`CellSetup`](crate::CellSetup) instead and amortize the setup.
     pub fn run_with(
         self,
         variant: Variant,
         scale: Scale,
         cfg: GpuConfig,
     ) -> Result<RunReport, SimError> {
-        let name = self.name();
-        let t = scale == Scale::Test;
-        match self {
-            Benchmark::Amr => {
-                let f = mesh::combustion_field(if t { 128 } else { 1024 }, 6, 11);
-                apps::amr::run(name, &f, 32, variant, cfg)
-            }
-            Benchmark::Bht => {
-                let p = points::random_points(if t { 600 } else { 40_000 }, 11, 12);
-                apps::bht::run(name, &p, variant, cfg)
-            }
-            Benchmark::BfsCitation => {
-                let g = graph::citation(if t { 600 } else { 24_000 }, 4, 13);
-                apps::bfs::run(name, &g, 0, variant, cfg)
-            }
-            Benchmark::BfsUsaRoad => {
-                let (w, h) = if t { (20, 16) } else { (140, 100) };
-                let g = graph::usa_road(w, h);
-                apps::bfs::run(name, &g, 0, variant, cfg)
-            }
-            Benchmark::BfsCage15 => {
-                let g = graph::cage15_like(if t { 600 } else { 6_000 }, 2_000, 30, 14);
-                apps::bfs::run(name, &g, 0, variant, cfg)
-            }
-            Benchmark::ClrCitation => {
-                let g = graph::citation(if t { 400 } else { 10_000 }, 4, 15);
-                apps::clr::run(name, &g, variant, cfg)
-            }
-            Benchmark::ClrGraph500 => {
-                let g = graph::graph500_logn(if t { 400 } else { 1_500 }, 16, 16);
-                apps::clr::run(name, &g, variant, cfg)
-            }
-            Benchmark::ClrCage15 => {
-                let g = graph::cage15_like(if t { 400 } else { 1_500 }, 800, 30, 17);
-                apps::clr::run(name, &g, variant, cfg)
-            }
-            Benchmark::RegxDarpa => {
-                let p = strings::darpa_like(if t { 150 } else { 4_000 }, 18);
-                apps::regx::run(name, &p, variant, cfg)
-            }
-            Benchmark::RegxString => {
-                let p = strings::random_strings(if t { 60 } else { 2_500 }, 19);
-                apps::regx::run(name, &p, variant, cfg)
-            }
-            Benchmark::PreMovielens => {
-                let r = ratings::movielens_like(
-                    if t { 80 } else { 3_000 },
-                    if t { 800 } else { 12_000 },
-                    if t { 300 } else { 240 },
-                    20,
-                );
-                apps::pre::run(name, &r, variant, cfg)
-            }
-            Benchmark::JoinUniform => {
-                let j = relations::join_input(
-                    relations::KeyDist::Uniform,
-                    if t { 2_000 } else { 120_000 },
-                    if t { 500 } else { 20_000 },
-                    if t { 512 } else { 32_768 },
-                    21,
-                );
-                apps::join::run(name, &j, variant, cfg)
-            }
-            Benchmark::JoinGaussian => {
-                let j = relations::join_input(
-                    relations::KeyDist::Gaussian,
-                    if t { 2_000 } else { 120_000 },
-                    if t { 500 } else { 20_000 },
-                    if t { 512 } else { 32_768 },
-                    22,
-                );
-                apps::join::run(name, &j, variant, cfg)
-            }
-            Benchmark::SsspCitation => {
-                let g =
-                    graph::citation(if t { 400 } else { 12_000 }, 4, 23).with_random_weights(9, 23);
-                apps::sssp::run(name, &g, 0, variant, cfg)
-            }
-            Benchmark::SsspFlight => {
-                let g = graph::flight(if t { 400 } else { 12_000 }, if t { 8 } else { 500 }, 24)
-                    .with_random_weights(9, 24);
-                apps::sssp::run(name, &g, 0, variant, cfg)
-            }
-            Benchmark::SsspCage15 => {
-                let g = graph::cage15_like(if t { 400 } else { 4_000 }, 1_500, 30, 25)
-                    .with_random_weights(9, 25);
-                apps::sssp::run(name, &g, 0, variant, cfg)
-            }
-        }
+        crate::setup::run_cold(self, variant, scale, cfg)
     }
 }
 

@@ -28,6 +28,7 @@ mod common;
 pub mod data;
 mod harness;
 mod report;
+mod setup;
 
 pub use common::{
     build_kernel, ceil_div, child_guard, emit_dfp, emit_dfp_with_threshold, validate_scalar,
@@ -35,3 +36,4 @@ pub use common::{
 };
 pub use harness::{Benchmark, Scale};
 pub use report::RunReport;
+pub use setup::{AppData, CellSetup};
