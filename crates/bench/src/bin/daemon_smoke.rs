@@ -1,0 +1,238 @@
+//! Daemon smoke gate: proves the `gpu-serve` network path end to end on
+//! loopback, against the in-process sweep as ground truth.
+//!
+//! Checks, in order:
+//!
+//! 1. **Bit-identity** — every report served over TCP equals the report
+//!    `run_matrix_on` computes in-process for the same cell, field for
+//!    field (the wire codec is exact for integer stats).
+//! 2. **Cache effectiveness** — four concurrent clients submit the same
+//!    8-cell batch after a seeding pass; the daemon's METRICS endpoint
+//!    must show a ≥ 50% cache hit rate.
+//! 3. **Fair admission** — under that symmetric load, no client's p95
+//!    admission latency may exceed 3× another's (latencies below 1 ms
+//!    are floored to 1 ms first — at that point "fairness" is noise).
+//! 4. **Cache persistence** — a daemon restarted with the same
+//!    `--cache-file` serves a previously-computed cell as a hit, with
+//!    zero misses and identical stats.
+//!
+//! Exits non-zero on the first failed check. Usage: `daemon_smoke
+//! [--jobs N]` (worker width for both daemon and reference sweep).
+
+use bench::SweepRunner;
+use gpu_serve::client::{snapshot_counter, snapshot_percentile};
+use gpu_serve::{serve, Client, ConfigPreset, ServeConfig, SubmitSpec};
+use gpu_sim::{GpuConfig, Stats};
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::time::Duration;
+use workloads::{Benchmark, Scale, Variant};
+
+const BENCHES: [Benchmark; 4] = [
+    Benchmark::Amr,
+    Benchmark::BfsUsaRoad,
+    Benchmark::JoinGaussian,
+    Benchmark::RegxString,
+];
+const VARIANTS: [Variant; 2] = [Variant::Flat, Variant::Dtbl];
+const WAIT: Duration = Duration::from_secs(300);
+const CLIENTS: usize = 4;
+
+fn cells() -> Vec<(Benchmark, Variant)> {
+    let mut out = Vec::new();
+    for &b in &BENCHES {
+        for &v in &VARIANTS {
+            out.push((b, v));
+        }
+    }
+    out
+}
+
+fn spec(b: Benchmark, v: Variant, client: &str) -> SubmitSpec {
+    SubmitSpec {
+        benchmark: b,
+        variant: v,
+        scale: Scale::Test,
+        client: client.to_string(),
+        weight: 1,
+        preset: ConfigPreset::TestSmall,
+        max_cycles: None,
+        cycle_cap: None,
+        trace: false,
+    }
+}
+
+/// Submits the full batch as `client`, waits for every job, and returns
+/// the stats per cell.
+fn run_batch_as(addr: SocketAddr, client: &str) -> HashMap<(Benchmark, Variant), Stats> {
+    let mut c = Client::connect(addr).expect("connect");
+    let jobs: Vec<(u64, (Benchmark, Variant))> = cells()
+        .into_iter()
+        .map(|(b, v)| (c.submit(&spec(b, v, client)).expect("submit"), (b, v)))
+        .collect();
+    jobs.into_iter()
+        .map(|(job, cell)| {
+            let report = c.wait(job, WAIT).expect("wait");
+            (cell, report.stats)
+        })
+        .collect()
+}
+
+fn check(failures: &mut u32, ok: bool, what: &str) {
+    if ok {
+        eprintln!("daemon_smoke: PASS {what}");
+    } else {
+        eprintln!("daemon_smoke: FAIL {what}");
+        *failures += 1;
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let jobs: usize = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    let mut failures = 0u32;
+
+    // Ground truth: the same cells through the in-process sweep.
+    eprintln!("daemon_smoke: computing in-process reference matrix ({jobs} worker(s))");
+    let runner = SweepRunner::new(jobs);
+    let reference = runner.server();
+    let matrix = runner.run_matrix_on(
+        &reference,
+        &BENCHES,
+        &VARIANTS,
+        Scale::Test,
+        GpuConfig::test_small(),
+    );
+    matrix.report_failures();
+
+    let handle = serve(ServeConfig {
+        jobs,
+        ..ServeConfig::default()
+    })
+    .expect("bind loopback daemon");
+    let addr = handle.addr;
+    eprintln!("daemon_smoke: daemon on {addr}");
+
+    // 1. Seeding pass + bit-identity vs the in-process path.
+    let seeded = run_batch_as(addr, "seed");
+    let identical = cells().iter().all(|cell| {
+        let daemon = &seeded[cell];
+        let local = &matrix.get(cell.0, cell.1).stats;
+        if daemon != local {
+            eprintln!(
+                "  mismatch {} {}: daemon {} cycles vs local {}",
+                cell.0.name(),
+                cell.1.label(),
+                daemon.cycles,
+                local.cycles
+            );
+        }
+        daemon == local
+    });
+    check(
+        &mut failures,
+        identical,
+        "stats over TCP bit-identical to in-process sweep",
+    );
+
+    // 2. Four concurrent clients replay the batch against the warm cache.
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|i| std::thread::spawn(move || run_batch_as(addr, &format!("client{i}"))))
+        .collect();
+    let per_client: Vec<HashMap<(Benchmark, Variant), Stats>> = workers
+        .into_iter()
+        .map(|h| h.join().expect("client thread"))
+        .collect();
+    let replay_identical = per_client.iter().all(|got| {
+        cells()
+            .iter()
+            .all(|cell| got[cell] == matrix.get(cell.0, cell.1).stats)
+    });
+    check(
+        &mut failures,
+        replay_identical,
+        "all concurrent clients read bit-identical cached stats",
+    );
+
+    let mut c = Client::connect(addr).expect("connect for metrics");
+    let snapshot = c.metrics().expect("metrics");
+    let hits = snapshot_counter(&snapshot, "server.cache_hits");
+    let misses = snapshot_counter(&snapshot, "server.cache_misses");
+    let rate = hits as f64 / ((hits + misses) as f64).max(1.0);
+    eprintln!("daemon_smoke: cache hits {hits}, misses {misses}, rate {rate:.3}");
+    check(
+        &mut failures,
+        rate >= 0.5,
+        "METRICS endpoint shows >= 50% cache hit rate on the duplicated batch",
+    );
+
+    // 3. Fairness: symmetric load, so per-client p95 admission latency
+    // must stay within 3x (1 ms floor — below that it's scheduler noise).
+    let p95s: Vec<u64> = (0..CLIENTS)
+        .map(|i| {
+            snapshot_percentile(&snapshot, &format!("admission.wait_us.client{i}"), "p95")
+                .unwrap_or(0)
+                .max(1_000)
+        })
+        .collect();
+    let (lo, hi) = (
+        *p95s.iter().min().expect("clients"),
+        *p95s.iter().max().expect("clients"),
+    );
+    eprintln!("daemon_smoke: per-client p95 admission wait (us, floored): {p95s:?}");
+    check(
+        &mut failures,
+        hi <= lo * 3,
+        "round-robin admission: no client p95 wait > 3x another's",
+    );
+    c.shutdown().expect("shutdown");
+    handle.wait();
+
+    // 4. Persistence across a restart.
+    let mut cache_file = std::env::temp_dir();
+    cache_file.push(format!("daemon-smoke-cache-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&cache_file);
+    let persist_cfg = ServeConfig {
+        jobs,
+        cache_file: Some(cache_file.clone()),
+        ..ServeConfig::default()
+    };
+    let handle = serve(persist_cfg.clone()).expect("bind persisting daemon");
+    let mut c = Client::connect(handle.addr).expect("connect");
+    let job = c
+        .submit(&spec(Benchmark::Amr, Variant::Dtbl, "persist"))
+        .expect("submit");
+    let before = c.wait(job, WAIT).expect("wait").stats;
+    c.shutdown().expect("shutdown");
+    handle.wait();
+
+    let handle = serve(persist_cfg).expect("rebind with cache file");
+    let mut c = Client::connect(handle.addr).expect("reconnect");
+    let job = c
+        .submit(&spec(Benchmark::Amr, Variant::Dtbl, "persist"))
+        .expect("resubmit");
+    let after = c.wait(job, WAIT).expect("wait").stats;
+    let snapshot = c.metrics().expect("metrics");
+    let restart_hits = snapshot_counter(&snapshot, "server.cache_hits");
+    let restart_misses = snapshot_counter(&snapshot, "server.cache_misses");
+    check(
+        &mut failures,
+        before == after && restart_hits >= 1 && restart_misses == 0,
+        "restarted daemon serves the persisted cell as a hit (no re-run, same stats)",
+    );
+    c.shutdown().expect("shutdown");
+    handle.wait();
+    let _ = std::fs::remove_file(&cache_file);
+
+    if failures == 0 {
+        println!("daemon_smoke: all checks passed");
+    } else {
+        println!("daemon_smoke: {failures} check(s) FAILED");
+        std::process::exit(1);
+    }
+}

@@ -1,8 +1,7 @@
 //! Perf probe: the repo's wall-clock trajectory, one data point per PR.
 //!
-//! PR 7's probe prices the serving paths: the full 16-benchmark ×
-//! 5-variant matrix at Test scale on a single sweep worker — the
-//! configuration EXPERIMENTS.md tracks — run three ways:
+//! PR 8's probe prices serving the Test-scale matrix (16 benchmarks ×
+//! 5 variants) five ways:
 //!
 //! 1. **cold** — the pre-server sweep (`run_matrix_cold`): every cell
 //!    rebuilds its workload data, re-decodes its program, and constructs
@@ -11,21 +10,30 @@
 //!    server): one `CellSetup` per benchmark, then reset + bind on pooled
 //!    simulator instances.
 //! 3. **cache_hit** — the same batch resubmitted to the same server:
-//!    every cell is served from the content-addressed result cache
-//!    without simulating.
+//!    every cell served from the content-addressed result cache.
+//! 4. **daemon_1client** — the same matrix submitted cell-by-cell over
+//!    loopback TCP to a cold `gpu-serve` daemon: the network path's
+//!    cold-cache throughput, including protocol and admission overhead.
+//! 5. **daemon_4clients** — four concurrent clients each replaying the
+//!    matrix against the now-warm daemon: the cache-hit path over TCP.
 //!
-//! All three produce bit-identical `Stats` (pinned by the
-//! `engine_equivalence` differential tests); only the wall clock may
-//! differ. The server's own counters (hits, misses, warm binds, cold
-//! builds) are recorded alongside, via its metrics registry snapshot.
-//! Future PRs diff their probe output against the committed baseline.
+//! All paths produce bit-identical `Stats` (pinned by the
+//! `engine_equivalence` tests and the `daemon_smoke` gate); only the
+//! wall clock may differ. The probe also restarts the daemon against its
+//! persisted cache file and records the restart hit rate (1.0 = every
+//! cell of the replayed matrix served without simulating).
 //!
-//! Usage: `perf_probe [--out PATH]` (default `BENCH_pr7.json`).
+//! Usage: `perf_probe [--out PATH]` (default `BENCH_pr8.json`).
 
 use bench::SweepRunner;
+use gpu_serve::client::snapshot_counter;
+use gpu_serve::{serve, Client, ConfigPreset, ServeConfig, SubmitSpec};
 use gpu_sim::{BatchServer, GpuConfig};
-use std::time::Instant;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
 use workloads::{Benchmark, RunReport, Scale, Variant};
+
+const WAIT: Duration = Duration::from_secs(600);
 
 struct PathNumbers {
     wall_seconds: f64,
@@ -90,6 +98,66 @@ fn summarize(run: impl FnOnce() -> bench::Matrix) -> PathNumbers {
     }
 }
 
+fn spec(b: Benchmark, v: Variant, client: &str) -> SubmitSpec {
+    SubmitSpec {
+        benchmark: b,
+        variant: v,
+        scale: Scale::Test,
+        client: client.to_string(),
+        weight: 1,
+        preset: ConfigPreset::K20c,
+        max_cycles: None,
+        cycle_cap: None,
+        trace: false,
+    }
+}
+
+/// Submits the full matrix as one client and waits for every job;
+/// returns `(cycles_summed, cells_ok, cells_total)`.
+fn drive_matrix(addr: SocketAddr, client: &str) -> (u64, usize, usize) {
+    let mut c = Client::connect(addr).expect("connect to daemon");
+    let mut jobs = Vec::new();
+    for &b in &Benchmark::ALL {
+        for &v in &Variant::MAIN {
+            jobs.push(c.submit(&spec(b, v, client)).expect("submit"));
+        }
+    }
+    let total = jobs.len();
+    let mut cycles = 0u64;
+    let mut ok = 0usize;
+    for job in jobs {
+        if let Ok(report) = c.wait(job, WAIT) {
+            cycles += report.stats.cycles;
+            ok += 1;
+        }
+    }
+    (cycles, ok, total)
+}
+
+fn daemon_path(addr: SocketAddr, clients: usize, label: &str) -> PathNumbers {
+    let t0 = Instant::now();
+    let results: Vec<(u64, usize, usize)> = if clients == 1 {
+        vec![drive_matrix(addr, label)]
+    } else {
+        (0..clients)
+            .map(|i| {
+                let name = format!("{label}{i}");
+                std::thread::spawn(move || drive_matrix(addr, &name))
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    };
+    let wall_seconds = t0.elapsed().as_secs_f64();
+    PathNumbers {
+        wall_seconds,
+        sim_cycles: results.iter().map(|r| r.0).sum(),
+        cells_ok: results.iter().map(|r| r.1).sum(),
+        cells_total: results.iter().map(|r| r.2).sum(),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let out = args
@@ -100,7 +168,7 @@ fn main() {
             args.iter()
                 .find_map(|a| a.strip_prefix("--out=").map(str::to_string))
         })
-        .unwrap_or_else(|| "BENCH_pr7.json".to_string());
+        .unwrap_or_else(|| "BENCH_pr8.json".to_string());
 
     let host_cores = gpu_sim::sweep::default_jobs();
     let runner = SweepRunner::new(1);
@@ -126,8 +194,43 @@ fn main() {
     let misses = metrics.counter("server.cache_misses");
     let hit_rate = hits as f64 / ((hits + misses) as f64).max(1.0);
 
+    // Network paths: a cold loopback daemon (1 worker, like the sweep
+    // above), then four clients replaying against its warm cache.
+    let mut cache_file = std::env::temp_dir();
+    cache_file.push(format!("perf-probe-cache-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&cache_file);
+    let daemon_cfg = ServeConfig {
+        jobs: 1,
+        cache_file: Some(cache_file.clone()),
+        ..ServeConfig::default()
+    };
+
+    eprintln!("perf_probe: daemon path, cold cache, 1 client over loopback TCP");
+    let handle = serve(daemon_cfg.clone()).expect("bind daemon");
+    let daemon_cold = daemon_path(handle.addr, 1, "probe");
+    eprintln!("perf_probe: daemon path, warm cache, 4 concurrent clients");
+    let daemon_warm = daemon_path(handle.addr, 4, "probe-c");
+    let mut c = Client::connect(handle.addr).expect("connect");
+    c.shutdown().expect("shutdown");
+    handle.wait();
+
+    // Restart against the persisted cache: the replayed matrix should be
+    // served entirely from disk-loaded results.
+    eprintln!("perf_probe: daemon restarted on its persisted cache file");
+    let handle = serve(daemon_cfg).expect("rebind daemon");
+    let restart = daemon_path(handle.addr, 1, "probe-restart");
+    let mut c = Client::connect(handle.addr).expect("connect");
+    let snapshot = c.metrics().expect("metrics");
+    let restart_hits = snapshot_counter(&snapshot, "server.cache_hits");
+    let restart_misses = snapshot_counter(&snapshot, "server.cache_misses");
+    let restart_hit_rate = restart_hits as f64 / ((restart_hits + restart_misses) as f64).max(1.0);
+    c.shutdown().expect("shutdown");
+    handle.wait();
+    let _ = std::fs::remove_file(&cache_file);
+
     let warm_speedup = cold.wall_seconds / warm.wall_seconds.max(1e-9);
     let cache_speedup = cold.wall_seconds / cached.wall_seconds.max(1e-9);
+    let daemon_overhead = daemon_cold.wall_seconds / warm.wall_seconds.max(1e-9);
     let json = format!(
         concat!(
             "{{\n",
@@ -136,8 +239,13 @@ fn main() {
             "  \"cold\": {},\n",
             "  \"warm_pool\": {},\n",
             "  \"cache_hit\": {},\n",
+            "  \"daemon_1client\": {},\n",
+            "  \"daemon_4clients\": {},\n",
+            "  \"daemon_restart_persisted\": {},\n",
             "  \"warm_vs_cold_speedup\": {:.2},\n",
             "  \"cache_hit_vs_cold_speedup\": {:.2},\n",
+            "  \"daemon_vs_warm_overhead\": {:.2},\n",
+            "  \"daemon_restart_hit_rate\": {:.3},\n",
             "  \"server\": {{\n",
             "    \"cache_hits\": {},\n",
             "    \"cache_misses\": {},\n",
@@ -153,8 +261,13 @@ fn main() {
         cold.json(),
         warm.json(),
         cached.json(),
+        daemon_cold.json(),
+        daemon_warm.json(),
+        restart.json(),
         warm_speedup,
         cache_speedup,
+        daemon_overhead,
+        restart_hit_rate,
         hits,
         misses,
         hit_rate,
@@ -169,12 +282,15 @@ fn main() {
     print!("{json}");
     eprintln!(
         "perf_probe ({host_cores} core(s)): cold {:.1}s ({:.2} cells/s), warm pool {:.1}s \
-         ({:.2} cells/s), cache hits {:.3}s: {warm_speedup:.2}x warm vs cold, \
-         {cache_speedup:.0}x cached vs cold; wrote {out}",
+         ({:.2} cells/s), daemon cold {:.1}s ({:.2} cells/s), daemon warm x4 {:.2}s \
+         ({:.1} cells/s), restart hit rate {restart_hit_rate:.3}; wrote {out}",
         cold.wall_seconds,
         cold.cells_per_sec(),
         warm.wall_seconds,
         warm.cells_per_sec(),
-        cached.wall_seconds,
+        daemon_cold.wall_seconds,
+        daemon_cold.cells_per_sec(),
+        daemon_warm.wall_seconds,
+        daemon_warm.cells_per_sec(),
     );
 }

@@ -1,0 +1,151 @@
+//! The `gpu-serve-client` binary: a thin command-line front end over
+//! [`gpu_serve::Client`], handy for poking a daemon by hand.
+//!
+//! ```text
+//! gpu-serve-client --addr 127.0.0.1:PORT ping
+//! gpu-serve-client --addr 127.0.0.1:PORT submit --benchmark amr --variant DTBL \
+//!     [--scale test|eval] [--config k20c|test_small] [--client NAME] [--weight N] \
+//!     [--cycle-cap N] [--max-cycles N] [--trace] [--wait]
+//! gpu-serve-client --addr 127.0.0.1:PORT poll JOB
+//! gpu-serve-client --addr 127.0.0.1:PORT wait JOB [--timeout-ms N]
+//! gpu-serve-client --addr 127.0.0.1:PORT trace JOB
+//! gpu-serve-client --addr 127.0.0.1:PORT metrics
+//! gpu-serve-client --addr 127.0.0.1:PORT shutdown
+//! ```
+//!
+//! `submit` prints the job id (or, with `--wait`, blocks and prints the
+//! finished report's headline stats); `metrics` prints the JSON snapshot.
+
+use gpu_serve::client::{Client, JobStatus};
+use gpu_serve::wire::{ConfigPreset, SubmitSpec};
+use std::net::SocketAddr;
+use std::process::exit;
+use std::time::Duration;
+use workloads::{Benchmark, RunReport, Scale, Variant};
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("gpu-serve-client: {msg}");
+    exit(2);
+}
+
+fn print_report(r: &RunReport) {
+    println!(
+        "{} {}: {} cycles, {} launches, {} TBs",
+        r.benchmark,
+        r.variant.label(),
+        r.stats.cycles,
+        r.stats.launches.len(),
+        r.stats.tb_completed
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let addr: SocketAddr = flag_value(&args, "--addr")
+        .unwrap_or_else(|| die("--addr 127.0.0.1:PORT is required"))
+        .parse()
+        .unwrap_or_else(|e| die(&format!("bad --addr: {e}")));
+    let command = args
+        .iter()
+        .find(|a| !a.starts_with("--") && a.parse::<SocketAddr>().is_err())
+        .cloned()
+        .unwrap_or_else(|| die("missing command (ping|submit|poll|wait|trace|metrics|shutdown)"));
+
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("gpu-serve-client: connect failed: {e}");
+            exit(1);
+        }
+    };
+
+    let job_arg = || -> u64 {
+        args.iter()
+            .skip_while(|a| **a != command)
+            .nth(1)
+            .and_then(|a| a.parse().ok())
+            .unwrap_or_else(|| die("expected a numeric JOB argument"))
+    };
+    let timeout = Duration::from_millis(
+        flag_value(&args, "--timeout-ms")
+            .map(|v| v.parse().unwrap_or_else(|_| die("bad --timeout-ms")))
+            .unwrap_or(120_000),
+    );
+
+    let outcome = match command.as_str() {
+        "ping" => client.ping().map(|()| println!("pong")),
+        "metrics" => client.metrics().map(|m| println!("{m}")),
+        "shutdown" => client.shutdown().map(|()| println!("stopping")),
+        "poll" => client.poll(job_arg()).map(|s| match s {
+            JobStatus::Queued => println!("queued"),
+            JobStatus::Running => println!("running"),
+            JobStatus::Done(r) => print_report(&r),
+        }),
+        "wait" => client.wait(job_arg(), timeout).map(|r| print_report(&r)),
+        "trace" => client.trace(job_arg()).map(|t| match t {
+            Some(data) => print!(
+                "{}",
+                gpu_trace::export::jsonl(&[("cell".to_string(), data)])
+            ),
+            None => eprintln!("no trace recorded (submit with --trace, fetch once)"),
+        }),
+        "submit" => {
+            let benchmark = flag_value(&args, "--benchmark")
+                .map(|s| {
+                    Benchmark::from_name(s)
+                        .unwrap_or_else(|| die(&format!("unknown --benchmark '{s}' (e.g. amr)")))
+                })
+                .unwrap_or_else(|| die("--benchmark NAME is required (e.g. amr)"));
+            let variant = flag_value(&args, "--variant")
+                .map(|s| {
+                    Variant::from_label(s).unwrap_or_else(|| {
+                        die(&format!(
+                            "unknown --variant '{s}' (one of Flat|CDP|CDPI|DTBL|DTBLI|DTBL-NC)"
+                        ))
+                    })
+                })
+                .unwrap_or_else(|| die("--variant LABEL is required (e.g. DTBL)"));
+            let scale = flag_value(&args, "--scale")
+                .map(|s| Scale::from_name(s).unwrap_or_else(|| die("bad --scale")))
+                .unwrap_or(Scale::Test);
+            let preset = flag_value(&args, "--config")
+                .map(|s| ConfigPreset::from_name(s).unwrap_or_else(|| die("bad --config")))
+                .unwrap_or(ConfigPreset::K20c);
+            let spec = SubmitSpec {
+                benchmark,
+                variant,
+                scale,
+                client: flag_value(&args, "--client").unwrap_or("cli").to_string(),
+                weight: flag_value(&args, "--weight")
+                    .map(|v| v.parse().unwrap_or_else(|_| die("bad --weight")))
+                    .unwrap_or(1),
+                preset,
+                max_cycles: flag_value(&args, "--max-cycles")
+                    .map(|v| v.parse().unwrap_or_else(|_| die("bad --max-cycles"))),
+                cycle_cap: flag_value(&args, "--cycle-cap")
+                    .map(|v| v.parse().unwrap_or_else(|_| die("bad --cycle-cap"))),
+                trace: args.iter().any(|a| a == "--trace"),
+            };
+            client.submit(&spec).and_then(|job| {
+                if args.iter().any(|a| a == "--wait") {
+                    client.wait(job, timeout).map(|r| print_report(&r))
+                } else {
+                    println!("{job}");
+                    Ok(())
+                }
+            })
+        }
+        other => die(&format!("unknown command `{other}`")),
+    };
+    if let Err(e) = outcome {
+        eprintln!("gpu-serve-client: {e}");
+        exit(1);
+    }
+}

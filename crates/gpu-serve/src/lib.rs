@@ -1,0 +1,202 @@
+//! `gpu-serve`: a dependency-free network daemon for DTBL sweep cells.
+//!
+//! A long-lived process fronts the crate-spanning warm pool
+//! ([`gpu_sim::BatchServer`]) over TCP, speaking newline-delimited JSON
+//! built on the in-repo [`gpu_trace::json`] value type — no serde, no
+//! tokio, no HTTP stack. Clients `submit` cells (benchmark × variant ×
+//! scale × config), `poll`/`wait` on job ids, stream recorded traces,
+//! and read a metrics snapshot; repeated cells are served from a
+//! size-bounded LRU result cache that survives restarts via a versioned
+//! JSONL file.
+//!
+//! The pieces:
+//!
+//! - [`wire`] — message grammar, error frames, and exact JSON codecs
+//!   for [`gpu_sim::Stats`] (bit-identical round-trips);
+//! - [`admission`] — the fair (weighted round-robin over clients)
+//!   submission queue between connections and workers;
+//! - [`jobs`] — the job table `poll`/`wait` consult;
+//! - [`persist`] — atomic, versioned cache persistence that degrades
+//!   to a cold cache on any corruption;
+//! - [`daemon`] — accept loop, connection threads, workers, shutdown;
+//! - [`client`] — the blocking client library the `gpu-serve-client`
+//!   binary and the `daemon_smoke` harness use.
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod client;
+pub mod daemon;
+pub mod jobs;
+pub mod persist;
+pub mod wire;
+
+pub use client::{Client, ClientError, JobStatus};
+pub use daemon::{serve, DaemonHandle, ServeConfig};
+pub use wire::{ConfigPreset, SubmitSpec, PROTO_VERSION};
+
+#[cfg(test)]
+mod loopback_tests {
+    use super::*;
+    use gpu_trace::json::Json;
+    use std::time::Duration;
+    use workloads::{Benchmark, Scale, Variant};
+
+    fn spec(benchmark: Benchmark, variant: Variant, client: &str) -> SubmitSpec {
+        SubmitSpec {
+            benchmark,
+            variant,
+            scale: Scale::Test,
+            client: client.to_string(),
+            weight: 1,
+            preset: ConfigPreset::TestSmall,
+            max_cycles: None,
+            cycle_cap: None,
+            trace: false,
+        }
+    }
+
+    #[test]
+    fn submit_wait_metrics_and_cache_hits_over_loopback() {
+        let handle = serve(ServeConfig {
+            jobs: 2,
+            ..ServeConfig::default()
+        })
+        .expect("bind loopback");
+        let mut client = Client::connect(handle.addr).expect("connect");
+        client.ping().expect("ping");
+
+        // Same cell twice: the second must be a cache hit with an
+        // identical report.
+        let a = client
+            .submit(&spec(Benchmark::Amr, Variant::Flat, "t"))
+            .unwrap();
+        let first = client.wait(a, Duration::from_secs(120)).expect("first run");
+        let b = client
+            .submit(&spec(Benchmark::Amr, Variant::Flat, "t"))
+            .unwrap();
+        let second = client
+            .wait(b, Duration::from_secs(120))
+            .expect("cached run");
+        assert_eq!(first.stats, second.stats, "cache hit must be bit-identical");
+
+        let snapshot = client.metrics().expect("metrics");
+        assert!(
+            client::snapshot_counter(&snapshot, "server.cache_hits") >= 1,
+            "duplicate submission should hit the cache: {snapshot}"
+        );
+        assert_eq!(
+            client::snapshot_counter(&snapshot, "daemon.jobs_completed"),
+            2
+        );
+
+        // Unknown job and malformed requests answer with typed frames,
+        // not dropped connections.
+        match client.poll(9999) {
+            Err(ClientError::Server { kind, .. }) => assert_eq!(kind, "unknown_job"),
+            other => panic!("expected unknown_job, got {other:?}"),
+        }
+        client.ping().expect("connection survives an error frame");
+
+        client.shutdown().expect("shutdown");
+        handle.wait();
+    }
+
+    #[test]
+    fn traced_job_streams_its_events() {
+        let handle = serve(ServeConfig {
+            jobs: 1,
+            ..ServeConfig::default()
+        })
+        .expect("bind loopback");
+        let mut client = Client::connect(handle.addr).expect("connect");
+        let mut s = spec(Benchmark::Amr, Variant::Dtbl, "tracer");
+        s.trace = true;
+        let job = client.submit(&s).unwrap();
+        client.wait(job, Duration::from_secs(120)).expect("run");
+        let trace = client.trace(job).expect("trace stream");
+        let data = trace.expect("traced run has events");
+        assert!(!data.events.is_empty(), "DTBL amr should emit events");
+        // The trace is taken exactly once.
+        assert!(client.trace(job).expect("second trace").is_none());
+        client.shutdown().unwrap();
+        handle.wait();
+    }
+
+    #[test]
+    fn sim_failures_arrive_as_typed_error_frames() {
+        let handle = serve(ServeConfig {
+            jobs: 1,
+            ..ServeConfig::default()
+        })
+        .expect("bind loopback");
+        let mut client = Client::connect(handle.addr).expect("connect");
+        // A 1-cycle cap cannot finish anything: the job fails with a
+        // deterministic DeadlineExceeded the daemon may also memoize.
+        let mut s = spec(Benchmark::Amr, Variant::Flat, "errs");
+        s.cycle_cap = Some(1);
+        let job = client.submit(&s).unwrap();
+        match client.wait(job, Duration::from_secs(120)) {
+            Err(ClientError::Server { kind, message }) => {
+                assert_eq!(kind, "sim");
+                assert!(!message.is_empty());
+            }
+            other => panic!("expected sim error, got {other:?}"),
+        }
+        let snapshot = client.metrics().expect("metrics");
+        assert_eq!(
+            Json::as_u64(
+                snapshot
+                    .get("counters")
+                    .and_then(|c| c.get("daemon.jobs_completed"))
+                    .unwrap()
+            ),
+            Some(1)
+        );
+        client.shutdown().unwrap();
+        handle.wait();
+    }
+
+    #[test]
+    fn persisted_cache_survives_a_daemon_restart() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("gpu-serve-restart-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        let cfg = ServeConfig {
+            jobs: 1,
+            cache_file: Some(path.clone()),
+            ..ServeConfig::default()
+        };
+        let handle = serve(cfg.clone()).expect("bind first daemon");
+        let mut client = Client::connect(handle.addr).expect("connect");
+        let job = client
+            .submit(&spec(Benchmark::Amr, Variant::Flat, "p"))
+            .unwrap();
+        let first = client.wait(job, Duration::from_secs(120)).expect("run");
+        client.shutdown().unwrap();
+        handle.wait();
+        assert!(path.exists(), "shutdown must persist the cache");
+
+        let handle = serve(cfg).expect("bind second daemon");
+        let mut client = Client::connect(handle.addr).expect("reconnect");
+        let job = client
+            .submit(&spec(Benchmark::Amr, Variant::Flat, "p"))
+            .unwrap();
+        let again = client.wait(job, Duration::from_secs(120)).expect("cached");
+        assert_eq!(first.stats, again.stats);
+        let snapshot = client.metrics().expect("metrics");
+        assert!(
+            client::snapshot_counter(&snapshot, "server.cache_hits") >= 1,
+            "restart must serve the persisted result as a hit: {snapshot}"
+        );
+        assert_eq!(
+            client::snapshot_counter(&snapshot, "server.cache_misses"),
+            0,
+            "the persisted cell must not re-run"
+        );
+        client.shutdown().unwrap();
+        handle.wait();
+        let _ = std::fs::remove_file(&path);
+    }
+}

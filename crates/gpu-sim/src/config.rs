@@ -547,6 +547,27 @@ impl GpuConfig {
             .u(u64::from(t.metrics_interval))
             .finish()
     }
+
+    /// Stable content hash over the *deterministic* cut-short knobs:
+    /// `max_cycles`, `watchdog_window`, and the budget's `cycle_cap` /
+    /// `live_heap_cap`. These trip at the identical simulated cycle on
+    /// every engine, so the typed error they produce is as much a pure
+    /// function of the cell as an `Ok` artifact is — which is what lets
+    /// the result cache memoize deterministic errors (see
+    /// [`SimError::is_deterministic`](crate::SimError::is_deterministic)).
+    ///
+    /// The host-dependent knobs — `deadline_ms` and the cancellation
+    /// token — are deliberately excluded: their outcomes depend on wall
+    /// clock and operator action, never on cell content, and they are
+    /// never cached.
+    pub fn budget_hash(&self) -> u64 {
+        Fnv::new()
+            .u(self.max_cycles)
+            .u(self.watchdog_window)
+            .opt(self.budget.cycle_cap)
+            .opt(self.budget.live_heap_cap)
+            .finish()
+    }
 }
 
 /// Chainable 64-bit FNV-1a used by [`GpuConfig::content_hash`]. Every
@@ -695,6 +716,39 @@ mod tests {
             budgeted.content_hash(),
             "budget/engine knobs never change the artifact of an Ok run"
         );
+    }
+
+    #[test]
+    fn budget_hash_covers_deterministic_knobs_only() {
+        let base = GpuConfig::k20c();
+        assert_eq!(base.budget_hash(), base.clone().budget_hash());
+
+        // Deterministic cut-short knobs change the hash.
+        let mut capped = base.clone();
+        capped.budget.cycle_cap = Some(10);
+        assert_ne!(base.budget_hash(), capped.budget_hash());
+        let mut zero_cap = base.clone();
+        zero_cap.budget.cycle_cap = Some(0);
+        assert_ne!(
+            base.budget_hash(),
+            zero_cap.budget_hash(),
+            "Some(0) must not alias None"
+        );
+        let mut heap = base.clone();
+        heap.budget.live_heap_cap = Some(4096);
+        assert_ne!(base.budget_hash(), heap.budget_hash());
+        let mut limits = base.clone();
+        limits.max_cycles = 7;
+        assert_ne!(base.budget_hash(), limits.budget_hash());
+        limits.max_cycles = base.max_cycles;
+        limits.watchdog_window = 3;
+        assert_ne!(base.budget_hash(), limits.budget_hash());
+
+        // Host-dependent knobs do not.
+        let mut hosty = base.clone();
+        hosty.budget.deadline_ms = Some(1);
+        hosty.budget.cancel = Some(CancelToken::new());
+        assert_eq!(base.budget_hash(), hosty.budget_hash());
     }
 
     #[test]

@@ -164,6 +164,29 @@ pub enum SimError {
     },
 }
 
+impl SimError {
+    /// True when this error is a pure function of the cell that produced
+    /// it — the same config, program, and inputs would fail the same way
+    /// on every host, every time. Deterministic errors are safe for a
+    /// result cache to memoize under a key that covers
+    /// [`GpuConfig::content_hash`](crate::GpuConfig::content_hash) *and*
+    /// [`GpuConfig::budget_hash`](crate::GpuConfig::budget_hash) (the
+    /// deterministic cut-short knobs).
+    ///
+    /// Host-dependent outcomes are excluded: a wall-clock
+    /// [`DeadlineExceeded`](SimError::DeadlineExceeded) depends on machine
+    /// speed, [`Cancelled`](SimError::Cancelled) on operator action, and
+    /// [`CellCrashed`](SimError::CellCrashed) on whatever the panic was —
+    /// caching any of them would replay a transient as if it were truth.
+    pub fn is_deterministic(&self) -> bool {
+        match self {
+            SimError::DeadlineExceeded { budget, .. } => *budget != BudgetKind::WallClock,
+            SimError::Cancelled { .. } | SimError::CellCrashed { .. } => false,
+            _ => true,
+        }
+    }
+}
+
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -436,6 +459,41 @@ mod tests {
         assert!(text.contains("barrier deadlock"));
         assert!(text.contains("smx 0 warp 1 (tb 2) pc=7"));
         assert!(text.contains("1/2 warps arrived"));
+    }
+
+    #[test]
+    fn determinism_classification() {
+        let stats = Box::new(crate::stats::Stats::default());
+        assert!(SimError::CycleLimit { cycles: 10 }.is_deterministic());
+        assert!(SimError::DeadlineExceeded {
+            budget: BudgetKind::Cycles,
+            cycle: 5,
+            stats: stats.clone()
+        }
+        .is_deterministic());
+        assert!(SimError::DeadlineExceeded {
+            budget: BudgetKind::LiveHeap,
+            cycle: 5,
+            stats: stats.clone()
+        }
+        .is_deterministic());
+        assert!(!SimError::DeadlineExceeded {
+            budget: BudgetKind::WallClock,
+            cycle: 5,
+            stats: stats.clone()
+        }
+        .is_deterministic());
+        assert!(!SimError::Cancelled {
+            cycle: 5,
+            stats: stats.clone()
+        }
+        .is_deterministic());
+        assert!(!SimError::CellCrashed {
+            attempts: 2,
+            payload: "boom".into()
+        }
+        .is_deterministic());
+        assert!(SimError::OutOfMemory { bytes: 64 }.is_deterministic());
     }
 
     #[test]

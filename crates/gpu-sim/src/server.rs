@@ -12,11 +12,20 @@
 //! instance via [`Gpu::reset_bind`] instead of building a fresh one.
 //!
 //! Cache correctness is a bit-identity contract, not a heuristic: a key
-//! incorporates [`GpuConfig::content_hash`], which covers every
-//! artifact-relevant config field (see its docs for the include/exclude
-//! contract), so two cells with equal keys provably produce equal `Stats`
-//! and traces — pinned by the differential tests in `engine_equivalence`.
-//! Only `Ok` results are cached; errors and crashes always re-run.
+//! incorporates [`GpuConfig::content_hash`] (every artifact-relevant
+//! config field) *and* [`GpuConfig::budget_hash`] (the deterministic
+//! cut-short knobs), so two cells with equal keys provably produce equal
+//! outcomes — pinned by the differential tests in `engine_equivalence`.
+//! `Ok` results are always cached; typed errors are cached only when an
+//! [error-cache predicate](BatchServer::with_error_cache) declares them
+//! deterministic (see [`SimError::is_deterministic`](crate::SimError::is_deterministic)).
+//! Crashes always re-run.
+//!
+//! The cache is optionally size-bounded ([`BatchServer::with_cache_limit`])
+//! with least-recently-used eviction, and its contents can be drained and
+//! restored across processes ([`export_cache`](BatchServer::export_cache) /
+//! [`preload`](BatchServer::preload)) — the persistence layer in
+//! `gpu-serve` rides on that pair.
 //!
 //! Duplicate keys *within* one batch are deduplicated before fan-out
 //! (one leader runs, followers clone its cached result), so the hit rate
@@ -30,12 +39,21 @@ use gpu_trace::MetricsRegistry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, TryLockError};
+use std::time::Duration;
 
 /// Content address of one sweep cell: everything that determines the
-/// artifact a successful run produces.
+/// outcome a run produces — including the deterministic cut-short knobs,
+/// so a cached typed error is as trustworthy as a cached `Ok`.
 ///
 /// * `config_hash` — [`GpuConfig::content_hash`] of the *post-variant*
 ///   config (after e.g. ideal latencies or coalescing knobs are applied).
+/// * `budget_hash` — [`GpuConfig::budget_hash`] of the same config: the
+///   deterministic limits (`max_cycles`, watchdog window, cycle/heap
+///   caps) that decide *whether* a cell completes or trips a typed error.
+///   Splitting this out of `config_hash` keeps the artifact contract
+///   intact while making error caching sound: two configs that differ
+///   only in `cycle_cap` produce different keys, so a cached
+///   `DeadlineExceeded` can never leak to a run that would have finished.
 /// * `workload` — the benchmark / program identity.
 /// * `seed` — the workload-data generation seed, for harnesses whose data
 ///   is not fully determined by the workload name.
@@ -44,6 +62,8 @@ use std::sync::{Mutex, MutexGuard, TryLockError};
 pub struct CellKey {
     /// Hash of every artifact-relevant config field.
     pub config_hash: u64,
+    /// Hash of the deterministic cut-short knobs ([`GpuConfig::budget_hash`]).
+    pub budget_hash: u64,
     /// Workload (benchmark) identity.
     pub workload: String,
     /// Workload-data generation seed.
@@ -98,27 +118,97 @@ impl WarmSlot {
     }
 }
 
+/// One cached outcome plus the recency stamp LRU eviction sorts by.
+#[derive(Debug)]
+struct CacheEntry<T, E> {
+    value: Result<T, E>,
+    last_used: u64,
+}
+
+/// The keyed result store behind one mutex: entries plus the logical
+/// clock that stamps every hit and insert.
+#[derive(Debug)]
+struct CacheState<T, E> {
+    entries: HashMap<CellKey, CacheEntry<T, E>>,
+    tick: u64,
+}
+
+impl<T, E> CacheState<T, E> {
+    fn new() -> Self {
+        CacheState {
+            entries: HashMap::new(),
+            tick: 0,
+        }
+    }
+
+    /// Looks up `key`, bumping its recency stamp on a hit.
+    fn touch(&mut self, key: &CellKey) -> Option<&Result<T, E>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(key).map(|e| {
+            e.last_used = tick;
+            &e.value
+        })
+    }
+
+    fn insert(&mut self, key: CellKey, value: Result<T, E>) {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.insert(
+            key,
+            CacheEntry {
+                value,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Evicts least-recently-used entries until at most `limit` remain;
+    /// returns how many were dropped.
+    fn evict_to(&mut self, limit: usize) -> u64 {
+        let mut evicted = 0;
+        while self.entries.len() > limit {
+            let oldest = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("len > limit >= 0 implies non-empty");
+            self.entries.remove(&oldest);
+            evicted += 1;
+        }
+        evicted
+    }
+}
+
 /// Warm-pool batch server: submit batches of cells, get supervised
 /// outcomes back, with repeated cells served from the result cache.
 ///
-/// Generic over the result type `T` so the crate stays independent of any
+/// Generic over the result type `T` and the error type `E` (defaulting to
+/// [`SimError`](crate::SimError)) so the crate stays independent of any
 /// particular report shape — the bench layer instantiates it with its
-/// `RunReport`. `T: Clone` is required to serve a cached result while
-/// keeping it cached.
+/// `RunReport`. `T: Clone` and `E: Clone` are required to serve a cached
+/// outcome while keeping it cached.
 #[derive(Debug)]
-pub struct BatchServer<T> {
+pub struct BatchServer<T, E = crate::SimError> {
     jobs: usize,
     retries: u32,
     slots: Vec<Mutex<WarmSlot>>,
-    cache: Mutex<HashMap<CellKey, T>>,
+    cache: Mutex<CacheState<T, E>>,
+    cache_limit: Option<usize>,
+    cache_errors: Option<fn(&E) -> bool>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+    slot_contention: AtomicU64,
 }
 
-impl<T: Clone + Send> BatchServer<T> {
+impl<T: Clone + Send, E: Clone + Send> BatchServer<T, E> {
     /// A server with `jobs` pool workers (and warm slots) and `retries`
     /// supervised re-attempts for panicking cells. `jobs == 0` selects the
-    /// machine's available parallelism.
+    /// machine's available parallelism. The cache starts unbounded and
+    /// caches only `Ok` results; see [`with_cache_limit`](Self::with_cache_limit)
+    /// and [`with_error_cache`](Self::with_error_cache).
     pub fn new(jobs: usize, retries: u32) -> Self {
         let jobs = if jobs == 0 {
             crate::sweep::default_jobs()
@@ -129,10 +219,33 @@ impl<T: Clone + Send> BatchServer<T> {
             jobs,
             retries,
             slots: (0..jobs).map(|_| Mutex::new(WarmSlot::new())).collect(),
-            cache: Mutex::new(HashMap::new()),
+            cache: Mutex::new(CacheState::new()),
+            cache_limit: None,
+            cache_errors: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            slot_contention: AtomicU64::new(0),
         }
+    }
+
+    /// Bounds the cache to `limit` entries with least-recently-used
+    /// eviction (each evicted entry bumps
+    /// [`cache_evictions`](Self::cache_evictions)). Unbounded by default.
+    pub fn with_cache_limit(mut self, limit: usize) -> Self {
+        self.cache_limit = Some(limit);
+        self
+    }
+
+    /// Enables memoizing typed errors for which `pred` returns true.
+    /// Pass a determinism check (e.g.
+    /// [`SimError::is_deterministic`](crate::SimError::is_deterministic)):
+    /// a cached error must be a pure function of the cell or the cache
+    /// would replay a host-dependent transient as if it were truth.
+    /// Disabled by default — only `Ok` results are cached.
+    pub fn with_error_cache(mut self, pred: fn(&E) -> bool) -> Self {
+        self.cache_errors = Some(pred);
+        self
     }
 
     /// Width of the worker/slot pool.
@@ -140,11 +253,16 @@ impl<T: Clone + Send> BatchServer<T> {
         self.jobs
     }
 
-    /// Claims a free warm slot, spinning across the pool until one frees.
-    /// With as many slots as workers a slot is always available up to a
-    /// transient race; a slot poisoned by a panicking run is recovered
-    /// whole (the next `bind` reinitializes the instance anyway).
+    /// Claims a free warm slot. With as many slots as workers a slot is
+    /// always available up to a transient race, so contention is rare —
+    /// but under a daemon's sustained load "rare" still adds up, so a
+    /// fully-locked pool parks the thread with bounded exponential
+    /// backoff (1 µs doubling to a 1 ms cap) instead of spinning, and
+    /// each full-pool miss bumps [`slot_contention`](Self::slot_contention).
+    /// A slot poisoned by a panicking run is recovered whole (the next
+    /// `bind` reinitializes the instance anyway).
     fn acquire_slot(&self) -> MutexGuard<'_, WarmSlot> {
+        let mut backoff_us: u64 = 1;
         loop {
             for slot in &self.slots {
                 match slot.try_lock() {
@@ -153,7 +271,10 @@ impl<T: Clone + Send> BatchServer<T> {
                     Err(TryLockError::WouldBlock) => {}
                 }
             }
-            std::thread::yield_now();
+            self.slot_contention.fetch_add(1, Ordering::Relaxed);
+            // park_timeout may wake spuriously; the loop re-scans either way.
+            std::thread::park_timeout(Duration::from_micros(backoff_us));
+            backoff_us = (backoff_us * 2).min(1024);
         }
     }
 
@@ -162,12 +283,14 @@ impl<T: Clone + Send> BatchServer<T> {
     ///
     /// `key_of` gives each cell its content address (`None` = uncacheable,
     /// always executed). Cells whose key is already cached are served
-    /// without running; duplicate keys within the batch elect one leader
-    /// per key and the followers clone the leader's cached result. `run`
-    /// executes one cell on a claimed [`WarmSlot`]; it is called under the
-    /// supervised sweep machinery, so a panicking cell becomes
-    /// [`CellOutcome::Crashed`] instead of taking the batch down.
-    pub fn run_batch<C, E, F>(
+    /// without running — an `Ok` as [`CellOutcome::Ok`], a memoized
+    /// deterministic error as [`CellOutcome::Err`]; duplicate keys within
+    /// the batch elect one leader per key and the followers clone the
+    /// leader's cached outcome. `run` executes one cell on a claimed
+    /// [`WarmSlot`]; it is called under the supervised sweep machinery, so
+    /// a panicking cell becomes [`CellOutcome::Crashed`] instead of taking
+    /// the batch down.
+    pub fn run_batch<C, F>(
         &self,
         cells: Vec<C>,
         key_of: impl Fn(&C) -> Option<CellKey>,
@@ -175,7 +298,6 @@ impl<T: Clone + Send> BatchServer<T> {
     ) -> Vec<(C, CellOutcome<T, E>)>
     where
         C: Send + Sync,
-        E: Send,
         F: Fn(&C, &mut WarmSlot) -> Result<T, E> + Sync,
     {
         let keys: Vec<Option<CellKey>> = cells.iter().map(&key_of).collect();
@@ -186,13 +308,13 @@ impl<T: Clone + Send> BatchServer<T> {
         let mut leaders: Vec<usize> = Vec::new();
         let mut followers: Vec<usize> = Vec::new();
         {
-            let cache = self.cache.lock().unwrap_or_else(|p| p.into_inner());
+            let mut cache = self.cache.lock().unwrap_or_else(|p| p.into_inner());
             let mut elected: HashMap<&CellKey, usize> = HashMap::new();
             for (i, key) in keys.iter().enumerate() {
                 match key {
                     Some(k) => {
-                        if let Some(cached) = cache.get(k) {
-                            outcomes[i] = Some(CellOutcome::Ok(cached.clone()));
+                        if let Some(cached) = cache.touch(k) {
+                            outcomes[i] = Some(Self::outcome_of(cached));
                             self.hits.fetch_add(1, Ordering::Relaxed);
                         } else if elected.contains_key(k) {
                             followers.push(i);
@@ -209,16 +331,17 @@ impl<T: Clone + Send> BatchServer<T> {
         // Phase 2: drain the leaders through the supervised worker pool.
         self.execute(&cells, &keys, leaders, &mut outcomes, &run);
 
-        // Phase 3: followers clone their leader's now-cached result; those
-        // whose leader failed (Err/crash leaves no cache entry) re-run.
+        // Phase 3: followers clone their leader's now-cached outcome;
+        // those whose leader left no cache entry (crash, or an error the
+        // predicate rejects) re-run.
         let mut orphaned: Vec<usize> = Vec::new();
         {
-            let cache = self.cache.lock().unwrap_or_else(|p| p.into_inner());
+            let mut cache = self.cache.lock().unwrap_or_else(|p| p.into_inner());
             for i in followers {
                 let key = keys[i].as_ref().expect("followers are keyed");
-                match cache.get(key) {
+                match cache.touch(key) {
                     Some(cached) => {
-                        outcomes[i] = Some(CellOutcome::Ok(cached.clone()));
+                        outcomes[i] = Some(Self::outcome_of(cached));
                         self.hits.fetch_add(1, Ordering::Relaxed);
                     }
                     None => orphaned.push(i),
@@ -234,9 +357,16 @@ impl<T: Clone + Send> BatchServer<T> {
             .collect()
     }
 
-    /// Runs the cells at `indices` on the warm pool, caching `Ok` results
-    /// under their key and writing outcomes back in place.
-    fn execute<C, E, F>(
+    fn outcome_of(cached: &Result<T, E>) -> CellOutcome<T, E> {
+        match cached {
+            Ok(v) => CellOutcome::Ok(v.clone()),
+            Err(e) => CellOutcome::Err(e.clone()),
+        }
+    }
+
+    /// Runs the cells at `indices` on the warm pool, caching cacheable
+    /// outcomes under their key and writing outcomes back in place.
+    fn execute<C, F>(
         &self,
         cells: &[C],
         keys: &[Option<CellKey>],
@@ -245,7 +375,6 @@ impl<T: Clone + Send> BatchServer<T> {
         run: &F,
     ) where
         C: Send + Sync,
-        E: Send,
         F: Fn(&C, &mut WarmSlot) -> Result<T, E> + Sync,
     {
         if indices.is_empty() {
@@ -258,18 +387,66 @@ impl<T: Clone + Send> BatchServer<T> {
             run(&cells[i], &mut slot)
         });
         for (i, outcome) in ran {
-            if let (CellOutcome::Ok(result), Some(key)) = (&outcome, &keys[i]) {
-                self.cache
-                    .lock()
-                    .unwrap_or_else(|p| p.into_inner())
-                    .insert(key.clone(), result.clone());
+            if let Some(key) = &keys[i] {
+                let cacheable = match &outcome {
+                    CellOutcome::Ok(result) => Some(Ok(result.clone())),
+                    CellOutcome::Err(e) => match self.cache_errors {
+                        Some(pred) if pred(e) => Some(Err(e.clone())),
+                        _ => None,
+                    },
+                    CellOutcome::Crashed(_) => None,
+                };
+                if let Some(value) = cacheable {
+                    self.store(key.clone(), value);
+                }
             }
             outcomes[i] = Some(outcome);
         }
     }
 
+    /// Inserts one entry, enforcing the LRU bound.
+    fn store(&self, key: CellKey, value: Result<T, E>) {
+        let mut cache = self.cache.lock().unwrap_or_else(|p| p.into_inner());
+        cache.insert(key, value);
+        if let Some(limit) = self.cache_limit {
+            let evicted = cache.evict_to(limit);
+            if evicted > 0 {
+                self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Drains a snapshot of the cache in least-recently-used-first order,
+    /// so replaying it through [`preload`](Self::preload) reconstructs the
+    /// same eviction priority. The live cache is untouched.
+    pub fn export_cache(&self) -> Vec<(CellKey, Result<T, E>)> {
+        let cache = self.cache.lock().unwrap_or_else(|p| p.into_inner());
+        let mut entries: Vec<(&CellKey, &CacheEntry<T, E>)> = cache.entries.iter().collect();
+        entries.sort_by_key(|(_, e)| e.last_used);
+        entries
+            .into_iter()
+            .map(|(k, e)| (k.clone(), e.value.clone()))
+            .collect()
+    }
+
+    /// Seeds the cache with previously-exported entries (oldest first),
+    /// enforcing the LRU bound after the load. Counters are untouched —
+    /// preloaded entries count as neither hits nor misses until used.
+    pub fn preload(&self, entries: Vec<(CellKey, Result<T, E>)>) {
+        let mut cache = self.cache.lock().unwrap_or_else(|p| p.into_inner());
+        for (key, value) in entries {
+            cache.insert(key, value);
+        }
+        if let Some(limit) = self.cache_limit {
+            let evicted = cache.evict_to(limit);
+            if evicted > 0 {
+                self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            }
+        }
+    }
+
     /// Cells served from the cache so far (including intra-batch
-    /// followers).
+    /// followers and memoized deterministic errors).
     pub fn cache_hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
     }
@@ -279,14 +456,29 @@ impl<T: Clone + Send> BatchServer<T> {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// Number of distinct results currently cached.
-    pub fn cached_results(&self) -> usize {
-        self.cache.lock().unwrap_or_else(|p| p.into_inner()).len()
+    /// Entries dropped by LRU eviction so far.
+    pub fn cache_evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 
-    /// Drops every cached result (the counters keep their totals).
+    /// Full-pool scans that found every slot busy and parked.
+    pub fn slot_contention(&self) -> u64 {
+        self.slot_contention.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct outcomes currently cached.
+    pub fn cached_results(&self) -> usize {
+        self.cache
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .entries
+            .len()
+    }
+
+    /// Drops every cached outcome (the counters keep their totals).
     pub fn clear_cache(&self) {
-        self.cache.lock().unwrap_or_else(|p| p.into_inner()).clear();
+        let mut cache = self.cache.lock().unwrap_or_else(|p| p.into_inner());
+        cache.entries.clear();
     }
 
     /// Warm rebinds across the slot pool.
@@ -306,12 +498,15 @@ impl<T: Clone + Send> BatchServer<T> {
     }
 
     /// Snapshot of the server counters as a metrics registry:
-    /// `server.cache_hits`, `server.cache_misses`, `server.warm_binds`,
-    /// `server.cold_builds` counters plus a `server.cached_results` gauge.
+    /// `server.cache_hits`, `server.cache_misses`, `server.cache_evictions`,
+    /// `server.slot_contention`, `server.warm_binds`, `server.cold_builds`
+    /// counters plus a `server.cached_results` gauge.
     pub fn metrics(&self) -> MetricsRegistry {
         let mut reg = MetricsRegistry::new();
         reg.inc("server.cache_hits", self.cache_hits());
         reg.inc("server.cache_misses", self.cache_misses());
+        reg.inc("server.cache_evictions", self.cache_evictions());
+        reg.inc("server.slot_contention", self.slot_contention());
         reg.inc("server.warm_binds", self.warm_binds());
         reg.inc("server.cold_builds", self.cold_builds());
         reg.set_gauge("server.cached_results", self.cached_results() as f64);
@@ -327,6 +522,7 @@ mod tests {
     fn key(name: &str) -> CellKey {
         CellKey {
             config_hash: 0xfeed,
+            budget_hash: 0xcafe,
             workload: name.to_string(),
             seed: 0,
             variant: "flat".to_string(),
@@ -335,13 +531,13 @@ mod tests {
 
     #[test]
     fn duplicates_in_one_batch_hit_deterministically() {
-        let server: BatchServer<u64> = BatchServer::new(4, 0);
+        let server: BatchServer<u64, ()> = BatchServer::new(4, 0);
         // 4 unique keys, each submitted twice.
         let cells: Vec<u32> = (0..8).collect();
         let out = server.run_batch(
             cells,
             |c| Some(key(&format!("w{}", c % 4))),
-            |c, _slot| Ok::<u64, ()>(u64::from(c % 4) * 10),
+            |c, _slot| Ok(u64::from(c % 4) * 10),
         );
         assert_eq!(out.len(), 8);
         for (c, o) in &out {
@@ -367,7 +563,7 @@ mod tests {
 
     #[test]
     fn failed_leaders_are_not_cached_and_followers_rerun() {
-        let server: BatchServer<u64> = BatchServer::new(2, 0);
+        let server: BatchServer<u64, &'static str> = BatchServer::new(2, 0);
         // Both cells share a key; the leader errs, so the follower must
         // execute instead of inheriting the failure.
         let out = server.run_batch(
@@ -387,10 +583,102 @@ mod tests {
     }
 
     #[test]
+    fn deterministic_errors_are_memoized_when_enabled() {
+        let server: BatchServer<u64, &'static str> =
+            BatchServer::new(2, 0).with_error_cache(|e| *e == "deterministic");
+        let out = server.run_batch(
+            vec![0u32],
+            |_| Some(key("det")),
+            |_, _| Err::<u64, _>("deterministic"),
+        );
+        assert!(matches!(out[0].1, CellOutcome::Err("deterministic")));
+        assert_eq!(server.cached_results(), 1, "deterministic error cached");
+
+        // The resubmission is served from cache, not re-executed.
+        let out = server.run_batch(
+            vec![1u32],
+            |_| Some(key("det")),
+            |_, _| -> Result<u64, &'static str> { panic!("must not execute") },
+        );
+        assert!(matches!(out[0].1, CellOutcome::Err("deterministic")));
+        assert_eq!(server.cache_hits(), 1);
+
+        // An error the predicate rejects still re-runs every time.
+        for expected_misses in [2, 3] {
+            let out = server.run_batch(
+                vec![2u32],
+                |_| Some(key("transient")),
+                |_, _| Err::<u64, _>("wall-clock"),
+            );
+            assert!(matches!(out[0].1, CellOutcome::Err("wall-clock")));
+            assert_eq!(server.cache_misses(), expected_misses);
+        }
+        assert_eq!(server.cached_results(), 1, "transient error never cached");
+    }
+
+    #[test]
+    fn lru_eviction_respects_limit_and_recency() {
+        let server: BatchServer<u64, ()> = BatchServer::new(1, 0).with_cache_limit(2);
+        for (name, v) in [("a", 1u64), ("b", 2)] {
+            let _ = server.run_batch(vec![0u32], |_| Some(key(name)), |_, _| Ok(v));
+        }
+        // Touch "a" so "b" is now the least recently used…
+        let _ = server.run_batch(
+            vec![0u32],
+            |_| Some(key("a")),
+            |_, _| -> Result<u64, ()> { panic!("cached") },
+        );
+        // …then a third key must evict "b", not "a".
+        let _ = server.run_batch(vec![0u32], |_| Some(key("c")), |_, _| Ok(3));
+        assert_eq!(server.cached_results(), 2);
+        assert_eq!(server.cache_evictions(), 1);
+        let cached: Vec<String> = server
+            .export_cache()
+            .into_iter()
+            .map(|(k, _)| k.workload)
+            .collect();
+        assert!(cached.contains(&"a".to_string()), "recently-used survives");
+        assert!(cached.contains(&"c".to_string()));
+        assert!(!cached.contains(&"b".to_string()), "LRU entry evicted");
+    }
+
+    #[test]
+    fn export_preload_round_trip_preserves_recency() {
+        let server: BatchServer<u64, &'static str> =
+            BatchServer::new(1, 0).with_error_cache(|_| true);
+        for (name, out) in [("old", Ok(1u64)), ("err", Err("det")), ("hot", Ok(3))] {
+            let _ = server.run_batch(vec![0u32], |_| Some(key(name)), |_, _| out);
+        }
+        let exported = server.export_cache();
+        assert_eq!(exported.len(), 3);
+        assert_eq!(exported[0].0.workload, "old", "LRU-first order");
+        assert_eq!(exported[2].0.workload, "hot");
+
+        // A bounded restored server keeps the most recent entries.
+        let restored: BatchServer<u64, &'static str> = BatchServer::new(1, 0).with_cache_limit(2);
+        restored.preload(exported);
+        assert_eq!(restored.cached_results(), 2);
+        assert_eq!(restored.cache_evictions(), 1);
+        let out = restored.run_batch(
+            vec![0u32],
+            |_| Some(key("hot")),
+            |_, _| -> Result<u64, &'static str> { panic!("preloaded") },
+        );
+        assert!(matches!(out[0].1, CellOutcome::Ok(3)));
+        let out = restored.run_batch(
+            vec![0u32],
+            |_| Some(key("err")),
+            |_, _| -> Result<u64, &'static str> { panic!("preloaded") },
+        );
+        assert!(matches!(out[0].1, CellOutcome::Err("det")));
+        assert_eq!(restored.cache_hits(), 2);
+    }
+
+    #[test]
     fn keyless_cells_always_execute() {
-        let server: BatchServer<u64> = BatchServer::new(1, 0);
+        let server: BatchServer<u64, ()> = BatchServer::new(1, 0);
         for _ in 0..2 {
-            let out = server.run_batch(vec![7u32], |_| None, |c, _| Ok::<u64, ()>(u64::from(*c)));
+            let out = server.run_batch(vec![7u32], |_| None, |c, _| Ok(u64::from(*c)));
             assert!(matches!(out[0].1, CellOutcome::Ok(7)));
         }
         assert_eq!(server.cache_hits(), 0);
@@ -400,7 +688,7 @@ mod tests {
 
     #[test]
     fn crashed_cells_surface_and_are_not_cached() {
-        let server: BatchServer<u64> = BatchServer::new(2, 0);
+        let server: BatchServer<u64, ()> = BatchServer::new(2, 0);
         let out = server.run_batch(
             vec![0u32],
             |_| Some(key("boom")),
@@ -409,7 +697,7 @@ mod tests {
         assert!(out[0].1.is_crashed());
         assert_eq!(server.cached_results(), 0);
         // The poisoned slot recovers: the next batch reuses the pool.
-        let out = server.run_batch(vec![1u32], |_| Some(key("fine")), |_, _| Ok::<u64, ()>(1));
+        let out = server.run_batch(vec![1u32], |_| Some(key("fine")), |_, _| Ok(1));
         assert!(matches!(out[0].1, CellOutcome::Ok(1)));
     }
 
@@ -460,15 +748,12 @@ mod tests {
 
     #[test]
     fn metrics_snapshot_matches_counters() {
-        let server: BatchServer<u64> = BatchServer::new(2, 0);
-        let _ = server.run_batch(
-            vec![0u32, 0u32],
-            |_| Some(key("m")),
-            |_, _| Ok::<u64, ()>(9),
-        );
+        let server: BatchServer<u64, ()> = BatchServer::new(2, 0);
+        let _ = server.run_batch(vec![0u32, 0u32], |_| Some(key("m")), |_, _| Ok(9));
         let reg = server.metrics();
         assert_eq!(reg.counter("server.cache_hits"), 1);
         assert_eq!(reg.counter("server.cache_misses"), 1);
+        assert_eq!(reg.counter("server.cache_evictions"), 0);
         assert_eq!(reg.gauge("server.cached_results"), Some(1.0));
     }
 }

@@ -116,6 +116,13 @@ impl Variant {
         }
     }
 
+    /// Parses a figure-table [`label`](Variant::label) (e.g. `DTBL-NC`)
+    /// back into its variant — the inverse used by the daemon wire
+    /// protocol, where cells arrive as labels.
+    pub fn from_label(label: &str) -> Option<Variant> {
+        Variant::ALL.into_iter().find(|v| v.label() == label)
+    }
+
     /// Code-generation mode for the benchmark kernels.
     pub fn launch_mode(self) -> LaunchMode {
         match self {
@@ -253,6 +260,14 @@ pub fn ceil_div(a: u32, b: u32) -> u32 {
 mod tests {
     use super::*;
     use gpu_isa::{Dim3, Inst};
+
+    #[test]
+    fn labels_round_trip_through_from_label() {
+        for v in Variant::ALL {
+            assert_eq!(Variant::from_label(v.label()), Some(v));
+        }
+        assert_eq!(Variant::from_label("FLAT"), None, "labels are exact");
+    }
 
     #[test]
     fn variant_wiring() {

@@ -16,6 +16,25 @@ pub enum Scale {
     Eval,
 }
 
+impl Scale {
+    /// Lower-case wire name (`test` / `eval`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Test => "test",
+            Scale::Eval => "eval",
+        }
+    }
+
+    /// Parses a wire [`name`](Scale::name) back into its scale.
+    pub fn from_name(name: &str) -> Option<Scale> {
+        match name {
+            "test" => Some(Scale::Test),
+            "eval" => Some(Scale::Eval),
+            _ => None,
+        }
+    }
+}
+
 /// The 16 benchmark configurations of the paper's evaluation (Table 4).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
@@ -81,6 +100,13 @@ impl Benchmark {
         }
     }
 
+    /// Parses a configuration [`name`](Benchmark::name) (e.g.
+    /// `bfs_usa_road`) back into its benchmark — the inverse used by the
+    /// daemon wire protocol, where cells arrive as names.
+    pub fn from_name(name: &str) -> Option<Benchmark> {
+        Benchmark::ALL.into_iter().find(|b| b.name() == name)
+    }
+
     /// Runs the benchmark at `scale` under `variant` on the default K20c
     /// configuration. Fails with a typed [`SimError`] — e.g.
     /// [`SimError::ValidationFailed`] naming the benchmark — instead of
@@ -124,5 +150,17 @@ mod tests {
         assert_eq!(names[0], "amr");
         assert_eq!(names[15], "sssp_cage15");
         assert_eq!(Benchmark::BfsCage15.to_string(), "bfs_cage15");
+    }
+
+    #[test]
+    fn names_round_trip_through_the_parsers() {
+        for b in Benchmark::ALL {
+            assert_eq!(Benchmark::from_name(b.name()), Some(b));
+        }
+        assert_eq!(Benchmark::from_name("nope"), None);
+        for s in [Scale::Test, Scale::Eval] {
+            assert_eq!(Scale::from_name(s.name()), Some(s));
+        }
+        assert_eq!(Scale::from_name("huge"), None);
     }
 }

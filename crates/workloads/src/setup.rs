@@ -329,8 +329,10 @@ impl CellSetup {
     /// here is a pure function of `(benchmark, scale)` (fixed generation
     /// seeds), so the scale discriminant is the dataset seed.
     pub fn cell_key(&self, variant: Variant) -> CellKey {
+        let cfg = self.run_cfg(variant);
         CellKey {
-            config_hash: self.run_cfg(variant).content_hash(),
+            config_hash: cfg.content_hash(),
+            budget_hash: cfg.budget_hash(),
             workload: self.benchmark.name().to_string(),
             seed: match self.scale {
                 Scale::Test => 0,
@@ -421,6 +423,15 @@ mod tests {
         );
         let other = CellSetup::new(Benchmark::Bht, Scale::Test, GpuConfig::test_small())?;
         assert_ne!(flat, other.cell_key(Variant::Flat));
+        // Deterministic budget knobs change the key (so a memoized typed
+        // error never leaks across budgets) without touching config_hash.
+        let mut capped_cfg = GpuConfig::test_small();
+        capped_cfg.budget.cycle_cap = Some(50);
+        let capped = CellSetup::new(Benchmark::Amr, Scale::Test, capped_cfg)?;
+        let capped_key = capped.cell_key(Variant::Flat);
+        assert_eq!(flat.config_hash, capped_key.config_hash);
+        assert_ne!(flat.budget_hash, capped_key.budget_hash);
+        assert_ne!(flat, capped_key);
         Ok(())
     }
 }
