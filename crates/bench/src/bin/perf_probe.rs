@@ -1,39 +1,36 @@
 //! Perf probe: the repo's wall-clock trajectory, one data point per PR.
 //!
-//! PR 8's probe prices serving the Test-scale matrix (16 benchmarks ×
-//! 5 variants) five ways:
+//! PR 9's probe prices the two-phase sharded engine after epoch batching
+//! and commit offload, against the PR 5 numbers that motivated them
+//! (forced `smx_jobs = 4` ran at 0.39× serial on a 1-core host). Four
+//! sweeps of the Test-scale matrix (16 benchmarks × 5 variants, one
+//! sweep worker):
 //!
-//! 1. **cold** — the pre-server sweep (`run_matrix_cold`): every cell
-//!    rebuilds its workload data, re-decodes its program, and constructs
-//!    a fresh simulator.
-//! 2. **warm_pool** — the batch server (`run_matrix_on` on a fresh
-//!    server): one `CellSetup` per benchmark, then reset + bind on pooled
-//!    simulator instances.
-//! 3. **cache_hit** — the same batch resubmitted to the same server:
-//!    every cell served from the content-addressed result cache.
-//! 4. **daemon_1client** — the same matrix submitted cell-by-cell over
-//!    loopback TCP to a cold `gpu-serve` daemon: the network path's
-//!    cold-cache throughput, including protocol and admission overhead.
-//! 5. **daemon_4clients** — four concurrent clients each replaying the
-//!    matrix against the now-warm daemon: the cache-hit path over TCP.
+//! 1. **event_serial** — the serial event-driven engine
+//!    (`smx_jobs = 1`): the baseline every other path is priced against.
+//! 2. **sharded_auto** — `smx_jobs = 0`: the auto policy resolves the
+//!    worker count *and* the fan-out threshold from the host's spare
+//!    parallelism (on a 1-core host it stages inline on the main
+//!    thread).
+//! 3. **sharded_x4** — forced `smx_jobs = 4` with epoch batching on
+//!    (the default): the oversubscription stress cell. The auto
+//!    fan-out threshold still applies, so a 1-core host pays the staged
+//!    representation but not a worker-pool barrier.
+//! 4. **sharded_x4_epochs_off** — the same forced cell with
+//!    `epoch_batching = false`: isolates what the SMX-pure jump buys.
 //!
-//! All paths produce bit-identical `Stats` (pinned by the
-//! `engine_equivalence` tests and the `daemon_smoke` gate); only the
-//! wall clock may differ. The probe also restarts the daemon against its
-//! persisted cache file and records the restart hit rate (1.0 = every
-//! cell of the replayed matrix served without simulating).
+//! All engines must agree on total `sim_cycles` — the probe **exits 1**
+//! on any mismatch, so CI cannot record a benchmark number produced by a
+//! divergent engine. When the host has more than one core the probe adds
+//! a `paper_cell`: the paper's headline bfs_usa_road/dtbl cell at eval
+//! scale, serial vs sharded-auto, where the fan-out actually pays.
 //!
-//! Usage: `perf_probe [--out PATH]` (default `BENCH_pr8.json`).
+//! Usage: `perf_probe [--out PATH]` (default `BENCH_pr9.json`).
 
 use bench::SweepRunner;
-use gpu_serve::client::snapshot_counter;
-use gpu_serve::{serve, Client, ConfigPreset, ServeConfig, SubmitSpec};
-use gpu_sim::{BatchServer, GpuConfig};
-use std::net::SocketAddr;
-use std::time::{Duration, Instant};
-use workloads::{Benchmark, RunReport, Scale, Variant};
-
-const WAIT: Duration = Duration::from_secs(600);
+use gpu_sim::GpuConfig;
+use std::time::Instant;
+use workloads::{Benchmark, Scale, Variant};
 
 struct PathNumbers {
     wall_seconds: f64,
@@ -98,64 +95,28 @@ fn summarize(run: impl FnOnce() -> bench::Matrix) -> PathNumbers {
     }
 }
 
-fn spec(b: Benchmark, v: Variant, client: &str) -> SubmitSpec {
-    SubmitSpec {
-        benchmark: b,
-        variant: v,
-        scale: Scale::Test,
-        client: client.to_string(),
-        weight: 1,
-        preset: ConfigPreset::K20c,
-        max_cycles: None,
-        cycle_cap: None,
-        trace: false,
-    }
+fn sweep(jobs: usize, epoch_batching: bool) -> PathNumbers {
+    let mut cfg = GpuConfig::k20c();
+    cfg.smx_jobs = jobs;
+    cfg.epoch_batching = epoch_batching;
+    summarize(|| {
+        SweepRunner::new(1).run_matrix_with(&Benchmark::ALL, &Variant::MAIN, Scale::Test, cfg)
+    })
 }
 
-/// Submits the full matrix as one client and waits for every job;
-/// returns `(cycles_summed, cells_ok, cells_total)`.
-fn drive_matrix(addr: SocketAddr, client: &str) -> (u64, usize, usize) {
-    let mut c = Client::connect(addr).expect("connect to daemon");
-    let mut jobs = Vec::new();
-    for &b in &Benchmark::ALL {
-        for &v in &Variant::MAIN {
-            jobs.push(c.submit(&spec(b, v, client)).expect("submit"));
-        }
-    }
-    let total = jobs.len();
-    let mut cycles = 0u64;
-    let mut ok = 0usize;
-    for job in jobs {
-        if let Ok(report) = c.wait(job, WAIT) {
-            cycles += report.stats.cycles;
-            ok += 1;
-        }
-    }
-    (cycles, ok, total)
-}
-
-fn daemon_path(addr: SocketAddr, clients: usize, label: &str) -> PathNumbers {
+/// Times one benchmark/variant cell at a given scale, returning
+/// `(wall_seconds, sim_cycles)`.
+fn time_cell(
+    b: Benchmark,
+    v: Variant,
+    scale: Scale,
+    mut cfg: GpuConfig,
+    jobs: usize,
+) -> (f64, u64) {
+    cfg.smx_jobs = jobs;
     let t0 = Instant::now();
-    let results: Vec<(u64, usize, usize)> = if clients == 1 {
-        vec![drive_matrix(addr, label)]
-    } else {
-        (0..clients)
-            .map(|i| {
-                let name = format!("{label}{i}");
-                std::thread::spawn(move || drive_matrix(addr, &name))
-            })
-            .collect::<Vec<_>>()
-            .into_iter()
-            .map(|h| h.join().expect("client thread"))
-            .collect()
-    };
-    let wall_seconds = t0.elapsed().as_secs_f64();
-    PathNumbers {
-        wall_seconds,
-        sim_cycles: results.iter().map(|r| r.0).sum(),
-        cells_ok: results.iter().map(|r| r.1).sum(),
-        cells_total: results.iter().map(|r| r.2).sum(),
-    }
+    let report = b.run_with(v, scale, cfg).expect("paper cell converges");
+    (t0.elapsed().as_secs_f64(), report.stats.cycles)
 }
 
 fn main() {
@@ -168,112 +129,97 @@ fn main() {
             args.iter()
                 .find_map(|a| a.strip_prefix("--out=").map(str::to_string))
         })
-        .unwrap_or_else(|| "BENCH_pr8.json".to_string());
+        .unwrap_or_else(|| "BENCH_pr9.json".to_string());
 
     let host_cores = gpu_sim::sweep::default_jobs();
-    let runner = SweepRunner::new(1);
-    let cfg = GpuConfig::k20c;
 
-    eprintln!("perf_probe: cold path (construction per cell), Test-scale matrix, 1 worker");
-    let cold =
-        summarize(|| runner.run_matrix_cold(&Benchmark::ALL, &Variant::MAIN, Scale::Test, cfg()));
+    eprintln!("perf_probe: serial event engine (smx_jobs=1), Test-scale matrix, 1 worker");
+    let serial = sweep(1, true);
+    eprintln!("perf_probe: sharded engine, auto policy (smx_jobs=0)");
+    let auto = sweep(0, true);
+    eprintln!("perf_probe: sharded engine, forced smx_jobs=4, epoch batching on");
+    let x4 = sweep(4, true);
+    eprintln!("perf_probe: sharded engine, forced smx_jobs=4, epoch batching off");
+    let x4_off = sweep(4, false);
 
-    eprintln!("perf_probe: warm-pool path (CellSetup + reset/bind on a batch server)");
-    let server: BatchServer<RunReport> = runner.server();
-    let warm = summarize(|| {
-        runner.run_matrix_on(&server, &Benchmark::ALL, &Variant::MAIN, Scale::Test, cfg())
-    });
+    // Engine equivalence is priced into the probe itself: a benchmark
+    // number from an engine that diverged on simulated cycles is
+    // meaningless, so refuse to record one.
+    for (name, p) in [
+        ("sharded_auto", &auto),
+        ("sharded_x4", &x4),
+        ("sharded_x4_epochs_off", &x4_off),
+    ] {
+        if p.sim_cycles != serial.sim_cycles || p.cells_ok != serial.cells_ok {
+            eprintln!(
+                "perf_probe: FATAL: {name} diverged from serial \
+                 (cycles {} vs {}, cells {} vs {})",
+                p.sim_cycles, serial.sim_cycles, p.cells_ok, serial.cells_ok
+            );
+            std::process::exit(1);
+        }
+    }
 
-    eprintln!("perf_probe: cache-hit path (same batch resubmitted to the same server)");
-    let cached = summarize(|| {
-        runner.run_matrix_on(&server, &Benchmark::ALL, &Variant::MAIN, Scale::Test, cfg())
-    });
-
-    let metrics = server.metrics();
-    let hits = metrics.counter("server.cache_hits");
-    let misses = metrics.counter("server.cache_misses");
-    let hit_rate = hits as f64 / ((hits + misses) as f64).max(1.0);
-
-    // Network paths: a cold loopback daemon (1 worker, like the sweep
-    // above), then four clients replaying against its warm cache.
-    let mut cache_file = std::env::temp_dir();
-    cache_file.push(format!("perf-probe-cache-{}.jsonl", std::process::id()));
-    let _ = std::fs::remove_file(&cache_file);
-    let daemon_cfg = ServeConfig {
-        jobs: 1,
-        cache_file: Some(cache_file.clone()),
-        ..ServeConfig::default()
+    // The paper's headline cell at eval scale, where a multi-core host's
+    // fan-out has real work to amortize the commit barrier against.
+    let paper_cell = if host_cores > 1 {
+        let (b, v) = (Benchmark::BfsUsaRoad, Variant::Dtbl);
+        eprintln!("perf_probe: eval-scale paper cell {b} [{v}], serial vs sharded auto");
+        let (serial_wall, serial_cycles) = time_cell(b, v, Scale::Eval, GpuConfig::k20c(), 1);
+        let (sharded_wall, sharded_cycles) = time_cell(b, v, Scale::Eval, GpuConfig::k20c(), 0);
+        if serial_cycles != sharded_cycles {
+            eprintln!(
+                "perf_probe: FATAL: paper cell diverged ({sharded_cycles} vs {serial_cycles})"
+            );
+            std::process::exit(1);
+        }
+        format!(
+            concat!(
+                "{{\n",
+                "    \"cell\": \"bfs_usa_road/dtbl @ eval scale\",\n",
+                "    \"sim_cycles\": {},\n",
+                "    \"serial_wall_seconds\": {:.3},\n",
+                "    \"sharded_wall_seconds\": {:.3},\n",
+                "    \"sharded_vs_serial_speedup\": {:.2}\n",
+                "  }}"
+            ),
+            serial_cycles,
+            serial_wall,
+            sharded_wall,
+            serial_wall / sharded_wall.max(1e-9),
+        )
+    } else {
+        "null".to_string()
     };
 
-    eprintln!("perf_probe: daemon path, cold cache, 1 client over loopback TCP");
-    let handle = serve(daemon_cfg.clone()).expect("bind daemon");
-    let daemon_cold = daemon_path(handle.addr, 1, "probe");
-    eprintln!("perf_probe: daemon path, warm cache, 4 concurrent clients");
-    let daemon_warm = daemon_path(handle.addr, 4, "probe-c");
-    let mut c = Client::connect(handle.addr).expect("connect");
-    c.shutdown().expect("shutdown");
-    handle.wait();
-
-    // Restart against the persisted cache: the replayed matrix should be
-    // served entirely from disk-loaded results.
-    eprintln!("perf_probe: daemon restarted on its persisted cache file");
-    let handle = serve(daemon_cfg).expect("rebind daemon");
-    let restart = daemon_path(handle.addr, 1, "probe-restart");
-    let mut c = Client::connect(handle.addr).expect("connect");
-    let snapshot = c.metrics().expect("metrics");
-    let restart_hits = snapshot_counter(&snapshot, "server.cache_hits");
-    let restart_misses = snapshot_counter(&snapshot, "server.cache_misses");
-    let restart_hit_rate = restart_hits as f64 / ((restart_hits + restart_misses) as f64).max(1.0);
-    c.shutdown().expect("shutdown");
-    handle.wait();
-    let _ = std::fs::remove_file(&cache_file);
-
-    let warm_speedup = cold.wall_seconds / warm.wall_seconds.max(1e-9);
-    let cache_speedup = cold.wall_seconds / cached.wall_seconds.max(1e-9);
-    let daemon_overhead = daemon_cold.wall_seconds / warm.wall_seconds.max(1e-9);
+    let auto_ratio = serial.wall_seconds / auto.wall_seconds.max(1e-9);
+    let x4_ratio = serial.wall_seconds / x4.wall_seconds.max(1e-9);
+    let x4_off_ratio = serial.wall_seconds / x4_off.wall_seconds.max(1e-9);
     let json = format!(
         concat!(
             "{{\n",
             "  \"probe\": \"test-scale matrix, {} cells, --jobs 1\",\n",
             "  \"host_cores\": {},\n",
-            "  \"cold\": {},\n",
-            "  \"warm_pool\": {},\n",
-            "  \"cache_hit\": {},\n",
-            "  \"daemon_1client\": {},\n",
-            "  \"daemon_4clients\": {},\n",
-            "  \"daemon_restart_persisted\": {},\n",
-            "  \"warm_vs_cold_speedup\": {:.2},\n",
-            "  \"cache_hit_vs_cold_speedup\": {:.2},\n",
-            "  \"daemon_vs_warm_overhead\": {:.2},\n",
-            "  \"daemon_restart_hit_rate\": {:.3},\n",
-            "  \"server\": {{\n",
-            "    \"cache_hits\": {},\n",
-            "    \"cache_misses\": {},\n",
-            "    \"hit_rate\": {:.3},\n",
-            "    \"warm_binds\": {},\n",
-            "    \"cold_builds\": {},\n",
-            "    \"cached_results\": {}\n",
-            "  }}\n",
+            "  \"event_serial\": {},\n",
+            "  \"sharded_auto\": {},\n",
+            "  \"sharded_x4\": {},\n",
+            "  \"sharded_x4_epochs_off\": {},\n",
+            "  \"sharded_auto_vs_serial\": {:.2},\n",
+            "  \"forced_x4_vs_serial\": {:.2},\n",
+            "  \"forced_x4_epochs_off_vs_serial\": {:.2},\n",
+            "  \"paper_cell\": {}\n",
             "}}\n"
         ),
-        cold.cells_total,
+        serial.cells_total,
         host_cores,
-        cold.json(),
-        warm.json(),
-        cached.json(),
-        daemon_cold.json(),
-        daemon_warm.json(),
-        restart.json(),
-        warm_speedup,
-        cache_speedup,
-        daemon_overhead,
-        restart_hit_rate,
-        hits,
-        misses,
-        hit_rate,
-        metrics.counter("server.warm_binds"),
-        metrics.counter("server.cold_builds"),
-        metrics.gauge("server.cached_results").unwrap_or(0.0) as u64,
+        serial.json(),
+        auto.json(),
+        x4.json(),
+        x4_off.json(),
+        auto_ratio,
+        x4_ratio,
+        x4_off_ratio,
+        paper_cell,
     );
     if let Err(e) = std::fs::write(&out, &json) {
         eprintln!("perf_probe: failed to write {out}: {e}");
@@ -281,16 +227,12 @@ fn main() {
     }
     print!("{json}");
     eprintln!(
-        "perf_probe ({host_cores} core(s)): cold {:.1}s ({:.2} cells/s), warm pool {:.1}s \
-         ({:.2} cells/s), daemon cold {:.1}s ({:.2} cells/s), daemon warm x4 {:.2}s \
-         ({:.1} cells/s), restart hit rate {restart_hit_rate:.3}; wrote {out}",
-        cold.wall_seconds,
-        cold.cells_per_sec(),
-        warm.wall_seconds,
-        warm.cells_per_sec(),
-        daemon_cold.wall_seconds,
-        daemon_cold.cells_per_sec(),
-        daemon_warm.wall_seconds,
-        daemon_warm.cells_per_sec(),
+        "perf_probe ({host_cores} core(s)): serial {:.1}s ({:.2} cells/s), auto {:.1}s \
+         ({auto_ratio:.2}x), forced x4 {:.1}s ({x4_ratio:.2}x, epochs off {x4_off_ratio:.2}x); \
+         wrote {out}",
+        serial.wall_seconds,
+        serial.cells_per_sec(),
+        auto.wall_seconds,
+        x4.wall_seconds,
     );
 }

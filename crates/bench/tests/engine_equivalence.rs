@@ -105,6 +105,73 @@ fn sharded_engine_traces_match_serial_byte_for_byte() {
     }
 }
 
+/// Epoch batching across the full 16-benchmark × 3-variant matrix: with
+/// batching on (the default), a staged step whose effects were all
+/// SMX-pure may jump straight to the next event horizon — executing
+/// *fewer* steps than the per-cycle-equivalent run — yet every cell's
+/// `Stats` must stay bit-identical to runs with batching off and to the
+/// serial engine. The forced-pool cell (`pool_min_issuable = 2`) pins
+/// worker-pool staging into the comparison even on 1-core CI, where the
+/// auto policy would stage inline.
+#[test]
+fn epoch_batched_matrix_matches_serial_and_unbatched() {
+    let serial = SweepRunner::new(4).run_matrix(&Benchmark::ALL, &VARIANTS, Scale::Test);
+    let mut cells: Vec<(String, GpuConfig)> = Vec::new();
+    for jobs in [2usize, 4] {
+        let mut on = GpuConfig::k20c();
+        on.smx_jobs = jobs;
+        on.epoch_batching = true;
+        cells.push((format!("epochs on, smx_jobs={jobs}"), on));
+        let mut off = GpuConfig::k20c();
+        off.smx_jobs = jobs;
+        off.epoch_batching = false;
+        cells.push((format!("epochs off, smx_jobs={jobs}"), off));
+    }
+    let mut pooled = GpuConfig::k20c();
+    pooled.smx_jobs = 2;
+    pooled.pool_min_issuable = 2;
+    cells.push(("epochs on, forced pool, smx_jobs=2".into(), pooled));
+    for (what, cfg) in cells {
+        let m = SweepRunner::new(4).run_matrix_with(&Benchmark::ALL, &VARIANTS, Scale::Test, cfg);
+        assert_matrices_identical(&serial, &m, &format!("serial vs {what}"));
+    }
+}
+
+/// Epoch batching under tracing, byte-for-byte: with interval metrics off
+/// (`metrics_interval: 0` — a non-zero interval samples every cycle and
+/// forces per-cycle stepping, disabling jumps entirely) the epoch-batched
+/// engine takes multi-cycle jumps between staged steps, yet the JSONL
+/// export must stay byte-identical to the serial engine: same events,
+/// same order, same cycle stamps. A jump taken after a step that staged
+/// *any* cross-SMX effect would mis-stamp the next wave of events and
+/// fail here.
+#[test]
+fn epoch_batched_traces_match_serial_byte_for_byte() {
+    const TRACED: [Benchmark; 3] = [Benchmark::BfsUsaRoad, Benchmark::Amr, Benchmark::Bht];
+    let jsonl = |jobs: usize, pool_min: usize| -> String {
+        let mut cfg = GpuConfig::k20c();
+        cfg.smx_jobs = jobs;
+        cfg.pool_min_issuable = pool_min;
+        cfg.trace = TraceConfig {
+            mask: Category::default_mask(),
+            metrics_interval: 0,
+            ..TraceConfig::off()
+        };
+        let mut m = SweepRunner::new(1).run_matrix_with(&TRACED, &VARIANTS, Scale::Test, cfg);
+        assert!(m.failures().is_empty(), "traced runs must all succeed");
+        gpu_trace::export::jsonl(&m.take_traces(&TRACED, &VARIANTS))
+    };
+    let serial = jsonl(1, 0);
+    assert!(!serial.is_empty());
+    for (jobs, pool_min) in [(2usize, 2usize), (13, 0)] {
+        assert!(
+            jsonl(jobs, pool_min) == serial,
+            "smx_jobs={jobs} pool_min_issuable={pool_min}: \
+             epoch-batched JSONL trace diverged from the serial engine"
+        );
+    }
+}
+
 /// The warm-pool serving contract across the full matrix: every benchmark
 /// run cold (fresh construction per cell), warm-pooled (reset + bind on a
 /// shared server), and as a cache hit (same server, repeat batch) must
@@ -219,6 +286,17 @@ fn cycle_cap_trips_at_identical_cycle_across_engines() {
     let mut sh_cfg = GpuConfig::k20c();
     sh_cfg.smx_jobs = 4;
     let (sh_cycle, sh_stats) = run(sh_cfg);
+    // Epoch batching armed against the cap: a jump planned mid-epoch is
+    // clamped by the budget fold, so the batched engine stops on the
+    // identical cycle instead of sailing past it.
+    let mut eb_cfg = GpuConfig::k20c();
+    eb_cfg.smx_jobs = 4;
+    eb_cfg.epoch_batching = false;
+    let (eb_cycle, eb_stats) = run(eb_cfg);
+    let mut pl_cfg = GpuConfig::k20c();
+    pl_cfg.smx_jobs = 2;
+    pl_cfg.pool_min_issuable = 2;
+    let (pl_cycle, pl_stats) = run(pl_cfg);
 
     assert_eq!(
         pc_cycle, cap,
@@ -227,12 +305,28 @@ fn cycle_cap_trips_at_identical_cycle_across_engines() {
     assert_eq!(ev_cycle, cap, "event engine must land exactly on the cap");
     assert_eq!(sh_cycle, cap, "sharded engine must land exactly on the cap");
     assert_eq!(
+        eb_cycle, cap,
+        "unbatched sharded engine must land exactly on the cap"
+    );
+    assert_eq!(
+        pl_cycle, cap,
+        "forced-pool sharded engine must land exactly on the cap"
+    );
+    assert_eq!(
         pc_stats, ev_stats,
         "partial stats diverged: per-cycle vs event-driven"
     );
     assert_eq!(
         ev_stats, sh_stats,
         "partial stats diverged: serial vs sharded (smx_jobs=4)"
+    );
+    assert_eq!(
+        sh_stats, eb_stats,
+        "partial stats diverged: epoch-batched vs unbatched sharded"
+    );
+    assert_eq!(
+        sh_stats, pl_stats,
+        "partial stats diverged: inline vs forced-pool staging"
     );
 }
 

@@ -350,6 +350,27 @@ pub struct GpuConfig {
     /// at `num_smx`). Defaults to the `SMX_JOBS` environment variable when
     /// set and parsable, else 1.
     pub smx_jobs: usize,
+    /// Multi-cycle stage epochs for the two-phase engine: after a step
+    /// whose only activity was SMX-local (warp picks with zero staged
+    /// cross-SMX effects — no launches, global transactions, TB
+    /// completions or installs), jump straight to the next event horizon
+    /// instead of stepping again to confirm quiescence. Provably
+    /// result-identical (the skipped cycles are exactly the ones the
+    /// event engine already proves inert; see DESIGN.md, "Epoch
+    /// amortization"); only the number of executed steps changes. `false`
+    /// restores PR 5's step-per-cycle-with-activity behaviour for
+    /// differential testing.
+    pub epoch_batching: bool,
+    /// Minimum number of issuable SMXs before the stage phase fans out to
+    /// the worker pool instead of staging inline on the stepping thread.
+    /// `0` means auto: when the host has no spare cores for this
+    /// simulation (available parallelism divided by the enclosing sweep
+    /// pool's width is ≤ 1), the pool is never used — barrier round-trips
+    /// on an oversubscribed host cost more than they save — otherwise the
+    /// threshold is 2. Any `N ≥ 1` forces the explicit threshold (tests
+    /// use `2` to pin pool coverage on 1-core CI). Inline and pooled
+    /// staging are bit-identical, so this is purely a host-perf policy.
+    pub pool_min_issuable: usize,
     /// Deterministic fault-injection plan (default: inject nothing).
     pub fault: FaultPlan,
     /// Run budget: wall-clock deadline, cycle cap, live-heap cap and
@@ -412,6 +433,8 @@ impl Default for GpuConfig {
             check_invariants: cfg!(debug_assertions),
             force_per_cycle: false,
             smx_jobs: env_smx_jobs(),
+            epoch_batching: true,
+            pool_min_issuable: 0,
             fault: FaultPlan::default(),
             budget: RunBudget::default(),
             degrade: DegradePolicy::default(),
@@ -469,9 +492,10 @@ impl GpuConfig {
     ///   and a non-zero metrics interval changes sample timestamps).
     /// * **Excluded**: `budget`, `max_cycles` and `watchdog_window` — they
     ///   only decide whether a run is cut short with an `Err`, and errors
-    ///   are never cached; `smx_jobs`, `force_per_cycle` and
-    ///   `check_invariants` — engine-strategy knobs proven bit-identical
-    ///   by the equivalence suites.
+    ///   are never cached; `smx_jobs`, `force_per_cycle`,
+    ///   `check_invariants`, `epoch_batching` and `pool_min_issuable` —
+    ///   engine-strategy knobs proven bit-identical by the equivalence
+    ///   suites.
     ///
     /// Two configs with equal hashes are interchangeable for caching; a
     /// collision across *different* artifact-relevant fields is a 64-bit
@@ -711,6 +735,8 @@ mod tests {
         budgeted.check_invariants = !base.check_invariants;
         budgeted.force_per_cycle = !base.force_per_cycle;
         budgeted.smx_jobs = base.smx_jobs + 3;
+        budgeted.epoch_batching = !base.epoch_batching;
+        budgeted.pool_min_issuable = base.pool_min_issuable + 5;
         assert_eq!(
             base.content_hash(),
             budgeted.content_hash(),

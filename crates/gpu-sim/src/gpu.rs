@@ -163,6 +163,45 @@ pub struct Gpu {
     /// Host launches parked while their hardware work queue sits at an
     /// injected cap; drained FIFO as capacity frees.
     pub(crate) host_deferred: VecDeque<(u32, PendingKernel)>,
+    /// Resolved stage-phase fan-out threshold for the current run (see
+    /// [`GpuConfig::pool_min_issuable`]); refreshed by
+    /// [`run_to_idle`](Self::run_to_idle). `usize::MAX` = never cross the
+    /// worker-pool barrier, stage inline.
+    pub(crate) pool_threshold: usize,
+    /// Rolling stage/commit self-measurement for the opt-in `engine`
+    /// trace category; dormant (one predicted-off branch per staged step)
+    /// otherwise.
+    pub(crate) meter: EngineMeter,
+}
+
+/// Rolling stage/commit wall-clock accumulators between `engine_sample`
+/// emissions. Host timings never influence simulation state — they only
+/// feed the opt-in `engine` trace category.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct EngineMeter {
+    /// Staged steps accumulated since the last emission.
+    steps: u64,
+    /// Simulated cycles covered by those steps (deltas between
+    /// consecutive staged steps — the epoch lengths).
+    cycles: u64,
+    /// Wall-clock nanoseconds spent in the stage phase.
+    stage_ns: u64,
+    /// Wall-clock nanoseconds spent in the commit phase.
+    commit_ns: u64,
+    /// Cycle of the previous staged step (`u64::MAX` = none yet).
+    last_cycle: u64,
+}
+
+impl Default for EngineMeter {
+    fn default() -> Self {
+        EngineMeter {
+            steps: 0,
+            cycles: 0,
+            stage_ns: 0,
+            commit_ns: 0,
+            last_cycle: u64::MAX,
+        }
+    }
 }
 
 impl Gpu {
@@ -206,6 +245,8 @@ impl Gpu {
             retry_q: BinaryHeap::new(),
             retry_seq: 0,
             host_deferred: VecDeque::new(),
+            pool_threshold: usize::MAX,
+            meter: EngineMeter::default(),
             cfg,
         };
         gpu.apply_trace_mask();
@@ -248,7 +289,14 @@ impl Gpu {
         self.kde_buf.clear();
         self.launch_buf.clear();
         self.txn_buf.clear();
-        self.shards.clear();
+        // Reset the shard buffers element-wise: `Vec::clear` on the outer
+        // vec would drop each `SmxEffects` and with it every staging
+        // buffer's capacity, making the first epochs after a rebind
+        // reallocate. A length mismatch against a new `num_smx` is healed
+        // lazily by the staged step's `resize_with`.
+        for fx in &mut self.shards {
+            fx.clear();
+        }
         self.txn_ids_buf.clear();
         self.staged_at = u64::MAX;
         self.steps_executed = 0;
@@ -259,6 +307,8 @@ impl Gpu {
         self.retry_q.clear();
         self.retry_seq = 0;
         self.host_deferred.clear();
+        self.pool_threshold = usize::MAX;
+        self.meter = EngineMeter::default();
         self.cfg = cfg;
         self.apply_trace_mask();
     }
@@ -488,8 +538,19 @@ impl Gpu {
     pub fn run_to_idle(&mut self) -> Result<&Stats, SimError> {
         self.run_started = Some(Instant::now());
         let jobs = self.effective_smx_jobs();
-        if jobs <= 1 {
-            self.run_loop(None)?;
+        self.pool_threshold = self.effective_pool_threshold();
+        let result = if jobs <= 1 {
+            self.run_loop(None)
+        } else if self.pool_threshold == usize::MAX {
+            // The two-phase engine without its worker pool: the threshold
+            // says the barrier never pays off on this host, so every step
+            // stages inline (bit-identical to pooled staging) and no pool
+            // member is spawned to spin against a barrier that never
+            // opens.
+            let ctrl = StageControl::new(1);
+            let r = self.run_loop(Some(&ctrl));
+            ctrl.shutdown();
+            r
         } else {
             let ctrl = StageControl::new(jobs);
             std::thread::scope(|scope| {
@@ -500,8 +561,13 @@ impl Gpu {
                 let r = self.run_loop(Some(&ctrl));
                 ctrl.shutdown();
                 r
-            })?;
+            })
+        };
+        if self.tracer.on(Category::Engine) {
+            let now = self.cycle;
+            self.flush_engine_meter(now);
         }
+        result?;
         self.stats.cycles = self.cycle;
         self.stats.mem = self.timing.stats();
         Ok(&self.stats)
@@ -524,6 +590,29 @@ impl Gpu {
         }
     }
 
+    /// Resolved stage-phase fan-out threshold (see
+    /// [`GpuConfig::pool_min_issuable`]): the minimum number of issuable
+    /// SMXs in a step before staging crosses the worker-pool barrier
+    /// instead of running inline. `usize::MAX` means *never* — the auto
+    /// policy's answer when the host has no spare core for this
+    /// simulation (available parallelism divided by the enclosing sweep
+    /// pool's width is ≤ 1), where a barrier round-trip on an
+    /// oversubscribed host costs more than the fan-out saves. Inline and
+    /// pooled staging are bit-identical, so this is purely host policy.
+    pub fn effective_pool_threshold(&self) -> usize {
+        match self.cfg.pool_min_issuable {
+            0 => {
+                let outer = crate::sweep::current_pool_width().max(1);
+                if crate::sweep::default_jobs() / outer <= 1 {
+                    usize::MAX
+                } else {
+                    2
+                }
+            }
+            n => n,
+        }
+    }
+
     /// The run loop shared by both engines; `ctrl` selects the two-phase
     /// staged path (`Some`) or the serial path (`None`).
     fn run_loop(&mut self, ctrl: Option<&StageControl>) -> Result<(), SimError> {
@@ -534,7 +623,7 @@ impl Gpu {
         let mut last_marker = self.progress_marker;
         let mut last_progress = self.cycle;
         while !self.is_idle() {
-            let quiet = self.step_core(ctrl)?;
+            let jumpable = self.step_core(ctrl)?;
             if self.progress_marker != last_marker {
                 last_marker = self.progress_marker;
                 last_progress = self.cycle;
@@ -543,9 +632,11 @@ impl Gpu {
                 self.note_budget_stop(&err);
                 return Err(err);
             }
-            if event_driven && quiet && !self.is_idle() {
-                // The step at `cycle - 1` found nothing to do and changed
-                // no schedulable state, so every cycle before the next
+            if event_driven && jumpable && !self.is_idle() {
+                // The step at `cycle - 1` either found nothing to do
+                // (quiet) or changed only SMX-local state whose next
+                // activity the freshly-staged shard horizons already
+                // bound (epoch batching), so every cycle before the next
                 // component event is a no-op: jump straight there,
                 // reconstructing what the skipped no-op steps would have
                 // accumulated (occupancy integrals; the DRAM model
@@ -694,9 +785,12 @@ impl Gpu {
             fold(t);
         }
         // On the two-phase path the shard buffers cached each SMX's bound
-        // at the end of this very step's stage phase; a quiet step (the
-        // only kind that reaches here) changed nothing since, so reuse
-        // them instead of rescanning every warp slab.
+        // at the end of this very step's stage phase; the steps that
+        // reach here (quiet, or SMX-pure under epoch batching) changed
+        // no SMX state since, so reuse the cache instead of rescanning
+        // every warp slab. A step that skipped staging entirely (zero
+        // issuable SMXs) leaves `staged_at` stale and takes the rescan
+        // arm, where `next_ready_at` is O(1) per idle SMX.
         if self.staged_at == now && self.shards.len() == self.smxs.len() {
             for fx in &self.shards {
                 if let Some(t) = fx.ready_horizon {
@@ -746,12 +840,17 @@ impl Gpu {
         self.step_core(None).map(|_quiet| ())
     }
 
-    /// One core cycle; returns whether it was *quiet* — no kernel
-    /// installed, no thread block placed, no warp picked, no memory
-    /// completion delivered. After a quiet step, every schedulable input
-    /// is unchanged, so the run loop may jump to the next component event
-    /// (a non-quiet step may have created distribution work the horizons
-    /// do not model, so it must be followed by a real step).
+    /// One core cycle; returns whether the run loop may jump straight to
+    /// the next component event afterwards. True for a *quiet* step — no
+    /// kernel installed, no thread block placed, no warp picked, no
+    /// memory completion delivered — and, with
+    /// [`epoch_batching`](GpuConfig::epoch_batching) on the staged
+    /// engine, also for an *SMX-pure* step: warps issued but staged zero
+    /// cross-SMX effects, so every schedulable input the horizons do not
+    /// already bound is unchanged (the shard horizons were recaptured at
+    /// the end of this very step's stage phase). Any other step may have
+    /// created distribution work the horizons do not model, so it must
+    /// be followed by a real step (see DESIGN.md, "Epoch amortization").
     fn step_core(&mut self, ctrl: Option<&StageControl>) -> Result<bool, SimError> {
         let now = self.cycle;
         self.steps_executed += 1;
@@ -760,10 +859,15 @@ impl Gpu {
         // launches re-attempt before the KMU ticks, in the serial phase
         // of both engines (see runtime::degrade).
         let mut quiet = true;
+        // Candidate for the SMX-pure epoch jump; only the staged engine
+        // can prove purity (the serial engine applies effects directly),
+        // and any cross-SMX activity below falsifies it.
+        let mut local = ctrl.is_some() && self.cfg.epoch_batching;
         if (!self.retry_q.is_empty() || !self.host_deferred.is_empty())
             && self.process_deferred(now)?
         {
             quiet = false;
+            local = false;
         }
 
         // 1. KMU: mature device launches, advance the dispatch pipeline.
@@ -776,11 +880,13 @@ impl Gpu {
         {
             self.install_kernel(slot, pk, now)?;
             quiet = false;
+            local = false;
         }
 
         // 2. SMX scheduler: distribute thread blocks.
         if self.distribute_tbs(now)? > 0 {
             quiet = false;
+            local = false;
         }
 
         // 3. SMXs: issue warps — the serial single-phase engine, or the
@@ -806,36 +912,52 @@ impl Gpu {
                 }
             }
             Some(ctrl) => {
-                let mask = self.tracer.mask();
-                let mut shards = std::mem::take(&mut self.shards);
-                if shards.len() != self.smxs.len() {
-                    shards.resize_with(self.smxs.len(), SmxEffects::default);
-                }
-                // Cross-thread handoff only pays off when several SMXs
-                // can actually issue; quiet or single-SMX cycles stage
-                // inline (same code, same results).
+                // Cheap quiet step: with zero issuable SMXs there is
+                // nothing to stage or commit, so the shard buffers stay
+                // untouched (the horizon fold then falls back to the
+                // O(1)-per-SMX ready-min scan instead of the cache).
                 let issuable = self.smxs.iter().filter(|x| x.may_issue(now)).count();
-                if issuable >= 2 {
-                    ctrl.stage(&mut self.smxs, &mut shards, &self.cfg, mask, now);
-                } else {
-                    for (x, fx) in self.smxs.iter_mut().zip(shards.iter_mut()) {
-                        shard::stage_smx(x, fx, &self.cfg, mask, now);
+                if issuable > 0 {
+                    let metering = self.tracer.on(Category::Engine);
+                    let t0 = metering.then(Instant::now);
+                    let mask = self.tracer.mask();
+                    let mut shards = std::mem::take(&mut self.shards);
+                    if shards.len() != self.smxs.len() {
+                        shards.resize_with(self.smxs.len(), SmxEffects::default);
                     }
-                }
-                self.staged_at = now;
-                let mut commit_err = None;
-                for (s, fx) in shards.iter_mut().enumerate() {
-                    if fx.picks > 0 {
-                        quiet = false;
+                    // Cross-thread handoff only pays off when enough SMXs
+                    // can actually issue; below the threshold staging
+                    // runs inline (same code, same results, no barrier
+                    // round-trip).
+                    if issuable >= self.pool_threshold {
+                        ctrl.stage(&mut self.smxs, &mut shards, &self.cfg, mask, now);
+                    } else {
+                        for (x, fx) in self.smxs.iter_mut().zip(shards.iter_mut()) {
+                            shard::stage_smx(x, fx, &self.cfg, mask, now);
+                        }
                     }
-                    if let Err(e) = self.commit_shard(s, fx, now) {
-                        commit_err = Some(e);
-                        break;
+                    self.staged_at = now;
+                    let t1 = metering.then(Instant::now);
+                    let mut commit_err = None;
+                    for (s, fx) in shards.iter_mut().enumerate() {
+                        if fx.picks > 0 {
+                            quiet = false;
+                        }
+                        if !fx.is_pure() {
+                            local = false;
+                        }
+                        if let Err(e) = self.commit_shard(s, fx, now) {
+                            commit_err = Some(e);
+                            break;
+                        }
                     }
-                }
-                self.shards = shards;
-                if let Some(e) = commit_err {
-                    return Err(e);
+                    self.shards = shards;
+                    if let Some(e) = commit_err {
+                        return Err(e);
+                    }
+                    if let (Some(t0), Some(t1)) = (t0, t1) {
+                        self.note_engine_step(t0, t1, now);
+                    }
                 }
             }
         }
@@ -878,6 +1000,9 @@ impl Gpu {
         if completions > 0 {
             self.progress_marker += 1;
             quiet = false;
+            // Wake-ups postdate the stage phase, so the cached shard
+            // horizons no longer bound this step's SMX state.
+            local = false;
         }
 
         // 5. Occupancy sampling.
@@ -899,7 +1024,47 @@ impl Gpu {
         if self.cfg.check_invariants {
             self.check_invariants()?;
         }
-        Ok(quiet)
+        Ok(quiet || local)
+    }
+
+    /// Accumulates one staged step's stage/commit timings into the engine
+    /// meter, emitting an `engine_sample` trace event every 1024 staged
+    /// steps (the final partial window is flushed by
+    /// [`run_to_idle`](Self::run_to_idle)). Only called when the opt-in
+    /// `engine` trace category is enabled.
+    fn note_engine_step(&mut self, stage_start: Instant, commit_start: Instant, now: u64) {
+        let m = &mut self.meter;
+        m.stage_ns += (commit_start - stage_start).as_nanos() as u64;
+        m.commit_ns += commit_start.elapsed().as_nanos() as u64;
+        if m.last_cycle != u64::MAX {
+            m.cycles += now - m.last_cycle;
+        }
+        m.last_cycle = now;
+        m.steps += 1;
+        if m.steps >= 1024 {
+            self.flush_engine_meter(now);
+        }
+    }
+
+    /// Emits the engine meter's accumulated window as one
+    /// `engine_sample` event and resets it (epoch-length tracking keeps
+    /// its anchor cycle).
+    fn flush_engine_meter(&mut self, now: u64) {
+        let m = &mut self.meter;
+        if m.steps == 0 {
+            return;
+        }
+        let kind = EventKind::EngineSample {
+            steps: m.steps,
+            cycles: m.cycles,
+            stage_ns: m.stage_ns,
+            commit_ns: m.commit_ns,
+        };
+        m.steps = 0;
+        m.cycles = 0;
+        m.stage_ns = 0;
+        m.commit_ns = 0;
+        self.tracer.emit(now, kind);
     }
 
     fn install_kernel(&mut self, slot: u32, pk: PendingKernel, now: u64) -> Result<(), SimError> {
@@ -1550,15 +1715,30 @@ impl Gpu {
     /// already-staged items commit, matching the serial engine's
     /// first-error state.
     fn commit_shard(&mut self, s: usize, fx: &mut SmxEffects, now: u64) -> Result<(), SimError> {
+        // Per-issue stats were pre-aggregated at stage time; three adds
+        // replace one item per issue. Their order against the item stream
+        // is unobservable — `Stats` is only read between steps.
+        self.stats.warp_issues += fx.issues;
+        self.stats.active_lanes += fx.lanes;
+        self.stats.barrier_waits += fx.barriers;
+        if fx.items.is_empty() {
+            // Nothing staged (idle SMX, or pure picks with tracing off):
+            // skip the drain machinery entirely.
+            return match fx.err.take() {
+                Some(e) => Err(e),
+                None => Ok(()),
+            };
+        }
         let mut ids = std::mem::take(&mut self.txn_ids_buf);
         for i in 0..fx.items.len() {
             match fx.items[i] {
-                EffectItem::Issue { lanes } => {
-                    self.stats.warp_issues += 1;
-                    self.stats.active_lanes += u64::from(lanes);
+                EffectItem::TraceRun { start, len } => {
+                    // Serialization (cycle stamping, run assembly)
+                    // happened on the stage worker; splice the whole
+                    // pre-ordered segment at once.
+                    self.tracer
+                        .emit_stamped(&fx.events[start as usize..(start + len) as usize]);
                 }
-                EffectItem::Barrier => self.stats.barrier_waits += 1,
-                EffectItem::Trace(kind) => self.tracer.emit(now, kind),
                 EffectItem::GlobalLoad { w, lane, dst, addr } => {
                     let v = self.mem.read_u32(addr);
                     self.lane_mut(s, w, lane, now)?.write_reg(dst, v);
@@ -1633,6 +1813,7 @@ impl Gpu {
             }
         }
         fx.items.clear();
+        fx.events.clear();
         self.txn_ids_buf = ids;
         match fx.err.take() {
             Some(e) => Err(e),

@@ -32,16 +32,23 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 /// One deferred, globally visible effect staged by [`stage_smx`]. Items
 /// are committed in staging order within a shard and in SMX-index order
 /// across shards — together the exact order the serial engine applies
-/// them in. Stats bumps and trace events ride the same stream so that
-/// error-time stats snapshots and event interleavings also match.
+/// them in. Trace events are pre-serialized into
+/// [`SmxEffects::events`] at stage time and referenced by [`TraceRun`]
+/// ranges riding the same stream, so event interleavings still match the
+/// serial engine exactly; per-issue stats are pre-aggregated into shard
+/// counters (their commit order is unobservable — `Stats` is only read
+/// between steps).
+///
+/// [`TraceRun`]: EffectItem::TraceRun
 #[derive(Clone, Copy, Debug)]
 pub(crate) enum EffectItem {
-    /// One warp issued (`stats.warp_issues` / `stats.active_lanes`).
-    Issue { lanes: u32 },
-    /// One warp arrived at a barrier (`stats.barrier_waits`).
-    Barrier,
-    /// A trace event, positioned exactly where the serial engine emits it.
-    Trace(EventKind),
+    /// A run of pre-stamped trace events
+    /// (`SmxEffects::events[start..start + len]`), positioned exactly
+    /// where the serial engine emits them relative to the commit-side
+    /// emissions of the other items. Serialization (cycle stamping, run
+    /// assembly) happened on the worker at stage time; the commit phase
+    /// only bulk-appends.
+    TraceRun { start: u32, len: u32 },
     /// A global-memory lane load: read at commit, written back into the
     /// lane's destination register.
     GlobalLoad {
@@ -98,11 +105,25 @@ pub(crate) struct SmxEffects {
     pub(crate) items: Vec<EffectItem>,
     /// Coalesced transaction segments referenced by `MemIssue` items.
     pub(crate) txns: Vec<u32>,
+    /// Pre-stamped trace events referenced by `TraceRun` items: the
+    /// commit-offloaded serialization of this shard's trace segment.
+    pub(crate) events: Vec<(u64, EventKind)>,
     /// Per-issue scratch for device-launch requests (kept here so the
     /// stage phase never allocates in steady state).
     launch_tmp: Vec<(u32, LaunchRequest)>,
     /// Warps picked this step (any pick makes the step non-quiet).
     pub(crate) picks: u32,
+    /// Staged items that are true cross-SMX effects (everything except
+    /// `TraceRun`). `0` across all shards means the step was SMX-pure —
+    /// the epoch-batching test (see DESIGN.md, "Epoch amortization").
+    pub(crate) globals: u32,
+    /// Pre-aggregated `stats.warp_issues` for this step (commit applies
+    /// one add; the per-issue order is unobservable).
+    pub(crate) issues: u64,
+    /// Pre-aggregated `stats.active_lanes`.
+    pub(crate) lanes: u64,
+    /// Pre-aggregated `stats.barrier_waits`.
+    pub(crate) barriers: u64,
     /// First error hit while staging this SMX; raised by the commit phase
     /// *after* this shard's already-staged items are applied, which is
     /// exactly the state the serial engine leaves behind at first error.
@@ -114,9 +135,56 @@ pub(crate) struct SmxEffects {
 }
 
 impl SmxEffects {
+    /// Resets the buffer for a new step, retaining every allocation
+    /// (`Vec::clear` keeps capacity) so steady-state staging never
+    /// reallocates.
+    pub(crate) fn clear(&mut self) {
+        self.items.clear();
+        self.txns.clear();
+        self.events.clear();
+        self.launch_tmp.clear();
+        self.picks = 0;
+        self.globals = 0;
+        self.issues = 0;
+        self.lanes = 0;
+        self.barriers = 0;
+        self.err = None;
+        self.ready_horizon = None;
+    }
+
     /// True when the commit phase consumed everything (invariant law 7).
     pub(crate) fn is_drained(&self) -> bool {
-        self.items.is_empty() && self.err.is_none()
+        self.items.is_empty() && self.events.is_empty() && self.err.is_none()
+    }
+
+    /// True when staging this SMX produced no cross-SMX effect: picks may
+    /// have advanced SMX-local state (registers, `ready_at`, shared
+    /// memory, barriers), but nothing was staged for the shared machine.
+    pub(crate) fn is_pure(&self) -> bool {
+        self.globals == 0 && self.err.is_none()
+    }
+
+    /// Stages one true cross-SMX effect.
+    #[inline]
+    fn push_global(&mut self, item: EffectItem) {
+        self.globals += 1;
+        self.items.push(item);
+    }
+
+    /// Stages one trace event pre-stamped with `now`, extending the
+    /// current `TraceRun` when no global item intervened since the last
+    /// event — the commit phase then splices whole runs at once.
+    #[inline]
+    fn push_event(&mut self, now: u64, kind: EventKind) {
+        let idx = self.events.len() as u32;
+        self.events.push((now, kind));
+        if let Some(EffectItem::TraceRun { start, len }) = self.items.last_mut() {
+            if *start + *len == idx {
+                *len += 1;
+                return;
+            }
+        }
+        self.items.push(EffectItem::TraceRun { start: idx, len: 1 });
     }
 }
 
@@ -130,9 +198,7 @@ pub(crate) fn stage_smx(
     trace_mask: u32,
     now: u64,
 ) {
-    fx.items.clear();
-    fx.txns.clear();
-    fx.err = None;
+    fx.clear();
     let picks = smx.select_warps(now, cfg.issue_per_cycle, cfg.warp_sched);
     fx.picks = picks as u32;
     for k in 0..picks {
@@ -150,7 +216,7 @@ pub(crate) fn stage_smx(
                     ));
                     break;
                 };
-                fx.items.push(EffectItem::TbComplete { tbcr });
+                fx.push_global(EffectItem::TbComplete { tbcr });
             }
             Err(e) => {
                 fx.err = Some(e);
@@ -210,15 +276,17 @@ fn stage_warp(
     };
     let inst = *tb.kernel_fn.fetch(pc);
 
-    fx.items.push(EffectItem::Issue {
-        lanes: mask.count_ones(),
-    });
+    fx.issues += 1;
+    fx.lanes += u64::from(mask.count_ones());
     if t_warp {
-        fx.items.push(EffectItem::Trace(EventKind::WarpIssue {
-            smx: s as u32,
-            warp: w as u32,
-            lanes: mask.count_ones(),
-        }));
+        fx.push_event(
+            now,
+            EventKind::WarpIssue {
+                smx: s as u32,
+                warp: w as u32,
+                lanes: mask.count_ones(),
+            },
+        );
     }
 
     let pipe = cfg.pipeline;
@@ -288,19 +356,25 @@ fn stage_warp(
             warp.advance_pc();
             warp.state = WarpState::AtBarrier;
             tb.barrier_arrived += 1;
-            fx.items.push(EffectItem::Barrier);
+            fx.barriers += 1;
             if t_warp {
-                fx.items.push(EffectItem::Trace(EventKind::WarpStall {
-                    smx: s as u32,
-                    warp: w as u32,
-                    reason: StallReason::Barrier.code(),
-                }));
-                fx.items.push(EffectItem::Trace(EventKind::BarrierWait {
-                    smx: s as u32,
-                    tb_slot: tb_slot as u32,
-                    arrived: tb.barrier_arrived,
-                    expected: tb.live_warps,
-                }));
+                fx.push_event(
+                    now,
+                    EventKind::WarpStall {
+                        smx: s as u32,
+                        warp: w as u32,
+                        reason: StallReason::Barrier.code(),
+                    },
+                );
+                fx.push_event(
+                    now,
+                    EventKind::BarrierWait {
+                        smx: s as u32,
+                        tb_slot: tb_slot as u32,
+                        arrived: tb.barrier_arrived,
+                        expected: tb.live_warps,
+                    },
+                );
             }
             if tb.barrier_arrived >= tb.live_warps {
                 Gpu::release_barrier(warps, tb, now, pipe.shared_mem);
@@ -314,7 +388,7 @@ fn stage_warp(
                 if mask & (1 << lane) == 0 {
                     continue;
                 }
-                fx.items.push(EffectItem::AllocParam {
+                fx.push_global(EffectItem::AllocParam {
                     w: w as u32,
                     lane: lane as u8,
                     dst,
@@ -340,11 +414,14 @@ fn stage_warp(
             let x = fx.launch_tmp.len() as u64;
             let is_agg = matches!(inst, Inst::LaunchAgg { .. });
             if x > 0 && t_warp {
-                fx.items.push(EffectItem::Trace(EventKind::WarpStall {
-                    smx: s as u32,
-                    warp: w as u32,
-                    reason: StallReason::LaunchApi.code(),
-                }));
+                fx.push_event(
+                    now,
+                    EventKind::WarpStall {
+                        smx: s as u32,
+                        warp: w as u32,
+                        reason: StallReason::LaunchApi.code(),
+                    },
+                );
             }
             warp.ready_at = now
                 + if is_agg {
@@ -355,7 +432,7 @@ fn stage_warp(
             let visible_at = warp.ready_at;
             for i in 0..fx.launch_tmp.len() {
                 let (hw_tid, req) = fx.launch_tmp[i];
-                fx.items.push(EffectItem::Launch {
+                fx.push_global(EffectItem::Launch {
                     hw_tid,
                     req,
                     visible_at,
@@ -387,7 +464,7 @@ fn stage_warp(
                                 warp.threads[lane as usize].write_reg(dst, v);
                             }
                             Space::Global => {
-                                fx.items.push(EffectItem::GlobalLoad {
+                                fx.push_global(EffectItem::GlobalLoad {
                                     w: w as u32,
                                     lane: lane as u8,
                                     dst,
@@ -404,7 +481,7 @@ fn stage_warp(
                                 .ok_or_else(|| shared_fault(req.addr, tb.shared.len()))?;
                         }
                         Space::Global => {
-                            fx.items.push(EffectItem::GlobalStore {
+                            fx.push_global(EffectItem::GlobalStore {
                                 addr: req.addr,
                                 value,
                             });
@@ -434,7 +511,7 @@ fn stage_warp(
                                 }
                             }
                             Space::Global => {
-                                fx.items.push(EffectItem::GlobalAtomic {
+                                fx.push_global(EffectItem::GlobalAtomic {
                                     w: w as u32,
                                     lane: lane as u8,
                                     dst,
@@ -472,21 +549,24 @@ fn stage_warp(
                 // The timing model tracks loads and atomics; commit fixes
                 // the count up if any access comes back untracked.
                 warp.state = WarpState::WaitingMem { outstanding: len };
-                fx.items.push(EffectItem::MemIssue {
+                fx.push_global(EffectItem::MemIssue {
                     w: w as u32,
                     kind,
                     start,
                     len,
                 });
                 if t_warp {
-                    fx.items.push(EffectItem::Trace(EventKind::WarpStall {
-                        smx: s as u32,
-                        warp: w as u32,
-                        reason: StallReason::Memory.code(),
-                    }));
+                    fx.push_event(
+                        now,
+                        EventKind::WarpStall {
+                            smx: s as u32,
+                            warp: w as u32,
+                            reason: StallReason::Memory.code(),
+                        },
+                    );
                 }
             } else {
-                fx.items.push(EffectItem::MemIssue {
+                fx.push_global(EffectItem::MemIssue {
                     w: w as u32,
                     kind: AccessKind::Store,
                     start,
@@ -742,5 +822,69 @@ mod tests {
             }
             ctrl.shutdown();
         });
+    }
+
+    /// `SmxEffects::clear` must retain every allocation: across a long
+    /// soak of fill/clear epochs neither the buffer pointers nor the
+    /// capacities may move once warmed up, so steady-state staging never
+    /// touches the allocator.
+    #[test]
+    fn effects_clear_retains_capacity_across_soak() {
+        const TBCR: Tbcr = Tbcr {
+            kdei: 0,
+            agei: None,
+            blkid: 0,
+        };
+        let mut fx = SmxEffects::default();
+        // Warm up: one epoch's worth of staged traffic.
+        for i in 0..32u32 {
+            fx.push_global(EffectItem::TbComplete { tbcr: TBCR });
+            fx.push_event(
+                7,
+                EventKind::WarpIssue {
+                    smx: 0,
+                    warp: i,
+                    lanes: 32,
+                },
+            );
+            fx.txns.push(i);
+        }
+        fx.clear();
+        let ptrs = (fx.items.as_ptr(), fx.events.as_ptr(), fx.txns.as_ptr());
+        let caps = (
+            fx.items.capacity(),
+            fx.events.capacity(),
+            fx.txns.capacity(),
+        );
+        for epoch in 0..10_000u32 {
+            for i in 0..32u32 {
+                fx.push_global(EffectItem::TbComplete { tbcr: TBCR });
+                fx.push_event(
+                    u64::from(epoch),
+                    EventKind::WarpIssue {
+                        smx: 0,
+                        warp: i,
+                        lanes: 32,
+                    },
+                );
+                fx.txns.push(i);
+            }
+            fx.clear();
+            assert!(fx.is_drained() && fx.is_pure());
+            assert_eq!(
+                (fx.items.as_ptr(), fx.events.as_ptr(), fx.txns.as_ptr()),
+                ptrs,
+                "epoch {epoch}: a staging buffer reallocated"
+            );
+            assert_eq!(
+                (
+                    fx.items.capacity(),
+                    fx.events.capacity(),
+                    fx.txns.capacity()
+                ),
+                caps,
+                "epoch {epoch}: a staging buffer changed capacity"
+            );
+        }
     }
 }

@@ -73,6 +73,22 @@ pub fn current_pool_width() -> usize {
     POOL_WIDTH.with(Cell::get)
 }
 
+/// Runs `f` with the calling thread's sweep-pool width temporarily set to
+/// `width` (as if it were a `run_cells` worker in a pool that wide),
+/// restoring the previous width afterwards — even on panic. Lets tests
+/// exercise the `SMX_JOBS=0` × `sweep --jobs N` composition rules
+/// without standing up a real sweep pool.
+pub fn with_pool_width<R>(width: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            POOL_WIDTH.with(|w| w.set(self.0));
+        }
+    }
+    let _restore = Restore(POOL_WIDTH.with(|w| w.replace(width)));
+    f()
+}
+
 /// Records the panicking thread's simulator state for the crash report;
 /// called from [`Gpu`](crate::Gpu)'s drop hook during unwinding. Keeps
 /// the first stash (the `Gpu` nearest the panic).

@@ -243,3 +243,130 @@ fn effective_smx_jobs_resolution() {
     let auto = gpu(0).effective_smx_jobs();
     assert!((1..=13).contains(&auto), "auto resolved to {auto}");
 }
+
+/// Auto `smx_jobs` composed with an enclosing sweep pool: a `--jobs N`
+/// worker's share is `cores / N`, clamped to at least 1 and to the SMX
+/// count — never oversubscribing and never zero, at any pool width.
+#[test]
+fn effective_smx_jobs_divides_by_pool_width() {
+    use gpu_sim::sweep::{default_jobs, with_pool_width};
+    let gpu = |jobs: usize| {
+        let mut cfg = GpuConfig::k20c();
+        cfg.smx_jobs = jobs;
+        Gpu::new(cfg, Program::new())
+    };
+    let cores = default_jobs();
+    for width in [1usize, 2, 3, cores, cores + 1, 64] {
+        let got = with_pool_width(width, || gpu(0).effective_smx_jobs());
+        let want = (cores / width).clamp(1, 13);
+        assert_eq!(got, want, "pool width {width} (host cores {cores})");
+    }
+    // A pool wider than the host always degrades to serial staging.
+    assert_eq!(
+        with_pool_width(cores * 2, || gpu(0).effective_smx_jobs()),
+        1
+    );
+    // Explicit (non-auto) job counts ignore the pool width entirely.
+    assert_eq!(with_pool_width(64, || gpu(4).effective_smx_jobs()), 4);
+    assert_eq!(with_pool_width(64, || gpu(1).effective_smx_jobs()), 1);
+}
+
+/// Pool-threshold resolution: auto (0) disables fan-out (`usize::MAX`)
+/// exactly when this simulation's core share is ≤ 1, and explicit values
+/// pass through untouched.
+#[test]
+fn effective_pool_threshold_resolution() {
+    use gpu_sim::sweep::{default_jobs, with_pool_width};
+    let gpu = |min: usize| {
+        let mut cfg = GpuConfig::k20c();
+        cfg.pool_min_issuable = min;
+        Gpu::new(cfg, Program::new())
+    };
+    let cores = default_jobs();
+    let expect_auto = if cores <= 1 { usize::MAX } else { 2 };
+    assert_eq!(gpu(0).effective_pool_threshold(), expect_auto);
+    // Inside a pool as wide as the host, the share drops to 1 core and
+    // auto always answers "never fan out".
+    assert_eq!(
+        with_pool_width(cores, || gpu(0).effective_pool_threshold()),
+        usize::MAX
+    );
+    // Explicit thresholds are host policy chosen by the caller.
+    assert_eq!(gpu(2).effective_pool_threshold(), 2);
+    assert_eq!(with_pool_width(64, || gpu(5).effective_pool_threshold()), 5);
+}
+
+/// Epoch batching off must reproduce the exact same results (it only
+/// changes how many executed steps the engine takes, never what they
+/// compute) — and the forced-pool path (`pool_min_issuable = 2`) must be
+/// bit-identical too, pinning worker-pool coverage even on 1-core CI
+/// where the auto policy would stage inline.
+#[test]
+fn epoch_batching_and_pool_policy_are_unobservable() {
+    let (serial_stats, serial_mem) = run_stress(cfg_with_jobs(1));
+    for jobs in [2usize, 4] {
+        let mut off = cfg_with_jobs(jobs);
+        off.epoch_batching = false;
+        let (stats, mem) = run_stress(off);
+        assert_eq!(stats, serial_stats, "jobs={jobs} epochs off: stats");
+        assert_eq!(mem, serial_mem, "jobs={jobs} epochs off: memory");
+
+        let mut pooled = cfg_with_jobs(jobs);
+        pooled.pool_min_issuable = 2;
+        let (stats, mem) = run_stress(pooled);
+        assert_eq!(stats, serial_stats, "jobs={jobs} forced pool: stats");
+        assert_eq!(mem, serial_mem, "jobs={jobs} forced pool: memory");
+
+        let mut never = cfg_with_jobs(jobs);
+        never.pool_min_issuable = usize::MAX;
+        let (stats, mem) = run_stress(never);
+        assert_eq!(stats, serial_stats, "jobs={jobs} inline-only: stats");
+        assert_eq!(mem, serial_mem, "jobs={jobs} inline-only: memory");
+    }
+}
+
+/// Engine self-metering end to end: with the opt-in `engine` trace
+/// category on, a staged run emits `EngineSample` events that fold into
+/// the `engine.*` metrics — and with epoch batching on, the metered
+/// steps cover more cycles than their count (the SMX-pure jumps
+/// actually fired). The category stays outside `mask_all()`, so no
+/// differential suite ever sees these host-wall-clock payloads.
+#[test]
+fn engine_category_meters_staged_epochs() {
+    use gpu_trace::{Category, MetricsRegistry, TraceConfig};
+    let run = |epoch_batching: bool| -> MetricsRegistry {
+        let (prog, parent) = stress_program();
+        let mut cfg = cfg_with_jobs(2);
+        cfg.epoch_batching = epoch_batching;
+        cfg.trace = TraceConfig {
+            mask: Category::Engine.bit(),
+            metrics_interval: 0,
+            ..TraceConfig::off()
+        };
+        let mut gpu = Gpu::new(cfg, prog);
+        let inp = gpu.malloc(NTB * BLOCK * 4).unwrap();
+        let out = gpu.malloc(NTB * BLOCK * 4).unwrap();
+        let ctr = gpu.malloc(CTR_WORDS * 2 * 4).unwrap();
+        let childo = gpu.malloc(NTB * BLOCK * 4).unwrap();
+        gpu.launch(parent, NTB, &[inp, out, ctr, childo], 0)
+            .unwrap();
+        gpu.run_to_idle().expect("metered run converges");
+        let data = gpu.take_trace().expect("tracing was enabled");
+        MetricsRegistry::from_trace(&data)
+    };
+
+    let batched = run(true);
+    let epochs = batched.counter("engine.epochs");
+    let cycles = batched.counter("engine.cycles");
+    assert!(epochs > 0, "staged steps must be metered");
+    assert!(
+        cycles > epochs,
+        "epoch batching on: {epochs} steps should cover more than {cycles} cycles"
+    );
+    assert!(batched.histogram("engine.epoch_len").is_some());
+
+    // Batching off executes at least as many staged steps over the same
+    // simulated work (it may only step *more* often).
+    let unbatched = run(false);
+    assert!(unbatched.counter("engine.epochs") >= epochs);
+}
