@@ -1,36 +1,43 @@
 //! Perf probe: the repo's wall-clock trajectory, one data point per PR.
 //!
-//! PR 9's probe prices the two-phase sharded engine after epoch batching
-//! and commit offload, against the PR 5 numbers that motivated them
-//! (forced `smx_jobs = 4` ran at 0.39× serial on a 1-core host). Four
-//! sweeps of the Test-scale matrix (16 benchmarks × 5 variants, one
-//! sweep worker):
+//! PR 10's probe prices the warp-vectorized functional layer: decoded
+//! micro-op programs, the lane-major register file, and warp-level
+//! execute kernels with uniform-operand fast paths, against the per-lane
+//! scalar executor they replaced (kept alive behind
+//! `GpuConfig::legacy_exec`). Four sweeps of the Test-scale matrix
+//! (16 benchmarks × 5 variants, one sweep worker):
 //!
-//! 1. **event_serial** — the serial event-driven engine
-//!    (`smx_jobs = 1`): the baseline every other path is priced against.
-//! 2. **sharded_auto** — `smx_jobs = 0`: the auto policy resolves the
-//!    worker count *and* the fan-out threshold from the host's spare
-//!    parallelism (on a 1-core host it stages inline on the main
-//!    thread).
-//! 3. **sharded_x4** — forced `smx_jobs = 4` with epoch batching on
-//!    (the default): the oversubscription stress cell. The auto
-//!    fan-out threshold still applies, so a 1-core host pays the staged
-//!    representation but not a worker-pool barrier.
-//! 4. **sharded_x4_epochs_off** — the same forced cell with
-//!    `epoch_batching = false`: isolates what the SMX-pure jump buys.
+//! 1. **decoded_serial** — the default decoded executor on the serial
+//!    event-driven engine (`smx_jobs = 1`): the number that matters.
+//! 2. **legacy_serial** — the same engine with `legacy_exec = true`: one
+//!    `lane_step` call per active lane per issue. The decoded/legacy
+//!    wall-clock ratio is the executor speedup, measured on identical
+//!    workloads producing identical cycles.
+//! 3. **sharded_auto** — decoded executor, `smx_jobs = 0`: the auto
+//!    policy resolves worker count and fan-out threshold from the host's
+//!    spare parallelism.
+//! 4. **sharded_x4** — decoded executor, forced `smx_jobs = 4`: the
+//!    oversubscription stress cell from PR 9, re-priced on the decoded
+//!    path.
 //!
-//! All engines must agree on total `sim_cycles` — the probe **exits 1**
-//! on any mismatch, so CI cannot record a benchmark number produced by a
-//! divergent engine. When the host has more than one core the probe adds
-//! a `paper_cell`: the paper's headline bfs_usa_road/dtbl cell at eval
-//! scale, serial vs sharded-auto, where the fan-out actually pays.
+//! All four paths must agree on total `sim_cycles` — the probe **exits
+//! 1** on any mismatch, so CI cannot record a benchmark number produced
+//! by a divergent executor or engine. It also **exits 1** if the decoded
+//! executor fails to clear a 1.25× wall-clock floor over the scalar one:
+//! a regression that parks the tentpole behind an accidental slow path
+//! fails the build rather than shipping as a silent perf loss. When the
+//! host has more than one core the probe adds a `paper_cell`: the paper's
+//! headline bfs_usa_road/dtbl cell at eval scale, serial vs sharded-auto.
 //!
-//! Usage: `perf_probe [--out PATH]` (default `BENCH_pr9.json`).
+//! Usage: `perf_probe [--out PATH]` (default `BENCH_pr10.json`).
 
 use bench::SweepRunner;
 use gpu_sim::GpuConfig;
 use std::time::Instant;
 use workloads::{Benchmark, Scale, Variant};
+
+/// Hard floor on decoded-vs-scalar executor speedup; CI fails below it.
+const DECODED_SPEEDUP_FLOOR: f64 = 1.25;
 
 struct PathNumbers {
     wall_seconds: f64,
@@ -95,10 +102,10 @@ fn summarize(run: impl FnOnce() -> bench::Matrix) -> PathNumbers {
     }
 }
 
-fn sweep(jobs: usize, epoch_batching: bool) -> PathNumbers {
+fn sweep(jobs: usize, legacy_exec: bool) -> PathNumbers {
     let mut cfg = GpuConfig::k20c();
     cfg.smx_jobs = jobs;
-    cfg.epoch_batching = epoch_batching;
+    cfg.legacy_exec = legacy_exec;
     summarize(|| {
         SweepRunner::new(1).run_matrix_with(&Benchmark::ALL, &Variant::MAIN, Scale::Test, cfg)
     })
@@ -129,35 +136,44 @@ fn main() {
             args.iter()
                 .find_map(|a| a.strip_prefix("--out=").map(str::to_string))
         })
-        .unwrap_or_else(|| "BENCH_pr9.json".to_string());
+        .unwrap_or_else(|| "BENCH_pr10.json".to_string());
 
     let host_cores = gpu_sim::sweep::default_jobs();
 
-    eprintln!("perf_probe: serial event engine (smx_jobs=1), Test-scale matrix, 1 worker");
-    let serial = sweep(1, true);
-    eprintln!("perf_probe: sharded engine, auto policy (smx_jobs=0)");
-    let auto = sweep(0, true);
-    eprintln!("perf_probe: sharded engine, forced smx_jobs=4, epoch batching on");
-    let x4 = sweep(4, true);
-    eprintln!("perf_probe: sharded engine, forced smx_jobs=4, epoch batching off");
-    let x4_off = sweep(4, false);
+    eprintln!("perf_probe: decoded executor, serial event engine (smx_jobs=1)");
+    let decoded = sweep(1, false);
+    eprintln!("perf_probe: scalar per-lane executor (legacy_exec=true), same engine");
+    let legacy = sweep(1, true);
+    eprintln!("perf_probe: decoded executor, sharded engine, auto policy (smx_jobs=0)");
+    let auto = sweep(0, false);
+    eprintln!("perf_probe: decoded executor, sharded engine, forced smx_jobs=4");
+    let x4 = sweep(4, false);
 
-    // Engine equivalence is priced into the probe itself: a benchmark
-    // number from an engine that diverged on simulated cycles is
+    // Executor/engine equivalence is priced into the probe itself: a
+    // benchmark number from a path that diverged on simulated cycles is
     // meaningless, so refuse to record one.
     for (name, p) in [
+        ("legacy_serial", &legacy),
         ("sharded_auto", &auto),
         ("sharded_x4", &x4),
-        ("sharded_x4_epochs_off", &x4_off),
     ] {
-        if p.sim_cycles != serial.sim_cycles || p.cells_ok != serial.cells_ok {
+        if p.sim_cycles != decoded.sim_cycles || p.cells_ok != decoded.cells_ok {
             eprintln!(
-                "perf_probe: FATAL: {name} diverged from serial \
+                "perf_probe: FATAL: {name} diverged from decoded serial \
                  (cycles {} vs {}, cells {} vs {})",
-                p.sim_cycles, serial.sim_cycles, p.cells_ok, serial.cells_ok
+                p.sim_cycles, decoded.sim_cycles, p.cells_ok, decoded.cells_ok
             );
             std::process::exit(1);
         }
+    }
+
+    let decoded_vs_legacy = legacy.wall_seconds / decoded.wall_seconds.max(1e-9);
+    if decoded_vs_legacy < DECODED_SPEEDUP_FLOOR {
+        eprintln!(
+            "perf_probe: FATAL: decoded executor is only {decoded_vs_legacy:.2}x the scalar \
+             one (floor {DECODED_SPEEDUP_FLOOR:.2}x) — the vectorized path regressed"
+        );
+        std::process::exit(1);
     }
 
     // The paper's headline cell at eval scale, where a multi-core host's
@@ -192,33 +208,32 @@ fn main() {
         "null".to_string()
     };
 
-    let auto_ratio = serial.wall_seconds / auto.wall_seconds.max(1e-9);
-    let x4_ratio = serial.wall_seconds / x4.wall_seconds.max(1e-9);
-    let x4_off_ratio = serial.wall_seconds / x4_off.wall_seconds.max(1e-9);
+    let auto_ratio = decoded.wall_seconds / auto.wall_seconds.max(1e-9);
+    let x4_ratio = decoded.wall_seconds / x4.wall_seconds.max(1e-9);
     let json = format!(
         concat!(
             "{{\n",
             "  \"probe\": \"test-scale matrix, {} cells, --jobs 1\",\n",
             "  \"host_cores\": {},\n",
-            "  \"event_serial\": {},\n",
+            "  \"decoded_serial\": {},\n",
+            "  \"legacy_serial\": {},\n",
             "  \"sharded_auto\": {},\n",
             "  \"sharded_x4\": {},\n",
-            "  \"sharded_x4_epochs_off\": {},\n",
+            "  \"decoded_vs_legacy\": {:.2},\n",
             "  \"sharded_auto_vs_serial\": {:.2},\n",
             "  \"forced_x4_vs_serial\": {:.2},\n",
-            "  \"forced_x4_epochs_off_vs_serial\": {:.2},\n",
             "  \"paper_cell\": {}\n",
             "}}\n"
         ),
-        serial.cells_total,
+        decoded.cells_total,
         host_cores,
-        serial.json(),
+        decoded.json(),
+        legacy.json(),
         auto.json(),
         x4.json(),
-        x4_off.json(),
+        decoded_vs_legacy,
         auto_ratio,
         x4_ratio,
-        x4_off_ratio,
         paper_cell,
     );
     if let Err(e) = std::fs::write(&out, &json) {
@@ -227,11 +242,12 @@ fn main() {
     }
     print!("{json}");
     eprintln!(
-        "perf_probe ({host_cores} core(s)): serial {:.1}s ({:.2} cells/s), auto {:.1}s \
-         ({auto_ratio:.2}x), forced x4 {:.1}s ({x4_ratio:.2}x, epochs off {x4_off_ratio:.2}x); \
-         wrote {out}",
-        serial.wall_seconds,
-        serial.cells_per_sec(),
+        "perf_probe ({host_cores} core(s)): decoded {:.1}s ({:.2} cells/s), scalar {:.1}s \
+         ({decoded_vs_legacy:.2}x decoded speedup), auto {:.1}s ({auto_ratio:.2}x), \
+         forced x4 {:.1}s ({x4_ratio:.2}x); wrote {out}",
+        decoded.wall_seconds,
+        decoded.cells_per_sec(),
+        legacy.wall_seconds,
         auto.wall_seconds,
         x4.wall_seconds,
     );

@@ -1,0 +1,106 @@
+//! The functional-executor contract at workload scale: the decoded
+//! warp-level execute kernels (the default) and the per-lane scalar
+//! executor (`legacy_exec = true`) read the same micro-op program and the
+//! same lane-major register file, and must be *bit-identical* in every
+//! observable — `Stats`, failure sets, and JSONL trace bytes — under all
+//! three execution engines (per-cycle, event-driven, two-phase sharded).
+//!
+//! A uniform-operand fast path that broadcasts a value legacy would have
+//! computed per lane, a sweep that visits lanes in the wrong order
+//! through an aliased store, or a predicate mask that drifts from the
+//! per-lane predicate words all show up here as a divergence.
+
+use bench::{Matrix, SweepRunner};
+use gpu_sim::GpuConfig;
+use gpu_trace::{Category, TraceConfig};
+use workloads::{Benchmark, Scale, Variant};
+
+const VARIANTS: [Variant; 3] = [Variant::Flat, Variant::Cdp, Variant::Dtbl];
+
+/// Asserts two matrices agree cell-for-cell: same failure set, and
+/// bit-identical `Stats` on every successful cell.
+fn assert_matrices_identical(a: &Matrix, b: &Matrix, what: &str) {
+    assert_eq!(
+        a.failures().len(),
+        b.failures().len(),
+        "{what}: failure sets diverged"
+    );
+    for &bm in Benchmark::ALL.iter() {
+        for &v in &VARIANTS {
+            assert_eq!(
+                a.contains(bm, v),
+                b.contains(bm, v),
+                "{what}: {bm} [{v}] succeeded under one executor but not the other"
+            );
+            if !a.contains(bm, v) {
+                continue;
+            }
+            assert_eq!(
+                a.get(bm, v).stats,
+                b.get(bm, v).stats,
+                "{what}: {bm} [{v}] Stats diverged"
+            );
+        }
+    }
+}
+
+/// All 16 benchmarks × 3 variants: the scalar executor must reproduce the
+/// decoded executor's `Stats` bit-for-bit under the event-driven engine,
+/// the forced per-cycle engine, and the two-phase sharded engine. The
+/// decoded runs of the latter two engines are already proven identical to
+/// the serial decoded baseline by `engine_equivalence`, so one decoded
+/// baseline anchors all three comparisons.
+#[test]
+fn scalar_executor_stats_match_decoded_across_matrix() {
+    let decoded = SweepRunner::new(4).run_matrix(&Benchmark::ALL, &VARIANTS, Scale::Test);
+    let mut cells: Vec<(&str, GpuConfig)> = Vec::new();
+
+    let mut ev = GpuConfig::k20c();
+    ev.legacy_exec = true;
+    cells.push(("scalar, event-driven", ev));
+
+    let mut pc = GpuConfig::k20c();
+    pc.legacy_exec = true;
+    pc.force_per_cycle = true;
+    cells.push(("scalar, per-cycle", pc));
+
+    let mut sh = GpuConfig::k20c();
+    sh.legacy_exec = true;
+    sh.smx_jobs = 4;
+    cells.push(("scalar, sharded smx_jobs=4", sh));
+
+    for (what, cfg) in cells {
+        let m = SweepRunner::new(4).run_matrix_with(&Benchmark::ALL, &VARIANTS, Scale::Test, cfg);
+        assert_matrices_identical(&decoded, &m, &format!("decoded vs {what}"));
+    }
+}
+
+/// Event traces, not just aggregate stats: on three launch-heavy
+/// benchmarks the JSONL export of a scalar-executor run — serial and
+/// sharded — must be byte-identical to the decoded serial run. Same
+/// events, same order, same cycle stamps.
+#[test]
+fn scalar_executor_traces_match_decoded_byte_for_byte() {
+    const TRACED: [Benchmark; 3] = [Benchmark::BfsUsaRoad, Benchmark::Amr, Benchmark::Bht];
+    let jsonl = |legacy: bool, jobs: usize| -> String {
+        let mut cfg = GpuConfig::k20c();
+        cfg.legacy_exec = legacy;
+        cfg.smx_jobs = jobs;
+        cfg.trace = TraceConfig {
+            mask: Category::default_mask(),
+            metrics_interval: 1000,
+            ..TraceConfig::off()
+        };
+        let mut m = SweepRunner::new(1).run_matrix_with(&TRACED, &VARIANTS, Scale::Test, cfg);
+        assert!(m.failures().is_empty(), "traced runs must all succeed");
+        gpu_trace::export::jsonl(&m.take_traces(&TRACED, &VARIANTS))
+    };
+    let decoded = jsonl(false, 1);
+    assert!(!decoded.is_empty());
+    for jobs in [1usize, 4] {
+        assert!(
+            jsonl(true, jobs) == decoded,
+            "scalar executor (smx_jobs={jobs}): JSONL trace diverged from the decoded executor"
+        );
+    }
+}

@@ -39,7 +39,7 @@ pub struct ThreadEnv {
 }
 
 impl ThreadEnv {
-    fn sreg(&self, s: SReg) -> u32 {
+    pub(crate) fn sreg(&self, s: SReg) -> u32 {
         match s {
             SReg::TidX => self.tid.0,
             SReg::TidY => self.tid.1,
@@ -126,6 +126,32 @@ pub enum Effect {
     Launch(LaunchRequest),
 }
 
+/// One lane's architectural register state, abstracted over its storage.
+///
+/// [`ThreadCtx`] (boxed per-thread storage) and
+/// [`LaneView`](crate::decode::LaneView) (one lane of a lane-major
+/// [`WarpRegs`](crate::decode::WarpRegs)) both implement this, so the
+/// scalar executor [`lane_step`] is *one* function with two storage
+/// backends — the semantics cannot drift between them.
+pub trait LaneState {
+    /// Reads a register.
+    fn reg(&self, r: Reg) -> u32;
+    /// Writes a register.
+    fn write_reg(&mut self, r: Reg, v: u32);
+    /// Reads a predicate.
+    fn pred(&self, p: Pred) -> bool;
+    /// Writes a predicate.
+    fn write_pred(&mut self, p: Pred, v: bool);
+    /// Resolves an operand against this lane's registers.
+    #[inline]
+    fn op(&self, op: Op) -> u32 {
+        match op {
+            Op::Reg(r) => self.reg(r),
+            Op::Imm(v) => v,
+        }
+    }
+}
+
 /// Architectural state of a single thread: general-purpose registers and
 /// predicates.
 #[derive(Clone, Debug)]
@@ -172,13 +198,6 @@ impl ThreadCtx {
         }
     }
 
-    fn op(&self, op: Op) -> u32 {
-        match op {
-            Op::Reg(r) => self.reg(r),
-            Op::Imm(v) => v,
-        }
-    }
-
     /// Executes one instruction for this lane, updating registers and
     /// returning any external effect.
     ///
@@ -187,187 +206,225 @@ impl ThreadCtx {
     /// caller (the SIMT front end) is responsible for the PC/mask update,
     /// reading predicates via [`ThreadCtx::pred`].
     pub fn step(&mut self, inst: &Inst, env: &ThreadEnv) -> Effect {
-        match *inst {
-            Inst::Mov { dst, src } => {
-                let v = self.op(src);
-                self.write_reg(dst, v);
-                Effect::None
-            }
-            Inst::S2R { dst, sreg } => {
-                self.write_reg(dst, env.sreg(sreg));
-                Effect::None
-            }
-            Inst::IAdd { dst, a, b } => self.bin(dst, a, b, |x, y| x.wrapping_add(y)),
-            Inst::ISub { dst, a, b } => self.bin(dst, a, b, |x, y| x.wrapping_sub(y)),
-            Inst::IMul { dst, a, b } => self.bin(dst, a, b, |x, y| x.wrapping_mul(y)),
-            Inst::IMad { dst, a, b, c } => {
-                let v = self
-                    .reg(a)
-                    .wrapping_mul(self.op(b))
-                    .wrapping_add(self.op(c));
-                self.write_reg(dst, v);
-                Effect::None
-            }
-            Inst::IDivU { dst, a, b } => {
-                // Hardware defines x/0 = all-ones (not an Option), so a
-                // checked_div + unwrap_or reads as the semantics here.
-                self.bin(dst, a, b, |x, y| x.checked_div(y).unwrap_or(u32::MAX))
-            }
-            Inst::IRemU { dst, a, b } => self.bin(dst, a, b, |x, y| if y == 0 { x } else { x % y }),
-            Inst::IMinS { dst, a, b } => {
-                self.bin(dst, a, b, |x, y| (x as i32).min(y as i32) as u32)
-            }
-            Inst::IMaxS { dst, a, b } => {
-                self.bin(dst, a, b, |x, y| (x as i32).max(y as i32) as u32)
-            }
-            Inst::And { dst, a, b } => self.bin(dst, a, b, |x, y| x & y),
-            Inst::Or { dst, a, b } => self.bin(dst, a, b, |x, y| x | y),
-            Inst::Xor { dst, a, b } => self.bin(dst, a, b, |x, y| x ^ y),
-            Inst::Shl { dst, a, b } => self.bin(dst, a, b, |x, y| x << (y & 31)),
-            Inst::ShrU { dst, a, b } => self.bin(dst, a, b, |x, y| x >> (y & 31)),
-            Inst::ShrS { dst, a, b } => self.bin(dst, a, b, |x, y| ((x as i32) >> (y & 31)) as u32),
-            Inst::FAdd { dst, a, b } => self.fbin(dst, a, b, |x, y| x + y),
-            Inst::FSub { dst, a, b } => self.fbin(dst, a, b, |x, y| x - y),
-            Inst::FMul { dst, a, b } => self.fbin(dst, a, b, |x, y| x * y),
-            Inst::FDiv { dst, a, b } => self.fbin(dst, a, b, |x, y| x / y),
-            Inst::FSqrt { dst, a } => {
-                let v = f32::from_bits(self.reg(a)).sqrt();
-                self.write_reg(dst, v.to_bits());
-                Effect::None
-            }
-            Inst::FMin { dst, a, b } => self.fbin(dst, a, b, f32::min),
-            Inst::FMax { dst, a, b } => self.fbin(dst, a, b, f32::max),
-            Inst::I2F { dst, a } => {
-                let v = (self.reg(a) as i32) as f32;
-                self.write_reg(dst, v.to_bits());
-                Effect::None
-            }
-            Inst::F2I { dst, a } => {
-                let f = f32::from_bits(self.reg(a));
-                // cvt.rzi.s32.f32 semantics: truncate, saturate, NaN -> 0.
-                let v = if f.is_nan() {
-                    0i32
-                } else if f >= i32::MAX as f32 {
-                    i32::MAX
-                } else if f <= i32::MIN as f32 {
-                    i32::MIN
-                } else {
-                    f.trunc() as i32
-                };
-                self.write_reg(dst, v as u32);
-                Effect::None
-            }
-            Inst::SetP { dst, cmp, ty, a, b } => {
-                let x = self.reg(a);
-                let y = self.op(b);
-                let r = match ty {
-                    CmpTy::U32 => cmp_with(cmp, &x, &y),
-                    CmpTy::I32 => cmp_with(cmp, &(x as i32), &(y as i32)),
-                    CmpTy::F32 => cmp_f32(cmp, f32::from_bits(x), f32::from_bits(y)),
-                };
-                self.write_pred(dst, r);
-                Effect::None
-            }
-            Inst::PBool { dst, a, b, and } => {
-                let v = if and {
-                    self.pred(a) && self.pred(b)
-                } else {
-                    self.pred(a) || self.pred(b)
-                };
-                self.write_pred(dst, v);
-                Effect::None
-            }
-            Inst::PNot { dst, a } => {
-                let v = !self.pred(a);
-                self.write_pred(dst, v);
-                Effect::None
-            }
-            Inst::Sel { dst, p, a, b } => {
-                let v = if self.pred(p) { self.op(a) } else { self.op(b) };
-                self.write_reg(dst, v);
-                Effect::None
-            }
-            Inst::Ld {
-                dst,
-                space,
-                addr,
-                offset,
-            } => Effect::Load {
-                dst,
-                req: MemRequest {
-                    space,
-                    addr: self.reg(addr).wrapping_add_signed(offset),
-                    is_write: false,
-                },
-            },
-            Inst::St {
-                space,
-                addr,
-                offset,
-                src,
-            } => Effect::Store {
-                req: MemRequest {
-                    space,
-                    addr: self.reg(addr).wrapping_add_signed(offset),
-                    is_write: true,
-                },
-                value: self.op(src),
-            },
-            Inst::LdParam { dst, word } => Effect::Load {
-                dst,
-                req: MemRequest {
-                    space: Space::Global,
-                    addr: env.param_base.wrapping_add(u32::from(word) * 4),
-                    is_write: false,
-                },
-            },
-            Inst::Atom {
-                dst,
-                op,
-                space,
-                addr,
-                offset,
-                src,
-                extra,
-            } => Effect::Atomic {
-                dst,
-                op,
-                req: MemRequest {
-                    space,
-                    addr: self.reg(addr).wrapping_add_signed(offset),
-                    is_write: true,
-                },
-                operand: self.op(src),
-                comparand: extra.map(|r| self.reg(r)),
-            },
-            Inst::GetParamBuf { dst, words } => Effect::AllocParamBuf { dst, words },
-            Inst::LaunchDevice { kernel, ntb, param } => Effect::Launch(LaunchRequest {
-                kind: LaunchKind::Device,
-                kernel,
-                ntb: self.op(ntb),
-                param_addr: self.reg(param),
-            }),
-            Inst::LaunchAgg { kernel, ntb, param } => Effect::Launch(LaunchRequest {
-                kind: LaunchKind::Agg,
-                kernel,
-                ntb: self.op(ntb),
-                param_addr: self.reg(param),
-            }),
-            Inst::Bra { .. } | Inst::Bar | Inst::Exit | Inst::Nop | Inst::MemFence => Effect::None,
+        lane_step(self, inst, env)
+    }
+}
+
+impl LaneState for ThreadCtx {
+    #[inline]
+    fn reg(&self, r: Reg) -> u32 {
+        ThreadCtx::reg(self, r)
+    }
+
+    #[inline]
+    fn write_reg(&mut self, r: Reg, v: u32) {
+        ThreadCtx::write_reg(self, r, v);
+    }
+
+    #[inline]
+    fn pred(&self, p: Pred) -> bool {
+        ThreadCtx::pred(self, p)
+    }
+
+    #[inline]
+    fn write_pred(&mut self, p: Pred, v: bool) {
+        ThreadCtx::write_pred(self, p, v);
+    }
+}
+
+/// Executes one instruction for one lane over any [`LaneState`] storage.
+///
+/// This is the scalar reference executor: [`ThreadCtx::step`] delegates
+/// here, and the warp-vectorized path
+/// ([`decode::exec_alu`](crate::decode::exec_alu)) is differentially
+/// tested against it. Control-flow instructions return [`Effect::None`];
+/// the SIMT front end owns the PC/mask update.
+pub fn lane_step<L: LaneState + ?Sized>(st: &mut L, inst: &Inst, env: &ThreadEnv) -> Effect {
+    match *inst {
+        Inst::Mov { dst, src } => {
+            let v = st.op(src);
+            st.write_reg(dst, v);
+            Effect::None
         }
+        Inst::S2R { dst, sreg } => {
+            st.write_reg(dst, env.sreg(sreg));
+            Effect::None
+        }
+        Inst::IAdd { dst, a, b } => bin(st, dst, a, b, |x, y| x.wrapping_add(y)),
+        Inst::ISub { dst, a, b } => bin(st, dst, a, b, |x, y| x.wrapping_sub(y)),
+        Inst::IMul { dst, a, b } => bin(st, dst, a, b, |x, y| x.wrapping_mul(y)),
+        Inst::IMad { dst, a, b, c } => {
+            let v = st.reg(a).wrapping_mul(st.op(b)).wrapping_add(st.op(c));
+            st.write_reg(dst, v);
+            Effect::None
+        }
+        Inst::IDivU { dst, a, b } => {
+            // Hardware defines x/0 = all-ones (not an Option), so a
+            // checked_div + unwrap_or reads as the semantics here.
+            bin(st, dst, a, b, |x, y| x.checked_div(y).unwrap_or(u32::MAX))
+        }
+        Inst::IRemU { dst, a, b } => bin(st, dst, a, b, |x, y| if y == 0 { x } else { x % y }),
+        Inst::IMinS { dst, a, b } => bin(st, dst, a, b, |x, y| (x as i32).min(y as i32) as u32),
+        Inst::IMaxS { dst, a, b } => bin(st, dst, a, b, |x, y| (x as i32).max(y as i32) as u32),
+        Inst::And { dst, a, b } => bin(st, dst, a, b, |x, y| x & y),
+        Inst::Or { dst, a, b } => bin(st, dst, a, b, |x, y| x | y),
+        Inst::Xor { dst, a, b } => bin(st, dst, a, b, |x, y| x ^ y),
+        Inst::Shl { dst, a, b } => bin(st, dst, a, b, |x, y| x << (y & 31)),
+        Inst::ShrU { dst, a, b } => bin(st, dst, a, b, |x, y| x >> (y & 31)),
+        Inst::ShrS { dst, a, b } => bin(st, dst, a, b, |x, y| ((x as i32) >> (y & 31)) as u32),
+        Inst::FAdd { dst, a, b } => fbin(st, dst, a, b, |x, y| x + y),
+        Inst::FSub { dst, a, b } => fbin(st, dst, a, b, |x, y| x - y),
+        Inst::FMul { dst, a, b } => fbin(st, dst, a, b, |x, y| x * y),
+        Inst::FDiv { dst, a, b } => fbin(st, dst, a, b, |x, y| x / y),
+        Inst::FSqrt { dst, a } => {
+            let v = f32::from_bits(st.reg(a)).sqrt();
+            st.write_reg(dst, v.to_bits());
+            Effect::None
+        }
+        Inst::FMin { dst, a, b } => fbin(st, dst, a, b, f32::min),
+        Inst::FMax { dst, a, b } => fbin(st, dst, a, b, f32::max),
+        Inst::I2F { dst, a } => {
+            let v = (st.reg(a) as i32) as f32;
+            st.write_reg(dst, v.to_bits());
+            Effect::None
+        }
+        Inst::F2I { dst, a } => {
+            let f = f32::from_bits(st.reg(a));
+            // cvt.rzi.s32.f32 semantics: truncate, saturate, NaN -> 0.
+            let v = if f.is_nan() {
+                0i32
+            } else if f >= i32::MAX as f32 {
+                i32::MAX
+            } else if f <= i32::MIN as f32 {
+                i32::MIN
+            } else {
+                f.trunc() as i32
+            };
+            st.write_reg(dst, v as u32);
+            Effect::None
+        }
+        Inst::SetP { dst, cmp, ty, a, b } => {
+            let x = st.reg(a);
+            let y = st.op(b);
+            let r = match ty {
+                CmpTy::U32 => cmp_with(cmp, &x, &y),
+                CmpTy::I32 => cmp_with(cmp, &(x as i32), &(y as i32)),
+                CmpTy::F32 => cmp_f32(cmp, f32::from_bits(x), f32::from_bits(y)),
+            };
+            st.write_pred(dst, r);
+            Effect::None
+        }
+        Inst::PBool { dst, a, b, and } => {
+            let v = if and {
+                st.pred(a) && st.pred(b)
+            } else {
+                st.pred(a) || st.pred(b)
+            };
+            st.write_pred(dst, v);
+            Effect::None
+        }
+        Inst::PNot { dst, a } => {
+            let v = !st.pred(a);
+            st.write_pred(dst, v);
+            Effect::None
+        }
+        Inst::Sel { dst, p, a, b } => {
+            let v = if st.pred(p) { st.op(a) } else { st.op(b) };
+            st.write_reg(dst, v);
+            Effect::None
+        }
+        Inst::Ld {
+            dst,
+            space,
+            addr,
+            offset,
+        } => Effect::Load {
+            dst,
+            req: MemRequest {
+                space,
+                addr: st.reg(addr).wrapping_add_signed(offset),
+                is_write: false,
+            },
+        },
+        Inst::St {
+            space,
+            addr,
+            offset,
+            src,
+        } => Effect::Store {
+            req: MemRequest {
+                space,
+                addr: st.reg(addr).wrapping_add_signed(offset),
+                is_write: true,
+            },
+            value: st.op(src),
+        },
+        Inst::LdParam { dst, word } => Effect::Load {
+            dst,
+            req: MemRequest {
+                space: Space::Global,
+                addr: env.param_base.wrapping_add(u32::from(word) * 4),
+                is_write: false,
+            },
+        },
+        Inst::Atom {
+            dst,
+            op,
+            space,
+            addr,
+            offset,
+            src,
+            extra,
+        } => Effect::Atomic {
+            dst,
+            op,
+            req: MemRequest {
+                space,
+                addr: st.reg(addr).wrapping_add_signed(offset),
+                is_write: true,
+            },
+            operand: st.op(src),
+            comparand: extra.map(|r| st.reg(r)),
+        },
+        Inst::GetParamBuf { dst, words } => Effect::AllocParamBuf { dst, words },
+        Inst::LaunchDevice { kernel, ntb, param } => Effect::Launch(LaunchRequest {
+            kind: LaunchKind::Device,
+            kernel,
+            ntb: st.op(ntb),
+            param_addr: st.reg(param),
+        }),
+        Inst::LaunchAgg { kernel, ntb, param } => Effect::Launch(LaunchRequest {
+            kind: LaunchKind::Agg,
+            kernel,
+            ntb: st.op(ntb),
+            param_addr: st.reg(param),
+        }),
+        Inst::Bra { .. } | Inst::Bar | Inst::Exit | Inst::Nop | Inst::MemFence => Effect::None,
     }
+}
 
-    fn bin(&mut self, dst: Reg, a: Reg, b: Op, f: impl FnOnce(u32, u32) -> u32) -> Effect {
-        let v = f(self.reg(a), self.op(b));
-        self.write_reg(dst, v);
-        Effect::None
-    }
+fn bin<L: LaneState + ?Sized>(
+    st: &mut L,
+    dst: Reg,
+    a: Reg,
+    b: Op,
+    f: impl FnOnce(u32, u32) -> u32,
+) -> Effect {
+    let v = f(st.reg(a), st.op(b));
+    st.write_reg(dst, v);
+    Effect::None
+}
 
-    fn fbin(&mut self, dst: Reg, a: Reg, b: Op, f: impl FnOnce(f32, f32) -> f32) -> Effect {
-        let v = f(f32::from_bits(self.reg(a)), f32::from_bits(self.op(b)));
-        self.write_reg(dst, v.to_bits());
-        Effect::None
-    }
+fn fbin<L: LaneState + ?Sized>(
+    st: &mut L,
+    dst: Reg,
+    a: Reg,
+    b: Op,
+    f: impl FnOnce(f32, f32) -> f32,
+) -> Effect {
+    let v = f(f32::from_bits(st.reg(a)), f32::from_bits(st.op(b)));
+    st.write_reg(dst, v.to_bits());
+    Effect::None
 }
 
 /// Applies an atomic operator to a memory word, returning the new value to
@@ -393,7 +450,7 @@ pub fn apply_atomic(op: AtomOp, old: u32, operand: u32, comparand: Option<u32>) 
     }
 }
 
-fn cmp_with<T: PartialOrd>(cmp: CmpOp, a: &T, b: &T) -> bool {
+pub(crate) fn cmp_with<T: PartialOrd>(cmp: CmpOp, a: &T, b: &T) -> bool {
     match cmp {
         CmpOp::Eq => a == b,
         CmpOp::Ne => a != b,
@@ -404,7 +461,7 @@ fn cmp_with<T: PartialOrd>(cmp: CmpOp, a: &T, b: &T) -> bool {
     }
 }
 
-fn cmp_f32(cmp: CmpOp, a: f32, b: f32) -> bool {
+pub(crate) fn cmp_f32(cmp: CmpOp, a: f32, b: f32) -> bool {
     // Unordered comparisons are false except Ne, matching PTX setp.f32.
     if a.is_nan() || b.is_nan() {
         return cmp == CmpOp::Ne;

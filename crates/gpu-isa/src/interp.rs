@@ -38,8 +38,9 @@
 //! # }
 //! ```
 
+use crate::decode::{exec_alu, UOp, WarpEnv, WarpRegs};
 use crate::dim::Dim3;
-use crate::exec::{apply_atomic, Effect, ThreadCtx, ThreadEnv};
+use crate::exec::apply_atomic;
 use crate::inst::{Inst, Space};
 use crate::kernel::Kernel;
 use crate::WARP_SIZE;
@@ -246,9 +247,14 @@ fn run_block<M: WordMem>(
 }
 
 /// Per-warp interpreter using recursive mask splitting for divergence.
+///
+/// Executes the same decoded micro-op program and lane-major register
+/// file as the cycle simulator ([`WarpRegs`]/[`exec_alu`]), so the
+/// differential tests check the decode path itself — only the SIMT front
+/// end (mask splitting here, a reconvergence stack there) differs.
 struct WarpInterp {
-    ctxs: Vec<ThreadCtx>,
-    envs: Vec<ThreadEnv>,
+    regs: WarpRegs,
+    env: WarpEnv,
     /// Per-path execution frontier: (pc, mask), handled as a stack where
     /// paths are split on divergent branches and merged by PC equality.
     frontier: Vec<(u32, u32)>,
@@ -264,25 +270,21 @@ impl WarpInterp {
         grid_ntb: u32,
         param_base: u32,
     ) -> Self {
-        let block_dim = kernel.block_dim();
+        let mut regs = WarpRegs::new();
+        regs.reset(kernel.regs_per_thread(), valid);
+        let mut env = WarpEnv::new();
+        env.build(
+            kernel.block_dim(),
+            Dim3::x(grid_ntb),
+            blkid,
+            warp_in_tb,
+            valid,
+            0,
+            param_base,
+        );
         WarpInterp {
-            ctxs: (0..WARP_SIZE)
-                .map(|_| ThreadCtx::new(kernel.regs_per_thread()))
-                .collect(),
-            envs: (0..WARP_SIZE as u32)
-                .map(|lane| {
-                    let linear = u64::from(warp_in_tb) * WARP_SIZE as u64 + u64::from(lane);
-                    ThreadEnv {
-                        tid: block_dim.delinearize(linear.min(block_dim.count() - 1)),
-                        ctaid: (blkid, 0, 0),
-                        ntid: block_dim,
-                        nctaid: Dim3::x(grid_ntb),
-                        lane,
-                        smid: 0,
-                        param_base,
-                    }
-                })
-                .collect(),
+            regs,
+            env,
             frontier: vec![(0, valid)],
             at_barrier: false,
         }
@@ -328,13 +330,13 @@ impl WarpInterp {
             if st.steps > STEP_LIMIT {
                 return Err(InterpError::StepLimit);
             }
-            let inst = *st.kernel.fetch(pc);
+            let m = *st.kernel.uop(pc);
             self.frontier.pop();
-            match inst {
-                Inst::Exit => {
+            match m.op {
+                UOp::Exit => {
                     // Lanes retire; path disappears.
                 }
-                Inst::Bar => {
+                UOp::Bar => {
                     // Park the whole warp; structured kernels only use
                     // block-uniform barriers, so all paths must be here.
                     self.frontier.push((pc + 1, mask));
@@ -345,17 +347,12 @@ impl WarpInterp {
                     self.at_barrier = true;
                     return Ok(());
                 }
-                Inst::Bra { pred, target, .. } => {
+                UOp::Bra { pred, target, .. } => {
                     let taken = match pred {
                         None => mask,
                         Some((p, negate)) => {
-                            let mut t = 0u32;
-                            for lane in 0..WARP_SIZE {
-                                if mask & (1 << lane) != 0 && (self.ctxs[lane].pred(p) != negate) {
-                                    t |= 1 << lane;
-                                }
-                            }
-                            t
+                            let pm = self.regs.pred_mask(p);
+                            (if negate { !pm } else { pm }) & mask
                         }
                     };
                     let fall = mask & !taken;
@@ -366,69 +363,109 @@ impl WarpInterp {
                         self.frontier.push((pc + 1, fall));
                     }
                 }
-                ref other => {
-                    for lane in 0..WARP_SIZE {
-                        if mask & (1 << lane) == 0 {
-                            continue;
-                        }
-                        let eff = self.ctxs[lane].step(other, &self.envs[lane]);
-                        apply_effect(eff, lane, &mut self.ctxs, st, mem)?;
-                    }
+                ref op => {
+                    self.exec_op(op, mask, st, mem)?;
                     self.frontier.push((pc + 1, mask));
                 }
             }
         }
     }
-}
 
-fn apply_effect<M: WordMem>(
-    eff: Effect,
-    lane: usize,
-    ctxs: &mut [ThreadCtx],
-    st: &mut BlockState<'_>,
-    mem: &mut M,
-) -> Result<(), InterpError> {
-    match eff {
-        Effect::None => Ok(()),
-        Effect::Load { dst, req } => {
-            let v = match req.space {
-                Space::Global => mem.read_u32(req.addr),
-                Space::Shared => st.shared_read(req.addr)?,
-            };
-            ctxs[lane].write_reg(dst, v);
-            Ok(())
-        }
-        Effect::Store { req, value } => match req.space {
-            Space::Global => {
-                mem.write_u32(req.addr, value);
-                Ok(())
+    /// Executes one straight-line micro-op across the active lanes —
+    /// memory shapes by operand sweep + lane-order apply, everything
+    /// else via the shared warp-level ALU kernels.
+    fn exec_op<M: WordMem>(
+        &mut self,
+        op: &UOp,
+        mask: u32,
+        st: &mut BlockState<'_>,
+        mem: &mut M,
+    ) -> Result<(), InterpError> {
+        match *op {
+            UOp::Ld {
+                dst,
+                space,
+                addr,
+                offset,
+            } => {
+                let mut addrs = [0u32; WARP_SIZE];
+                self.regs.addr_sweep(addr, offset, mask, &mut addrs);
+                let mut vals = [0u32; WARP_SIZE];
+                let mut rest = mask;
+                while rest != 0 {
+                    let lane = rest.trailing_zeros() as usize;
+                    rest &= rest - 1;
+                    vals[lane] = match space {
+                        Space::Global => mem.read_u32(addrs[lane]),
+                        Space::Shared => st.shared_read(addrs[lane])?,
+                    };
+                }
+                self.regs.store_masked(dst, &vals, mask);
             }
-            Space::Shared => st.shared_write(req.addr, value),
-        },
-        Effect::Atomic {
-            dst,
-            op,
-            req,
-            operand,
-            comparand,
-        } => {
-            let old = match req.space {
-                Space::Global => mem.read_u32(req.addr),
-                Space::Shared => st.shared_read(req.addr)?,
-            };
-            let new = apply_atomic(op, old, operand, comparand);
-            match req.space {
-                Space::Global => mem.write_u32(req.addr, new),
-                Space::Shared => st.shared_write(req.addr, new)?,
+            UOp::LdParam { dst, word } => {
+                let addr = self.env.param_base().wrapping_add(u32::from(word) * 4);
+                let v = mem.read_u32(addr);
+                self.regs.broadcast(dst, v, mask);
             }
-            if let Some(d) = dst {
-                ctxs[lane].write_reg(d, old);
+            UOp::St {
+                space,
+                addr,
+                offset,
+                src,
+            } => {
+                let mut addrs = [0u32; WARP_SIZE];
+                self.regs.addr_sweep(addr, offset, mask, &mut addrs);
+                let mut vals = [0u32; WARP_SIZE];
+                self.regs.src_sweep(src, mask, &mut vals);
+                let mut rest = mask;
+                while rest != 0 {
+                    let lane = rest.trailing_zeros() as usize;
+                    rest &= rest - 1;
+                    match space {
+                        Space::Global => mem.write_u32(addrs[lane], vals[lane]),
+                        Space::Shared => st.shared_write(addrs[lane], vals[lane])?,
+                    }
+                }
             }
-            Ok(())
+            UOp::Atom {
+                dst,
+                op,
+                space,
+                addr,
+                offset,
+                src,
+                extra,
+            } => {
+                let mut addrs = [0u32; WARP_SIZE];
+                self.regs.addr_sweep(addr, offset, mask, &mut addrs);
+                let mut opers = [0u32; WARP_SIZE];
+                self.regs.src_sweep(src, mask, &mut opers);
+                let mut rest = mask;
+                while rest != 0 {
+                    let lane = rest.trailing_zeros() as usize;
+                    rest &= rest - 1;
+                    let comparand = extra.map(|r| self.regs.lane(r, lane));
+                    let old = match space {
+                        Space::Global => mem.read_u32(addrs[lane]),
+                        Space::Shared => st.shared_read(addrs[lane])?,
+                    };
+                    let new = apply_atomic(op, old, opers[lane], comparand);
+                    match space {
+                        Space::Global => mem.write_u32(addrs[lane], new),
+                        Space::Shared => st.shared_write(addrs[lane], new)?,
+                    }
+                    if let Some(d) = dst {
+                        self.regs.write_lane(d, lane, old);
+                    }
+                }
+            }
+            UOp::MemFence | UOp::Nop => {}
+            UOp::GetParamBuf { .. } | UOp::Launch { .. } => {
+                unreachable!("launches rejected before interpretation")
+            }
+            ref alu => exec_alu(alu, &mut self.regs, &self.env, mask),
         }
-        Effect::AllocParamBuf { .. } | Effect::Launch(_) => {
-            unreachable!("launches rejected before interpretation")
-        }
+        Ok(())
     }
 }
 

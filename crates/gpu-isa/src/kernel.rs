@@ -1,5 +1,6 @@
 //! Kernels and programs.
 
+use crate::decode::{self, MicroOp};
 use crate::dim::Dim3;
 use crate::inst::Inst;
 use std::fmt;
@@ -36,6 +37,11 @@ impl fmt::Display for KernelId {
 pub struct Kernel {
     name: String,
     insts: Arc<[Inst]>,
+    /// The decoded micro-op program, lowered once at build time and shared
+    /// (via the `Arc<Kernel>` a [`Program`] stores) by every simulator
+    /// engine, the reference interpreter and the degradation ladder — one
+    /// decode per kernel, not one per dispatch or per issue.
+    uops: Arc<[MicroOp]>,
     block_dim: Dim3,
     regs_per_thread: u16,
     preds_per_thread: u8,
@@ -53,9 +59,11 @@ impl Kernel {
         shared_mem_bytes: u32,
         param_words: u16,
     ) -> Self {
+        let uops: Arc<[MicroOp]> = decode::decode(&insts).into();
         Kernel {
             name,
             insts: insts.into(),
+            uops,
             block_dim,
             regs_per_thread,
             preds_per_thread,
@@ -82,6 +90,21 @@ impl Kernel {
     /// control flow, so this indicates simulator corruption).
     pub fn fetch(&self, pc: u32) -> &Inst {
         &self.insts[pc as usize]
+    }
+
+    /// The decoded micro-op program (same length and PC numbering as
+    /// [`insts`](Self::insts)).
+    pub fn uops(&self) -> &[MicroOp] {
+        &self.uops
+    }
+
+    /// Fetches one decoded micro-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is out of range, as with [`fetch`](Self::fetch).
+    pub fn uop(&self, pc: u32) -> &MicroOp {
+        &self.uops[pc as usize]
     }
 
     /// Thread-block shape, fixed at build time.

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 mod builder;
+pub mod decode;
 mod dim;
 mod exec;
 mod inst;
@@ -47,8 +48,12 @@ mod kernel;
 mod reg;
 
 pub use builder::{BuildError, KernelBuilder};
+pub use decode::{exec_alu, LaneView, LatClass, MicroOp, UOp, WarpEnv, WarpRegs};
 pub use dim::Dim3;
-pub use exec::{apply_atomic, Effect, LaunchKind, LaunchRequest, MemRequest, ThreadCtx, ThreadEnv};
+pub use exec::{
+    apply_atomic, lane_step, Effect, LaneState, LaunchKind, LaunchRequest, MemRequest, ThreadCtx,
+    ThreadEnv,
+};
 pub use inst::{AtomOp, CmpOp, CmpTy, Inst, Op, Space};
 pub use kernel::{Kernel, KernelId, Program};
 pub use reg::{Pred, Reg, SReg};

@@ -361,6 +361,14 @@ pub struct GpuConfig {
     /// restores PR 5's step-per-cycle-with-activity behaviour for
     /// differential testing.
     pub epoch_batching: bool,
+    /// Run the per-lane scalar executor (one [`gpu_isa::lane_step`] call
+    /// per active lane) instead of the decoded warp-level execute kernels.
+    /// Both executors read the same decoded micro-op stream and the same
+    /// lane-major register file and are bit-identical in every observable
+    /// (Stats, traces, memory, typed errors) — the equivalence suites
+    /// prove it. This escape hatch keeps the scalar path alive for
+    /// differential testing and honest executor-speedup measurement.
+    pub legacy_exec: bool,
     /// Minimum number of issuable SMXs before the stage phase fans out to
     /// the worker pool instead of staging inline on the stepping thread.
     /// `0` means auto: when the host has no spare cores for this
@@ -434,6 +442,7 @@ impl Default for GpuConfig {
             force_per_cycle: false,
             smx_jobs: env_smx_jobs(),
             epoch_batching: true,
+            legacy_exec: false,
             pool_min_issuable: 0,
             fault: FaultPlan::default(),
             budget: RunBudget::default(),
@@ -493,9 +502,9 @@ impl GpuConfig {
     /// * **Excluded**: `budget`, `max_cycles` and `watchdog_window` — they
     ///   only decide whether a run is cut short with an `Err`, and errors
     ///   are never cached; `smx_jobs`, `force_per_cycle`,
-    ///   `check_invariants`, `epoch_batching` and `pool_min_issuable` —
-    ///   engine-strategy knobs proven bit-identical by the equivalence
-    ///   suites.
+    ///   `check_invariants`, `epoch_batching`, `legacy_exec` and
+    ///   `pool_min_issuable` — engine-strategy knobs proven bit-identical
+    ///   by the equivalence suites.
     ///
     /// Two configs with equal hashes are interchangeable for caching; a
     /// collision across *different* artifact-relevant fields is a 64-bit
@@ -736,6 +745,7 @@ mod tests {
         budgeted.force_per_cycle = !base.force_per_cycle;
         budgeted.smx_jobs = base.smx_jobs + 3;
         budgeted.epoch_batching = !base.epoch_batching;
+        budgeted.legacy_exec = !base.legacy_exec;
         budgeted.pool_min_issuable = base.pool_min_issuable + 5;
         assert_eq!(
             base.content_hash(),

@@ -11,7 +11,10 @@ use crate::smx::warp::WarpState;
 use crate::smx::{Smx, Tbcr};
 use crate::stats::Stats;
 use dtbl_core::{FcfsController, GroupRef, SchedulingPool};
-use gpu_isa::{apply_atomic, Dim3, Effect, Inst, KernelId, Program, Space, ThreadEnv, WARP_SIZE};
+use gpu_isa::{
+    apply_atomic, exec_alu, lane_step, Dim3, Effect, KernelId, LaneView, LatClass, LaunchKind,
+    LaunchRequest, Program, Space, ThreadEnv, UOp, WARP_SIZE,
+};
 use gpu_mem::{
     coalesce::coalesce_into, AccessId, AccessKind, BackingStore, LinearAllocator, MemSubsystem,
 };
@@ -272,7 +275,17 @@ impl Gpu {
         self.kd = KernelDistributor::new(cfg.kde_entries);
         self.pool = SchedulingPool::new(cfg.agt_entries, cfg.kde_entries);
         self.fcfs = FcfsController::new(cfg.kde_entries);
-        self.smxs = (0..cfg.num_smx).map(|i| Smx::new(i, &cfg)).collect();
+        // Same SMX count: reset each in place, retaining the pooled
+        // register slabs and scratch capacity (`Smx::reset` restores the
+        // exact observable state `Smx::new` builds). A geometry change
+        // rebuilds from scratch.
+        if self.smxs.len() == cfg.num_smx {
+            for smx in &mut self.smxs {
+                smx.reset(&cfg);
+            }
+        } else {
+            self.smxs = (0..cfg.num_smx).map(|i| Smx::new(i, &cfg)).collect();
+        }
         self.cycle = 0;
         self.warp_age = 0;
         self.stats = Stats {
@@ -1387,6 +1400,8 @@ impl Gpu {
             ));
         };
         let inst = *tb.kernel_fn.fetch(pc);
+        let m = *tb.kernel_fn.uop(pc);
+        let legacy = self.cfg.legacy_exec;
 
         self.stats.warp_issues += 1;
         self.stats.active_lanes += u64::from(mask.count_ones());
@@ -1429,30 +1444,25 @@ impl Gpu {
             size: size as u32,
         };
 
-        match inst {
-            Inst::Bra {
+        match m.op {
+            UOp::Bra {
                 pred,
                 target,
                 reconv,
             } => {
+                // Predicates live in warp-wide lane masks, so the taken
+                // set is two bitwise ops regardless of executor mode.
                 let taken = match pred {
                     None => mask,
                     Some((p, negate)) => {
-                        let mut t = 0u32;
-                        for lane in 0..WARP_SIZE as u32 {
-                            if mask & (1 << lane) != 0
-                                && (warp.threads[lane as usize].pred(p) != negate)
-                            {
-                                t |= 1 << lane;
-                            }
-                        }
-                        t
+                        let pm = warp.regs.pred_mask(p);
+                        (if negate { !pm } else { pm }) & mask
                     }
                 };
                 warp.branch(taken, target, reconv);
                 warp.ready_at = now + pipe.alu;
             }
-            Inst::Exit => {
+            UOp::Exit => {
                 warp.exit_lanes(mask);
                 if warp.is_done() {
                     smx.live_warps -= 1;
@@ -1465,7 +1475,7 @@ impl Gpu {
                 }
                 warp.ready_at = now + pipe.alu;
             }
-            Inst::Bar => {
+            UOp::Bar => {
                 warp.advance_pc();
                 warp.state = WarpState::AtBarrier;
                 tb.barrier_arrived += 1;
@@ -1493,7 +1503,7 @@ impl Gpu {
                     Self::release_barrier(warps, tb, now, pipe.shared_mem);
                 }
             }
-            Inst::GetParamBuf { dst, words } => {
+            UOp::GetParamBuf { dst, words } => {
                 warp.advance_pc();
                 let x = u64::from(mask.count_ones());
                 let bytes = u32::from(words.max(1)) * 4;
@@ -1508,28 +1518,56 @@ impl Gpu {
                     };
                     self.param_bytes.insert(addr, bytes);
                     self.stats.add_pending(u64::from(bytes));
-                    warp.threads[lane as usize].write_reg(dst, addr);
+                    warp.regs.write_lane(dst, lane as usize, addr);
                 }
                 warp.ready_at = now + lat.get_param_buf(x);
             }
-            Inst::LaunchDevice { .. } | Inst::LaunchAgg { .. } => {
+            UOp::Launch {
+                kind,
+                kernel,
+                ntb,
+                param,
+            } => {
                 warp.advance_pc();
-                let warp_in_tb = warp.warp_in_tb;
                 let hw_base = warp.hw_slot as u32 * WARP_SIZE as u32;
                 // Pooled on `self` (disjoint field from the SMX borrow):
                 // the per-issue request list never allocates steady-state.
                 self.launch_buf.clear();
-                for lane in 0..WARP_SIZE as u32 {
-                    if mask & (1 << lane) == 0 {
-                        continue;
+                if legacy {
+                    let warp_in_tb = warp.warp_in_tb;
+                    for lane in 0..WARP_SIZE as u32 {
+                        if mask & (1 << lane) == 0 {
+                            continue;
+                        }
+                        let env = env_of(lane, warp_in_tb);
+                        if let Effect::Launch(req) = lane_step(
+                            &mut LaneView::new(&mut warp.regs, lane as usize),
+                            &inst,
+                            &env,
+                        ) {
+                            self.launch_buf.push((hw_base + lane, req));
+                        }
                     }
-                    let env = env_of(lane, warp_in_tb);
-                    if let Effect::Launch(req) = warp.threads[lane as usize].step(&inst, &env) {
-                        self.launch_buf.push((hw_base + lane, req));
+                } else {
+                    let mut ntbs = [0u32; WARP_SIZE];
+                    warp.regs.src_sweep(ntb, mask, &mut ntbs);
+                    let mut rest = mask;
+                    while rest != 0 {
+                        let lane = rest.trailing_zeros();
+                        rest &= rest - 1;
+                        self.launch_buf.push((
+                            hw_base + lane,
+                            LaunchRequest {
+                                kind,
+                                kernel,
+                                ntb: ntbs[lane as usize],
+                                param_addr: warp.regs.lane(param, lane as usize),
+                            },
+                        ));
                     }
                 }
                 let x = self.launch_buf.len() as u64;
-                let is_agg = matches!(inst, Inst::LaunchAgg { .. });
+                let is_agg = kind == LaunchKind::Agg;
                 if x > 0 && self.tracer.on(Category::Warp) {
                     self.tracer.emit(
                         now,
@@ -1552,85 +1590,233 @@ impl Gpu {
                     self.handle_launch(hw_tid, req, now, visible_at)?;
                 }
             }
-            ref mem_inst if mem_inst.is_memory() => {
+            UOp::Ld { .. } | UOp::St { .. } | UOp::LdParam { .. } | UOp::Atom { .. } => {
                 warp.advance_pc();
-                let warp_in_tb = warp.warp_in_tb;
                 let mut global_addrs = [None::<u32>; WARP_SIZE];
                 let mut any_shared = false;
                 let mut is_load_or_atomic = false;
                 let mut is_atomic = false;
-                for lane in 0..WARP_SIZE as u32 {
-                    if mask & (1 << lane) == 0 {
-                        continue;
-                    }
-                    let env = env_of(lane, warp_in_tb);
-                    let eff = warp.threads[lane as usize].step(mem_inst, &env);
-                    match eff {
-                        Effect::Load { dst, req } => {
-                            is_load_or_atomic = true;
-                            match req.space {
+                if legacy {
+                    let warp_in_tb = warp.warp_in_tb;
+                    for lane in 0..WARP_SIZE as u32 {
+                        if mask & (1 << lane) == 0 {
+                            continue;
+                        }
+                        let env = env_of(lane, warp_in_tb);
+                        let eff = lane_step(
+                            &mut LaneView::new(&mut warp.regs, lane as usize),
+                            &inst,
+                            &env,
+                        );
+                        match eff {
+                            Effect::Load { dst, req } => {
+                                is_load_or_atomic = true;
+                                match req.space {
+                                    Space::Shared => {
+                                        any_shared = true;
+                                        let v = tb.shared_read(req.addr).ok_or_else(|| {
+                                            shared_fault(req.addr, tb.shared.len())
+                                        })?;
+                                        warp.regs.write_lane(dst, lane as usize, v);
+                                    }
+                                    Space::Global => {
+                                        let v = self.mem.read_u32(req.addr);
+                                        warp.regs.write_lane(dst, lane as usize, v);
+                                        global_addrs[lane as usize] = Some(req.addr);
+                                    }
+                                }
+                            }
+                            Effect::Store { req, value } => match req.space {
                                 Space::Shared => {
                                     any_shared = true;
-                                    let v = tb
-                                        .shared_read(req.addr)
+                                    tb.shared_write(req.addr, value)
                                         .ok_or_else(|| shared_fault(req.addr, tb.shared.len()))?;
-                                    warp.threads[lane as usize].write_reg(dst, v);
                                 }
                                 Space::Global => {
-                                    let v = self.mem.read_u32(req.addr);
-                                    warp.threads[lane as usize].write_reg(dst, v);
+                                    self.mem.write_u32(req.addr, value);
                                     global_addrs[lane as usize] = Some(req.addr);
+                                }
+                            },
+                            Effect::Atomic {
+                                dst,
+                                op,
+                                req,
+                                operand,
+                                comparand,
+                            } => {
+                                is_load_or_atomic = true;
+                                is_atomic = true;
+                                let old = match req.space {
+                                    Space::Shared => tb
+                                        .shared_read(req.addr)
+                                        .ok_or_else(|| shared_fault(req.addr, tb.shared.len()))?,
+                                    Space::Global => self.mem.read_u32(req.addr),
+                                };
+                                let new = apply_atomic(op, old, operand, comparand);
+                                match req.space {
+                                    Space::Shared => {
+                                        any_shared = true;
+                                        tb.shared_write(req.addr, new).ok_or_else(|| {
+                                            shared_fault(req.addr, tb.shared.len())
+                                        })?;
+                                    }
+                                    Space::Global => {
+                                        self.mem.write_u32(req.addr, new);
+                                        global_addrs[lane as usize] = Some(req.addr);
+                                    }
+                                }
+                                if let Some(d) = dst {
+                                    warp.regs.write_lane(d, lane as usize, old);
+                                }
+                            }
+                            _ => {
+                                return Err(invariant(
+                                    now,
+                                    "memory instruction produced a non-memory effect".into(),
+                                ))
+                            }
+                        }
+                    }
+                } else {
+                    // Space is static per instruction, so each shape
+                    // branches once, sweeps addresses/operands across the
+                    // active lanes, and applies side effects in lane order
+                    // (preserving intra-warp aliasing and atomic
+                    // sequencing exactly as the per-lane executor did).
+                    match m.op {
+                        UOp::Ld {
+                            dst,
+                            space,
+                            addr,
+                            offset,
+                        } => {
+                            is_load_or_atomic = true;
+                            let mut addrs = [0u32; WARP_SIZE];
+                            warp.regs.addr_sweep(addr, offset, mask, &mut addrs);
+                            let mut vals = [0u32; WARP_SIZE];
+                            let mut rest = mask;
+                            match space {
+                                Space::Shared => {
+                                    any_shared = true;
+                                    while rest != 0 {
+                                        let lane = rest.trailing_zeros() as usize;
+                                        rest &= rest - 1;
+                                        vals[lane] =
+                                            tb.shared_read(addrs[lane]).ok_or_else(|| {
+                                                shared_fault(addrs[lane], tb.shared.len())
+                                            })?;
+                                    }
+                                }
+                                Space::Global => {
+                                    while rest != 0 {
+                                        let lane = rest.trailing_zeros() as usize;
+                                        rest &= rest - 1;
+                                        vals[lane] = self.mem.read_u32(addrs[lane]);
+                                        global_addrs[lane] = Some(addrs[lane]);
+                                    }
+                                }
+                            }
+                            warp.regs.store_masked(dst, &vals, mask);
+                        }
+                        UOp::LdParam { dst, word } => {
+                            is_load_or_atomic = true;
+                            let addr = param_base.wrapping_add(u32::from(word) * 4);
+                            // One functional read suffices — the backing
+                            // store is pure and every lane loads the same
+                            // word — but coalescing still sees the full
+                            // per-lane address image.
+                            let v = self.mem.read_u32(addr);
+                            warp.regs.broadcast(dst, v, mask);
+                            let mut rest = mask;
+                            while rest != 0 {
+                                let lane = rest.trailing_zeros() as usize;
+                                rest &= rest - 1;
+                                global_addrs[lane] = Some(addr);
+                            }
+                        }
+                        UOp::St {
+                            space,
+                            addr,
+                            offset,
+                            src,
+                        } => {
+                            let mut addrs = [0u32; WARP_SIZE];
+                            warp.regs.addr_sweep(addr, offset, mask, &mut addrs);
+                            let mut vals = [0u32; WARP_SIZE];
+                            warp.regs.src_sweep(src, mask, &mut vals);
+                            let mut rest = mask;
+                            match space {
+                                Space::Shared => {
+                                    any_shared = true;
+                                    while rest != 0 {
+                                        let lane = rest.trailing_zeros() as usize;
+                                        rest &= rest - 1;
+                                        tb.shared_write(addrs[lane], vals[lane]).ok_or_else(
+                                            || shared_fault(addrs[lane], tb.shared.len()),
+                                        )?;
+                                    }
+                                }
+                                Space::Global => {
+                                    while rest != 0 {
+                                        let lane = rest.trailing_zeros() as usize;
+                                        rest &= rest - 1;
+                                        self.mem.write_u32(addrs[lane], vals[lane]);
+                                        global_addrs[lane] = Some(addrs[lane]);
+                                    }
                                 }
                             }
                         }
-                        Effect::Store { req, value } => match req.space {
-                            Space::Shared => {
-                                any_shared = true;
-                                tb.shared_write(req.addr, value)
-                                    .ok_or_else(|| shared_fault(req.addr, tb.shared.len()))?;
-                            }
-                            Space::Global => {
-                                self.mem.write_u32(req.addr, value);
-                                global_addrs[lane as usize] = Some(req.addr);
-                            }
-                        },
-                        Effect::Atomic {
+                        UOp::Atom {
                             dst,
                             op,
-                            req,
-                            operand,
-                            comparand,
+                            space,
+                            addr,
+                            offset,
+                            src,
+                            extra,
                         } => {
                             is_load_or_atomic = true;
                             is_atomic = true;
-                            let old = match req.space {
-                                Space::Shared => tb
-                                    .shared_read(req.addr)
-                                    .ok_or_else(|| shared_fault(req.addr, tb.shared.len()))?,
-                                Space::Global => self.mem.read_u32(req.addr),
-                            };
-                            let new = apply_atomic(op, old, operand, comparand);
-                            match req.space {
-                                Space::Shared => {
-                                    any_shared = true;
-                                    tb.shared_write(req.addr, new)
-                                        .ok_or_else(|| shared_fault(req.addr, tb.shared.len()))?;
+                            let mut addrs = [0u32; WARP_SIZE];
+                            warp.regs.addr_sweep(addr, offset, mask, &mut addrs);
+                            let mut opers = [0u32; WARP_SIZE];
+                            warp.regs.src_sweep(src, mask, &mut opers);
+                            // Address and operand registers are
+                            // lane-disjoint from earlier lanes' destination
+                            // writebacks, so the up-front sweeps observe
+                            // the same values the per-lane executor would.
+                            let mut rest = mask;
+                            while rest != 0 {
+                                let lane = rest.trailing_zeros() as usize;
+                                rest &= rest - 1;
+                                let comparand = extra.map(|r| warp.regs.lane(r, lane));
+                                let old = match space {
+                                    Space::Shared => {
+                                        tb.shared_read(addrs[lane]).ok_or_else(|| {
+                                            shared_fault(addrs[lane], tb.shared.len())
+                                        })?
+                                    }
+                                    Space::Global => self.mem.read_u32(addrs[lane]),
+                                };
+                                let new = apply_atomic(op, old, opers[lane], comparand);
+                                match space {
+                                    Space::Shared => {
+                                        any_shared = true;
+                                        tb.shared_write(addrs[lane], new).ok_or_else(|| {
+                                            shared_fault(addrs[lane], tb.shared.len())
+                                        })?;
+                                    }
+                                    Space::Global => {
+                                        self.mem.write_u32(addrs[lane], new);
+                                        global_addrs[lane] = Some(addrs[lane]);
+                                    }
                                 }
-                                Space::Global => {
-                                    self.mem.write_u32(req.addr, new);
-                                    global_addrs[lane as usize] = Some(req.addr);
+                                if let Some(d) = dst {
+                                    warp.regs.write_lane(d, lane, old);
                                 }
                             }
-                            if let Some(d) = dst {
-                                warp.threads[lane as usize].write_reg(d, old);
-                            }
                         }
-                        _ => {
-                            return Err(invariant(
-                                now,
-                                "memory instruction produced a non-memory effect".into(),
-                            ))
-                        }
+                        _ => unreachable!("arm is gated on memory micro-ops"),
                     }
                 }
                 // Pooled on `self` (disjoint field from the SMX borrow):
@@ -1679,26 +1865,34 @@ impl Gpu {
                 }
                 self.txn_buf = txns;
             }
-            Inst::MemFence => {
+            UOp::MemFence => {
                 warp.advance_pc();
                 warp.ready_at = now + pipe.memfence;
             }
-            Inst::Nop => {
+            UOp::Nop => {
                 warp.advance_pc();
                 warp.ready_at = now + 1;
             }
             ref alu => {
                 warp.advance_pc();
-                let warp_in_tb = warp.warp_in_tb;
-                for lane in 0..WARP_SIZE as u32 {
-                    if mask & (1 << lane) == 0 {
-                        continue;
+                if legacy {
+                    let warp_in_tb = warp.warp_in_tb;
+                    for lane in 0..WARP_SIZE as u32 {
+                        if mask & (1 << lane) == 0 {
+                            continue;
+                        }
+                        let env = env_of(lane, warp_in_tb);
+                        let eff = lane_step(
+                            &mut LaneView::new(&mut warp.regs, lane as usize),
+                            &inst,
+                            &env,
+                        );
+                        debug_assert_eq!(eff, Effect::None, "ALU class must be self-contained");
                     }
-                    let env = env_of(lane, warp_in_tb);
-                    let eff = warp.threads[lane as usize].step(alu, &env);
-                    debug_assert_eq!(eff, Effect::None, "ALU class must be self-contained");
+                } else {
+                    exec_alu(alu, &mut warp.regs, &warp.env, mask);
                 }
-                warp.ready_at = now + alu_latency(alu, &pipe);
+                warp.ready_at = now + class_latency(m.lat, &pipe);
             }
         }
         Ok(None)
@@ -1741,7 +1935,9 @@ impl Gpu {
                 }
                 EffectItem::GlobalLoad { w, lane, dst, addr } => {
                     let v = self.mem.read_u32(addr);
-                    self.lane_mut(s, w, lane, now)?.write_reg(dst, v);
+                    self.warp_mut(s, w, now)?
+                        .regs
+                        .write_lane(dst, lane as usize, v);
                 }
                 EffectItem::GlobalStore { addr, value } => self.mem.write_u32(addr, value),
                 EffectItem::GlobalAtomic {
@@ -1757,7 +1953,9 @@ impl Gpu {
                     let new = apply_atomic(op, old, operand, comparand);
                     self.mem.write_u32(addr, new);
                     if let Some(d) = dst {
-                        self.lane_mut(s, w, lane, now)?.write_reg(d, old);
+                        self.warp_mut(s, w, now)?
+                            .regs
+                            .write_lane(d, lane as usize, old);
                     }
                 }
                 EffectItem::AllocParam {
@@ -1777,7 +1975,9 @@ impl Gpu {
                     };
                     self.param_bytes.insert(addr, bytes);
                     self.stats.add_pending(u64::from(bytes));
-                    self.lane_mut(s, w, lane, now)?.write_reg(dst, addr);
+                    self.warp_mut(s, w, now)?
+                        .regs
+                        .write_lane(dst, lane as usize, addr);
                 }
                 EffectItem::MemIssue {
                     w,
@@ -1821,24 +2021,20 @@ impl Gpu {
         }
     }
 
-    /// Mutable lane context for a staged register writeback; a vanished
-    /// warp here means stage and commit disagreed about liveness.
-    fn lane_mut(
+    /// Mutable warp for a staged register writeback; a vanished warp here
+    /// means stage and commit disagreed about liveness.
+    fn warp_mut(
         &mut self,
         s: usize,
         w: u32,
-        lane: u8,
         now: u64,
-    ) -> Result<&mut gpu_isa::ThreadCtx, SimError> {
-        self.smxs[s].warps[w as usize]
-            .as_mut()
-            .map(|warp| &mut warp.threads[lane as usize])
-            .ok_or_else(|| {
-                invariant(
-                    now,
-                    format!("staged writeback names vacant warp {w} on SMX {s}"),
-                )
-            })
+    ) -> Result<&mut crate::smx::warp::Warp, SimError> {
+        self.smxs[s].warps[w as usize].as_mut().ok_or_else(|| {
+            invariant(
+                now,
+                format!("staged writeback names vacant warp {w} on SMX {s}"),
+            )
+        })
     }
 
     pub(crate) fn release_barrier(
@@ -1951,11 +2147,14 @@ impl Drop for Gpu {
     }
 }
 
-pub(crate) fn alu_latency(inst: &Inst, pipe: &crate::config::PipelineLatencies) -> u64 {
-    match inst {
-        Inst::IMul { .. } | Inst::IMad { .. } => pipe.imul,
-        Inst::IDivU { .. } | Inst::IRemU { .. } => pipe.idiv,
-        Inst::FDiv { .. } | Inst::FSqrt { .. } => pipe.fdiv,
-        _ => pipe.alu,
+/// Dependent-issue latency for a pre-classified ALU micro-op. The decode
+/// step computed the class once per instruction; this replaces the old
+/// per-issue `alu_latency` match over the full instruction enum.
+pub(crate) fn class_latency(lat: LatClass, pipe: &crate::config::PipelineLatencies) -> u64 {
+    match lat {
+        LatClass::Alu => pipe.alu,
+        LatClass::IMul => pipe.imul,
+        LatClass::IDiv => pipe.idiv,
+        LatClass::FDiv => pipe.fdiv,
     }
 }

@@ -19,10 +19,13 @@
 
 use crate::config::GpuConfig;
 use crate::error::SimError;
-use crate::gpu::{alu_latency, invariant, Gpu};
+use crate::gpu::{class_latency, invariant, Gpu};
 use crate::smx::warp::WarpState;
 use crate::smx::{Smx, Tbcr};
-use gpu_isa::{AtomOp, Dim3, Effect, Inst, LaunchRequest, Reg, Space, ThreadEnv, WARP_SIZE};
+use gpu_isa::{
+    exec_alu, lane_step, AtomOp, Dim3, Effect, LaneView, LaunchKind, LaunchRequest, Reg, Space,
+    ThreadEnv, UOp, WARP_SIZE,
+};
 use gpu_mem::coalesce::coalesce_append;
 use gpu_mem::AccessKind;
 use gpu_trace::{Category, EventKind, StallReason};
@@ -275,6 +278,8 @@ fn stage_warp(
         ));
     };
     let inst = *tb.kernel_fn.fetch(pc);
+    let m = *tb.kernel_fn.uop(pc);
+    let legacy = cfg.legacy_exec;
 
     fx.issues += 1;
     fx.lanes += u64::from(mask.count_ones());
@@ -316,30 +321,25 @@ fn stage_warp(
         size: size as u32,
     };
 
-    match inst {
-        Inst::Bra {
+    match m.op {
+        UOp::Bra {
             pred,
             target,
             reconv,
         } => {
+            // Predicates live in warp-wide lane masks, so the taken set is
+            // two bitwise ops regardless of executor mode.
             let taken = match pred {
                 None => mask,
                 Some((p, negate)) => {
-                    let mut t = 0u32;
-                    for lane in 0..WARP_SIZE as u32 {
-                        if mask & (1 << lane) != 0
-                            && (warp.threads[lane as usize].pred(p) != negate)
-                        {
-                            t |= 1 << lane;
-                        }
-                    }
-                    t
+                    let pm = warp.regs.pred_mask(p);
+                    (if negate { !pm } else { pm }) & mask
                 }
             };
             warp.branch(taken, target, reconv);
             warp.ready_at = now + pipe.alu;
         }
-        Inst::Exit => {
+        UOp::Exit => {
             warp.exit_lanes(mask);
             if warp.is_done() {
                 smx.live_warps -= 1;
@@ -352,7 +352,7 @@ fn stage_warp(
             }
             warp.ready_at = now + pipe.alu;
         }
-        Inst::Bar => {
+        UOp::Bar => {
             warp.advance_pc();
             warp.state = WarpState::AtBarrier;
             tb.barrier_arrived += 1;
@@ -380,7 +380,7 @@ fn stage_warp(
                 Gpu::release_barrier(warps, tb, now, pipe.shared_mem);
             }
         }
-        Inst::GetParamBuf { dst, words } => {
+        UOp::GetParamBuf { dst, words } => {
             warp.advance_pc();
             let x = u64::from(mask.count_ones());
             let bytes = u32::from(words.max(1)) * 4;
@@ -397,22 +397,50 @@ fn stage_warp(
             }
             warp.ready_at = now + lat.get_param_buf(x);
         }
-        Inst::LaunchDevice { .. } | Inst::LaunchAgg { .. } => {
+        UOp::Launch {
+            kind,
+            kernel,
+            ntb,
+            param,
+        } => {
             warp.advance_pc();
-            let warp_in_tb = warp.warp_in_tb;
             let hw_base = warp.hw_slot as u32 * WARP_SIZE as u32;
             fx.launch_tmp.clear();
-            for lane in 0..WARP_SIZE as u32 {
-                if mask & (1 << lane) == 0 {
-                    continue;
+            if legacy {
+                let warp_in_tb = warp.warp_in_tb;
+                for lane in 0..WARP_SIZE as u32 {
+                    if mask & (1 << lane) == 0 {
+                        continue;
+                    }
+                    let env = env_of(lane, warp_in_tb);
+                    if let Effect::Launch(req) = lane_step(
+                        &mut LaneView::new(&mut warp.regs, lane as usize),
+                        &inst,
+                        &env,
+                    ) {
+                        fx.launch_tmp.push((hw_base + lane, req));
+                    }
                 }
-                let env = env_of(lane, warp_in_tb);
-                if let Effect::Launch(req) = warp.threads[lane as usize].step(&inst, &env) {
-                    fx.launch_tmp.push((hw_base + lane, req));
+            } else {
+                let mut ntbs = [0u32; WARP_SIZE];
+                warp.regs.src_sweep(ntb, mask, &mut ntbs);
+                let mut rest = mask;
+                while rest != 0 {
+                    let lane = rest.trailing_zeros();
+                    rest &= rest - 1;
+                    fx.launch_tmp.push((
+                        hw_base + lane,
+                        LaunchRequest {
+                            kind,
+                            kernel,
+                            ntb: ntbs[lane as usize],
+                            param_addr: warp.regs.lane(param, lane as usize),
+                        },
+                    ));
                 }
             }
             let x = fx.launch_tmp.len() as u64;
-            let is_agg = matches!(inst, Inst::LaunchAgg { .. });
+            let is_agg = kind == LaunchKind::Agg;
             if x > 0 && t_warp {
                 fx.push_event(
                     now,
@@ -439,97 +467,254 @@ fn stage_warp(
                 });
             }
         }
-        ref mem_inst if mem_inst.is_memory() => {
+        UOp::Ld { .. } | UOp::St { .. } | UOp::LdParam { .. } | UOp::Atom { .. } => {
             warp.advance_pc();
-            let warp_in_tb = warp.warp_in_tb;
             let mut global_addrs = [None::<u32>; WARP_SIZE];
             let mut any_shared = false;
             let mut is_load_or_atomic = false;
             let mut is_atomic = false;
-            for lane in 0..WARP_SIZE as u32 {
-                if mask & (1 << lane) == 0 {
-                    continue;
-                }
-                let env = env_of(lane, warp_in_tb);
-                let eff = warp.threads[lane as usize].step(mem_inst, &env);
-                match eff {
-                    Effect::Load { dst, req } => {
-                        is_load_or_atomic = true;
-                        match req.space {
+            if legacy {
+                let warp_in_tb = warp.warp_in_tb;
+                for lane in 0..WARP_SIZE as u32 {
+                    if mask & (1 << lane) == 0 {
+                        continue;
+                    }
+                    let env = env_of(lane, warp_in_tb);
+                    let eff = lane_step(
+                        &mut LaneView::new(&mut warp.regs, lane as usize),
+                        &inst,
+                        &env,
+                    );
+                    match eff {
+                        Effect::Load { dst, req } => {
+                            is_load_or_atomic = true;
+                            match req.space {
+                                Space::Shared => {
+                                    any_shared = true;
+                                    let v = tb
+                                        .shared_read(req.addr)
+                                        .ok_or_else(|| shared_fault(req.addr, tb.shared.len()))?;
+                                    warp.regs.write_lane(dst, lane as usize, v);
+                                }
+                                Space::Global => {
+                                    fx.push_global(EffectItem::GlobalLoad {
+                                        w: w as u32,
+                                        lane: lane as u8,
+                                        dst,
+                                        addr: req.addr,
+                                    });
+                                    global_addrs[lane as usize] = Some(req.addr);
+                                }
+                            }
+                        }
+                        Effect::Store { req, value } => match req.space {
                             Space::Shared => {
                                 any_shared = true;
-                                let v = tb
-                                    .shared_read(req.addr)
+                                tb.shared_write(req.addr, value)
                                     .ok_or_else(|| shared_fault(req.addr, tb.shared.len()))?;
-                                warp.threads[lane as usize].write_reg(dst, v);
                             }
                             Space::Global => {
-                                fx.push_global(EffectItem::GlobalLoad {
-                                    w: w as u32,
-                                    lane: lane as u8,
-                                    dst,
+                                fx.push_global(EffectItem::GlobalStore {
                                     addr: req.addr,
+                                    value,
                                 });
                                 global_addrs[lane as usize] = Some(req.addr);
                             }
+                        },
+                        Effect::Atomic {
+                            dst,
+                            op,
+                            req,
+                            operand,
+                            comparand,
+                        } => {
+                            is_load_or_atomic = true;
+                            is_atomic = true;
+                            match req.space {
+                                Space::Shared => {
+                                    any_shared = true;
+                                    let old = tb
+                                        .shared_read(req.addr)
+                                        .ok_or_else(|| shared_fault(req.addr, tb.shared.len()))?;
+                                    let new = gpu_isa::apply_atomic(op, old, operand, comparand);
+                                    tb.shared_write(req.addr, new)
+                                        .ok_or_else(|| shared_fault(req.addr, tb.shared.len()))?;
+                                    if let Some(d) = dst {
+                                        warp.regs.write_lane(d, lane as usize, old);
+                                    }
+                                }
+                                Space::Global => {
+                                    fx.push_global(EffectItem::GlobalAtomic {
+                                        w: w as u32,
+                                        lane: lane as u8,
+                                        dst,
+                                        op,
+                                        addr: req.addr,
+                                        operand,
+                                        comparand,
+                                    });
+                                    global_addrs[lane as usize] = Some(req.addr);
+                                }
+                            }
+                        }
+                        _ => {
+                            return Err(invariant(
+                                now,
+                                "memory instruction produced a non-memory effect".into(),
+                            ))
                         }
                     }
-                    Effect::Store { req, value } => match req.space {
-                        Space::Shared => {
-                            any_shared = true;
-                            tb.shared_write(req.addr, value)
-                                .ok_or_else(|| shared_fault(req.addr, tb.shared.len()))?;
-                        }
-                        Space::Global => {
-                            fx.push_global(EffectItem::GlobalStore {
-                                addr: req.addr,
-                                value,
-                            });
-                            global_addrs[lane as usize] = Some(req.addr);
-                        }
-                    },
-                    Effect::Atomic {
+                }
+            } else {
+                // Space is static per instruction: branch once, sweep
+                // operands across the active lanes, then stage/apply in
+                // lane order — the exact sequence the per-lane executor
+                // produced (global effects defer to commit either way).
+                match m.op {
+                    UOp::Ld {
                         dst,
-                        op,
-                        req,
-                        operand,
-                        comparand,
+                        space,
+                        addr,
+                        offset,
                     } => {
                         is_load_or_atomic = true;
-                        is_atomic = true;
-                        match req.space {
+                        let mut addrs = [0u32; WARP_SIZE];
+                        warp.regs.addr_sweep(addr, offset, mask, &mut addrs);
+                        match space {
                             Space::Shared => {
                                 any_shared = true;
-                                let old = tb
-                                    .shared_read(req.addr)
-                                    .ok_or_else(|| shared_fault(req.addr, tb.shared.len()))?;
-                                let new = gpu_isa::apply_atomic(op, old, operand, comparand);
-                                tb.shared_write(req.addr, new)
-                                    .ok_or_else(|| shared_fault(req.addr, tb.shared.len()))?;
-                                if let Some(d) = dst {
-                                    warp.threads[lane as usize].write_reg(d, old);
+                                let mut vals = [0u32; WARP_SIZE];
+                                let mut rest = mask;
+                                while rest != 0 {
+                                    let lane = rest.trailing_zeros() as usize;
+                                    rest &= rest - 1;
+                                    vals[lane] = tb.shared_read(addrs[lane]).ok_or_else(|| {
+                                        shared_fault(addrs[lane], tb.shared.len())
+                                    })?;
+                                }
+                                warp.regs.store_masked(dst, &vals, mask);
+                            }
+                            Space::Global => {
+                                let mut rest = mask;
+                                while rest != 0 {
+                                    let lane = rest.trailing_zeros() as usize;
+                                    rest &= rest - 1;
+                                    fx.push_global(EffectItem::GlobalLoad {
+                                        w: w as u32,
+                                        lane: lane as u8,
+                                        dst,
+                                        addr: addrs[lane],
+                                    });
+                                    global_addrs[lane] = Some(addrs[lane]);
+                                }
+                            }
+                        }
+                    }
+                    UOp::LdParam { dst, word } => {
+                        is_load_or_atomic = true;
+                        let addr = param_base.wrapping_add(u32::from(word) * 4);
+                        // The functional read happens at commit, so stage
+                        // one GlobalLoad per active lane exactly as the
+                        // scalar executor did.
+                        let mut rest = mask;
+                        while rest != 0 {
+                            let lane = rest.trailing_zeros() as usize;
+                            rest &= rest - 1;
+                            fx.push_global(EffectItem::GlobalLoad {
+                                w: w as u32,
+                                lane: lane as u8,
+                                dst,
+                                addr,
+                            });
+                            global_addrs[lane] = Some(addr);
+                        }
+                    }
+                    UOp::St {
+                        space,
+                        addr,
+                        offset,
+                        src,
+                    } => {
+                        let mut addrs = [0u32; WARP_SIZE];
+                        warp.regs.addr_sweep(addr, offset, mask, &mut addrs);
+                        let mut vals = [0u32; WARP_SIZE];
+                        warp.regs.src_sweep(src, mask, &mut vals);
+                        let mut rest = mask;
+                        match space {
+                            Space::Shared => {
+                                any_shared = true;
+                                while rest != 0 {
+                                    let lane = rest.trailing_zeros() as usize;
+                                    rest &= rest - 1;
+                                    tb.shared_write(addrs[lane], vals[lane]).ok_or_else(|| {
+                                        shared_fault(addrs[lane], tb.shared.len())
+                                    })?;
                                 }
                             }
                             Space::Global => {
-                                fx.push_global(EffectItem::GlobalAtomic {
-                                    w: w as u32,
-                                    lane: lane as u8,
-                                    dst,
-                                    op,
-                                    addr: req.addr,
-                                    operand,
-                                    comparand,
-                                });
-                                global_addrs[lane as usize] = Some(req.addr);
+                                while rest != 0 {
+                                    let lane = rest.trailing_zeros() as usize;
+                                    rest &= rest - 1;
+                                    fx.push_global(EffectItem::GlobalStore {
+                                        addr: addrs[lane],
+                                        value: vals[lane],
+                                    });
+                                    global_addrs[lane] = Some(addrs[lane]);
+                                }
                             }
                         }
                     }
-                    _ => {
-                        return Err(invariant(
-                            now,
-                            "memory instruction produced a non-memory effect".into(),
-                        ))
+                    UOp::Atom {
+                        dst,
+                        op,
+                        space,
+                        addr,
+                        offset,
+                        src,
+                        extra,
+                    } => {
+                        is_load_or_atomic = true;
+                        is_atomic = true;
+                        let mut addrs = [0u32; WARP_SIZE];
+                        warp.regs.addr_sweep(addr, offset, mask, &mut addrs);
+                        let mut opers = [0u32; WARP_SIZE];
+                        warp.regs.src_sweep(src, mask, &mut opers);
+                        let mut rest = mask;
+                        while rest != 0 {
+                            let lane = rest.trailing_zeros() as usize;
+                            rest &= rest - 1;
+                            let comparand = extra.map(|r| warp.regs.lane(r, lane));
+                            match space {
+                                Space::Shared => {
+                                    any_shared = true;
+                                    let old = tb.shared_read(addrs[lane]).ok_or_else(|| {
+                                        shared_fault(addrs[lane], tb.shared.len())
+                                    })?;
+                                    let new =
+                                        gpu_isa::apply_atomic(op, old, opers[lane], comparand);
+                                    tb.shared_write(addrs[lane], new).ok_or_else(|| {
+                                        shared_fault(addrs[lane], tb.shared.len())
+                                    })?;
+                                    if let Some(d) = dst {
+                                        warp.regs.write_lane(d, lane, old);
+                                    }
+                                }
+                                Space::Global => {
+                                    fx.push_global(EffectItem::GlobalAtomic {
+                                        w: w as u32,
+                                        lane: lane as u8,
+                                        dst,
+                                        op,
+                                        addr: addrs[lane],
+                                        operand: opers[lane],
+                                        comparand,
+                                    });
+                                    global_addrs[lane] = Some(addrs[lane]);
+                                }
+                            }
+                        }
                     }
+                    _ => unreachable!("arm is gated on memory micro-ops"),
                 }
             }
             let (start, len) = coalesce_append(&global_addrs, &mut fx.txns);
@@ -575,26 +760,34 @@ fn stage_warp(
                 warp.ready_at = now + pipe.store_issue;
             }
         }
-        Inst::MemFence => {
+        UOp::MemFence => {
             warp.advance_pc();
             warp.ready_at = now + pipe.memfence;
         }
-        Inst::Nop => {
+        UOp::Nop => {
             warp.advance_pc();
             warp.ready_at = now + 1;
         }
         ref alu => {
             warp.advance_pc();
-            let warp_in_tb = warp.warp_in_tb;
-            for lane in 0..WARP_SIZE as u32 {
-                if mask & (1 << lane) == 0 {
-                    continue;
+            if legacy {
+                let warp_in_tb = warp.warp_in_tb;
+                for lane in 0..WARP_SIZE as u32 {
+                    if mask & (1 << lane) == 0 {
+                        continue;
+                    }
+                    let env = env_of(lane, warp_in_tb);
+                    let eff = lane_step(
+                        &mut LaneView::new(&mut warp.regs, lane as usize),
+                        &inst,
+                        &env,
+                    );
+                    debug_assert_eq!(eff, Effect::None, "ALU class must be self-contained");
                 }
-                let env = env_of(lane, warp_in_tb);
-                let eff = warp.threads[lane as usize].step(alu, &env);
-                debug_assert_eq!(eff, Effect::None, "ALU class must be self-contained");
+            } else {
+                exec_alu(alu, &mut warp.regs, &warp.env, mask);
             }
-            warp.ready_at = now + alu_latency(alu, &pipe);
+            warp.ready_at = now + class_latency(m.lat, &pipe);
         }
     }
     Ok(None)

@@ -5,7 +5,7 @@ pub mod warp;
 
 use crate::config::{GpuConfig, WarpSchedPolicy};
 use dtbl_core::GroupRef;
-use gpu_isa::{Dim3, Kernel, KernelId};
+use gpu_isa::{Dim3, Kernel, KernelId, WarpRegs};
 use gpu_trace::{Category, EventKind, TraceBuffer};
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -105,6 +105,11 @@ pub struct Smx {
     /// steady-state block dispatch reuses their capacity instead of
     /// allocating a fresh `Vec` per placed block.
     slot_vec_pool: Vec<Vec<usize>>,
+    /// Recycled lane-major register slabs from released warps. Every warp
+    /// — including the partial last warp of an odd-sized block — uses a
+    /// full 32-lane slab, so the pool is uniform and short-lived DTBL
+    /// aggregated blocks re-bind a warm slab instead of allocating.
+    reg_pool: Vec<WarpRegs>,
     /// Resident warp slots in ascending `age` order. Ages are handed out
     /// from a monotone counter, so `place_tb` appends in order and the
     /// list stays sorted without ever sorting; GTO walks it instead of
@@ -142,11 +147,40 @@ impl Smx {
             greedy: None,
             rr_cursor: 0,
             slot_vec_pool: Vec::new(),
+            reg_pool: Vec::new(),
             age_order: Vec::new(),
             pick_buf: Vec::new(),
             ready_min: u64::MAX,
             trace: TraceBuffer::default(),
         }
+    }
+
+    /// Restores the state [`Smx::new`] would build while keeping the
+    /// warm allocations: the warp slab's and scratch vectors' capacity,
+    /// the pooled `warp_slots` vectors, and the pooled register slabs
+    /// (any still attached to a leftover warp are recovered first). Used
+    /// by `Gpu::reset_bind`; a run after a reset must be bit-identical to
+    /// a run on a fresh SMX, so everything observable — including warp
+    /// slot numbering, which feeds the AGT hash — is reinitialized.
+    pub fn reset(&mut self, cfg: &GpuConfig) {
+        for w in self.warps.drain(..).flatten() {
+            self.reg_pool.push(w.regs);
+        }
+        self.free_warp_slots.clear();
+        self.tb_slots.clear();
+        self.tb_slots.resize(cfg.max_tb_per_smx, None);
+        self.used_threads = 0;
+        self.used_regs = 0;
+        self.used_shared = 0;
+        self.live_warps = 0;
+        self.kernels_loaded.clear();
+        self.greedy = None;
+        self.rr_cursor = 0;
+        self.age_order.clear();
+        self.pick_buf.clear();
+        self.ready_min = u64::MAX;
+        self.trace.set_mask(0);
+        self.trace.drain();
     }
 
     /// Staging buffer for thread-block placement/retirement events. The
@@ -212,9 +246,27 @@ impl Smx {
                 self.warps.push(None);
                 self.warps.len() - 1
             });
-            let mut w = Warp::new(slot, wi, ws, kernel.regs_per_thread(), valid, *warp_age);
+            let regs = self.reg_pool.pop().unwrap_or_default();
+            let mut w = Warp::new(
+                slot,
+                wi,
+                ws,
+                kernel.regs_per_thread(),
+                valid,
+                *warp_age,
+                regs,
+            );
             *warp_age += 1;
             w.ready_at = ready_at;
+            w.env.build(
+                kernel.block_dim(),
+                Dim3::x(nctaid),
+                tbcr.blkid,
+                wi,
+                valid,
+                self.id as u32,
+                param_base,
+            );
             self.warps[ws] = Some(w);
             warp_slots.push(ws);
             self.age_order.push(ws);
@@ -251,7 +303,11 @@ impl Smx {
         }
         let mut tb = self.tb_slots[slot].take()?;
         for ws in tb.warp_slots.drain(..) {
-            self.warps[ws] = None;
+            if let Some(w) = self.warps[ws].take() {
+                // Recover the lane-major register slab (capacity intact)
+                // for the next placed block.
+                self.reg_pool.push(w.regs);
+            }
             self.free_warp_slots.push(ws);
             if self.greedy == Some(ws) {
                 self.greedy = None;
@@ -614,6 +670,63 @@ mod tests {
             .unwrap();
         assert!(smx.slot_vec_pool.is_empty(), "pooled Vec taken back out");
         assert!(smx.tb_slots[slot2].as_ref().unwrap().warp_slots.capacity() >= cap_before);
+    }
+
+    #[test]
+    fn register_slabs_are_pooled_across_blocks() {
+        let cfg = GpuConfig::test_small();
+        let mut smx = Smx::new(0, &cfg);
+        let k = kernel(100, 0); // 4 warps, last one partial (4 lanes)
+        let mut age = 0;
+        let slot = smx
+            .place_tb(KernelId(0), &k, tbcr(), 1, 0, 0, &mut age)
+            .unwrap();
+        let used: Vec<usize> = smx.tb_slots[slot].as_ref().unwrap().warp_slots.clone();
+        for ws in &used {
+            smx.warps[*ws].as_mut().unwrap().state = WarpState::Done;
+            smx.live_warps -= 1;
+        }
+        smx.tb_slots[slot].as_mut().unwrap().live_warps = 0;
+        assert!(smx.release_tb(slot).is_some());
+        assert_eq!(
+            smx.reg_pool.len(),
+            4,
+            "all four slabs recovered, partial last warp included"
+        );
+        smx.place_tb(KernelId(0), &k, tbcr(), 1, 0, 0, &mut age)
+            .unwrap();
+        assert!(smx.reg_pool.is_empty(), "pooled slabs taken back out");
+    }
+
+    #[test]
+    fn reset_matches_fresh_smx_but_keeps_pools() {
+        let cfg = GpuConfig::test_small();
+        let mut smx = Smx::new(0, &cfg);
+        let k = kernel(64, 4);
+        let mut age = 0;
+        smx.place_tb(KernelId(0), &k, tbcr(), 1, 0, 0, &mut age)
+            .unwrap();
+        smx.kernels_loaded.insert(KernelId(0));
+        smx.reset(&cfg);
+        // Observable state is exactly what Smx::new builds...
+        let fresh = Smx::new(0, &cfg);
+        assert_eq!(smx.tb_slots.len(), fresh.tb_slots.len());
+        assert!(smx.tb_slots.iter().all(Option::is_none));
+        assert!(smx.warps.is_empty() || smx.warps.iter().all(Option::is_none));
+        assert_eq!(smx.warps.iter().flatten().count(), 0);
+        assert!(smx.free_warp_slots.is_empty(), "slot numbering restarts");
+        assert_eq!(smx.used_threads, 0);
+        assert_eq!(smx.used_regs, 0);
+        assert_eq!(smx.used_shared, 0);
+        assert_eq!(smx.live_warps, 0);
+        assert!(smx.kernels_loaded.is_empty());
+        assert_eq!(smx.ready_min, u64::MAX);
+        // ...but the register slabs were recovered for reuse.
+        assert_eq!(smx.reg_pool.len(), 2, "leftover warps drained into pool");
+        let mut age2 = 0;
+        smx.place_tb(KernelId(0), &k, tbcr(), 1, 0, 0, &mut age2)
+            .unwrap();
+        assert!(smx.reg_pool.is_empty(), "warm slabs reused after reset");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Warp contexts and the PDOM SIMT reconvergence stack.
 
-use gpu_isa::ThreadCtx;
+use gpu_isa::{WarpEnv, WarpRegs};
 
 /// Sentinel reconvergence PC meaning "no reconvergence point" (the base
 /// stack entry).
@@ -35,8 +35,8 @@ pub enum WarpState {
     Done,
 }
 
-/// A resident warp: 32 thread contexts plus the SIMT stack and scheduling
-/// state.
+/// A resident warp: a lane-major register file plus the SIMT stack and
+/// scheduling state.
 #[derive(Clone, Debug)]
 pub struct Warp {
     /// Thread-block slot (within the SMX) this warp belongs to.
@@ -46,8 +46,16 @@ pub struct Warp {
     /// Hardware warp slot index within the SMX (stable for the warp's
     /// lifetime; used for the AGT hash input).
     pub hw_slot: usize,
-    /// Per-lane architectural state.
-    pub threads: Vec<ThreadCtx>,
+    /// Per-lane architectural state, stored lane-major: all 32 lanes of a
+    /// register are contiguous, predicates are warp-wide lane masks. The
+    /// backing slab is pooled by the SMX across thread-block placements
+    /// ([`Smx::place_tb`](crate::smx::Smx::place_tb) /
+    /// [`Smx::release_tb`](crate::smx::Smx::release_tb)).
+    pub regs: WarpRegs,
+    /// Per-warp special-register table, precomputed at placement: thread
+    /// indices are delinearized once here instead of once per lane per
+    /// issued instruction.
+    pub env: WarpEnv,
     /// SIMT reconvergence stack; empty means all lanes exited.
     pub stack: Vec<StackEntry>,
     /// Lanes that exist (the last warp of a block may be partial).
@@ -61,7 +69,12 @@ pub struct Warp {
 }
 
 impl Warp {
-    /// Creates a warp with all valid lanes active at PC 0.
+    /// Creates a warp with all valid lanes active at PC 0. `regs` is a
+    /// (possibly pooled) register slab; it is re-bound to `nregs` zeroed
+    /// registers here, retaining whatever heap capacity it brought along.
+    /// The caller populates [`env`](Self::env) after placement (the warp's
+    /// block coordinates live in the TB slot, not here).
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         tb_slot: usize,
         warp_in_tb: u32,
@@ -69,13 +82,15 @@ impl Warp {
         nregs: u16,
         valid_mask: u32,
         age: u64,
+        mut regs: WarpRegs,
     ) -> Self {
-        let lanes = gpu_isa::WARP_SIZE;
+        regs.reset(nregs, valid_mask);
         Warp {
             tb_slot,
             warp_in_tb,
             hw_slot,
-            threads: (0..lanes).map(|_| ThreadCtx::new(nregs)).collect(),
+            regs,
+            env: WarpEnv::new(),
             stack: vec![StackEntry {
                 pc: 0,
                 mask: valid_mask,
@@ -189,7 +204,7 @@ mod tests {
     use super::*;
 
     fn warp() -> Warp {
-        Warp::new(0, 0, 0, 8, u32::MAX, 0)
+        Warp::new(0, 0, 0, 8, u32::MAX, 0, WarpRegs::new())
     }
 
     #[test]
@@ -298,7 +313,7 @@ mod tests {
 
     #[test]
     fn partial_warp_valid_mask() {
-        let w = Warp::new(0, 1, 3, 4, 0x0000_000f, 7);
+        let w = Warp::new(0, 1, 3, 4, 0x0000_000f, 7, WarpRegs::new());
         assert_eq!(w.lane_count(), 4);
         assert_eq!(w.current().unwrap(), (0, 0x0f));
         assert_eq!(w.age, 7);
@@ -309,7 +324,7 @@ mod tests {
     fn loop_style_repeated_divergence_terminates() {
         // Simulates a loop where one lane exits per "iteration" via a
         // divergent branch to the loop exit (pc 100).
-        let mut w = Warp::new(0, 0, 0, 4, 0x7, 0);
+        let mut w = Warp::new(0, 0, 0, 4, 0x7, 0, WarpRegs::new());
         let mut exited = 0u32;
         for lane in 0..3u32 {
             let exit_mask = 1 << lane;

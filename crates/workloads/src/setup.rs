@@ -6,8 +6,10 @@
 //! though all of it is a pure function of `(benchmark, scale, base
 //! config)`. A [`CellSetup`] computes that function once: the workload
 //! buffers are built a single time and shared behind `Arc`s, and the
-//! [`Program`] for *every* variant is decoded up front (a `Program` clone
-//! is an `Arc` refcount bump per kernel, pinned by
+//! [`Program`] for *every* variant is decoded up front — including each
+//! kernel's micro-op program (`gpu_isa::decode`), so the executors never
+//! re-inspect instruction encodings on the hot path (a `Program` clone
+//! is an `Arc` refcount bump per kernel, micro-ops included, pinned by
 //! `Program::shares_kernels`). Running a cell is then only the mutable
 //! half: bind a fresh — or warm-rebound, via
 //! [`WarmSlot`](gpu_sim::WarmSlot) — simulator and drive the app's
